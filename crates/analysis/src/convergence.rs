@@ -1,0 +1,92 @@
+//! Convergence analysis of skew time series: settle times, decay rates,
+//! and overshoot — the quantities Theorem 5.6 (II) and §5.2 make claims
+//! about.
+
+/// Fits the *linear decay rate* of a decreasing series: the least-squares
+/// slope of `value` against time over the samples where the series is
+/// above `floor`, negated so a decaying series yields a positive rate.
+///
+/// Returns 0 if fewer than two samples qualify.
+#[must_use]
+pub fn linear_decay_rate(series: &[(f64, f64)], floor: f64) -> f64 {
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .copied()
+        .take_while(|&(_, v)| v > floor)
+        .collect();
+    -crate::stats::slope(&pts)
+}
+
+/// The first time the series reaches `target` and never exceeds it again;
+/// `None` if it never settles.
+#[must_use]
+pub fn settle_time(series: &[(f64, f64)], target: f64) -> Option<f64> {
+    let mut settle = None;
+    for &(t, v) in series {
+        if v <= target {
+            settle.get_or_insert(t);
+        } else {
+            settle = None;
+        }
+    }
+    settle
+}
+
+/// The maximum value after the first sample (the "overshoot" if the series
+/// was expected to decay monotonically from its start).
+#[must_use]
+pub fn peak_after_start(series: &[(f64, f64)]) -> f64 {
+    series.iter().skip(1).map(|&(_, v)| v).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decaying(rate: f64, start: f64, n: usize) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|k| {
+                let t = k as f64 * 0.5;
+                (t, (start - rate * t).max(0.01))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_linear_rate() {
+        let s = decaying(0.08, 1.0, 20);
+        let r = linear_decay_rate(&s, 0.05);
+        assert!((r - 0.08).abs() < 1e-9, "rate {r}");
+    }
+
+    #[test]
+    fn rate_ignores_the_settled_tail() {
+        // After hitting the floor the series is flat; including it would
+        // bias the slope towards zero.
+        let mut s = decaying(0.1, 1.0, 40);
+        s.extend((40..80).map(|k| (k as f64 * 0.5, 0.01)));
+        let r = linear_decay_rate(&s, 0.05);
+        assert!((r - 0.1).abs() < 1e-6, "rate {r}");
+    }
+
+    #[test]
+    fn settle_requires_staying_below() {
+        let s = vec![(0.0, 1.0), (1.0, 0.2), (2.0, 0.6), (3.0, 0.2), (4.0, 0.1)];
+        assert_eq!(settle_time(&s, 0.3), Some(3.0));
+        assert_eq!(settle_time(&s, 0.05), None);
+        assert_eq!(settle_time(&[], 1.0), None);
+    }
+
+    #[test]
+    fn peak_skips_first_sample() {
+        let s = vec![(0.0, 5.0), (1.0, 0.5), (2.0, 0.8)];
+        assert!((peak_after_start(&s) - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        assert_eq!(linear_decay_rate(&[], 0.0), 0.0);
+        assert_eq!(linear_decay_rate(&[(0.0, 1.0)], 0.0), 0.0);
+        assert_eq!(peak_after_start(&[]), 0.0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Legality checking (Definition 5.13) and closed-form gradient bounds.
+//!
+//! Theorem 5.22 shows that once the system has stabilized, it is legal with
+//! respect to the gradient sequence `C_s = 2Ĝ/σ^{max(s−2, 0)}`: for every
+//! level `s`, `Ψ^s_u < C_s/2` at every node. Lemma 5.14 then turns legality
+//! into the pairwise bound
+//! `|L_u − L_v| ≤ (s + ½)·κ_p + C_s/2`, which for the level choice
+//! `s(p) = max{2 + ⌈log_σ(4Ĝ/κ_p)⌉, 1}` collapses to the familiar
+//! `(s(p) + 1)·κ_p ∈ O(κ_p · log_σ(Ĝ/κ_p))` of Corollary 7.10.
+
+use gcs_core::{Params, Simulation};
+use gcs_net::NodeId;
+
+use crate::paths::level_graph;
+use crate::potentials::potentials_from;
+
+/// The stabilized gradient sequence value `C_s = 2·Ĝ/σ^{max(s−2, 0)}`
+/// (Theorem 5.22 / Definition 5.19 with the level-by-level insertion
+/// completed).
+#[must_use]
+pub fn gradient_sequence(g_hat: f64, sigma: f64, s: u32) -> f64 {
+    let exp = s.saturating_sub(2);
+    2.0 * g_hat / sigma.powi(exp as i32)
+}
+
+/// The level the pairwise bound is evaluated at:
+/// `s(p) = max{2 + ⌈log_σ(4Ĝ/κ_p)⌉, 1}` (Corollary 7.10).
+#[must_use]
+pub fn bound_level(g_hat: f64, sigma: f64, kappa_p: f64) -> u32 {
+    assert!(kappa_p > 0.0, "path weight must be positive");
+    let raw = 2.0 + (4.0 * g_hat / kappa_p).log(sigma).ceil();
+    if raw < 1.0 {
+        1
+    } else {
+        raw as u32
+    }
+}
+
+/// The closed-form stable gradient skew bound for a path of weight
+/// `κ_p` in a network whose global skew is bounded by `Ĝ`:
+/// `(s(p) + 1)·κ_p` — the `O(κ_p · log_σ(Ĝ/κ_p))` of Theorem 5.22.
+#[must_use]
+pub fn gradient_bound(params: &Params, g_hat: f64, kappa_p: f64) -> f64 {
+    let s = bound_level(g_hat, params.sigma(), kappa_p);
+    f64::from(s + 1) * kappa_p
+}
+
+/// Outcome of checking one level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelReport {
+    /// The level `s`.
+    pub level: u32,
+    /// Measured `Ψ^s = max_u Ψ^s_u`.
+    pub psi_max: f64,
+    /// The permitted `C_s/2`.
+    pub allowed: f64,
+}
+
+impl LevelReport {
+    /// Whether the level satisfies Definition 5.13 (with slack for the
+    /// discretized trigger evaluation).
+    #[must_use]
+    pub fn is_legal(&self, slack: f64) -> bool {
+        self.psi_max < self.allowed + slack
+    }
+}
+
+/// Outcome of a full legality check at one instant.
+#[derive(Debug, Clone)]
+pub struct LegalityReport {
+    /// The `Ĝ` the gradient sequence was anchored at.
+    pub g_hat: f64,
+    /// Additional slack allowed (discretization of triggers).
+    pub slack: f64,
+    /// Per-level results, `s = 1` first.
+    pub levels: Vec<LevelReport>,
+    /// Worst pairwise ratio `|L_u − L_v| / gradient_bound(κ_p)` over all
+    /// connected pairs in the fully-inserted graph.
+    pub worst_pair_ratio: f64,
+}
+
+impl LegalityReport {
+    /// Whether every level is legal.
+    #[must_use]
+    pub fn is_legal(&self) -> bool {
+        self.levels.iter().all(|l| l.is_legal(self.slack))
+    }
+
+    /// The levels that violate the bound.
+    #[must_use]
+    pub fn violations(&self) -> Vec<&LevelReport> {
+        self.levels
+            .iter()
+            .filter(|l| !l.is_legal(self.slack))
+            .collect()
+    }
+
+    /// Renders the per-level results as a printable [`Table`].
+    ///
+    /// [`Table`]: crate::Table
+    #[must_use]
+    pub fn to_table(&self) -> crate::Table {
+        let mut t = crate::Table::new(
+            format!("legality vs gradient sequence (G^ = {:.4})", self.g_hat),
+            &["level s", "Psi^s (measured)", "C_s/2 (allowed)", "usage", "legal"],
+        );
+        for l in &self.levels {
+            t.row([
+                l.level.to_string(),
+                crate::report::fmt_val(l.psi_max),
+                crate::report::fmt_val(l.allowed),
+                format!("{:.1}%", 100.0 * l.psi_max.max(0.0) / l.allowed),
+                l.is_legal(self.slack).to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Checks legality of a running simulation against the stabilized gradient
+/// sequences.
+#[derive(Debug, Clone)]
+pub struct GradientChecker {
+    g_hat: f64,
+    max_level: u32,
+    slack: f64,
+}
+
+impl GradientChecker {
+    /// Creates a checker anchored at the global-skew bound `Ĝ`.
+    ///
+    /// The level scan stops once `C_s` drops below the smallest edge weight
+    /// (deeper levels are vacuous), capped at `max_level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g_hat` is not positive.
+    #[must_use]
+    pub fn new(g_hat: f64, max_level: u32, slack: f64) -> Self {
+        assert!(g_hat > 0.0, "g_hat must be positive");
+        GradientChecker {
+            g_hat,
+            max_level,
+            slack,
+        }
+    }
+
+    /// Runs the check at the simulation's current instant.
+    #[must_use]
+    pub fn check(&self, sim: &Simulation) -> LegalityReport {
+        let params = sim.params();
+        let sigma = params.sigma();
+        let logical: Vec<f64> = (0..sim.node_count())
+            .map(|u| sim.node(NodeId::from(u)).logical())
+            .collect();
+
+        let mut kappa_min = f64::INFINITY;
+        for e in sim.level_edges(1) {
+            if let Some(info) = sim.edge_info(e) {
+                kappa_min = kappa_min.min(info.kappa);
+            }
+        }
+
+        let mut levels = Vec::new();
+        for s in 1..=self.max_level {
+            let allowed = gradient_sequence(self.g_hat, sigma, s) / 2.0;
+            if allowed < kappa_min / 2.0 && s > 2 {
+                break; // Deeper levels demand sub-edge-weight precision.
+            }
+            let dist = level_graph(sim, s).all_pairs();
+            let pot = potentials_from(&logical, &dist, s);
+            levels.push(LevelReport {
+                level: s,
+                psi_max: pot.psi_max(),
+                allowed,
+            });
+        }
+
+        // Pairwise check on the fully-inserted graph.
+        let mut worst = 0.0f64;
+        for (kappa_p, skew) in crate::skew::weighted_skew_profile(sim) {
+            let bound = gradient_bound(params, self.g_hat, kappa_p) + self.slack;
+            worst = worst.max(skew / bound);
+        }
+
+        LegalityReport {
+            g_hat: self.g_hat,
+            slack: self.slack,
+            levels,
+            worst_pair_ratio: worst,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_core::SimBuilder;
+    use gcs_net::Topology;
+    use gcs_sim::DriftModel;
+
+    #[test]
+    fn gradient_sequence_decays_geometrically() {
+        let c1 = gradient_sequence(1.0, 4.0, 1);
+        let c2 = gradient_sequence(1.0, 4.0, 2);
+        let c3 = gradient_sequence(1.0, 4.0, 3);
+        let c4 = gradient_sequence(1.0, 4.0, 4);
+        assert_eq!(c1, 2.0);
+        assert_eq!(c2, 2.0); // max(s-2, 0) keeps the first two levels equal
+        assert_eq!(c3, 0.5);
+        assert_eq!(c4, 0.125);
+    }
+
+    #[test]
+    fn bound_level_grows_logarithmically() {
+        let sigma = 4.0;
+        let s_long = bound_level(1.0, sigma, 1.0); // long path
+        let s_short = bound_level(1.0, sigma, 0.001); // short path
+        assert!(s_short > s_long);
+        // Quadrupling the path weight reduces the level by exactly one.
+        let a = bound_level(1.0, sigma, 0.01);
+        let b = bound_level(1.0, sigma, 0.04);
+        assert_eq!(a, b + 1);
+    }
+
+    #[test]
+    fn gradient_bound_shape_is_d_log_d() {
+        let params = Params::builder().rho(0.01).mu(0.1).build().unwrap();
+        // Longer paths get a weaker bound, but the bound grows sublinearly
+        // in 1/kappa for short paths (log factor).
+        let b_short = gradient_bound(&params, 1.0, 0.01);
+        let b_long = gradient_bound(&params, 1.0, 1.0);
+        assert!(b_long > b_short);
+        // At kappa_p = 4 G the log term vanishes: s(p) = 2, bound = 3 kappa.
+        let b_max = gradient_bound(&params, 1.0, 4.0);
+        assert!((b_max - 12.0).abs() < 1e-12);
+        // Far beyond the global skew the level bottoms out at s = 1.
+        let sigma = params.sigma();
+        let b_floor = gradient_bound(&params, 1.0, 4.0 * sigma * sigma);
+        assert!((b_floor - 2.0 * 4.0 * sigma * sigma).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checker_passes_on_stabilized_line() {
+        let params = Params::builder().rho(0.01).mu(0.1).build().unwrap();
+        let mut sim = SimBuilder::new(params)
+            .topology(Topology::line(6))
+            .drift(DriftModel::TwoBlock)
+            .seed(1)
+            .build()
+            .unwrap();
+        sim.run_until_secs(30.0);
+        let g_hat = sim.params().g_tilde().unwrap();
+        let slack = sim.params().discretization_slack(sim.tick_interval());
+        let report = GradientChecker::new(g_hat, 16, slack).check(&sim);
+        assert!(report.is_legal(), "violations: {:?}", report.violations());
+        assert!(report.worst_pair_ratio <= 1.0);
+        assert!(!report.levels.is_empty());
+    }
+
+    #[test]
+    fn checker_flags_corrupted_clocks() {
+        let params = Params::builder().rho(0.01).mu(0.1).build().unwrap();
+        let mut sim = SimBuilder::new(params)
+            .topology(Topology::line(6))
+            .drift(DriftModel::None)
+            .seed(1)
+            .build()
+            .unwrap();
+        sim.run_until_secs(5.0);
+        let g_hat = sim.params().g_tilde().unwrap();
+        // Tear one node's clock far ahead: legality must fail at deep levels.
+        sim.inject_clock_offset(NodeId(3), g_hat);
+        let report = GradientChecker::new(g_hat, 16, 0.0).check(&sim);
+        assert!(!report.is_legal());
+        assert!(report.worst_pair_ratio > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn checker_rejects_bad_g_hat() {
+        let _ = GradientChecker::new(0.0, 4, 0.0);
+    }
+
+    #[test]
+    fn report_renders_as_table() {
+        let params = Params::builder().rho(0.01).mu(0.1).build().unwrap();
+        let mut sim = SimBuilder::new(params)
+            .topology(Topology::line(5))
+            .drift(DriftModel::TwoBlock)
+            .seed(2)
+            .build()
+            .unwrap();
+        sim.run_until_secs(10.0);
+        let g_hat = sim.params().g_tilde().unwrap();
+        let report = GradientChecker::new(g_hat, 8, 0.0).check(&sim);
+        let table = report.to_table();
+        assert!(table.row_count() >= 2);
+        let text = table.to_string();
+        assert!(text.contains("legality"));
+        assert!(text.contains("true"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Measurement and verification utilities for `gradient-clock-sync`.
+//!
+//! Everything the experiments and tests need to *judge* a run:
+//!
+//! * [`skew`] — global/local skew and skew-vs-distance profiles,
+//! * [`paths`] — shortest κ-weighted paths over the level graphs `E_s(t)`
+//!   (Definition 5.8),
+//! * [`potentials`] — the weighted skew potentials `Ξ` and `Ψ`
+//!   (Definitions 5.11/5.12),
+//! * [`legality`] — the (C, s)-legality checker (Definition 5.13) against
+//!   the stabilized gradient sequences of Theorem 5.22, plus the
+//!   closed-form gradient bound,
+//! * [`report`] — plain-text tables and CSV output for the experiment
+//!   harness,
+//! * [`stats`] — small summary-statistics helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod legality;
+pub mod paths;
+pub mod potentials;
+pub mod report;
+pub mod skew;
+pub mod stats;
+
+pub use legality::{gradient_bound, GradientChecker, LegalityReport, LevelReport};
+pub use report::Table;
+pub use skew::{kappa_diameter, local_skew, skew_profile, weighted_skew_profile};

@@ -1,0 +1,220 @@
+//! Shortest κ-weighted paths over level graphs.
+//!
+//! The gradient analysis reasons about *level-s paths* (Definition 5.9):
+//! paths all of whose edges lie in `E_s(t)`. The relevant quantity for the
+//! potentials and the legality checker is the minimum path weight
+//! `κ_p` between node pairs, computed here with Dijkstra from every source
+//! (`O(n · m · log n)`, fine for the network sizes the experiments use).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use gcs_core::Simulation;
+use gcs_net::{EdgeKey, NodeId};
+
+/// A dense all-pairs distance matrix; `f64::INFINITY` marks unreachable
+/// pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Distance from `u` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is out of range.
+    #[must_use]
+    pub fn get(&self, u: NodeId, v: NodeId) -> f64 {
+        self.dist[u.index() * self.n + v.index()]
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The largest finite distance (the weighted diameter), or `None` if
+    /// some pair is unreachable or the matrix is trivial.
+    #[must_use]
+    pub fn diameter(&self) -> Option<f64> {
+        let mut best = 0.0f64;
+        for u in 0..self.n {
+            for v in 0..self.n {
+                let d = self.dist[u * self.n + v];
+                if d.is_infinite() {
+                    return None;
+                }
+                best = best.max(d);
+            }
+        }
+        Some(best)
+    }
+}
+
+/// Weighted edge list of an undirected graph on `n` nodes.
+#[derive(Debug, Clone, Default)]
+pub struct WeightedGraph {
+    n: usize,
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl WeightedGraph {
+    /// An empty graph on `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        WeightedGraph {
+            n,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds an undirected edge with the given positive weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is not finite and positive or a node is out of
+    /// range.
+    pub fn add_edge(&mut self, e: EdgeKey, weight: f64) {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "edge weight must be positive, got {weight}"
+        );
+        assert!(e.hi().index() < self.n, "edge {e} out of range");
+        self.adj[e.lo().index()].push((e.hi().index(), weight));
+        self.adj[e.hi().index()].push((e.lo().index(), weight));
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Dijkstra from one source.
+    #[must_use]
+    pub fn distances_from(&self, src: NodeId) -> Vec<f64> {
+        #[derive(PartialEq)]
+        struct Entry(f64, usize);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap on distance.
+                other
+                    .0
+                    .partial_cmp(&self.0)
+                    .expect("distances are never NaN")
+                    .then(other.1.cmp(&self.1))
+            }
+        }
+
+        let mut dist = vec![f64::INFINITY; self.n];
+        let mut heap = BinaryHeap::new();
+        dist[src.index()] = 0.0;
+        heap.push(Entry(0.0, src.index()));
+        while let Some(Entry(d, u)) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &(v, w) in &self.adj[u] {
+                let nd = d + w;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    heap.push(Entry(nd, v));
+                }
+            }
+        }
+        dist
+    }
+
+    /// All-pairs shortest distances.
+    #[must_use]
+    pub fn all_pairs(&self) -> DistanceMatrix {
+        let mut dist = Vec::with_capacity(self.n * self.n);
+        for u in 0..self.n {
+            dist.extend(self.distances_from(NodeId::from(u)));
+        }
+        DistanceMatrix { n: self.n, dist }
+    }
+}
+
+/// The level-`s` graph `E_s(t)` of a running simulation, weighted by the
+/// *effective* `κ` (which, under the decaying-weight insertion strategy,
+/// may still be inflated for fresh edges).
+#[must_use]
+pub fn level_graph(sim: &Simulation, s: u32) -> WeightedGraph {
+    let mut g = WeightedGraph::new(sim.node_count());
+    for e in sim.level_edges(s) {
+        let kappa = sim
+            .effective_kappa(e)
+            .expect("level edge present at both endpoints");
+        g.add_edge(e, kappa);
+    }
+    g
+}
+
+/// The current fully-inserted graph (`E_s` for `s → ∞`), weighted by `κ` —
+/// the graph `G_∞(t)` of Corollary 5.26.
+#[must_use]
+pub fn full_level_graph(sim: &Simulation) -> WeightedGraph {
+    level_graph(sim, u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> WeightedGraph {
+        // 0 -1- 1 -1- 3, 0 -3- 2 -3- 3
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(EdgeKey::new(NodeId(0), NodeId(1)), 1.0);
+        g.add_edge(EdgeKey::new(NodeId(1), NodeId(3)), 1.0);
+        g.add_edge(EdgeKey::new(NodeId(0), NodeId(2)), 3.0);
+        g.add_edge(EdgeKey::new(NodeId(2), NodeId(3)), 3.0);
+        g
+    }
+
+    #[test]
+    fn dijkstra_picks_short_route() {
+        let g = diamond();
+        let d = g.distances_from(NodeId(0));
+        assert_eq!(d[3], 2.0);
+        assert_eq!(d[2], 3.0);
+        assert_eq!(d[0], 0.0);
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric() {
+        let m = diamond().all_pairs();
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                assert_eq!(m.get(NodeId(u), NodeId(v)), m.get(NodeId(v), NodeId(u)));
+            }
+        }
+        assert_eq!(m.diameter(), Some(4.0)); // 2 -> 1 via 0? 2-0-1 = 4
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(EdgeKey::new(NodeId(0), NodeId(1)), 1.0);
+        let m = g.all_pairs();
+        assert!(m.get(NodeId(0), NodeId(2)).is_infinite());
+        assert_eq!(m.diameter(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_weight() {
+        let mut g = WeightedGraph::new(2);
+        g.add_edge(EdgeKey::new(NodeId(0), NodeId(1)), 0.0);
+    }
+}

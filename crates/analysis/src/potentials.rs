@@ -1,0 +1,144 @@
+//! The weighted skew potentials of Definitions 5.11 and 5.12.
+//!
+//! For a level `s` and the κ-weighted level graph:
+//!
+//! * `Ξ^s_u(t) = max_p { L_u − L_v − s·κ_p }` over level-s paths
+//!   `p = (u, …, v)` — how far *ahead* `u` is of anyone, discounted by
+//!   `s·κ` per unit of path weight;
+//! * `Ψ^s_u(t) = max_p { L_v − L_u − (s+½)·κ_p }` — how far *behind* `u`
+//!   is, discounted by `(s+½)·κ`.
+//!
+//! Maximizing over paths reduces to minimizing `κ_p`, so both potentials
+//! are computed from the all-pairs shortest-path matrix of the level graph.
+
+use gcs_core::Simulation;
+use gcs_net::NodeId;
+
+use crate::paths::{level_graph, DistanceMatrix};
+
+/// `Ξ^s` and `Ψ^s` for every node at one instant.
+#[derive(Debug, Clone)]
+pub struct Potentials {
+    /// The level these potentials were computed for.
+    pub level: u32,
+    /// `Ξ^s_u` per node.
+    pub xi: Vec<f64>,
+    /// `Ψ^s_u` per node.
+    pub psi: Vec<f64>,
+}
+
+impl Potentials {
+    /// The network-wide `Ξ^s = max_u Ξ^s_u`.
+    #[must_use]
+    pub fn xi_max(&self) -> f64 {
+        self.xi.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The network-wide `Ψ^s = max_u Ψ^s_u`.
+    #[must_use]
+    pub fn psi_max(&self) -> f64 {
+        self.psi.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Computes both potentials for level `s` from logical clock values and the
+/// level graph's distance matrix.
+///
+/// Trivial paths (`p = (u)`, weight 0) contribute `ξ = ψ = 0`, so the
+/// potentials are never negative.
+#[must_use]
+pub fn potentials_from(logical: &[f64], dist: &DistanceMatrix, s: u32) -> Potentials {
+    let n = logical.len();
+    assert_eq!(n, dist.node_count(), "clock/distance dimension mismatch");
+    let s_f = f64::from(s);
+    let mut xi = vec![0.0f64; n];
+    let mut psi = vec![0.0f64; n];
+    for u in 0..n {
+        for v in 0..n {
+            let d = dist.get(NodeId::from(u), NodeId::from(v));
+            if !d.is_finite() {
+                continue;
+            }
+            let xi_val = logical[u] - logical[v] - s_f * d;
+            let psi_val = logical[v] - logical[u] - (s_f + 0.5) * d;
+            xi[u] = xi[u].max(xi_val);
+            psi[u] = psi[u].max(psi_val);
+        }
+    }
+    Potentials { level: s, xi, psi }
+}
+
+/// Convenience wrapper: potentials of a running simulation at level `s`.
+#[must_use]
+pub fn potentials(sim: &Simulation, s: u32) -> Potentials {
+    let logical: Vec<f64> = (0..sim.node_count())
+        .map(|u| sim.node(NodeId::from(u)).logical())
+        .collect();
+    let dist = level_graph(sim, s).all_pairs();
+    potentials_from(&logical, &dist, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::WeightedGraph;
+    use gcs_net::EdgeKey;
+
+    fn line_dist(weights: &[f64]) -> DistanceMatrix {
+        let n = weights.len() + 1;
+        let mut g = WeightedGraph::new(n);
+        for (i, &w) in weights.iter().enumerate() {
+            g.add_edge(EdgeKey::new(NodeId::from(i), NodeId::from(i + 1)), w);
+        }
+        g.all_pairs()
+    }
+
+    #[test]
+    fn potentials_zero_when_synchronized() {
+        let dist = line_dist(&[1.0, 1.0]);
+        let p = potentials_from(&[5.0, 5.0, 5.0], &dist, 1);
+        assert_eq!(p.xi_max(), 0.0);
+        assert_eq!(p.psi_max(), 0.0);
+    }
+
+    #[test]
+    fn xi_measures_lead_discounted_by_path_weight() {
+        // Node 0 is 3 ahead of node 1 across an edge of weight 1 at level 1:
+        // xi_0 = 3 - 1*1 = 2.
+        let dist = line_dist(&[1.0]);
+        let p = potentials_from(&[8.0, 5.0], &dist, 1);
+        assert!((p.xi[0] - 2.0).abs() < 1e-12);
+        assert_eq!(p.xi[1], 0.0);
+        // psi_1 = L_0 - L_1 - 1.5*1 = 1.5 (node 1 is behind).
+        assert!((p.psi[1] - 1.5).abs() < 1e-12);
+        assert_eq!(p.psi[0], 0.0);
+    }
+
+    #[test]
+    fn higher_levels_discount_more() {
+        let dist = line_dist(&[1.0, 1.0]);
+        let clocks = [6.0, 3.0, 0.0];
+        let p1 = potentials_from(&clocks, &dist, 1);
+        let p3 = potentials_from(&clocks, &dist, 3);
+        assert!(p3.xi_max() < p1.xi_max());
+        assert!(p3.psi_max() < p1.psi_max());
+    }
+
+    #[test]
+    fn disconnected_pairs_do_not_contribute() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(EdgeKey::new(NodeId(0), NodeId(1)), 1.0);
+        let dist = g.all_pairs();
+        // Node 2 is wildly off but unreachable: potentials ignore it.
+        let p = potentials_from(&[0.0, 0.0, 1000.0], &dist, 1);
+        assert_eq!(p.xi_max(), 0.0);
+        assert_eq!(p.psi_max(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let dist = line_dist(&[1.0]);
+        let _ = potentials_from(&[0.0, 0.0, 0.0], &dist, 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Plain-text tables and CSV output for the experiment harness.
+//!
+//! The benchmark targets print one [`Table`] per reproduced result; the
+//! same data can be exported as CSV for external plotting.
+
+use std::fmt;
+
+/// A simple aligned-column table with a title and caption.
+///
+/// # Example
+///
+/// ```
+/// use gcs_analysis::Table;
+///
+/// let mut t = Table::new("E0: demo", &["n", "skew"]);
+/// t.row(["8", "0.012"]);
+/// t.row(["16", "0.019"]);
+/// let text = t.to_string();
+/// assert!(text.contains("E0: demo"));
+/// assert!(text.contains("0.019"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    caption: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            caption: String::new(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets an explanatory caption printed under the title.
+    pub fn caption(&mut self, text: impl Into<String>) -> &mut Self {
+        self.caption = text.into();
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders as CSV (headers first, RFC-4180-style quoting for cells
+    /// containing commas or quotes).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let total: usize = widths.iter().sum::<usize>() + 3 * cols.saturating_sub(1);
+
+        writeln!(f, "== {} ==", self.title)?;
+        if !self.caption.is_empty() {
+            writeln!(f, "{}", self.caption)?;
+        }
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{h:>w$}", w = widths[i])?;
+        }
+        writeln!(f)?;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{cell:>w$}", w = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float compactly for table cells (4 significant decimals,
+/// scientific for very small magnitudes).
+#[must_use]
+pub fn fmt_val(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() < 1e-3 || x.abs() >= 1e6 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("title", &["a", "long-header"]);
+        t.caption("cap");
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        let s = t.to_string();
+        assert!(s.contains("== title =="));
+        assert!(s.contains("cap"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and rows align on the right.
+        assert!(lines[2].ends_with("long-header"));
+        assert!(lines.iter().any(|l| l.trim_start().starts_with("333")));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let mut t = Table::new("t", &["x", "y"]);
+        t.row(["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "x,y\n\"a,b\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn row_arity_checked() {
+        let mut t = Table::new("t", &["x", "y"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn fmt_val_ranges() {
+        assert_eq!(fmt_val(0.0), "0");
+        assert_eq!(fmt_val(1.23456), "1.2346");
+        assert!(fmt_val(1.2e-5).contains('e'));
+        assert!(fmt_val(3.2e7).contains('e'));
+    }
+}

@@ -1,0 +1,153 @@
+//! Skew measurements over a running simulation.
+
+use gcs_core::Simulation;
+use gcs_net::NodeId;
+
+use crate::paths::{full_level_graph, level_graph};
+
+/// The *local skew*: the largest `|L_u − L_v|` over the undirected edges
+/// currently inserted at level ≥ 1. Returns 0 for edge-less graphs.
+#[must_use]
+pub fn local_skew(sim: &Simulation) -> f64 {
+    sim.level_edges(1)
+        .into_iter()
+        .map(|e| {
+            (sim.node(e.lo()).logical() - sim.node(e.hi()).logical()).abs()
+        })
+        .fold(0.0, f64::max)
+}
+
+/// The largest `|L_u − L_v|` over fully inserted edges only (the graph
+/// `G_∞(t)` of Corollary 5.26).
+#[must_use]
+pub fn stable_local_skew(sim: &Simulation) -> f64 {
+    sim.level_edges(u32::MAX)
+        .into_iter()
+        .map(|e| {
+            (sim.node(e.lo()).logical() - sim.node(e.hi()).logical()).abs()
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Skew vs hop distance: entry `d − 1` holds the maximum `|L_u − L_v|` over
+/// pairs at hop distance `d` in the current fully-inserted graph. Pairs in
+/// different components are skipped.
+#[must_use]
+pub fn skew_profile(sim: &Simulation) -> Vec<f64> {
+    let g = full_level_graph(sim);
+    // Hop distances: reuse the weighted machinery with unit weights.
+    let mut unit = crate::paths::WeightedGraph::new(sim.node_count());
+    for e in sim.level_edges(u32::MAX) {
+        unit.add_edge(e, 1.0);
+    }
+    let n = sim.node_count();
+    let mut profile: Vec<f64> = Vec::new();
+    for u in 0..n {
+        let hops = unit.distances_from(NodeId::from(u));
+        for (v, &h) in hops.iter().enumerate().skip(u + 1) {
+            if !h.is_finite() {
+                continue;
+            }
+            let d = h.round() as usize;
+            if d == 0 {
+                continue;
+            }
+            if profile.len() < d {
+                profile.resize(d, 0.0);
+            }
+            let skew =
+                (sim.node(NodeId::from(u)).logical() - sim.node(NodeId::from(v)).logical()).abs();
+            profile[d - 1] = profile[d - 1].max(skew);
+        }
+    }
+    drop(g);
+    profile
+}
+
+/// Skew vs κ-weighted distance: `(κ_p, |L_u − L_v|)` for every connected
+/// pair `u < v`, where `κ_p` is the minimum path weight in the current
+/// fully-inserted graph. This is the raw material for checking the
+/// `(log_σ(Ĝ/κ_p) + O(1))·κ_p` bound of Theorem 5.22.
+#[must_use]
+pub fn weighted_skew_profile(sim: &Simulation) -> Vec<(f64, f64)> {
+    let g = full_level_graph(sim);
+    let n = sim.node_count();
+    let mut out = Vec::new();
+    for u in 0..n {
+        let dist = g.distances_from(NodeId::from(u));
+        for (v, &d) in dist.iter().enumerate().skip(u + 1) {
+            if !d.is_finite() || d == 0.0 {
+                continue;
+            }
+            let skew =
+                (sim.node(NodeId::from(u)).logical() - sim.node(NodeId::from(v)).logical()).abs();
+            out.push((d, skew));
+        }
+    }
+    out
+}
+
+/// The κ-weighted diameter of the current level-`s` graph (`None` if
+/// disconnected). With `s = 1` this is the denominator for global-skew
+/// comparisons.
+#[must_use]
+pub fn kappa_diameter(sim: &Simulation, s: u32) -> Option<f64> {
+    level_graph(sim, s).all_pairs().diameter()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_core::{Params, SimBuilder};
+    use gcs_net::Topology;
+    use gcs_sim::DriftModel;
+
+    fn sim(n: usize) -> Simulation {
+        let params = Params::builder().rho(0.01).mu(0.1).build().unwrap();
+        let mut s = SimBuilder::new(params)
+            .topology(Topology::line(n))
+            .drift(DriftModel::TwoBlock)
+            .seed(3)
+            .build()
+            .unwrap();
+        s.run_until_secs(10.0);
+        s
+    }
+
+    #[test]
+    fn local_skew_is_bounded_by_global() {
+        let s = sim(6);
+        let local = local_skew(&s);
+        let global = s.snapshot().global_skew();
+        assert!(local <= global + 1e-12);
+        assert!(local > 0.0);
+        assert!(stable_local_skew(&s) <= local + 1e-12);
+    }
+
+    #[test]
+    fn profile_has_diameter_entries_and_is_monotonic_enough() {
+        let s = sim(6);
+        let p = skew_profile(&s);
+        assert_eq!(p.len(), 5); // line(6): max hop distance 5
+        // The max skew at the diameter dominates the single-edge skew.
+        assert!(p[4] >= p[0] - 1e-12);
+    }
+
+    #[test]
+    fn weighted_profile_covers_all_pairs() {
+        let s = sim(5);
+        let p = weighted_skew_profile(&s);
+        assert_eq!(p.len(), 5 * 4 / 2);
+        for (d, skew) in p {
+            assert!(d > 0.0);
+            assert!(skew >= 0.0);
+        }
+    }
+
+    #[test]
+    fn kappa_diameter_scales_with_length() {
+        let a = kappa_diameter(&sim(4), 1).unwrap();
+        let b = kappa_diameter(&sim(8), 1).unwrap();
+        assert!((b / a - 7.0 / 3.0).abs() < 1e-9, "uniform weights scale by hops");
+    }
+}

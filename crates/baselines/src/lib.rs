@@ -1,0 +1,266 @@
+//! Baseline clock synchronization policies.
+//!
+//! The paper's related work defines the landscape `A_OPT` is measured
+//! against; this crate re-implements the two classical points on it as
+//! [`ModePolicy`] implementations over the same node substrate, so that
+//! comparisons isolate the decision rule from everything else:
+//!
+//! * [`MaxOnlyPolicy`] — the Srikanth–Toueg-style *max algorithm* \[24\]:
+//!   chase the largest clock in the network, ignore neighbours entirely.
+//!   Asymptotically optimal global skew, but neighbours can be Θ(D) apart
+//!   (§2, "a crucial shortcoming").
+//! * [`SingleLevelPolicy`] — the *blocking* algorithm of Kuhn, Locher and
+//!   Oshman (SPAA 2009, \[11\] in the paper): a single threshold `B`
+//!   replaces `A_OPT`'s level hierarchy. A node runs fast when some
+//!   neighbour is ≥ `B` ahead and none is ≥ `B` behind, and slow
+//!   symmetrically (with the same ½-offset and slack construction as
+//!   `A_OPT`'s triggers, so the two conditions are disjoint). With
+//!   `B = Θ(√(ρ·G))` this yields the `O(√(ρD))` local skew of \[17, 18\];
+//!   experiment E3 sweeps it against `A_OPT`'s `O(log D)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use gcs_core::{Mode, ModePolicy, NodeView};
+
+/// The max-flood baseline: fast whenever the node is detectably behind the
+/// network maximum, slow otherwise. Neighbour estimates are ignored.
+///
+/// # Example
+///
+/// ```
+/// use gcs_baselines::MaxOnlyPolicy;
+/// use gcs_core::{Params, SimBuilder};
+/// use gcs_net::Topology;
+///
+/// let params = Params::builder().rho(0.01).mu(0.1).build().unwrap();
+/// let mut sim = SimBuilder::new(params)
+///     .topology(Topology::line(4))
+///     .policy(Box::new(MaxOnlyPolicy))
+///     .build()
+///     .unwrap();
+/// sim.run_until_secs(5.0);
+/// assert_eq!(sim.policy_name(), "max-only");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxOnlyPolicy;
+
+impl ModePolicy for MaxOnlyPolicy {
+    fn decide(&self, view: &NodeView<'_>) -> Mode {
+        if view.logical <= view.max_estimate - view.iota {
+            Mode::Fast
+        } else if view.logical >= view.max_estimate {
+            Mode::Slow
+        } else {
+            view.current_mode
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "max-only"
+    }
+}
+
+/// The single-threshold blocking baseline of \[11\]: `A_OPT`'s trigger pair
+/// restricted to one level with threshold `B` instead of `s·κ`.
+///
+/// Fast when some neighbour is ≥ `B − ε` ahead (by estimate) and no
+/// neighbour is more than `B + ε` behind; slow when some neighbour is
+/// ≥ `1.5·B − ε` behind and none is more than `1.5·B + ε` ahead. In the
+/// gap, fall back to the max-estimate rule, exactly like Listing 3.
+///
+/// Only neighbours whose edges are inserted at level ≥ 1 are considered,
+/// so newly appeared edges are still brought in gently by the underlying
+/// handshake.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleLevelPolicy {
+    threshold: f64,
+}
+
+impl SingleLevelPolicy {
+    /// Creates the policy with blocking threshold `B` (logical-clock
+    /// units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not finite and positive.
+    #[must_use]
+    pub fn new(b: f64) -> Self {
+        assert!(b.is_finite() && b > 0.0, "threshold must be positive");
+        SingleLevelPolicy { threshold: b }
+    }
+
+    /// The `Θ(√(ρ·G))`-optimal threshold of \[11\]/\[17\] for a network whose
+    /// global skew is bounded by `g`: `B = √(ρ·g/µ)` clamped below by
+    /// `floor` (a `κ`-scale quantity — `B` may never be finer than the
+    /// estimate uncertainty allows).
+    #[must_use]
+    pub fn sqrt_threshold(rho: f64, mu: f64, g: f64, floor: f64) -> f64 {
+        (rho * g / mu).sqrt().max(floor)
+    }
+
+    /// The configured threshold.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl ModePolicy for SingleLevelPolicy {
+    fn decide(&self, view: &NodeView<'_>) -> Mode {
+        let b = self.threshold;
+        let mut fast_exists = false;
+        let mut fast_blocked = false;
+        let mut slow_exists = false;
+        let mut slow_blocked = false;
+        for n in view.neighbors {
+            if !n.level.includes(1) {
+                continue;
+            }
+            let Some(est) = n.estimate else {
+                // Unknown neighbour state blocks both universal clauses.
+                fast_blocked = true;
+                slow_blocked = true;
+                continue;
+            };
+            let ahead = est - view.logical;
+            let behind = view.logical - est;
+            if ahead >= b - n.epsilon {
+                fast_exists = true;
+            }
+            if behind > b + 2.0 * view.mu * n.tau + n.epsilon {
+                fast_blocked = true;
+            }
+            if behind >= 1.5 * b - n.delta - n.epsilon {
+                slow_exists = true;
+            }
+            if ahead > 1.5 * b + n.delta + n.epsilon + view.mu * (1.0 + view.rho) * n.tau {
+                slow_blocked = true;
+            }
+        }
+        if slow_exists && !slow_blocked {
+            Mode::Slow
+        } else if fast_exists && !fast_blocked {
+            Mode::Fast
+        } else if view.logical >= view.max_estimate {
+            Mode::Slow
+        } else if view.logical <= view.max_estimate - view.iota {
+            Mode::Fast
+        } else {
+            view.current_mode
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "single-level"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_core::edge_state::Level;
+    use gcs_core::NeighborView;
+
+    fn neighbor(est: f64) -> NeighborView {
+        NeighborView {
+            estimate: Some(est),
+            kappa: 1.0,
+            epsilon: 0.05,
+            tau: 0.01,
+            delta: 0.1,
+            level: Level::Infinite,
+        }
+    }
+
+    fn view<'a>(logical: f64, m: f64, ns: &'a [NeighborView]) -> NodeView<'a> {
+        NodeView {
+            logical,
+            max_estimate: m,
+            current_mode: Mode::Slow,
+            iota: 0.01,
+            mu: 0.1,
+            rho: 0.01,
+            neighbors: ns,
+        }
+    }
+
+    #[test]
+    fn max_only_ignores_neighbors() {
+        // A neighbour trailing far behind does not slow the node down.
+        let ns = [neighbor(0.0)];
+        assert_eq!(MaxOnlyPolicy.decide(&view(10.0, 20.0, &ns)), Mode::Fast);
+        assert_eq!(MaxOnlyPolicy.decide(&view(10.0, 10.0, &ns)), Mode::Slow);
+        // Hysteresis region keeps the current mode.
+        let mut v = view(10.0, 10.005, &ns);
+        v.current_mode = Mode::Fast;
+        assert_eq!(MaxOnlyPolicy.decide(&v), Mode::Fast);
+    }
+
+    #[test]
+    fn single_level_fast_when_ahead_neighbor() {
+        let p = SingleLevelPolicy::new(2.0);
+        let ns = [neighbor(13.0)];
+        assert_eq!(p.decide(&view(10.0, 13.0, &ns)), Mode::Fast);
+    }
+
+    #[test]
+    fn single_level_laggard_blocks_neighbor_rule_but_not_max_rule() {
+        let p = SingleLevelPolicy::new(2.0);
+        let ns = [neighbor(14.0), neighbor(5.0)];
+        // Laggard at 5.0 blocks the neighbour-based fast rule, and the
+        // leader at 14.0 (ahead by 4 > 1.5B + slack) blocks the slow rule;
+        // the decision falls through to the max-estimate rule
+        // (L <= M - iota), hence fast. This is exactly why the single-level
+        // algorithm cannot bound the skew on *paths*: the max rule keeps
+        // dragging interior nodes upward.
+        assert_eq!(p.decide(&view(10.0, 14.0, &ns)), Mode::Fast);
+    }
+
+    #[test]
+    fn single_level_slow_when_neighbor_behind() {
+        let p = SingleLevelPolicy::new(2.0);
+        let ns = [neighbor(6.0)];
+        assert_eq!(p.decide(&view(10.0, 10.0, &ns)), Mode::Slow);
+    }
+
+    #[test]
+    fn single_level_is_deterministic() {
+        use rand::Rng;
+        let p = SingleLevelPolicy::new(1.0);
+        let mut rng = gcs_sim::rng::stream(5, "sl-disjoint", 0);
+        for _ in 0..2000 {
+            let ns: Vec<NeighborView> = (0..rng.gen_range(1..4))
+                .map(|_| neighbor(rng.gen_range(-5.0..5.0)))
+                .collect();
+            let l = rng.gen_range(-5.0..5.0);
+            let v = view(l, 6.0, &ns);
+            assert_eq!(p.decide(&v), p.decide(&v));
+        }
+    }
+
+    #[test]
+    fn single_level_ignores_uninserted_edges() {
+        let p = SingleLevelPolicy::new(2.0);
+        let mut n = neighbor(100.0);
+        n.level = Level::Finite(0);
+        let ns = [n];
+        // The far-ahead neighbour is invisible; with L = M the node is slow.
+        assert_eq!(p.decide(&view(10.0, 10.0, &ns)), Mode::Slow);
+    }
+
+    #[test]
+    fn sqrt_threshold_scales() {
+        let b1 = SingleLevelPolicy::sqrt_threshold(0.01, 0.1, 1.0, 0.01);
+        let b4 = SingleLevelPolicy::sqrt_threshold(0.01, 0.1, 4.0, 0.01);
+        assert!((b4 / b1 - 2.0).abs() < 1e-12, "sqrt scaling");
+        // Floor applies.
+        assert_eq!(SingleLevelPolicy::sqrt_threshold(1e-9, 0.1, 1e-6, 0.5), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_threshold() {
+        let _ = SingleLevelPolicy::new(0.0);
+    }
+}

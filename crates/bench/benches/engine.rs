@@ -1,0 +1,159 @@
+//! Criterion micro/throughput benchmarks of the simulation engine itself:
+//! end-to-end node-tick throughput, policy decision cost, event-queue
+//! operations, and the legality checker's APSP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gcs_analysis::paths::level_graph;
+use gcs_core::edge_state::Level;
+use gcs_core::{AoptPolicy, Mode, ModePolicy, NeighborView, NodeView, Params, SimBuilder};
+use gcs_net::Topology;
+use gcs_sim::{DriftModel, EventQueue, SimTime};
+
+fn params() -> Params {
+    Params::builder().rho(0.01).mu(0.1).build().unwrap()
+}
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_throughput");
+    group.sample_size(10);
+    for n in [8usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("line_5s", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = SimBuilder::new(params())
+                    .topology(Topology::line(n))
+                    .drift(DriftModel::TwoBlock)
+                    .seed(1)
+                    .build()
+                    .unwrap();
+                sim.run_until_secs(5.0);
+                sim.snapshot().global_skew()
+            });
+        });
+    }
+    // Message-based estimates add dead-reckoning bookkeeping per flood.
+    group.bench_function("line16_5s_message_mode", |b| {
+        b.iter(|| {
+            let mut sim = SimBuilder::new(params())
+                .topology(Topology::line(16))
+                .estimates(gcs_core::EstimateMode::Messages)
+                .drift(DriftModel::TwoBlock)
+                .seed(2)
+                .build()
+                .unwrap();
+            sim.run_until_secs(5.0);
+            sim.snapshot().global_skew()
+        });
+    });
+    // Churn exercises edge events, handshakes, and message drops.
+    group.bench_function("grid3x3_churn_10s", |b| {
+        let topo = Topology::grid(3, 3);
+        let schedule = gcs_net::NetworkSchedule::churn(
+            &topo,
+            gcs_net::ChurnOptions {
+                horizon: 10.0,
+                mean_up: 2.0,
+                mean_down: 2.0,
+                direction_skew_max: 0.003,
+                start_up_probability: 0.7,
+            },
+            3,
+        );
+        b.iter(|| {
+            let mut pb = Params::builder();
+            pb.rho(0.01).mu(0.1).insertion_scale(0.05);
+            let mut sim = SimBuilder::new(pb.build().unwrap())
+                .schedule(schedule.clone())
+                .seed(3)
+                .build()
+                .unwrap();
+            sim.run_until_secs(10.0);
+            sim.stats().messages_delivered
+        });
+    });
+    // Diameter tracking costs O(n) per delivered flood.
+    group.bench_function("line16_5s_diameter_tracking", |b| {
+        b.iter(|| {
+            let mut sim = SimBuilder::new(params())
+                .topology(Topology::line(16))
+                .drift(DriftModel::TwoBlock)
+                .track_diameter(true)
+                .seed(4)
+                .build()
+                .unwrap();
+            sim.run_until_secs(5.0);
+            sim.dynamic_diameter().unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_policy_decide(c: &mut Criterion) {
+    let policy = AoptPolicy::new(64);
+    let neighbors: Vec<NeighborView> = (0..6)
+        .map(|i| NeighborView {
+            estimate: Some(10.0 + f64::from(i) * 0.01),
+            kappa: 0.011,
+            epsilon: 0.002,
+            tau: 0.01,
+            delta: 0.002,
+            level: if i % 2 == 0 {
+                Level::Infinite
+            } else {
+                Level::Finite(3)
+            },
+        })
+        .collect();
+    let view = NodeView {
+        logical: 10.0,
+        max_estimate: 10.05,
+        current_mode: Mode::Slow,
+        iota: 0.001,
+        mu: 0.1,
+        rho: 0.01,
+        neighbors: &neighbors,
+    };
+    c.bench_function("aopt_policy_decide_deg6", |b| {
+        b.iter(|| policy.decide(criterion::black_box(&view)))
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Pseudo-random but deterministic times.
+                let t = ((i.wrapping_mul(2654435761)) % 100_000) as f64 * 1e-3;
+                q.schedule(SimTime::from_secs(t), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_legality_apsp(c: &mut Criterion) {
+    let mut sim = SimBuilder::new(params())
+        .topology(Topology::grid(8, 8))
+        .drift(DriftModel::TwoBlock)
+        .seed(2)
+        .build()
+        .unwrap();
+    sim.run_until_secs(2.0);
+    c.bench_function("level_graph_apsp_grid8x8", |b| {
+        b.iter(|| level_graph(&sim, 1).all_pairs().diameter())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_simulation_throughput,
+    bench_policy_decide,
+    bench_event_queue,
+    bench_legality_apsp
+);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! `cargo bench -p gcs-bench --bench experiments` — prints the quick-scale
+//! experiment tables (one per reproduced theorem; see DESIGN.md §3 and
+//! EXPERIMENTS.md for the recorded full-scale results).
+
+use gcs_bench::{all_experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!(
+        "gradient-clock-sync experiment suite (scale: {scale:?})\n\
+         one table per reproduced result; see EXPERIMENTS.md for interpretation\n"
+    );
+    let started = std::time::Instant::now();
+    for table in all_experiments(scale) {
+        println!("{table}");
+    }
+    println!("total: {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,58 @@
+//! Full-size experiment runner:
+//!
+//! ```sh
+//! cargo run --release -p gcs-bench --bin experiments -- [quick|full] [filter]
+//! ```
+//!
+//! `filter` is a substring matched against table titles (`e4`, `A3`, …).
+//! Tables are printed to stdout and written as CSV files under
+//! `results/`.
+
+use std::fs;
+use std::path::Path;
+
+use gcs_bench::{all_experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let filter = args
+        .iter()
+        .find(|a| *a != "quick" && *a != "full")
+        .cloned()
+        .unwrap_or_default();
+
+    let out_dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        eprintln!("warning: cannot create {}: {e}", out_dir.display());
+    }
+
+    println!("gradient-clock-sync experiments (scale: {scale:?}, filter: {filter:?})\n");
+    let started = std::time::Instant::now();
+    for table in all_experiments(scale) {
+        if !filter.is_empty()
+            && !table
+                .title()
+                .to_lowercase()
+                .contains(&filter.to_lowercase())
+        {
+            continue;
+        }
+        println!("{table}");
+        let slug: String = table
+            .title()
+            .chars()
+            .take_while(|c| !c.is_whitespace())
+            .flat_map(char::to_lowercase)
+            .collect();
+        let path = out_dir.join(format!("{slug}.csv"));
+        if let Err(e) = fs::write(&path, table.to_csv()) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        }
+    }
+    println!("total: {:.1}s", started.elapsed().as_secs_f64());
+}

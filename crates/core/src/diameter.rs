@@ -1,0 +1,205 @@
+//! Measuring the *dynamic estimate diameter* `D(t)` of Definition 3.1.
+//!
+//! §3.1 defines a family of relations `(u, t) ⇝η (v, t′)`: at time `t′`,
+//! node `v` can lower-bound `u`'s clock at time `t` with error at most `η`.
+//! The rules are:
+//!
+//! 1. `(u, t) ⇝0 (u, t)` — a node knows its own clock;
+//! 2. aging: if `(u,t) ⇝η (v,t′)` then `(u,t) ⇝η′ (v,t″)` with
+//!    `η′ = η + 4ρ/(1+ρ) · (t″ − t′)`;
+//! 3. relay: a message sent by `v` at `t′`, received by `w` at `t″`, with
+//!    delay uncertainty `U`, gives `η′ = η + (1−ρ)U + 2ρ(t″ − t′)`.
+//!
+//! The *dynamic estimate radius* `R_v(t)` is the worst error over sources
+//! `u`, and the diameter `D(t) = max_v R_v(t)`. Theorem 5.6's sharp form
+//! bounds the global skew by `D(t) + ι`.
+//!
+//! [`DiameterTracker`] maintains the `n × n` matrix of best-achievable `η`
+//! values alongside a simulation, updated per delivered flood (O(n) per
+//! message via per-row lazy aging). It is measurement instrumentation —
+//! the algorithm itself never reads it.
+
+use gcs_sim::SimTime;
+
+/// Tracks the pairwise knowledge-error matrix `η[v][u]`.
+#[derive(Debug, Clone)]
+pub struct DiameterTracker {
+    n: usize,
+    /// `eta[v * n + u]`: the best bound with which `v` can currently
+    /// estimate `u`'s clock (at some past time). `INFINITY` = no knowledge.
+    eta: Vec<f64>,
+    /// Last aging time per row `v`.
+    row_last: Vec<SimTime>,
+    aging_rate: f64,
+    rho: f64,
+}
+
+impl DiameterTracker {
+    /// Creates the tracker at time 0: every node knows its own clock
+    /// perfectly and (because all clocks start at zero by definition)
+    /// everyone else's exactly as well.
+    #[must_use]
+    pub fn new(n: usize, rho: f64) -> Self {
+        DiameterTracker {
+            n,
+            eta: vec![0.0; n * n],
+            row_last: vec![SimTime::ZERO; n],
+            aging_rate: 4.0 * rho / (1.0 + rho),
+            rho,
+        }
+    }
+
+    /// Ages row `v` to time `t` (rule 2).
+    fn age_row(&mut self, v: usize, t: SimTime) {
+        let dt = t.duration_since(self.row_last[v]).as_secs();
+        if dt > 0.0 {
+            let grow = self.aging_rate * dt;
+            for u in 0..self.n {
+                if u != v {
+                    self.eta[v * self.n + u] += grow;
+                }
+            }
+            self.row_last[v] = t;
+        }
+    }
+
+    /// Records a delivered clock-bearing message `src → dst` (rule 3).
+    ///
+    /// `delay_uncertainty` is the `U(M)` of the model (here: the edge's
+    /// `delay_max − delay_min`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if times are inconsistent or nodes out of range.
+    pub fn on_delivery(
+        &mut self,
+        src: usize,
+        dst: usize,
+        sent_at: SimTime,
+        delivered_at: SimTime,
+        delay_uncertainty: f64,
+    ) {
+        assert!(src < self.n && dst < self.n, "node out of range");
+        let transit = delivered_at.duration_since(sent_at).as_secs();
+        // Rule 3 wants eta at *send* time; rows are aged to arbitrary
+        // times, so age both to the delivery instant and correct the
+        // source row's aging over the transit back to the 2-rho relay rate.
+        self.age_row(src, delivered_at);
+        self.age_row(dst, delivered_at);
+        let relay_cost = (1.0 - self.rho) * delay_uncertainty
+            + (2.0 * self.rho - self.aging_rate) * transit;
+        for u in 0..self.n {
+            let cand = if u == src {
+                // src knows itself perfectly at send time.
+                (1.0 - self.rho) * delay_uncertainty + 2.0 * self.rho * transit
+            } else {
+                self.eta[src * self.n + u] + relay_cost
+            };
+            let slot = &mut self.eta[dst * self.n + u];
+            if cand < *slot {
+                *slot = cand;
+            }
+        }
+    }
+
+    /// The dynamic estimate radius `R_v(t)`: the worst error with which
+    /// `v` can bound any node's clock. `INFINITY` until information from
+    /// every node has reached `v`.
+    #[must_use]
+    pub fn radius(&mut self, v: usize, t: SimTime) -> f64 {
+        self.age_row(v, t);
+        (0..self.n)
+            .map(|u| self.eta[v * self.n + u])
+            .fold(0.0, f64::max)
+    }
+
+    /// The dynamic estimate diameter `D(t) = max_v R_v(t)`.
+    #[must_use]
+    pub fn diameter(&mut self, t: SimTime) -> f64 {
+        (0..self.n).map(|v| self.radius(v, t)).fold(0.0, f64::max)
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn starts_perfectly_informed() {
+        let mut d = DiameterTracker::new(3, 0.01);
+        assert_eq!(d.diameter(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn knowledge_ages_at_4rho_over_1plusrho() {
+        let rho = 0.01;
+        let mut d = DiameterTracker::new(2, rho);
+        let r = d.radius(0, t(10.0));
+        assert!((r - 4.0 * rho / (1.0 + rho) * 10.0).abs() < 1e-12);
+        // Self-knowledge never ages.
+        let mut solo = DiameterTracker::new(1, rho);
+        assert_eq!(solo.diameter(t(100.0)), 0.0);
+    }
+
+    #[test]
+    fn delivery_resets_souce_knowledge_to_relay_cost() {
+        let rho = 0.01;
+        let u_unc = 0.005;
+        let mut d = DiameterTracker::new(2, rho);
+        // Long silence, then one message 0 -> 1 with 10 ms transit.
+        d.on_delivery(0, 1, t(50.0), t(50.01), u_unc);
+        let expect = (1.0 - rho) * u_unc + 2.0 * rho * 0.01;
+        let r = d.radius(1, t(50.01));
+        assert!((r - expect).abs() < 1e-12, "radius {r} != {expect}");
+    }
+
+    #[test]
+    fn relay_chains_accumulate() {
+        let rho = 0.01;
+        let u_unc = 0.005;
+        let mut d = DiameterTracker::new(3, rho);
+        d.on_delivery(0, 1, t(10.0), t(10.01), u_unc);
+        d.on_delivery(1, 2, t(10.02), t(10.03), u_unc);
+        // Node 2's knowledge of node 0 went through two hops.
+        d.age_row(2, t(10.03));
+        let eta_20 = d.eta[2 * 3];
+        let one_hop = (1.0 - rho) * u_unc + 2.0 * rho * 0.01;
+        assert!(eta_20 > one_hop, "two hops cost more than one");
+        assert!(eta_20 < 3.0 * one_hop + 0.01, "but not absurdly more");
+        // Node 2's knowledge of node 1 is one hop.
+        let eta_21 = d.eta[2 * 3 + 1];
+        assert!((eta_21 - one_hop).abs() < 1e-12);
+    }
+
+    #[test]
+    fn better_route_wins() {
+        let rho = 0.01;
+        let mut d = DiameterTracker::new(2, rho);
+        d.on_delivery(0, 1, t(1.0), t(1.05), 0.05); // sloppy edge
+        let sloppy = d.radius(1, t(1.05));
+        d.on_delivery(0, 1, t(1.05), t(1.051), 0.0001); // precise edge
+        let precise = d.radius(1, t(1.051));
+        assert!(precise < sloppy);
+    }
+
+    #[test]
+    fn diameter_dominates_radii() {
+        let mut d = DiameterTracker::new(4, 0.01);
+        d.on_delivery(0, 1, t(1.0), t(1.01), 0.005);
+        let tq = t(2.0);
+        let diam = d.diameter(tq);
+        for v in 0..4 {
+            assert!(d.radius(v, tq) <= diam + 1e-15);
+        }
+    }
+}

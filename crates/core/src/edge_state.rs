@@ -1,0 +1,345 @@
+//! Per-neighbour algorithm state: discovery, handshake progress, and the
+//! level-set membership of §4.2.
+//!
+//! The paper's neighbour sets `N⁰ᵤ ⊇ N¹ᵤ ⊇ N²ᵤ ⊇ …` are *not* stored
+//! explicitly. As §4.3.2 notes, the insertion times
+//! `T_s = T₀ + (1 − 2^{1−s})·I` (Listing 2) mean membership is a pure
+//! function of the node's current logical clock value: `v ∈ N^sᵤ(t)` iff
+//! `L_u(t) ≥ T_s`. [`InsertState::level_at`] inverts that formula in closed
+//! form, so an edge's unlocked level costs O(1) to query and no per-level
+//! events are ever scheduled.
+
+use gcs_sim::SimTime;
+
+/// A neighbour's unlocked level: `v ∈ N^sᵤ` for all `1 ≤ s ≤ level`
+/// (`N⁰ᵤ` membership is implied by the slot existing at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unlocked up to this finite level (0 = only in `N⁰ᵤ`).
+    Finite(u32),
+    /// Member of `N^sᵤ` for every `s` (insertion complete, or an initial
+    /// edge — the paper initializes `N^sᵤ(0) = N_u(0)` for all `s`).
+    Infinite,
+}
+
+impl Level {
+    /// Whether the neighbour is in `N^sᵤ` for the given `s ≥ 1`.
+    #[must_use]
+    pub fn includes(self, s: u32) -> bool {
+        match self {
+            Level::Finite(l) => s <= l,
+            Level::Infinite => true,
+        }
+    }
+
+    /// The finite level, capped at `cap` for `Infinite`.
+    #[must_use]
+    pub fn capped(self, cap: u32) -> u32 {
+        match self {
+            Level::Finite(l) => l.min(cap),
+            Level::Infinite => cap,
+        }
+    }
+}
+
+/// Progress of the Listing 1 handshake for one directed neighbour slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InsertState {
+    /// Edge present since time 0: member of all levels by initialization.
+    Initial,
+    /// Discovered; the leader is waiting out its `∆` period (or the
+    /// follower is waiting for the leader's `insertedge` message).
+    Pending,
+    /// The follower received `insertedge(L_ins, G̃)` and is waiting the
+    /// mandated `T + τ` before applying it.
+    FollowerWait {
+        /// Logical insertion anchor from the message.
+        l_ins: f64,
+        /// Global-skew estimate from the message.
+        g_tilde: f64,
+        /// The follower's logical clock at receipt — the back edge of the
+        /// Listing 1 line 13 continuity window.
+        l_at_receive: f64,
+    },
+    /// Insertion times computed: `T_s = t0 + (1 − 2^{1−s}) · i`.
+    Scheduled {
+        /// `T₀` — the dyadically aligned logical start time.
+        t0: f64,
+        /// `I` — the insertion duration (logical units).
+        i: f64,
+    },
+    /// The *simultaneous insertion* strategy the paper compares against in
+    /// §5.5 (from \[16\]): the edge joins **every** level immediately, but
+    /// with an inflated weight `κ(l) = max(κ_final, κ₀ · 2^{−(l−l₀)/h})`
+    /// that decays geometrically with the local logical clock. No handshake
+    /// is needed — each endpoint runs its own decay from its own discovery
+    /// time (they disagree by at most the clock advance over `τ`).
+    Decaying {
+        /// Local logical clock at discovery (`l₀`).
+        l0: f64,
+        /// Initial inflated weight `κ₀` (typically `2·G̃`).
+        kappa0: f64,
+    },
+}
+
+impl InsertState {
+    /// The unlocked level at logical clock value `l`.
+    ///
+    /// Inverts `T_s ≤ l` where `T_s = t0 + (1 − 2^{1−s})·i`:
+    /// the largest `s` with `s ≤ 1 + log₂(i / (t0 + i − l))`.
+    #[must_use]
+    pub fn level_at(&self, l: f64) -> Level {
+        match *self {
+            InsertState::Initial | InsertState::Decaying { .. } => Level::Infinite,
+            InsertState::Pending | InsertState::FollowerWait { .. } => Level::Finite(0),
+            InsertState::Scheduled { t0, i } => {
+                if l < t0 {
+                    Level::Finite(0)
+                } else if l >= t0 + i {
+                    Level::Infinite
+                } else {
+                    let s = 1.0 + (i / (t0 + i - l)).log2();
+                    // Guard against the float boundary: T_s must truly be <= l.
+                    let mut s = s.floor() as u32;
+                    while s > 0 && Self::t_s(t0, i, s) > l {
+                        s -= 1;
+                    }
+                    Level::Finite(s)
+                }
+            }
+        }
+    }
+
+    /// The insertion time `T_s` for `s ≥ 1` (Listing 2, line 5).
+    #[must_use]
+    pub fn t_s(t0: f64, i: f64, s: u32) -> f64 {
+        t0 + (1.0 - 2f64.powi(1 - s as i32)) * i
+    }
+
+    /// The limit `T_∞ = T₀ + I` after which all levels are unlocked.
+    #[must_use]
+    pub fn t_infinity(t0: f64, i: f64) -> f64 {
+        t0 + i
+    }
+
+    /// The decayed weight of a [`Decaying`](InsertState::Decaying) edge at
+    /// logical clock value `l`, with final weight `kappa_final` and
+    /// halving distance `halving` (logical units). For other states the
+    /// final weight is returned unchanged.
+    #[must_use]
+    pub fn effective_kappa(&self, l: f64, kappa_final: f64, halving: f64) -> f64 {
+        match *self {
+            InsertState::Decaying { l0, kappa0 } => {
+                let decayed = kappa0 * 2f64.powf(-((l - l0).max(0.0)) / halving);
+                decayed.max(kappa_final)
+            }
+            _ => kappa_final,
+        }
+    }
+
+    /// Whether a decaying edge has reached its final weight (trivially true
+    /// for staged states once fully inserted).
+    #[must_use]
+    pub fn decay_complete(&self, l: f64, kappa_final: f64, halving: f64) -> bool {
+        self.effective_kappa(l, kappa_final, halving) <= kappa_final * (1.0 + 1e-9)
+    }
+}
+
+/// The `T₀` of Listing 2 line 3: the smallest integer multiple of `I` that
+/// is `≥ L_ins`.
+#[must_use]
+pub fn align_t0(l_ins: f64, i: f64) -> f64 {
+    assert!(i > 0.0, "insertion duration must be positive");
+    (l_ins / i).ceil() * i
+}
+
+/// Everything a node tracks about one discovered neighbour.
+#[derive(Debug, Clone)]
+pub struct EdgeSlot {
+    /// Real time the edge (this direction) was discovered.
+    pub discovered_at: SimTime,
+    /// This node's logical clock value at discovery — used for the
+    /// logical-window continuity checks of Listing 1 (lines 6 and 13).
+    pub discovered_l: f64,
+    /// Handshake / insertion progress.
+    pub insert: InsertState,
+    /// Latest received clock estimate (message mode): the credited logical
+    /// value and this node's hardware clock at receipt, for dead reckoning.
+    pub estimate: Option<EstimateEntry>,
+    /// Oracle-mode estimate bias for this directed edge, fixed at discovery
+    /// (`RandomBias` error model).
+    pub oracle_bias: f64,
+    /// Monotone counter distinguishing re-discoveries of the same edge, so
+    /// that handshake events scheduled for an earlier incarnation are
+    /// ignored (the `T_s := ⊥` resets of Listing 1 line 18).
+    pub generation: u64,
+}
+
+/// A received clock sample for dead reckoning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateEntry {
+    /// Credited logical value of the neighbour at receipt.
+    pub value: f64,
+    /// Receiver's hardware clock at receipt.
+    pub hw_at_recv: f64,
+}
+
+impl EdgeSlot {
+    /// A slot for an edge discovered at runtime.
+    #[must_use]
+    pub fn discovered(at: SimTime, logical: f64, generation: u64) -> Self {
+        EdgeSlot {
+            discovered_at: at,
+            discovered_l: logical,
+            insert: InsertState::Pending,
+            estimate: None,
+            oracle_bias: 0.0,
+            generation,
+        }
+    }
+
+    /// A slot for an edge present at time 0 (all levels unlocked).
+    #[must_use]
+    pub fn initial() -> Self {
+        EdgeSlot {
+            discovered_at: SimTime::ZERO,
+            discovered_l: 0.0,
+            insert: InsertState::Initial,
+            estimate: None,
+            oracle_bias: 0.0,
+            generation: 0,
+        }
+    }
+
+    /// Dead-reckoned estimate of the neighbour's logical clock given the
+    /// receiver's current hardware clock value (message mode).
+    #[must_use]
+    pub fn reckoned_estimate(&self, hw_now: f64) -> Option<f64> {
+        self.estimate
+            .map(|e| e.value + (hw_now - e.hw_at_recv))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_inclusion() {
+        assert!(Level::Infinite > Level::Finite(u32::MAX));
+        assert!(Level::Finite(3).includes(3));
+        assert!(Level::Finite(3).includes(1));
+        assert!(!Level::Finite(3).includes(4));
+        assert!(Level::Infinite.includes(1_000_000));
+        assert_eq!(Level::Infinite.capped(7), 7);
+        assert_eq!(Level::Finite(3).capped(7), 3);
+    }
+
+    #[test]
+    fn initial_edges_are_fully_inserted() {
+        assert_eq!(InsertState::Initial.level_at(0.0), Level::Infinite);
+    }
+
+    #[test]
+    fn pending_edges_are_level_zero() {
+        assert_eq!(InsertState::Pending.level_at(100.0), Level::Finite(0));
+    }
+
+    #[test]
+    fn scheduled_levels_match_t_s_formula() {
+        let (t0, i) = (100.0, 64.0);
+        let st = InsertState::Scheduled { t0, i };
+        // T_1 = t0, T_2 = t0 + I/2, T_3 = t0 + 3I/4, ...
+        assert_eq!(st.level_at(99.9), Level::Finite(0));
+        assert_eq!(st.level_at(100.0), Level::Finite(1));
+        assert_eq!(st.level_at(100.0 + 31.9), Level::Finite(1));
+        assert_eq!(st.level_at(100.0 + 32.0), Level::Finite(2));
+        assert_eq!(st.level_at(100.0 + 48.0), Level::Finite(3));
+        assert_eq!(st.level_at(100.0 + 56.0), Level::Finite(4));
+        assert_eq!(st.level_at(164.0), Level::Infinite);
+    }
+
+    #[test]
+    fn level_at_agrees_with_t_s_for_many_points() {
+        let (t0, i) = (37.0, 13.0);
+        let st = InsertState::Scheduled { t0, i };
+        for k in 0..2000 {
+            let l = 30.0 + k as f64 * 0.01;
+            match st.level_at(l) {
+                Level::Finite(s) => {
+                    if s > 0 {
+                        assert!(InsertState::t_s(t0, i, s) <= l + 1e-12, "level {s} at {l}");
+                    }
+                    assert!(
+                        InsertState::t_s(t0, i, s + 1) > l - 1e-9,
+                        "level should be {} at {l}",
+                        s + 1
+                    );
+                }
+                Level::Infinite => assert!(l >= InsertState::t_infinity(t0, i) - 1e-12),
+            }
+        }
+    }
+
+    #[test]
+    fn t_s_converges_to_t_infinity() {
+        let (t0, i) = (0.0, 32.0);
+        assert_eq!(InsertState::t_s(t0, i, 1), 0.0);
+        assert!((InsertState::t_s(t0, i, 20) - 32.0).abs() < 1e-3);
+        assert_eq!(InsertState::t_infinity(t0, i), 32.0);
+    }
+
+    #[test]
+    fn decaying_edges_are_in_all_levels_immediately() {
+        let st = InsertState::Decaying {
+            l0: 10.0,
+            kappa0: 1.0,
+        };
+        assert_eq!(st.level_at(10.0), Level::Infinite);
+    }
+
+    #[test]
+    fn effective_kappa_halves_per_halving_distance() {
+        let st = InsertState::Decaying {
+            l0: 100.0,
+            kappa0: 1.0,
+        };
+        let kf = 0.01;
+        let h = 5.0;
+        assert!((st.effective_kappa(100.0, kf, h) - 1.0).abs() < 1e-12);
+        assert!((st.effective_kappa(105.0, kf, h) - 0.5).abs() < 1e-12);
+        assert!((st.effective_kappa(110.0, kf, h) - 0.25).abs() < 1e-12);
+        // Floors at the final weight and reports completion.
+        assert_eq!(st.effective_kappa(100.0 + 5.0 * 60.0, kf, h), kf);
+        assert!(st.decay_complete(100.0 + 5.0 * 60.0, kf, h));
+        assert!(!st.decay_complete(101.0, kf, h));
+        // Before discovery (clock behind l0): no decay yet.
+        assert!((st.effective_kappa(90.0, kf, h) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staged_states_use_the_final_weight() {
+        assert_eq!(InsertState::Initial.effective_kappa(5.0, 0.02, 1.0), 0.02);
+        assert_eq!(InsertState::Pending.effective_kappa(5.0, 0.02, 1.0), 0.02);
+        assert!(InsertState::Initial.decay_complete(0.0, 0.02, 1.0));
+    }
+
+    #[test]
+    fn align_t0_is_next_multiple() {
+        assert_eq!(align_t0(10.0, 4.0), 12.0);
+        assert_eq!(align_t0(12.0, 4.0), 12.0);
+        assert_eq!(align_t0(12.1, 4.0), 16.0);
+    }
+
+    #[test]
+    fn reckoned_estimate_advances_with_hardware() {
+        let mut slot = EdgeSlot::discovered(SimTime::from_secs(1.0), 5.0, 1);
+        assert_eq!(slot.reckoned_estimate(10.0), None);
+        slot.estimate = Some(EstimateEntry {
+            value: 42.0,
+            hw_at_recv: 10.0,
+        });
+        assert_eq!(slot.reckoned_estimate(10.0), Some(42.0));
+        assert_eq!(slot.reckoned_estimate(12.5), Some(44.5));
+    }
+}

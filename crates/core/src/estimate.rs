@@ -1,0 +1,131 @@
+//! The estimate layer (§3.1, inequality (1)).
+//!
+//! Node `u` is provided with an estimate `L̃ᵥᵤ` of each neighbour `v`'s
+//! logical clock, accurate to the edge's uncertainty `ε`:
+//! `|L_v(t) − L̃ᵥᵤ(t)| ≤ ε_{u,v}`.
+//!
+//! Two interchangeable implementations:
+//!
+//! * **Oracle** — the simulator computes `L_v(t)` exactly and perturbs it
+//!   according to an [`ErrorModel`] (never exceeding `ε`). This matches the
+//!   abstraction the paper reasons through and enables the *adversarial*
+//!   estimate choices that lower-bound constructions need.
+//! * **Messages** — estimates come from the periodic floods: the receiver
+//!   stores the credited clock sample and dead-reckons it forward at its own
+//!   hardware rate. The advertised uncertainty is then
+//!   [`Params::message_epsilon`], derived from the delay jitter, refresh
+//!   period, drift, and `µ`.
+
+use crate::params::Params;
+use gcs_net::EdgeParams;
+
+/// How the oracle layer perturbs true clock values, always within `±ε`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorModel {
+    /// Estimates are exact (`L̃ = L_v`); `ε` is still advertised, so the
+    /// algorithm behaves as if errors were possible.
+    #[default]
+    None,
+    /// A per-directed-edge constant bias drawn uniformly from `[−ε, ε]` at
+    /// discovery time. Satisfies inequality (1) with a worst-case-style
+    /// persistent error.
+    RandomBias,
+    /// Adversarial "hiding": the estimate is `L_v` clamped towards the
+    /// observer's own clock, `L̃ = clamp(L_u, L_v − ε, L_v + ε)`. This makes
+    /// up to `ε` of true skew per edge invisible — the constructive form of
+    /// the indistinguishability argument behind the §8 lower bound.
+    Hide,
+}
+
+impl ErrorModel {
+    /// Applies the model. `own` is the observer's logical clock, `truth` the
+    /// neighbour's, `bias` the slot's stored bias, `epsilon` the edge's `ε`.
+    #[must_use]
+    pub fn apply(self, own: f64, truth: f64, bias: f64, epsilon: f64) -> f64 {
+        match self {
+            ErrorModel::None => truth,
+            ErrorModel::RandomBias => truth + bias.clamp(-epsilon, epsilon),
+            ErrorModel::Hide => own.clamp(truth - epsilon, truth + epsilon),
+        }
+    }
+}
+
+/// Which estimate layer implementation a simulation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateMode {
+    /// On-demand perturbed truth; `ε` taken from the edge parameters.
+    Oracle(ErrorModel),
+    /// Periodic floods + dead reckoning; `ε` derived via
+    /// [`Params::message_epsilon`].
+    Messages,
+}
+
+impl Default for EstimateMode {
+    fn default() -> Self {
+        EstimateMode::Oracle(ErrorModel::None)
+    }
+}
+
+impl EstimateMode {
+    /// The uncertainty `ε` this layer advertises for an edge (the value the
+    /// algorithm plugs into eq. 9 for `κ`).
+    #[must_use]
+    pub fn advertised_epsilon(
+        self,
+        params: &Params,
+        edge: EdgeParams,
+        refresh_period: f64,
+    ) -> f64 {
+        match self {
+            EstimateMode::Oracle(_) => edge.epsilon,
+            EstimateMode::Messages => params.message_epsilon(edge, refresh_period),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_exact() {
+        assert_eq!(ErrorModel::None.apply(0.0, 5.0, 9.9, 0.1), 5.0);
+    }
+
+    #[test]
+    fn random_bias_respects_epsilon() {
+        // Bias beyond epsilon is clamped.
+        assert_eq!(ErrorModel::RandomBias.apply(0.0, 5.0, 1.0, 0.1), 5.1);
+        assert_eq!(ErrorModel::RandomBias.apply(0.0, 5.0, -1.0, 0.1), 4.9);
+        assert_eq!(ErrorModel::RandomBias.apply(0.0, 5.0, 0.05, 0.1), 5.05);
+    }
+
+    #[test]
+    fn hide_clamps_toward_observer() {
+        // Observer behind the truth: estimate pulled down to truth - eps.
+        assert_eq!(ErrorModel::Hide.apply(3.0, 5.0, 0.0, 0.5), 4.5);
+        // Observer ahead: estimate pulled up to truth + eps.
+        assert_eq!(ErrorModel::Hide.apply(9.0, 5.0, 0.0, 0.5), 5.5);
+        // Observer within eps of truth: estimate equals observer (skew fully
+        // hidden).
+        assert_eq!(ErrorModel::Hide.apply(5.2, 5.0, 0.0, 0.5), 5.2);
+    }
+
+    #[test]
+    fn hide_never_exceeds_epsilon() {
+        for own in [-10.0, 0.0, 4.9, 5.0, 5.1, 20.0] {
+            let est = ErrorModel::Hide.apply(own, 5.0, 0.0, 0.25);
+            assert!((est - 5.0).abs() <= 0.25 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn advertised_epsilon_dispatches() {
+        let p = Params::builder().rho(0.01).mu(0.1).build().unwrap();
+        let e = EdgeParams::new(0.003, 0.01, 0.001, 0.01);
+        let oracle = EstimateMode::Oracle(ErrorModel::None);
+        assert_eq!(oracle.advertised_epsilon(&p, e, 0.1), 0.003);
+        let msgs = EstimateMode::Messages;
+        assert!((msgs.advertised_epsilon(&p, e, 0.1) - p.message_epsilon(e, 0.1)).abs() < 1e-15);
+    }
+}

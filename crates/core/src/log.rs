@@ -1,0 +1,196 @@
+//! Structured event log: an opt-in record of the algorithm's discrete
+//! decisions (mode switches, handshake milestones, edge dynamics), for
+//! debugging, examples, and tests that assert on *sequences* of behaviour
+//! rather than final state.
+
+use gcs_net::NodeId;
+use gcs_sim::SimTime;
+
+use crate::triggers::Mode;
+
+/// One logged algorithm event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LogEntry {
+    /// A node switched mode (only changes are logged, not re-decisions).
+    ModeSwitch {
+        /// When.
+        time: SimTime,
+        /// Which node.
+        node: NodeId,
+        /// The new mode.
+        mode: Mode,
+    },
+    /// A node discovered a directed edge (added the neighbour to `N⁰`).
+    EdgeDiscovered {
+        /// When.
+        time: SimTime,
+        /// The discovering node.
+        node: NodeId,
+        /// The discovered neighbour.
+        neighbor: NodeId,
+    },
+    /// A node detected an edge failure (cleared the neighbour everywhere).
+    EdgeLost {
+        /// When.
+        time: SimTime,
+        /// The detecting node.
+        node: NodeId,
+        /// The lost neighbour.
+        neighbor: NodeId,
+    },
+    /// The leader completed its `∆` wait and sent `insertedge` (Listing 1
+    /// line 9).
+    InsertOffered {
+        /// When.
+        time: SimTime,
+        /// The edge leader.
+        leader: NodeId,
+        /// The follower the offer is sent to.
+        follower: NodeId,
+        /// The global-skew estimate baked into the offer.
+        g_tilde: f64,
+    },
+    /// A node computed and installed insertion times (Listing 2).
+    InsertScheduled {
+        /// When.
+        time: SimTime,
+        /// The node installing the schedule.
+        node: NodeId,
+        /// The neighbour being inserted.
+        neighbor: NodeId,
+        /// The aligned start time `T₀`.
+        t0: f64,
+        /// The insertion duration `I`.
+        i: f64,
+    },
+}
+
+impl LogEntry {
+    /// The event's timestamp.
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        match *self {
+            LogEntry::ModeSwitch { time, .. }
+            | LogEntry::EdgeDiscovered { time, .. }
+            | LogEntry::EdgeLost { time, .. }
+            | LogEntry::InsertOffered { time, .. }
+            | LogEntry::InsertScheduled { time, .. } => time,
+        }
+    }
+}
+
+/// A bounded, time-ordered event log.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    entries: Vec<LogEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Creates a log that keeps at most `capacity` entries (oldest entries
+    /// beyond the cap are counted, not stored).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventLog {
+            entries: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an entry, dropping it (but counting) if the log is full.
+    pub fn push(&mut self, entry: LogEntry) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The stored entries, in insertion (= time) order.
+    #[must_use]
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// How many entries were discarded after the log filled up.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over entries concerning a node (as subject or neighbour).
+    pub fn for_node(&self, node: NodeId) -> impl Iterator<Item = &LogEntry> + '_ {
+        self.entries.iter().filter(move |e| match **e {
+            LogEntry::ModeSwitch { node: n, .. } => n == node,
+            LogEntry::EdgeDiscovered { node: n, neighbor, .. }
+            | LogEntry::EdgeLost { node: n, neighbor, .. }
+            | LogEntry::InsertScheduled { node: n, neighbor, .. } => {
+                n == node || neighbor == node
+            }
+            LogEntry::InsertOffered { leader, follower, .. } => {
+                leader == node || follower == node
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_drop_count() {
+        let mut log = EventLog::with_capacity(2);
+        for k in 0..5 {
+            log.push(LogEntry::ModeSwitch {
+                time: t(k as f64),
+                node: NodeId(0),
+                mode: Mode::Fast,
+            });
+        }
+        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.dropped(), 3);
+    }
+
+    #[test]
+    fn for_node_filters_by_participation() {
+        let mut log = EventLog::with_capacity(16);
+        log.push(LogEntry::EdgeDiscovered {
+            time: t(1.0),
+            node: NodeId(0),
+            neighbor: NodeId(1),
+        });
+        log.push(LogEntry::InsertOffered {
+            time: t(2.0),
+            leader: NodeId(0),
+            follower: NodeId(1),
+            g_tilde: 0.5,
+        });
+        log.push(LogEntry::ModeSwitch {
+            time: t(3.0),
+            node: NodeId(2),
+            mode: Mode::Slow,
+        });
+        assert_eq!(log.for_node(NodeId(1)).count(), 2);
+        assert_eq!(log.for_node(NodeId(2)).count(), 1);
+        assert_eq!(log.for_node(NodeId(3)).count(), 0);
+    }
+
+    #[test]
+    fn entry_time_accessor() {
+        let e = LogEntry::InsertScheduled {
+            time: t(4.5),
+            node: NodeId(0),
+            neighbor: NodeId(1),
+            t0: 10.0,
+            i: 2.0,
+        };
+        assert_eq!(e.time(), t(4.5));
+    }
+}

@@ -1,0 +1,335 @@
+//! Per-node algorithm state: the logical clock, the max-estimate `M_u` of
+//! Condition 4.3, and the `[W_u, P_u]` global-skew bracket used for the
+//! dynamic estimates `G̃_u(t)` of §7.
+//!
+//! All four quantities are piecewise linear between simulation events and
+//! integrated exactly:
+//!
+//! * `L_u` advances at `mult · h_u` where `mult ∈ {1, 1+µ}` (Listing 3),
+//! * `M_u` advances at `(1−ρ)/(1+ρ) · h_u` and is clamped to `≥ L_u`; this
+//!   realizes both update rules of Condition 4.3 (when `M_u = L_u` the clamp
+//!   makes it track the logical clock exactly),
+//! * `W_u` (lower bound on the network's *minimum* logical clock) advances
+//!   at `(1−ρ)/(1+ρ) · h_u ≤ 1−ρ`, never exceeding `L_u`,
+//! * `P_u` (upper bound on the network's *maximum* logical clock) advances
+//!   at `(1+ρ)(1+µ)/(1−ρ) · h_u ≥ (1+ρ)(1+µ)`, never below `M_u`.
+//!
+//! `G̃_u(t) := P_u − W_u` then satisfies inequality (5): it upper-bounds the
+//! true global skew at all times.
+
+use std::collections::BTreeMap;
+
+use gcs_net::NodeId;
+use gcs_sim::{HardwareClock, SimTime};
+
+use crate::edge_state::EdgeSlot;
+use crate::params::Params;
+use crate::triggers::Mode;
+
+/// The full state of one node.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    id: NodeId,
+    hw: HardwareClock,
+    logical: f64,
+    mode: Mode,
+    max_est: f64,
+    min_lb: f64,
+    max_ub: f64,
+    fast_secs: f64,
+    last_update: SimTime,
+    /// Discovered neighbours (`N⁰ᵤ`) with their handshake/estimate state.
+    pub slots: BTreeMap<NodeId, EdgeSlot>,
+}
+
+impl NodeState {
+    /// A node at time 0 with all clocks zero, in slow mode.
+    #[must_use]
+    pub fn new(id: NodeId, hw_rate: f64) -> Self {
+        NodeState {
+            id,
+            hw: HardwareClock::new(hw_rate),
+            logical: 0.0,
+            mode: Mode::Slow,
+            max_est: 0.0,
+            min_lb: 0.0,
+            max_ub: 0.0,
+            fast_secs: 0.0,
+            last_update: SimTime::ZERO,
+            slots: BTreeMap::new(),
+        }
+    }
+
+    /// Node id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Logical clock `L_u` (as of the last advance).
+    #[must_use]
+    pub fn logical(&self) -> f64 {
+        self.logical
+    }
+
+    /// Hardware clock `H_u`.
+    #[must_use]
+    pub fn hardware(&self) -> f64 {
+        self.hw.value()
+    }
+
+    /// Current hardware rate `h_u`.
+    #[must_use]
+    pub fn hw_rate(&self) -> f64 {
+        self.hw.rate()
+    }
+
+    /// Current mode.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Max estimate `M_u` (Condition 4.3).
+    #[must_use]
+    pub fn max_estimate(&self) -> f64 {
+        self.max_est
+    }
+
+    /// Lower bound `W_u` on the minimum logical clock in the network.
+    #[must_use]
+    pub fn min_lower_bound(&self) -> f64 {
+        self.min_lb
+    }
+
+    /// Upper bound `P_u` on the maximum logical clock in the network.
+    #[must_use]
+    pub fn max_upper_bound(&self) -> f64 {
+        self.max_ub
+    }
+
+    /// The node-local global-skew estimate `G̃_u(t) = P_u − W_u` (§7).
+    #[must_use]
+    pub fn g_estimate(&self) -> f64 {
+        (self.max_ub - self.min_lb).max(0.0)
+    }
+
+    /// Total real seconds this node has spent in fast mode — a proxy for
+    /// the extra energy/rate budget the algorithm consumed.
+    #[must_use]
+    pub fn fast_secs(&self) -> f64 {
+        self.fast_secs
+    }
+
+    /// Time of the last advance.
+    #[must_use]
+    pub fn last_update(&self) -> SimTime {
+        self.last_update
+    }
+
+    /// Integrates all clocks forward to `t` at the current rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the last advance.
+    pub fn advance_to(&mut self, t: SimTime, params: &Params) {
+        if t == self.last_update {
+            return;
+        }
+        let dt = t.duration_since(self.last_update).as_secs();
+        let h_delta = self.hw.rate() * dt;
+        self.hw.advance_to(t);
+
+        self.logical += self.mode.multiplier(params.mu()) * h_delta;
+        if self.mode == Mode::Fast {
+            self.fast_secs += dt;
+        }
+
+        let conservative = (1.0 - params.rho()) / (1.0 + params.rho());
+        self.max_est += conservative * h_delta;
+        self.min_lb += conservative * h_delta;
+        // The network maximum advances at most at rate 1+rho: a node holding
+        // the maximum is in slow mode (Theorem 5.6's argument holds for all
+        // policies built on the max-estimate rule), so growing P at
+        // (1+rho)/(1-rho) * h >= 1+rho keeps it an upper bound. Brief
+        // fast-mode episodes of a *newly* maximal node (bounded by one
+        // trigger-evaluation tick) are absorbed by the invariant tolerance.
+        let aggressive = (1.0 + params.rho()) / (1.0 - params.rho());
+        self.max_ub += aggressive * h_delta;
+
+        self.clamp_bounds();
+        self.last_update = t;
+    }
+
+    /// Changes the hardware rate (caller must advance to the change time
+    /// first).
+    pub fn set_hw_rate(&mut self, rate: f64) {
+        self.hw.set_rate(rate);
+    }
+
+    /// Switches mode (caller must advance to the switch time first).
+    pub fn set_mode(&mut self, mode: Mode) {
+        self.mode = mode;
+    }
+
+    /// Merges a received max estimate (already credited for minimum transit).
+    pub fn merge_max_estimate(&mut self, candidate: f64) {
+        if candidate > self.max_est {
+            self.max_est = candidate;
+        }
+        self.clamp_bounds();
+    }
+
+    /// Merges a received minimum-clock lower bound.
+    pub fn merge_min_lower_bound(&mut self, candidate: f64) {
+        if candidate > self.min_lb {
+            self.min_lb = candidate;
+        }
+        self.clamp_bounds();
+    }
+
+    /// Merges a received maximum-clock upper bound (already padded for
+    /// maximal in-transit growth).
+    pub fn merge_max_upper_bound(&mut self, candidate: f64) {
+        if candidate < self.max_ub {
+            self.max_ub = candidate;
+        }
+        self.clamp_bounds();
+    }
+
+    /// Overwrites the logical clock (fault injection / corruption
+    /// experiments), keeping the derived bounds consistent.
+    pub fn corrupt_logical(&mut self, value: f64) {
+        self.logical = value;
+        self.clamp_bounds();
+    }
+
+    fn clamp_bounds(&mut self) {
+        // (4): M_u >= L_u; combined with the conservative rate this yields
+        // exactly the two-case update rule of Condition 4.3.
+        if self.max_est < self.logical {
+            self.max_est = self.logical;
+        }
+        // W_u lower-bounds the network minimum, which is <= L_u.
+        if self.min_lb > self.logical {
+            self.min_lb = self.logical;
+        }
+        // P_u upper-bounds the network maximum, which is >= M_u.
+        if self.max_ub < self.max_est {
+            self.max_ub = self.max_est;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::builder().rho(0.01).mu(0.1).build().unwrap()
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn slow_mode_tracks_hardware() {
+        let p = params();
+        let mut n = NodeState::new(NodeId(0), 1.01);
+        n.advance_to(t(10.0), &p);
+        assert!((n.logical() - 10.1).abs() < 1e-12);
+        assert!((n.hardware() - 10.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_mode_multiplies_rate() {
+        let p = params();
+        let mut n = NodeState::new(NodeId(0), 1.0);
+        n.set_mode(Mode::Fast);
+        n.advance_to(t(10.0), &p);
+        assert!((n.logical() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_estimate_tracks_logical_when_equal() {
+        // Node alone at the maximum: M must advance with L (Condition 4.3).
+        let p = params();
+        let mut n = NodeState::new(NodeId(0), 1.0);
+        n.advance_to(t(100.0), &p);
+        assert!((n.max_estimate() - n.logical()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_estimate_rate_is_conservative_when_ahead() {
+        let p = params();
+        let mut n = NodeState::new(NodeId(0), 1.0);
+        n.merge_max_estimate(1000.0);
+        n.advance_to(t(10.0), &p);
+        let expected = 1000.0 + (0.99 / 1.01) * 10.0;
+        assert!((n.max_estimate() - expected).abs() < 1e-9);
+        assert!(n.max_estimate() >= n.logical());
+    }
+
+    #[test]
+    fn bracket_brackets_in_isolation() {
+        let p = params();
+        let mut n = NodeState::new(NodeId(0), 1.0);
+        for k in 1..=50 {
+            n.advance_to(t(k as f64), &p);
+            assert!(n.min_lower_bound() <= n.logical() + 1e-12);
+            assert!(n.max_upper_bound() >= n.max_estimate() - 1e-12);
+            assert!(n.g_estimate() >= 0.0);
+        }
+        // The bracket widens over time when no floods arrive.
+        assert!(n.g_estimate() > 0.0);
+    }
+
+    #[test]
+    fn merges_move_bounds_monotonically() {
+        let p = params();
+        let mut n = NodeState::new(NodeId(0), 1.0);
+        n.advance_to(t(1.0), &p);
+        let g0 = n.g_estimate();
+        n.merge_min_lower_bound(0.9); // tighter floor
+        n.merge_max_upper_bound(1.5); // tighter ceiling
+        assert!(n.g_estimate() <= g0);
+        // Merging weaker information changes nothing.
+        let g1 = n.g_estimate();
+        n.merge_min_lower_bound(-5.0);
+        n.merge_max_upper_bound(100.0);
+        assert_eq!(n.g_estimate(), g1);
+    }
+
+    #[test]
+    fn merge_max_estimate_respects_clamp() {
+        let p = params();
+        let mut n = NodeState::new(NodeId(0), 1.0);
+        n.advance_to(t(5.0), &p);
+        n.merge_max_estimate(2.0); // below L: clamp keeps M = L
+        assert!((n.max_estimate() - n.logical()).abs() < 1e-12);
+        n.merge_max_estimate(7.0);
+        assert!((n.max_estimate() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupt_logical_keeps_invariants() {
+        let p = params();
+        let mut n = NodeState::new(NodeId(0), 1.0);
+        n.advance_to(t(5.0), &p);
+        n.corrupt_logical(50.0);
+        assert!(n.max_estimate() >= 50.0);
+        n.corrupt_logical(-3.0);
+        assert!(n.min_lower_bound() <= -3.0);
+    }
+
+    #[test]
+    fn advance_is_idempotent_at_same_time() {
+        let p = params();
+        let mut n = NodeState::new(NodeId(0), 1.0);
+        n.advance_to(t(3.0), &p);
+        let l = n.logical();
+        n.advance_to(t(3.0), &p);
+        assert_eq!(n.logical(), l);
+    }
+}

@@ -1,0 +1,1598 @@
+//! The simulation engine: replays a dynamic-network scenario and runs the
+//! clock synchronization algorithm on every node.
+//!
+//! The engine is a discrete-event simulation with one twist: clocks are
+//! piecewise linear between events, so node state is integrated *lazily and
+//! exactly* — a node is advanced to the current instant only when an event
+//! touches it (or a global tick fires). The paper's continuous-time mode
+//! triggers (footnote 6) are evaluated every [`Simulation::tick_interval`]
+//! seconds; the induced slack on measured bounds is
+//! [`Params::discretization_slack`].
+//!
+//! Event kinds:
+//!
+//! * `Tick` — advance everyone, re-evaluate the [`ModePolicy`] per node,
+//! * `Flood` — a node's periodic broadcast of `(L, M, W, P)` (the flooding
+//!   of Condition 4.3 / §7; in message-estimate mode it doubles as the
+//!   clock-sample carrier),
+//! * `Deliver` — message arrival, subject to the §3.1 continuity rule,
+//! * `EdgeUp` / `EdgeDown` — the scenario's scripted edge dynamics,
+//! * `RateChange` — the drift adversary adjusting a hardware clock,
+//! * `LeaderCheck` / `FollowerApply` — the two timed steps of the Listing 1
+//!   insertion handshake.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use gcs_net::transport::{self, Envelope};
+use gcs_net::{
+    DynamicGraph, EdgeKey, EdgeParams, EdgeParamsMap, EdgeEventKind, NetworkSchedule, NodeId,
+    Topology,
+};
+use gcs_sim::{rng, DriftModel, EventQueue, SimDuration, SimTime};
+
+use crate::edge_state::{align_t0, EdgeSlot, EstimateEntry, InsertState, Level};
+use crate::estimate::EstimateMode;
+use crate::params::InsertionStrategy;
+use crate::node::NodeState;
+use crate::params::Params;
+use crate::snapshot::ClockSnapshot;
+use crate::triggers::{fast_trigger, slow_trigger, AoptPolicy, Mode, ModePolicy, NeighborView, NodeView};
+
+/// Cached per-edge derived quantities.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeInfo {
+    /// Raw model parameters of the edge.
+    pub params: EdgeParams,
+    /// The uncertainty `ε` advertised by the configured estimate layer.
+    pub epsilon: f64,
+    /// Edge weight `κ` (eq. 9).
+    pub kappa: f64,
+    /// Slow-trigger slack `δ`.
+    pub delta: f64,
+}
+
+/// Message bodies exchanged by nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Payload {
+    /// Periodic flood: clock sample plus the three network-wide bounds.
+    Flood {
+        logical: f64,
+        max_est: f64,
+        min_lb: f64,
+        max_ub: f64,
+    },
+    /// Listing 1 line 9: the leader's insertion offer.
+    InsertEdge { l_ins: f64, g_tilde: f64 },
+}
+
+/// Engine events.
+#[derive(Debug)]
+enum Event {
+    Tick,
+    Flood {
+        node: NodeId,
+    },
+    Deliver(Envelope<Payload>),
+    EdgeUp {
+        from: NodeId,
+        to: NodeId,
+    },
+    EdgeDown {
+        from: NodeId,
+        to: NodeId,
+    },
+    RateChange {
+        node: usize,
+        rate: f64,
+    },
+    /// The leader's `∆`-wait expiry, expressed as a logical-clock target
+    /// (reaching it implies both "≥ ∆ real time waited" and the logical
+    /// continuity window of Listing 1 line 6).
+    LeaderCheck {
+        u: NodeId,
+        v: NodeId,
+        generation: u64,
+        target_logical: f64,
+    },
+    /// The follower's `T + τ` wait expiry (Listing 1 line 12), same
+    /// logical-target construction.
+    FollowerApply {
+        u: NodeId,
+        v: NodeId,
+        generation: u64,
+        target_logical: f64,
+    },
+}
+
+/// Counters the engine maintains while running.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages handed to the transport.
+    pub messages_sent: u64,
+    /// Messages delivered (continuity rule satisfied).
+    pub messages_delivered: u64,
+    /// Messages dropped by the continuity rule.
+    pub messages_dropped: u64,
+    /// Tick events processed.
+    pub ticks: u64,
+    /// Total events processed.
+    pub events: u64,
+    /// Listing 1 handshakes the leader completed (offer sent).
+    pub handshakes_offered: u64,
+    /// Insertion schedules installed (leader + follower sides).
+    pub insertions_scheduled: u64,
+    /// Edge-down detections that cleared neighbour state.
+    pub edge_removals: u64,
+}
+
+/// Errors from [`SimBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// Neither a topology nor a schedule was provided.
+    NoScenario,
+    /// The scenario has fewer than two nodes.
+    TooFewNodes(usize),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::NoScenario => {
+                f.write_str("no scenario: call .topology(..) or .schedule(..)")
+            }
+            BuildError::TooFewNodes(n) => write!(f, "scenario has {n} node(s), need at least 2"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Configures and constructs a [`Simulation`].
+///
+/// # Example
+///
+/// ```
+/// use gcs_core::{Params, SimBuilder};
+/// use gcs_net::Topology;
+/// use gcs_sim::DriftModel;
+///
+/// let params = Params::builder().rho(0.01).mu(0.1).build().unwrap();
+/// let mut sim = SimBuilder::new(params)
+///     .topology(Topology::line(4))
+///     .drift(DriftModel::TwoBlock)
+///     .seed(7)
+///     .build()
+///     .unwrap();
+/// sim.run_until_secs(5.0);
+/// assert!(sim.snapshot().global_skew() < 0.5);
+/// ```
+#[derive(Debug)]
+pub struct SimBuilder {
+    params: Params,
+    schedule: Option<NetworkSchedule>,
+    edge_params: EdgeParamsMap,
+    drift: DriftModel,
+    mode: EstimateMode,
+    policy: Option<Box<dyn ModePolicy>>,
+    seed: u64,
+    horizon: f64,
+    track_diameter: bool,
+    log_capacity: usize,
+}
+
+impl SimBuilder {
+    /// Starts a builder with the given algorithm parameters.
+    #[must_use]
+    pub fn new(params: Params) -> Self {
+        SimBuilder {
+            params,
+            schedule: None,
+            edge_params: EdgeParamsMap::default(),
+            drift: DriftModel::None,
+            mode: EstimateMode::default(),
+            policy: None,
+            seed: 0,
+            horizon: 3600.0,
+            track_diameter: false,
+            log_capacity: 0,
+        }
+    }
+
+    /// Uses a static topology (all edges up from `t = 0`, no dynamics).
+    #[must_use]
+    pub fn topology(mut self, topo: Topology) -> Self {
+        self.schedule = Some(NetworkSchedule::static_graph(&topo));
+        self
+    }
+
+    /// Uses an explicit dynamic-network script.
+    #[must_use]
+    pub fn schedule(mut self, schedule: NetworkSchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Sets the per-edge model parameters (default:
+    /// [`EdgeParams::default`] everywhere).
+    #[must_use]
+    pub fn edge_params(mut self, map: EdgeParamsMap) -> Self {
+        self.edge_params = map;
+        self
+    }
+
+    /// Sets the hardware-drift adversary.
+    #[must_use]
+    pub fn drift(mut self, drift: DriftModel) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// Selects the estimate layer implementation.
+    #[must_use]
+    pub fn estimates(mut self, mode: EstimateMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Replaces the `A_OPT` mode policy (used by the baseline algorithms).
+    #[must_use]
+    pub fn policy(mut self, policy: Box<dyn ModePolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Root RNG seed; identical seeds give bit-identical runs.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Horizon used to materialize time-varying drift schedules (seconds).
+    #[must_use]
+    pub fn horizon(mut self, secs: f64) -> Self {
+        self.horizon = secs;
+        self
+    }
+
+    /// Enables the [`DiameterTracker`](crate::DiameterTracker): the
+    /// simulation then measures the dynamic estimate diameter `D(t)` of
+    /// Definition 3.1 (O(n) extra work per delivered flood).
+    #[must_use]
+    pub fn track_diameter(mut self, on: bool) -> Self {
+        self.track_diameter = on;
+        self
+    }
+
+    /// Enables the structured [`EventLog`](crate::log::EventLog), keeping
+    /// at most `capacity` entries (mode switches, edge discovery/loss,
+    /// handshake milestones).
+    #[must_use]
+    pub fn log_events(mut self, capacity: usize) -> Self {
+        self.log_capacity = capacity;
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if no scenario was configured or it is too
+    /// small.
+    pub fn build(self) -> Result<Simulation, BuildError> {
+        let schedule = self.schedule.ok_or(BuildError::NoScenario)?;
+        let n = schedule.node_count();
+        if n < 2 {
+            return Err(BuildError::TooFewNodes(n));
+        }
+
+        // Derived knobs: refresh period, per-edge info, iota, G~, tick.
+        let refresh = self
+            .params
+            .refresh_period()
+            .unwrap_or_else(|| self.edge_params.max_delay_bound());
+
+        let universe = schedule.edge_universe();
+        let mut edge_info = HashMap::with_capacity(universe.len());
+        let mut kappa_min = f64::INFINITY;
+        let mut per_hop_max = 0.0f64;
+        for &e in &universe {
+            let ep = self.edge_params.get(e);
+            let epsilon = self.mode.advertised_epsilon(&self.params, ep, refresh);
+            let kappa = self.params.kappa(ep, epsilon);
+            let delta = self.params.delta(ep, epsilon);
+            kappa_min = kappa_min.min(kappa);
+            let drift_window = refresh / self.params.alpha() + ep.delay_bound();
+            let per_hop = epsilon
+                + self.params.mu() * ep.tau
+                + (2.0 * self.params.rho() + self.params.mu() * self.params.rho()) * drift_window;
+            per_hop_max = per_hop_max.max(per_hop);
+            edge_info.insert(
+                e,
+                EdgeInfo {
+                    params: ep,
+                    epsilon,
+                    kappa,
+                    delta,
+                },
+            );
+        }
+        if !kappa_min.is_finite() {
+            // Scenario without any edges ever: still runnable (clocks free-run).
+            kappa_min = 1.0;
+            per_hop_max = 1.0;
+        }
+
+        let iota = kappa_min / 8.0;
+        // Conservative static estimate: four times the worst-case
+        // accumulated per-hop uncertainty across the longest possible path.
+        let g_tilde_default = 4.0 * n as f64 * per_hop_max + iota;
+        let params = self
+            .params
+            .with_iota_default(iota)
+            .with_g_tilde_default(g_tilde_default);
+
+        let tick = params
+            .tick()
+            .unwrap_or_else(|| kappa_min / (8.0 * params.beta()));
+
+        // Drift realization and node construction.
+        let drift = self
+            .drift
+            .realize(n, params.rho(), SimTime::from_secs(self.horizon), self.seed);
+        let mut nodes: Vec<NodeState> = (0..n)
+            .map(|i| NodeState::new(NodeId::from(i), drift.initial[i]))
+            .collect();
+
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        for c in &drift.changes {
+            queue.schedule(
+                c.time,
+                Event::RateChange {
+                    node: c.node,
+                    rate: c.rate,
+                },
+            );
+        }
+        for ev in schedule.events() {
+            let e = match ev.kind {
+                EdgeEventKind::Up => Event::EdgeUp {
+                    from: ev.from,
+                    to: ev.to,
+                },
+                EdgeEventKind::Down => Event::EdgeDown {
+                    from: ev.from,
+                    to: ev.to,
+                },
+            };
+            queue.schedule(ev.time, e);
+        }
+        queue.schedule(SimTime::from_secs(tick), Event::Tick);
+
+        // Stagger initial floods uniformly inside one refresh period so the
+        // network does not send in lockstep.
+        let mut stagger = rng::stream(self.seed, "flood-stagger", 0);
+        for i in 0..n {
+            let offset = stagger.gen_range(0.0..refresh.max(1e-9));
+            queue.schedule(
+                SimTime::from_secs(offset),
+                Event::Flood {
+                    node: NodeId::from(i),
+                },
+            );
+        }
+
+        // Initial graph: directed edges present at t = 0. Pairs present in
+        // both directions are fully inserted (N^s(0) = N(0), §4.2); loners
+        // enter the discovery handshake immediately.
+        let mut graph = DynamicGraph::new(n);
+        let mut bias_rng = rng::stream(self.seed, "oracle-bias", 0);
+        let initial: std::collections::BTreeSet<(NodeId, NodeId)> =
+            schedule.initial_directed().iter().copied().collect();
+        let rho = params.rho();
+        let mut sim = Simulation {
+            policy: self
+                .policy
+                .unwrap_or_else(|| Box::new(AoptPolicy::new(params.max_levels()))),
+            params,
+            mode: self.mode,
+            graph: DynamicGraph::new(n),
+            nodes: Vec::new(),
+            queue: EventQueue::new(),
+            edge_info,
+            tick,
+            refresh,
+            now: SimTime::ZERO,
+            delay_rng: rng::stream(self.seed, "delay", 0),
+            bias_rng: rng::stream(self.seed, "oracle-bias", 1),
+            gen_counter: 0,
+            stats: SimStats::default(),
+            diameter: self
+                .track_diameter
+                .then(|| crate::diameter::DiameterTracker::new(n, rho)),
+            log: (self.log_capacity > 0)
+                .then(|| crate::log::EventLog::with_capacity(self.log_capacity)),
+        };
+        for &(u, v) in &initial {
+            graph.insert_directed(u, v, SimTime::ZERO);
+            let both = initial.contains(&(v, u));
+            let mut slot = if both {
+                EdgeSlot::initial()
+            } else {
+                sim.gen_counter += 1;
+                EdgeSlot::discovered(SimTime::ZERO, 0.0, sim.gen_counter)
+            };
+            slot.oracle_bias = bias_rng.gen_range(-1.0..=1.0);
+            nodes[u.index()].slots.insert(v, slot);
+        }
+        sim.graph = graph;
+        sim.nodes = nodes;
+        sim.queue = queue;
+
+        // Kick off handshakes for one-directional initial edges.
+        let starts: Vec<(NodeId, NodeId, u64)> = sim
+            .nodes
+            .iter()
+            .flat_map(|node| {
+                let u = node.id();
+                node.slots
+                    .iter()
+                    .filter(|(_, slot)| matches!(slot.insert, InsertState::Pending))
+                    .map(move |(&v, slot)| (u, v, slot.generation))
+            })
+            .collect();
+        for (u, v, generation) in starts {
+            if Simulation::is_leader(u, v) {
+                sim.schedule_leader_check(u, v, generation);
+            }
+        }
+        Ok(sim)
+    }
+}
+
+/// A running simulation: the dynamic network, all node states, and the
+/// event queue.
+///
+/// Construct via [`SimBuilder`]; drive with [`run_until_secs`]
+/// (or [`run_until`]); inspect with [`snapshot`], [`node`], and the
+/// level-set accessors.
+///
+/// [`run_until_secs`]: Simulation::run_until_secs
+/// [`run_until`]: Simulation::run_until
+/// [`snapshot`]: Simulation::snapshot
+/// [`node`]: Simulation::node
+#[derive(Debug)]
+pub struct Simulation {
+    params: Params,
+    policy: Box<dyn ModePolicy>,
+    mode: EstimateMode,
+    graph: DynamicGraph,
+    nodes: Vec<NodeState>,
+    queue: EventQueue<Event>,
+    edge_info: HashMap<EdgeKey, EdgeInfo>,
+    tick: f64,
+    refresh: f64,
+    now: SimTime,
+    delay_rng: StdRng,
+    bias_rng: StdRng,
+    gen_counter: u64,
+    stats: SimStats,
+    diameter: Option<crate::diameter::DiameterTracker>,
+    log: Option<crate::log::EventLog>,
+}
+
+impl Simulation {
+    /// The effective (validated + derived) parameters.
+    #[must_use]
+    pub fn params(&self) -> &Params {
+        self.params_ref()
+    }
+
+    fn params_ref(&self) -> &Params {
+        &self.params
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Trigger-evaluation period in seconds.
+    #[must_use]
+    pub fn tick_interval(&self) -> f64 {
+        self.tick
+    }
+
+    /// Flood refresh period (hardware seconds).
+    #[must_use]
+    pub fn refresh_interval(&self) -> f64 {
+        self.refresh
+    }
+
+    /// Immutable view of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn node(&self, u: NodeId) -> &NodeState {
+        &self.nodes[u.index()]
+    }
+
+    /// The current dynamic graph.
+    #[must_use]
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Engine counters.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Name of the active mode policy.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Derived info (`ε`, `κ`, `δ`) for an edge of the scenario's universe.
+    #[must_use]
+    pub fn edge_info(&self, e: EdgeKey) -> Option<EdgeInfo> {
+        self.edge_info.get(&e).copied()
+    }
+
+    /// The deterministic leader of a potential edge (lower id, §4.3).
+    #[must_use]
+    pub fn is_leader(u: NodeId, v: NodeId) -> bool {
+        u < v
+    }
+
+    /// Runs until simulated time `t` (inclusive of events at `t`), then
+    /// advances every node's clocks exactly to `t`.
+    ///
+    /// Behaviour is a pure function of configuration and seed. Querying at
+    /// intermediate times splits the exact piecewise-linear integration
+    /// into more `f64` additions, which can perturb clock values in the
+    /// last few ulps (≈ 1e−12) relative to a single long run; decisions
+    /// and statistics are unaffected.
+    pub fn run_until(&mut self, t: SimTime) {
+        assert!(t >= self.now, "cannot run backwards to {t:?}");
+        while let Some(next) = self.queue.peek() {
+            if next.time() > t {
+                break;
+            }
+            let (when, event) = self.queue.pop().expect("peeked");
+            self.now = when;
+            self.stats.events += 1;
+            self.handle(when, event);
+        }
+        self.now = t;
+        self.advance_all(t);
+    }
+
+    /// [`run_until`](Simulation::run_until) with a plain seconds argument.
+    pub fn run_until_secs(&mut self, secs: f64) {
+        self.run_until(SimTime::from_secs(secs));
+    }
+
+    /// Snapshot of all clocks at the current instant.
+    #[must_use]
+    pub fn snapshot(&self) -> ClockSnapshot {
+        ClockSnapshot {
+            time: self.now.as_secs(),
+            logical: self.nodes.iter().map(NodeState::logical).collect(),
+            hardware: self.nodes.iter().map(NodeState::hardware).collect(),
+            max_estimates: self.nodes.iter().map(NodeState::max_estimate).collect(),
+            modes: self.nodes.iter().map(NodeState::mode).collect(),
+        }
+    }
+
+    /// The unlocked level of the *undirected* edge `{u, v}`: the largest `s`
+    /// with `v ∈ N^s_u` **and** `u ∈ N^s_v` (`None` if either side has not
+    /// discovered the other).
+    #[must_use]
+    pub fn level_between(&self, u: NodeId, v: NodeId) -> Option<Level> {
+        let a = self.nodes[u.index()]
+            .slots
+            .get(&v)?
+            .insert
+            .level_at(self.nodes[u.index()].logical());
+        let b = self.nodes[v.index()]
+            .slots
+            .get(&u)?
+            .insert
+            .level_at(self.nodes[v.index()].logical());
+        Some(a.min(b))
+    }
+
+    /// The level-`s` edge set `E_s(t)` of Definition 5.8.
+    #[must_use]
+    pub fn level_edges(&self, s: u32) -> Vec<EdgeKey> {
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            let u = node.id();
+            for &v in node.slots.keys() {
+                if u < v {
+                    if let Some(level) = self.level_between(u, v) {
+                        if level.includes(s) {
+                            out.push(EdgeKey::new(u, v));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Injects a logical-clock corruption (self-stabilization experiments):
+    /// adds `offset` to node `u`'s logical clock.
+    ///
+    /// This is an out-of-model state change: the *other* nodes' flood
+    /// bounds (`M`, `W`, `P`) knew nothing about it, so the invariants of
+    /// Condition 4.3 and the `[W, P]` bracket re-establish themselves only
+    /// after a few gossip rounds (the self-stabilization the paper
+    /// discusses in §5.2). Expect [`verify_invariants`] to report
+    /// violations during that window.
+    ///
+    /// [`verify_invariants`]: Simulation::verify_invariants
+    pub fn inject_clock_offset(&mut self, u: NodeId, offset: f64) {
+        let t = self.now;
+        let params = self.params.clone();
+        let node = &mut self.nodes[u.index()];
+        node.advance_to(t, &params);
+        let l = node.logical();
+        node.corrupt_logical(l + offset);
+    }
+
+    /// The structured event log, if enabled via
+    /// [`SimBuilder::log_events`].
+    #[must_use]
+    pub fn event_log(&self) -> Option<&crate::log::EventLog> {
+        self.log.as_ref()
+    }
+
+    /// Runs until `until` seconds, snapshotting every `every` seconds
+    /// (including the start and end instants), and returns the recorded
+    /// [`Trace`](crate::Trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is not positive or `until` is in the past.
+    pub fn record_trace(&mut self, until: f64, every: f64) -> crate::Trace {
+        assert!(every > 0.0, "sampling period must be positive");
+        let mut trace = crate::Trace::new();
+        let mut t = self.now.as_secs();
+        trace.push(self.snapshot());
+        while t < until - 1e-12 {
+            t = (t + every).min(until);
+            self.run_until_secs(t);
+            trace.push(self.snapshot());
+        }
+        trace
+    }
+
+    /// The measured dynamic estimate diameter `D(t)` of Definition 3.1, if
+    /// tracking was enabled via [`SimBuilder::track_diameter`].
+    /// `f64::INFINITY` while some node has not yet heard (transitively)
+    /// from every other node since an edge change isolated it.
+    #[must_use]
+    pub fn dynamic_diameter(&mut self) -> Option<f64> {
+        let t = self.now;
+        self.diameter.as_mut().map(|d| d.diameter(t))
+    }
+
+    /// The measured dynamic estimate radius `R_u(t)`, if tracking is on.
+    #[must_use]
+    pub fn dynamic_radius(&mut self, u: NodeId) -> Option<f64> {
+        let t = self.now;
+        self.diameter.as_mut().map(|d| d.radius(u.index(), t))
+    }
+
+    /// The estimate `L̃ᵥᵤ(t)` node `u` currently holds for `v`, if any.
+    /// Nodes must be advanced to `now` (true after any `run_until`).
+    #[must_use]
+    pub fn estimate_of(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let slot = self.nodes[u.index()].slots.get(&v)?;
+        match self.mode {
+            EstimateMode::Oracle(model) => {
+                let info = self.edge_info.get(&EdgeKey::new(u, v))?;
+                let truth = self.nodes[v.index()].logical();
+                let own = self.nodes[u.index()].logical();
+                Some(model.apply(own, truth, slot.oracle_bias * info.epsilon, info.epsilon))
+            }
+            EstimateMode::Messages => {
+                slot.reckoned_estimate(self.nodes[u.index()].hardware())
+            }
+        }
+    }
+
+    /// Checks the runtime invariants of the model and algorithm at the
+    /// current instant, returning one description per violation. Intended
+    /// for tests; cost is `O(n·deg)` plus a trigger evaluation per node.
+    #[must_use]
+    pub fn verify_invariants(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let max_l = self
+            .nodes
+            .iter()
+            .map(NodeState::logical)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min_l = self
+            .nodes
+            .iter()
+            .map(NodeState::logical)
+            .fold(f64::INFINITY, f64::min);
+        const TOL: f64 = 1e-9;
+
+        for node in &self.nodes {
+            let u = node.id();
+            if node.max_estimate() < node.logical() - TOL {
+                violations.push(format!("{u}: M < L (Condition 4.3 (4))"));
+            }
+            if node.max_estimate() > max_l + TOL {
+                violations.push(format!(
+                    "{u}: M = {} exceeds max logical {} (Condition 4.3 (2))",
+                    node.max_estimate(),
+                    max_l
+                ));
+            }
+            if node.min_lower_bound() > min_l + TOL {
+                violations.push(format!("{u}: W exceeds the network minimum"));
+            }
+            // P may briefly undershoot the maximum while a newly maximal
+            // node finishes a fast-mode episode (at most a few ticks).
+            let p_tol = 10.0 * self.params.mu() * self.params.beta() * self.tick + TOL;
+            if node.max_upper_bound() < max_l - p_tol {
+                violations.push(format!("{u}: P below the network maximum"));
+            }
+            // Estimate accuracy: inequality (1).
+            for &v in node.slots.keys() {
+                if let (Some(est), Some(info)) = (
+                    self.estimate_of(u, v),
+                    self.edge_info.get(&EdgeKey::new(u, v)),
+                ) {
+                    let truth = self.nodes[v.index()].logical();
+                    if (est - truth).abs() > info.epsilon + TOL {
+                        violations.push(format!(
+                            "estimate error |{est} - {truth}| > eps {} on ({u}, {v})",
+                            info.epsilon
+                        ));
+                    }
+                }
+            }
+            // Lemma 5.3: the triggers are mutually exclusive.
+            let neighbors = self.neighbor_views(u.index());
+            let view = self.node_view(u.index(), &neighbors);
+            if fast_trigger(&view, self.params.max_levels())
+                && slow_trigger(&view, self.params.max_levels())
+            {
+                violations.push(format!("{u}: fast and slow triggers both hold (Lemma 5.3)"));
+            }
+        }
+
+        // Lemma 5.5 (I): both endpoints of a scheduled insertion agree.
+        for node in &self.nodes {
+            let u = node.id();
+            for (&v, slot) in &node.slots {
+                if u >= v {
+                    continue;
+                }
+                if let (
+                    InsertState::Scheduled { t0: a0, i: ai },
+                    Some(InsertState::Scheduled { t0: b0, i: bi }),
+                ) = (
+                    slot.insert,
+                    self.nodes[v.index()].slots.get(&u).map(|s| s.insert),
+                ) {
+                    if (a0 - b0).abs() > TOL || (ai - bi).abs() > TOL {
+                        violations.push(format!(
+                            "insertion disagreement on {{{u}, {v}}}: ({a0}, {ai}) vs ({b0}, {bi})"
+                        ));
+                    }
+                }
+            }
+        }
+        violations
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, t: SimTime, event: Event) {
+        match event {
+            Event::Tick => {
+                self.stats.ticks += 1;
+                self.advance_all(t);
+                self.reevaluate_modes();
+                self.queue
+                    .schedule(t + SimDuration::from_secs(self.tick), Event::Tick);
+            }
+            Event::Flood { node } => self.on_flood(t, node),
+            Event::Deliver(env) => self.on_deliver(t, env),
+            Event::EdgeUp { from, to } => self.on_edge_up(t, from, to),
+            Event::EdgeDown { from, to } => self.on_edge_down(t, from, to),
+            Event::RateChange { node, rate } => {
+                let params = self.params.clone();
+                let n = &mut self.nodes[node];
+                n.advance_to(t, &params);
+                n.set_hw_rate(rate);
+            }
+            Event::LeaderCheck {
+                u,
+                v,
+                generation,
+                target_logical,
+            } => self.on_leader_check(t, u, v, generation, target_logical),
+            Event::FollowerApply {
+                u,
+                v,
+                generation,
+                target_logical,
+            } => self.on_follower_apply(t, u, v, generation, target_logical),
+        }
+    }
+
+    fn advance_all(&mut self, t: SimTime) {
+        let params = self.params.clone();
+        for node in &mut self.nodes {
+            node.advance_to(t, &params);
+        }
+    }
+
+    fn neighbor_views(&self, u: usize) -> Vec<NeighborView> {
+        let node = &self.nodes[u];
+        let logical = node.logical();
+        node.slots
+            .iter()
+            .filter_map(|(&v, slot)| {
+                let info = self.edge_info.get(&EdgeKey::new(node.id(), v))?;
+                // Under the decaying-weight strategy the edge's effective
+                // weight (and with it delta) shrinks with the local clock.
+                let (kappa, delta) = match self.params.insertion_strategy() {
+                    InsertionStrategy::Staged => (info.kappa, info.delta),
+                    InsertionStrategy::DecayingWeight { halving } => {
+                        let k = slot.insert.effective_kappa(logical, info.kappa, halving);
+                        (
+                            k,
+                            self.params.delta_for_kappa(k, info.params, info.epsilon),
+                        )
+                    }
+                };
+                Some(NeighborView {
+                    estimate: self.estimate_of(node.id(), v),
+                    kappa,
+                    epsilon: info.epsilon,
+                    tau: info.params.tau,
+                    delta,
+                    level: slot.insert.level_at(logical),
+                })
+            })
+            .collect()
+    }
+
+    /// The *effective* weight of the undirected edge `{u, v}` right now:
+    /// the final `κ` under staged insertion, or the larger of the two
+    /// endpoints' decayed weights under the decaying-weight strategy.
+    /// `None` if either endpoint has not discovered the other.
+    #[must_use]
+    pub fn effective_kappa(&self, e: EdgeKey) -> Option<f64> {
+        let info = self.edge_info.get(&e)?;
+        match self.params.insertion_strategy() {
+            InsertionStrategy::Staged => {
+                self.nodes[e.lo().index()].slots.get(&e.hi())?;
+                self.nodes[e.hi().index()].slots.get(&e.lo())?;
+                Some(info.kappa)
+            }
+            InsertionStrategy::DecayingWeight { halving } => {
+                let a = self.nodes[e.lo().index()].slots.get(&e.hi())?;
+                let b = self.nodes[e.hi().index()].slots.get(&e.lo())?;
+                let ka = a
+                    .insert
+                    .effective_kappa(self.nodes[e.lo().index()].logical(), info.kappa, halving);
+                let kb = b
+                    .insert
+                    .effective_kappa(self.nodes[e.hi().index()].logical(), info.kappa, halving);
+                Some(ka.max(kb))
+            }
+        }
+    }
+
+    fn node_view<'a>(&self, u: usize, neighbors: &'a [NeighborView]) -> NodeView<'a> {
+        let node = &self.nodes[u];
+        NodeView {
+            logical: node.logical(),
+            max_estimate: node.max_estimate(),
+            current_mode: node.mode(),
+            iota: self.params.iota(),
+            mu: self.params.mu(),
+            rho: self.params.rho(),
+            neighbors,
+        }
+    }
+
+    fn reevaluate_modes(&mut self) {
+        let decisions: Vec<Mode> = (0..self.nodes.len())
+            .map(|u| {
+                let neighbors = self.neighbor_views(u);
+                let view = self.node_view(u, &neighbors);
+                self.policy.decide(&view)
+            })
+            .collect();
+        let now = self.now;
+        for (node, mode) in self.nodes.iter_mut().zip(decisions) {
+            if node.mode() != mode {
+                if let Some(log) = &mut self.log {
+                    log.push(crate::log::LogEntry::ModeSwitch {
+                        time: now,
+                        node: node.id(),
+                        mode,
+                    });
+                }
+            }
+            node.set_mode(mode);
+        }
+    }
+
+    fn on_flood(&mut self, t: SimTime, u: NodeId) {
+        let params = self.params.clone();
+        self.nodes[u.index()].advance_to(t, &params);
+        let node = &self.nodes[u.index()];
+        let payload = Payload::Flood {
+            logical: node.logical(),
+            max_est: node.max_estimate(),
+            min_lb: node.min_lower_bound(),
+            max_ub: node.max_upper_bound(),
+        };
+        let neighbors: Vec<NodeId> = self.graph.neighbors(u).collect();
+        for v in neighbors {
+            self.send(t, u, v, payload);
+        }
+        // Next flood after `refresh` *hardware* seconds: converting with the
+        // current rate keeps the real period within [P/(1+rho), P/(1-rho)].
+        let dt = self.refresh / self.nodes[u.index()].hw_rate();
+        self.queue
+            .schedule(t + SimDuration::from_secs(dt), Event::Flood { node: u });
+    }
+
+    fn send(&mut self, t: SimTime, u: NodeId, v: NodeId, payload: Payload) {
+        let info = self.edge_info[&EdgeKey::new(u, v)];
+        let env = transport::send(&mut self.delay_rng, info.params, u, v, t, payload);
+        self.stats.messages_sent += 1;
+        self.queue.schedule(env.deliver_at, Event::Deliver(env));
+    }
+
+    fn on_deliver(&mut self, t: SimTime, env: Envelope<Payload>) {
+        if !transport::deliverable(&self.graph, &env) {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        self.stats.messages_delivered += 1;
+        let params = self.params.clone();
+        let info = self.edge_info[&EdgeKey::new(env.src, env.dst)];
+        let dst = env.dst;
+        self.nodes[dst.index()].advance_to(t, &params);
+        match env.payload {
+            Payload::Flood {
+                logical,
+                max_est,
+                min_lb,
+                max_ub,
+            } => {
+                if let Some(tracker) = &mut self.diameter {
+                    tracker.on_delivery(
+                        env.src.index(),
+                        dst.index(),
+                        env.sent_at,
+                        t,
+                        info.params.delay_uncertainty(),
+                    );
+                }
+                let credit = transport::min_transit_credit(info.params, params.rho());
+                let node = &mut self.nodes[dst.index()];
+                node.merge_max_estimate(max_est + credit);
+                node.merge_min_lower_bound(min_lb);
+                node.merge_max_upper_bound(max_ub + params.beta() * info.params.delay_bound());
+                let hw_now = node.hardware();
+                if let Some(slot) = node.slots.get_mut(&env.src) {
+                    slot.estimate = Some(EstimateEntry {
+                        value: logical + credit,
+                        hw_at_recv: hw_now,
+                    });
+                }
+            }
+            Payload::InsertEdge { l_ins, g_tilde } => {
+                let l_now = self.nodes[dst.index()].logical();
+                let beta = params.beta();
+                let wait = beta * (info.params.delay_bound() + info.params.tau);
+                let Some(slot) = self.nodes[dst.index()].slots.get_mut(&env.src) else {
+                    return; // Edge vanished at the receiver: offer ignored.
+                };
+                // Only accept an offer for a fresh, unscheduled incarnation.
+                if !matches!(slot.insert, InsertState::Pending) {
+                    return;
+                }
+                slot.insert = InsertState::FollowerWait {
+                    l_ins,
+                    g_tilde,
+                    l_at_receive: l_now,
+                };
+                let generation = slot.generation;
+                self.schedule_logical_event(dst, l_now + wait, |target_logical| {
+                    Event::FollowerApply {
+                        u: dst,
+                        v: env.src,
+                        generation,
+                        target_logical,
+                    }
+                });
+            }
+        }
+    }
+
+    fn on_edge_up(&mut self, t: SimTime, from: NodeId, to: NodeId) {
+        if self.graph.contains(from, to) {
+            return; // Idempotent: scripted duplicate.
+        }
+        self.graph.insert_directed(from, to, t);
+        let params = self.params.clone();
+        self.nodes[from.index()].advance_to(t, &params);
+        self.gen_counter += 1;
+        let generation = self.gen_counter;
+        let logical = self.nodes[from.index()].logical();
+        let mut slot = EdgeSlot::discovered(t, logical, generation);
+        slot.oracle_bias = self.bias_rng.gen_range(-1.0..=1.0);
+        if let InsertionStrategy::DecayingWeight { .. } = self.params.insertion_strategy() {
+            // Section 5.5's simpler strategy: no handshake; start the local
+            // weight decay from 2x the best available global-skew bound.
+            let g = if self.params.dynamic_estimates() {
+                self.nodes[from.index()].g_estimate() + self.params.iota()
+            } else {
+                self.params.g_tilde().expect("static G~ filled at build")
+            };
+            let info = self.edge_info[&EdgeKey::new(from, to)];
+            slot.insert = InsertState::Decaying {
+                l0: logical,
+                kappa0: (2.0 * g).max(info.kappa),
+            };
+            self.stats.insertions_scheduled += 1;
+        }
+        let staged = matches!(slot.insert, InsertState::Pending);
+        self.nodes[from.index()].slots.insert(to, slot);
+        if let Some(log) = &mut self.log {
+            log.push(crate::log::LogEntry::EdgeDiscovered {
+                time: t,
+                node: from,
+                neighbor: to,
+            });
+        }
+        if staged && Self::is_leader(from, to) {
+            self.schedule_leader_check(from, to, generation);
+        }
+    }
+
+    fn on_edge_down(&mut self, t: SimTime, from: NodeId, to: NodeId) {
+        if !self.graph.contains(from, to) {
+            return;
+        }
+        self.graph.remove_directed(from, to);
+        let params = self.params.clone();
+        self.nodes[from.index()].advance_to(t, &params);
+        // Listing 1 lines 15-18: drop the neighbour from every N^s and
+        // forget the insertion times.
+        self.nodes[from.index()].slots.remove(&to);
+        self.stats.edge_removals += 1;
+        if let Some(log) = &mut self.log {
+            log.push(crate::log::LogEntry::EdgeLost {
+                time: t,
+                node: from,
+                neighbor: to,
+            });
+        }
+    }
+
+    fn schedule_leader_check(&mut self, u: NodeId, v: NodeId, generation: u64) {
+        let info = self.edge_info[&EdgeKey::new(u, v)];
+        let delta = self.params.handshake_delta(info.params);
+        let target = self.nodes[u.index()]
+            .slots
+            .get(&v)
+            .map(|s| s.discovered_l)
+            .unwrap_or_default()
+            + self.params.beta() * delta;
+        self.schedule_logical_event(u, target, |target_logical| Event::LeaderCheck {
+            u,
+            v,
+            generation,
+            target_logical,
+        });
+    }
+
+    /// Schedules `make_event(target)` for (approximately) the moment node
+    /// `u`'s logical clock reaches `target`. Handlers must re-check and
+    /// reschedule if the clock has not reached the target yet (rates may
+    /// have changed in between); reaching a logical target is always a
+    /// *lower* bound on elapsed real time, which is what Listing 1 needs.
+    fn schedule_logical_event(
+        &mut self,
+        u: NodeId,
+        target: f64,
+        make_event: impl FnOnce(f64) -> Event,
+    ) {
+        let node = &self.nodes[u.index()];
+        let rate = node.mode().multiplier(self.params.mu()) * node.hw_rate();
+        let dt = ((target - node.logical()) / rate).max(0.0);
+        self.queue
+            .schedule(self.now + SimDuration::from_secs(dt), make_event(target));
+    }
+
+    fn on_leader_check(
+        &mut self,
+        t: SimTime,
+        u: NodeId,
+        v: NodeId,
+        generation: u64,
+        target_logical: f64,
+    ) {
+        let params = self.params.clone();
+        self.nodes[u.index()].advance_to(t, &params);
+        let Some(slot) = self.nodes[u.index()].slots.get(&v) else {
+            return; // Edge went down; a rediscovery starts a new handshake.
+        };
+        if slot.generation != generation || !matches!(slot.insert, InsertState::Pending) {
+            return;
+        }
+        if self.nodes[u.index()].logical() < target_logical - 1e-12 {
+            // Rates changed during the wait; try again when we get there.
+            self.schedule_logical_event(u, target_logical, |target_logical| Event::LeaderCheck {
+                u,
+                v,
+                generation,
+                target_logical,
+            });
+            return;
+        }
+        // Continuity (Listing 1 line 6) holds by construction: the slot has
+        // existed since `discovered_l` and L has advanced by beta * Delta.
+        let info = self.edge_info[&EdgeKey::new(u, v)];
+        let g_tilde = if params.dynamic_estimates() {
+            // The iota margin absorbs the bracket's tick-level optimism.
+            self.nodes[u.index()].g_estimate() + params.iota()
+        } else {
+            params.g_tilde().expect("static G~ filled at build")
+        };
+        let l_now = self.nodes[u.index()].logical();
+        let l_ins = l_now + g_tilde + params.beta() * info.params.delay_bound();
+        let i = params.insertion_duration(info.params, g_tilde);
+        let t0 = align_t0(l_ins, i);
+        if let Some(slot) = self.nodes[u.index()].slots.get_mut(&v) {
+            slot.insert = InsertState::Scheduled { t0, i };
+        }
+        self.stats.handshakes_offered += 1;
+        self.stats.insertions_scheduled += 1;
+        if let Some(log) = &mut self.log {
+            log.push(crate::log::LogEntry::InsertOffered {
+                time: t,
+                leader: u,
+                follower: v,
+                g_tilde,
+            });
+            log.push(crate::log::LogEntry::InsertScheduled {
+                time: t,
+                node: u,
+                neighbor: v,
+                t0,
+                i,
+            });
+        }
+        self.send(t, u, v, Payload::InsertEdge { l_ins, g_tilde });
+    }
+
+    fn on_follower_apply(
+        &mut self,
+        t: SimTime,
+        u: NodeId,
+        v: NodeId,
+        generation: u64,
+        target_logical: f64,
+    ) {
+        let params = self.params.clone();
+        self.nodes[u.index()].advance_to(t, &params);
+        let Some(slot) = self.nodes[u.index()].slots.get(&v) else {
+            return;
+        };
+        if slot.generation != generation {
+            return;
+        }
+        let InsertState::FollowerWait {
+            l_ins,
+            g_tilde,
+            l_at_receive,
+        } = slot.insert
+        else {
+            return;
+        };
+        if self.nodes[u.index()].logical() < target_logical - 1e-12 {
+            self.schedule_logical_event(u, target_logical, |target_logical| {
+                Event::FollowerApply {
+                    u,
+                    v,
+                    generation,
+                    target_logical,
+                }
+            });
+            return;
+        }
+        // Listing 1 line 13: the edge must have been present throughout the
+        // logical window reaching back to the receive instant.
+        if slot.discovered_l > l_at_receive {
+            return;
+        }
+        let info = self.edge_info[&EdgeKey::new(u, v)];
+        let i = params.insertion_duration(info.params, g_tilde);
+        let t0 = align_t0(l_ins, i);
+        if let Some(slot) = self.nodes[u.index()].slots.get_mut(&v) {
+            slot.insert = InsertState::Scheduled { t0, i };
+        }
+        self.stats.insertions_scheduled += 1;
+        if let Some(log) = &mut self.log {
+            log.push(crate::log::LogEntry::InsertScheduled {
+                time: t,
+                node: u,
+                neighbor: v,
+                t0,
+                i,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::ErrorModel;
+
+    fn params() -> Params {
+        Params::builder().rho(0.01).mu(0.1).build().unwrap()
+    }
+
+    fn line_sim(n: usize, seed: u64) -> Simulation {
+        SimBuilder::new(params())
+            .topology(Topology::line(n))
+            .drift(DriftModel::TwoBlock)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_requires_scenario() {
+        let err = SimBuilder::new(params()).build().unwrap_err();
+        assert_eq!(err, BuildError::NoScenario);
+        assert!(err.to_string().contains("scenario"));
+    }
+
+    #[test]
+    fn runs_and_keeps_clocks_near_real_time() {
+        let mut sim = line_sim(4, 1);
+        sim.run_until_secs(10.0);
+        let snap = sim.snapshot();
+        for (i, &l) in snap.logical.iter().enumerate() {
+            let lo = 10.0 * sim.params().alpha() - 1e-9;
+            let hi = 10.0 * sim.params().beta() + 1e-9;
+            assert!((lo..=hi).contains(&l), "node {i}: L = {l} outside envelope");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = line_sim(6, 42);
+        let mut b = line_sim(6, 42);
+        a.run_until_secs(20.0);
+        b.run_until_secs(20.0);
+        assert_eq!(a.snapshot().logical, b.snapshot().logical);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = line_sim(6, 1);
+        let mut b = line_sim(6, 2);
+        a.run_until_secs(20.0);
+        b.run_until_secs(20.0);
+        assert_ne!(a.snapshot().logical, b.snapshot().logical);
+    }
+
+    #[test]
+    fn initial_edges_are_fully_inserted() {
+        let sim = line_sim(4, 0);
+        assert_eq!(
+            sim.level_between(NodeId(0), NodeId(1)),
+            Some(Level::Infinite)
+        );
+        let e1 = sim.level_edges(1);
+        assert_eq!(e1.len(), 3);
+    }
+
+    #[test]
+    fn invariants_hold_during_run() {
+        let mut sim = line_sim(5, 3);
+        for k in 1..=20 {
+            sim.run_until_secs(k as f64);
+            let v = sim.verify_invariants();
+            assert!(v.is_empty(), "violations at t={k}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn global_skew_stays_small_on_line() {
+        let mut sim = line_sim(6, 7);
+        sim.run_until_secs(60.0);
+        let g = sim.snapshot().global_skew();
+        // Loose sanity bound; the precise Theorem 5.6 test lives in the
+        // integration suite.
+        assert!(g < 0.5, "global skew {g} too large");
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn floods_flow_and_deliver() {
+        let mut sim = line_sim(4, 5);
+        sim.run_until_secs(5.0);
+        let s = sim.stats();
+        assert!(s.messages_sent > 0);
+        assert!(s.messages_delivered > 0);
+        assert!(s.messages_delivered <= s.messages_sent);
+    }
+
+    #[test]
+    fn inserted_edge_completes_handshake_and_schedules() {
+        let base = Topology::line(4);
+        let chord = EdgeKey::new(NodeId(0), NodeId(3));
+        let schedule = NetworkSchedule::with_edge_insertion(
+            &base,
+            &[(chord, SimTime::from_secs(2.0))],
+            0.001,
+        );
+        let mut p = Params::builder();
+        p.rho(0.01).mu(0.1).insertion_scale(0.02);
+        let mut sim = SimBuilder::new(p.build().unwrap())
+            .schedule(schedule)
+            .seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(sim.level_between(NodeId(0), NodeId(3)), None);
+        sim.run_until_secs(1.0);
+        assert_eq!(sim.level_between(NodeId(0), NodeId(3)), None);
+        sim.run_until_secs(60.0);
+        // Handshake done and insertion scheduled on both sides.
+        assert!(sim.stats().handshakes_offered >= 1);
+        assert_eq!(sim.stats().insertions_scheduled, 2);
+        let lvl = sim.level_between(NodeId(0), NodeId(3)).unwrap();
+        assert!(lvl >= Level::Finite(0));
+        assert!(sim.verify_invariants().is_empty());
+    }
+
+    #[test]
+    fn edge_removal_clears_state() {
+        let base = Topology::ring(4);
+        let mut schedule = NetworkSchedule::static_graph(&base);
+        schedule.add_undirected_down(
+            EdgeKey::new(NodeId(0), NodeId(1)),
+            SimTime::from_secs(3.0),
+            0.001,
+        );
+        let mut sim = SimBuilder::new(params())
+            .schedule(schedule)
+            .seed(4)
+            .build()
+            .unwrap();
+        sim.run_until_secs(2.0);
+        assert!(sim.level_between(NodeId(0), NodeId(1)).is_some());
+        sim.run_until_secs(4.0);
+        assert_eq!(sim.level_between(NodeId(0), NodeId(1)), None);
+        assert_eq!(sim.stats().edge_removals, 2);
+        assert!(sim.verify_invariants().is_empty());
+    }
+
+    #[test]
+    fn corruption_is_reflected_and_recovered_from() {
+        let mut sim = line_sim(4, 8);
+        sim.run_until_secs(5.0);
+        sim.inject_clock_offset(NodeId(0), 0.2);
+        let g0 = sim.snapshot().global_skew();
+        assert!(g0 >= 0.2 - 1e-9);
+        // Corruption is an out-of-model state injection: the flood bounds
+        // (P >= max L) take a few seconds of gossip + drift margin to
+        // re-establish themselves.
+        sim.run_until_secs(10.0);
+        assert!(
+            sim.verify_invariants().is_empty(),
+            "{:?}",
+            sim.verify_invariants()
+        );
+        sim.run_until_secs(25.0);
+        let g1 = sim.snapshot().global_skew();
+        assert!(g1 < g0 / 2.0, "skew did not recover: {g0} -> {g1}");
+    }
+
+    #[test]
+    fn message_estimate_mode_works() {
+        let mut sim = SimBuilder::new(params())
+            .topology(Topology::ring(5))
+            .estimates(EstimateMode::Messages)
+            .drift(DriftModel::RandomConstant)
+            .seed(11)
+            .build()
+            .unwrap();
+        sim.run_until_secs(10.0);
+        // After a few refresh periods every neighbour has an estimate.
+        for u in 0..5u32 {
+            let node = sim.node(NodeId(u));
+            for &v in node.slots.keys() {
+                assert!(
+                    sim.estimate_of(NodeId(u), v).is_some(),
+                    "missing estimate ({u}, {v})"
+                );
+            }
+        }
+        assert!(sim.verify_invariants().is_empty());
+    }
+
+    #[test]
+    fn hide_error_model_respects_epsilon() {
+        let mut sim = SimBuilder::new(params())
+            .topology(Topology::line(4))
+            .estimates(EstimateMode::Oracle(ErrorModel::Hide))
+            .drift(DriftModel::TwoBlock)
+            .seed(12)
+            .build()
+            .unwrap();
+        sim.run_until_secs(15.0);
+        assert!(sim.verify_invariants().is_empty());
+    }
+
+    #[test]
+    fn run_until_is_monotone() {
+        let mut sim = line_sim(3, 0);
+        sim.run_until_secs(1.0);
+        sim.run_until_secs(1.0); // same time: fine
+        let l = sim.node(NodeId(0)).logical();
+        sim.run_until_secs(2.0);
+        assert!(sim.node(NodeId(0)).logical() > l);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run backwards")]
+    fn run_backwards_panics() {
+        let mut sim = line_sim(3, 0);
+        sim.run_until_secs(5.0);
+        sim.run_until_secs(1.0);
+    }
+
+    #[test]
+    fn record_trace_samples_inclusively() {
+        let mut sim = line_sim(3, 1);
+        let trace = sim.record_trace(2.0, 0.5);
+        assert_eq!(trace.len(), 5); // 0.0, 0.5, 1.0, 1.5, 2.0
+        assert_eq!(trace.samples()[0].time, 0.0);
+        assert_eq!(trace.samples()[4].time, 2.0);
+        assert!(trace.max_global_skew() >= 0.0);
+    }
+
+    #[test]
+    fn event_log_captures_insertion_milestones() {
+        use crate::log::LogEntry;
+        let base = Topology::line(4);
+        let chord = EdgeKey::new(NodeId(0), NodeId(3));
+        let schedule = NetworkSchedule::with_edge_insertion(
+            &base,
+            &[(chord, SimTime::from_secs(2.0))],
+            0.001,
+        );
+        let mut p = Params::builder();
+        p.rho(0.01).mu(0.1).insertion_scale(0.02);
+        let mut sim = SimBuilder::new(p.build().unwrap())
+            .schedule(schedule)
+            .log_events(10_000)
+            .seed(9)
+            .build()
+            .unwrap();
+        sim.run_until_secs(30.0);
+        let log = sim.event_log().unwrap();
+        let discovered: Vec<_> = log
+            .entries()
+            .iter()
+            .filter(|e| matches!(e, LogEntry::EdgeDiscovered { .. }))
+            .collect();
+        assert_eq!(discovered.len(), 2, "both directions discovered");
+        let offers: Vec<_> = log
+            .entries()
+            .iter()
+            .filter(|e| matches!(e, LogEntry::InsertOffered { leader: NodeId(0), .. }))
+            .collect();
+        assert_eq!(offers.len(), 1, "one offer from the leader");
+        let schedules: Vec<_> = log
+            .entries()
+            .iter()
+            .filter_map(|e| match e {
+                LogEntry::InsertScheduled { t0, i, .. } => Some((*t0, *i)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(schedules.len(), 2, "both endpoints installed times");
+        assert_eq!(schedules[0], schedules[1], "Lemma 5.5 agreement");
+        // Ordering: discovery strictly precedes the offer, which precedes
+        // or coincides with the schedules.
+        assert!(discovered[0].time() < offers[0].time());
+    }
+
+    #[test]
+    fn decaying_strategy_needs_no_handshake() {
+        use crate::params::InsertionStrategy;
+        let base = Topology::line(4);
+        let chord = EdgeKey::new(NodeId(0), NodeId(3));
+        let schedule = NetworkSchedule::with_edge_insertion(
+            &base,
+            &[(chord, SimTime::from_secs(2.0))],
+            0.001,
+        );
+        let mut p = Params::builder();
+        p.rho(0.01)
+            .mu(0.1)
+            .insertion_strategy(InsertionStrategy::DecayingWeight { halving: 0.5 });
+        let mut sim = SimBuilder::new(p.build().unwrap())
+            .schedule(schedule)
+            .drift(DriftModel::TwoBlock)
+            .seed(4)
+            .build()
+            .unwrap();
+        sim.run_until_secs(3.0);
+        // Immediately a member of every level, with an inflated weight.
+        assert_eq!(sim.level_between(NodeId(0), NodeId(3)), Some(Level::Infinite));
+        let info = sim.edge_info(chord).unwrap();
+        let k_now = sim.effective_kappa(chord).unwrap();
+        assert!(k_now > info.kappa, "weight still inflated shortly after");
+        // No handshake traffic was needed.
+        assert_eq!(sim.stats().handshakes_offered, 0);
+        assert_eq!(sim.stats().insertions_scheduled, 2);
+        // The weight decays monotonically to the final value.
+        let mut last = k_now;
+        loop {
+            let t = sim.now().as_secs() + 2.0;
+            sim.run_until_secs(t);
+            let k = sim.effective_kappa(chord).unwrap();
+            assert!(k <= last + 1e-12, "weight must not grow");
+            last = k;
+            if (k - info.kappa).abs() < 1e-12 {
+                break;
+            }
+            assert!(t < 120.0, "decay did not complete");
+        }
+        assert!(sim.verify_invariants().is_empty());
+    }
+
+    #[test]
+    fn fast_time_is_accounted() {
+        let mut sim = line_sim(6, 2);
+        sim.run_until_secs(20.0);
+        let total_fast: f64 = (0..6).map(|u| sim.node(NodeId(u)).fast_secs()).sum();
+        // Under two-block drift the slow half must spend time catching up.
+        assert!(total_fast > 0.0);
+        for u in 0..6u32 {
+            assert!(sim.node(NodeId(u)).fast_secs() <= 20.0 + 1e-9);
+        }
+    }
+}

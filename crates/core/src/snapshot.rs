@@ -1,0 +1,239 @@
+//! Read-only views of a simulation: instantaneous [`ClockSnapshot`]s and
+//! sampled [`Trace`]s.
+
+use gcs_net::NodeId;
+
+use crate::triggers::Mode;
+
+/// All clocks at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockSnapshot {
+    /// Simulated real time (seconds).
+    pub time: f64,
+    /// Logical clock `L_u` per node.
+    pub logical: Vec<f64>,
+    /// Hardware clock `H_u` per node.
+    pub hardware: Vec<f64>,
+    /// Max estimate `M_u` per node.
+    pub max_estimates: Vec<f64>,
+    /// Mode per node.
+    pub modes: Vec<Mode>,
+}
+
+impl ClockSnapshot {
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.logical.len()
+    }
+
+    /// The global skew `G(t) = max_u L_u − min_u L_v` (Definition 3.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is empty.
+    #[must_use]
+    pub fn global_skew(&self) -> f64 {
+        let max = self.logical.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = self.logical.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max.is_finite() && min.is_finite(), "empty snapshot");
+        max - min
+    }
+
+    /// `|L_u − L_v|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is out of range.
+    #[must_use]
+    pub fn skew(&self, u: NodeId, v: NodeId) -> f64 {
+        (self.logical[u.index()] - self.logical[v.index()]).abs()
+    }
+
+    /// The largest logical clock.
+    #[must_use]
+    pub fn max_logical(&self) -> f64 {
+        self.logical.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The smallest logical clock.
+    #[must_use]
+    pub fn min_logical(&self) -> f64 {
+        self.logical.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// How many nodes are currently in fast mode.
+    #[must_use]
+    pub fn fast_count(&self) -> usize {
+        self.modes.iter().filter(|m| **m == Mode::Fast).count()
+    }
+}
+
+/// A time series of snapshots sampled at a fixed cadence.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    samples: Vec<ClockSnapshot>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's time precedes the previous sample's.
+    pub fn push(&mut self, snap: ClockSnapshot) {
+        if let Some(last) = self.samples.last() {
+            assert!(
+                snap.time >= last.time,
+                "trace samples must be time-ordered"
+            );
+        }
+        self.samples.push(snap);
+    }
+
+    /// The recorded samples, in time order.
+    #[must_use]
+    pub fn samples(&self) -> &[ClockSnapshot] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Largest global skew over all samples.
+    #[must_use]
+    pub fn max_global_skew(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(ClockSnapshot::global_skew)
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest `|L_u − L_v|` over all samples.
+    #[must_use]
+    pub fn max_skew_between(&self, u: NodeId, v: NodeId) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.skew(u, v))
+            .fold(0.0, f64::max)
+    }
+
+    /// The first sample time at which `|L_u − L_v| ≤ bound` *and it stays*
+    /// at or below the bound for the rest of the trace. `None` if never.
+    #[must_use]
+    pub fn settles_below(&self, u: NodeId, v: NodeId, bound: f64) -> Option<f64> {
+        let mut settle: Option<f64> = None;
+        for s in &self.samples {
+            if s.skew(u, v) <= bound {
+                settle.get_or_insert(s.time);
+            } else {
+                settle = None;
+            }
+        }
+        settle
+    }
+
+    /// `(time, global_skew)` series for reporting.
+    #[must_use]
+    pub fn global_skew_series(&self) -> Vec<(f64, f64)> {
+        self.samples
+            .iter()
+            .map(|s| (s.time, s.global_skew()))
+            .collect()
+    }
+}
+
+impl FromIterator<ClockSnapshot> for Trace {
+    fn from_iter<I: IntoIterator<Item = ClockSnapshot>>(iter: I) -> Self {
+        let mut t = Trace::new();
+        for s in iter {
+            t.push(s);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(time: f64, logical: Vec<f64>) -> ClockSnapshot {
+        let n = logical.len();
+        ClockSnapshot {
+            time,
+            hardware: logical.clone(),
+            max_estimates: logical.clone(),
+            logical,
+            modes: vec![Mode::Slow; n],
+        }
+    }
+
+    #[test]
+    fn skews() {
+        let s = snap(1.0, vec![1.0, 3.0, 2.0]);
+        assert!((s.global_skew() - 2.0).abs() < 1e-15);
+        assert!((s.skew(NodeId(0), NodeId(1)) - 2.0).abs() < 1e-15);
+        assert_eq!(s.max_logical(), 3.0);
+        assert_eq!(s.min_logical(), 1.0);
+        assert_eq!(s.node_count(), 3);
+        assert_eq!(s.fast_count(), 0);
+    }
+
+    #[test]
+    fn trace_statistics() {
+        let t: Trace = vec![
+            snap(0.0, vec![0.0, 0.0]),
+            snap(1.0, vec![0.0, 0.5]),
+            snap(2.0, vec![0.0, 0.2]),
+            snap(3.0, vec![0.0, 0.1]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.len(), 4);
+        assert!((t.max_global_skew() - 0.5).abs() < 1e-15);
+        assert!((t.max_skew_between(NodeId(0), NodeId(1)) - 0.5).abs() < 1e-15);
+        let series = t.global_skew_series();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[1], (1.0, 0.5));
+    }
+
+    #[test]
+    fn settles_below_requires_staying_below() {
+        let t: Trace = vec![
+            snap(0.0, vec![0.0, 1.0]),
+            snap(1.0, vec![0.0, 0.1]), // dips below...
+            snap(2.0, vec![0.0, 0.6]), // ...but bounces back
+            snap(3.0, vec![0.0, 0.2]),
+            snap(4.0, vec![0.0, 0.1]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.settles_below(NodeId(0), NodeId(1), 0.3), Some(3.0));
+        assert_eq!(t.settles_below(NodeId(0), NodeId(1), 0.05), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn trace_rejects_disorder() {
+        let mut t = Trace::new();
+        t.push(snap(2.0, vec![0.0]));
+        t.push(snap(1.0, vec![0.0]));
+    }
+}

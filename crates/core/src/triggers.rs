@@ -1,0 +1,394 @@
+//! The fast / slow mode triggers (Definitions 4.5–4.7) and the mode
+//! selection logic of Listing 3, plus the [`ModePolicy`] abstraction that
+//! lets baseline algorithms reuse the same node substrate.
+//!
+//! The triggers quantify over integer levels `s ∈ ℕ`. As discussed in
+//! DESIGN.md, `s = 0` must be excluded (otherwise a node holding the global
+//! maximum could be forced into fast mode, contradicting Theorem 5.6's
+//! proof), so the scan ranges over `s ≥ 1`. The scan terminates at the first
+//! level at which no neighbour can satisfy the existential clause anymore —
+//! skews are bounded by the global skew, so this is a small number.
+
+use std::fmt;
+
+use crate::edge_state::Level;
+
+/// The two logical clock rates of the algorithm (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Rate `h_u(t)` (multiplier 1).
+    #[default]
+    Slow,
+    /// Rate `(1+µ) · h_u(t)`.
+    Fast,
+}
+
+impl Mode {
+    /// The logical-rate multiplier (`1` or `1 + µ`).
+    #[must_use]
+    pub fn multiplier(self, mu: f64) -> f64 {
+        match self {
+            Mode::Slow => 1.0,
+            Mode::Fast => 1.0 + mu,
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Slow => f.write_str("slow"),
+            Mode::Fast => f.write_str("fast"),
+        }
+    }
+}
+
+/// What a node can see about one neighbour when deciding its mode.
+///
+/// All quantities are in logical-clock units except `tau` (real seconds).
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborView {
+    /// The estimate `L̃ᵥᵤ(t)`, if one is available. Estimates are always
+    /// available for neighbours at level ≥ 1 (the handshake takes longer
+    /// than the first flood); a `None` blocks the universal clauses
+    /// conservatively.
+    pub estimate: Option<f64>,
+    /// Edge weight `κ` (eq. 9).
+    pub kappa: f64,
+    /// Estimate uncertainty `ε`.
+    pub epsilon: f64,
+    /// Detection delay `τ` (seconds).
+    pub tau: f64,
+    /// Slow-trigger slack `δ`.
+    pub delta: f64,
+    /// Unlocked level: the neighbour is in `N^sᵤ` for `1 ≤ s ≤ level`.
+    pub level: Level,
+}
+
+/// Everything a [`ModePolicy`] may consult.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeView<'a> {
+    /// Own logical clock `L_u(t)`.
+    pub logical: f64,
+    /// Max estimate `M_u(t)` (Condition 4.3).
+    pub max_estimate: f64,
+    /// Current mode (policies may keep it in the hysteresis region).
+    pub current_mode: Mode,
+    /// The `ι` separation constant (Definition 4.4).
+    pub iota: f64,
+    /// Fast-mode boost `µ`.
+    pub mu: f64,
+    /// Drift bound `ρ`.
+    pub rho: f64,
+    /// All discovered neighbours (the paper's `N⁰ᵤ`), in neighbour order.
+    pub neighbors: &'a [NeighborView],
+}
+
+impl NodeView<'_> {
+    /// Upper bound on the level scan: beyond this `s`, no neighbour can
+    /// satisfy either existential clause.
+    fn scan_limit(&self, max_levels: u32) -> u32 {
+        let mut hi = 0u32;
+        for n in self.neighbors {
+            let Some(est) = n.estimate else { continue };
+            let diff = (est - self.logical).abs() + n.epsilon + n.delta + n.kappa;
+            let s = (diff / n.kappa).ceil();
+            if s.is_finite() && s > 0.0 {
+                hi = hi.max(s as u32);
+            }
+        }
+        hi.min(max_levels)
+    }
+}
+
+/// The fast-mode trigger of Definition 4.5: there is a level `s ≥ 1` such
+/// that some `w ∈ N^sᵤ` satisfies `L̃ʷᵤ − L_u ≥ s·κ − ε` while every
+/// `v ∈ N^sᵤ` satisfies `L_u − L̃ᵛᵤ ≤ s·κ + 2µτ + ε`.
+#[must_use]
+pub fn fast_trigger(view: &NodeView<'_>, max_levels: u32) -> bool {
+    let limit = view.scan_limit(max_levels);
+    for s in 1..=limit {
+        let mut exists_ahead = false;
+        let mut all_within = true;
+        for n in view.neighbors {
+            if !n.level.includes(s) {
+                continue;
+            }
+            let sf = f64::from(s);
+            match n.estimate {
+                Some(est) => {
+                    if est - view.logical >= sf * n.kappa - n.epsilon {
+                        exists_ahead = true;
+                    }
+                    if view.logical - est > sf * n.kappa + 2.0 * view.mu * n.tau + n.epsilon {
+                        all_within = false;
+                        break;
+                    }
+                }
+                // Unknown neighbour state blocks the universal clause.
+                None => {
+                    all_within = false;
+                    break;
+                }
+            }
+        }
+        if exists_ahead && all_within {
+            return true;
+        }
+    }
+    false
+}
+
+/// The slow-mode trigger of Definition 4.6: there is a level `s ≥ 1` such
+/// that some `w ∈ N^sᵤ` satisfies `L_u − L̃ʷᵤ ≥ (s+½)κ − δ − ε` while every
+/// `v ∈ N^sᵤ` satisfies `L̃ᵛᵤ − L_u ≤ (s+½)κ + δ + ε + µ(1+ρ)τ`.
+#[must_use]
+pub fn slow_trigger(view: &NodeView<'_>, max_levels: u32) -> bool {
+    let limit = view.scan_limit(max_levels);
+    for s in 1..=limit {
+        let mut exists_behind = false;
+        let mut all_within = true;
+        for n in view.neighbors {
+            if !n.level.includes(s) {
+                continue;
+            }
+            let sh = f64::from(s) + 0.5;
+            match n.estimate {
+                Some(est) => {
+                    if view.logical - est >= sh * n.kappa - n.delta - n.epsilon {
+                        exists_behind = true;
+                    }
+                    if est - view.logical
+                        > sh * n.kappa + n.delta + n.epsilon + view.mu * (1.0 + view.rho) * n.tau
+                    {
+                        all_within = false;
+                        break;
+                    }
+                }
+                None => {
+                    all_within = false;
+                    break;
+                }
+            }
+        }
+        if exists_behind && all_within {
+            return true;
+        }
+    }
+    false
+}
+
+/// A rule choosing a node's mode each evaluation step.
+///
+/// `A_OPT` implements Listing 3; the baseline crates provide alternatives
+/// over the same [`NodeView`].
+pub trait ModePolicy: fmt::Debug + Send {
+    /// Decides the node's mode for the current instant.
+    fn decide(&self, view: &NodeView<'_>) -> Mode;
+
+    /// Short, stable policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's mode logic (Listing 3):
+///
+/// 1. slow trigger ⇒ slow,
+/// 2. else fast trigger ⇒ fast,
+/// 3. else `L_u = M_u` ⇒ slow (slow max-estimate trigger),
+/// 4. else `L_u ≤ M_u − ι` ⇒ fast (fast max-estimate trigger),
+/// 5. else keep the current mode (the free region; footnote 6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AoptPolicy {
+    max_levels: u32,
+}
+
+impl AoptPolicy {
+    /// Creates the policy with the given level-scan cap.
+    #[must_use]
+    pub fn new(max_levels: u32) -> Self {
+        AoptPolicy { max_levels }
+    }
+}
+
+impl ModePolicy for AoptPolicy {
+    fn decide(&self, view: &NodeView<'_>) -> Mode {
+        let cap = if self.max_levels == 0 {
+            64
+        } else {
+            self.max_levels
+        };
+        if slow_trigger(view, cap) {
+            Mode::Slow
+        } else if fast_trigger(view, cap) {
+            Mode::Fast
+        } else if view.logical >= view.max_estimate {
+            // M_u is clamped to be >= L_u, so >= means equality.
+            Mode::Slow
+        } else if view.logical <= view.max_estimate - view.iota {
+            Mode::Fast
+        } else {
+            view.current_mode
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "aopt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn neighbor(est: f64, level: Level) -> NeighborView {
+        NeighborView {
+            estimate: Some(est),
+            kappa: 1.0,
+            epsilon: 0.05,
+            tau: 0.01,
+            delta: 0.2,
+            level,
+        }
+    }
+
+    fn view<'a>(logical: f64, m: f64, neighbors: &'a [NeighborView]) -> NodeView<'a> {
+        NodeView {
+            logical,
+            max_estimate: m,
+            current_mode: Mode::Slow,
+            iota: 0.01,
+            mu: 0.1,
+            rho: 0.01,
+            neighbors,
+        }
+    }
+
+    #[test]
+    fn mode_multiplier() {
+        assert_eq!(Mode::Slow.multiplier(0.1), 1.0);
+        assert!((Mode::Fast.multiplier(0.1) - 1.1).abs() < 1e-15);
+        assert_eq!(Mode::Slow.to_string(), "slow");
+    }
+
+    #[test]
+    fn fast_trigger_fires_when_neighbor_far_ahead() {
+        // Neighbour ahead by 2.0 >= 1*kappa - eps; nobody behind.
+        let ns = [neighbor(12.0, Level::Infinite)];
+        assert!(fast_trigger(&view(10.0, 12.0, &ns), 64));
+    }
+
+    #[test]
+    fn fast_trigger_blocked_by_laggard() {
+        // One neighbour ahead, but another is far behind: must not race away.
+        let ns = [
+            neighbor(12.0, Level::Infinite),
+            neighbor(5.0, Level::Infinite),
+        ];
+        assert!(!fast_trigger(&view(10.0, 12.0, &ns), 64));
+    }
+
+    #[test]
+    fn fast_trigger_uses_higher_level_when_laggard_is_shallow() {
+        // The laggard is only in N^1; at level 3 the leader alone counts.
+        let ns = [
+            neighbor(14.0, Level::Infinite), // ahead by 4 >= 3*kappa - eps
+            neighbor(8.0, Level::Finite(1)), // behind by 2, blocks level 1..=1
+        ];
+        assert!(fast_trigger(&view(10.0, 14.0, &ns), 64));
+    }
+
+    #[test]
+    fn slow_trigger_fires_when_neighbor_far_behind() {
+        let ns = [neighbor(8.0, Level::Infinite)];
+        assert!(slow_trigger(&view(10.0, 10.0, &ns), 64));
+    }
+
+    #[test]
+    fn slow_trigger_blocked_by_leader() {
+        let ns = [
+            neighbor(8.0, Level::Infinite),
+            neighbor(13.0, Level::Infinite),
+        ];
+        assert!(!slow_trigger(&view(10.0, 13.0, &ns), 64));
+    }
+
+    #[test]
+    fn triggers_ignore_level_zero_neighbors() {
+        // A freshly discovered neighbour (level 0) is invisible to triggers.
+        let ns = [neighbor(100.0, Level::Finite(0))];
+        let v = view(10.0, 10.0, &ns);
+        assert!(!fast_trigger(&v, 64));
+        assert!(!slow_trigger(&v, 64));
+    }
+
+    #[test]
+    fn missing_estimate_blocks_universal_clauses() {
+        let mut unknown = neighbor(0.0, Level::Infinite);
+        unknown.estimate = None;
+        let ns = [neighbor(12.0, Level::Infinite), unknown];
+        assert!(!fast_trigger(&view(10.0, 12.0, &ns), 64));
+    }
+
+    #[test]
+    fn triggers_are_disjoint_on_random_states() {
+        // Lemma 5.3: with kappa > 4(eps + mu*tau) and delta within range,
+        // the two triggers can never fire together. Randomized check.
+        use rand::Rng;
+        let mut rng = gcs_sim::rng::stream(99, "trigger-disjoint", 0);
+        for _ in 0..5000 {
+            let deg = rng.gen_range(1..5);
+            let ns: Vec<NeighborView> = (0..deg)
+                .map(|_| {
+                    let level = if rng.gen_bool(0.3) {
+                        Level::Finite(rng.gen_range(0..6))
+                    } else {
+                        Level::Infinite
+                    };
+                    NeighborView {
+                        estimate: Some(rng.gen_range(-20.0..20.0)),
+                        kappa: 1.0,
+                        epsilon: 0.05,
+                        tau: 0.01,
+                        delta: 0.2,
+                        level,
+                    }
+                })
+                .collect();
+            let v = view(rng.gen_range(-20.0..20.0), 25.0, &ns);
+            assert!(
+                !(fast_trigger(&v, 64) && slow_trigger(&v, 64)),
+                "triggers fired together: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn aopt_policy_follows_listing3_order() {
+        let p = AoptPolicy::new(64);
+        // Slow trigger dominates.
+        let behind = [neighbor(8.0, Level::Infinite)];
+        assert_eq!(p.decide(&view(10.0, 20.0, &behind)), Mode::Slow);
+        // Fast trigger next.
+        let ahead = [neighbor(12.0, Level::Infinite)];
+        assert_eq!(p.decide(&view(10.0, 20.0, &ahead)), Mode::Fast);
+        // Max-estimate slow when L = M.
+        assert_eq!(p.decide(&view(10.0, 10.0, &[])), Mode::Slow);
+        // Max-estimate fast when far below M.
+        assert_eq!(p.decide(&view(10.0, 11.0, &[])), Mode::Fast);
+        // Hysteresis region keeps the current mode.
+        let mut v = view(10.0, 10.005, &[]);
+        v.current_mode = Mode::Fast;
+        assert_eq!(p.decide(&v), Mode::Fast);
+        v.current_mode = Mode::Slow;
+        assert_eq!(p.decide(&v), Mode::Slow);
+    }
+
+    #[test]
+    fn max_node_is_never_fast() {
+        // Theorem 5.6 prerequisite: a node at the network maximum with
+        // M = L must be slow regardless of neighbours behind it.
+        let p = AoptPolicy::new(64);
+        let ns = [neighbor(5.0, Level::Infinite), neighbor(9.9, Level::Infinite)];
+        assert_eq!(p.decide(&view(10.0, 10.0, &ns)), Mode::Slow);
+    }
+}

@@ -1,0 +1,212 @@
+//! Per-edge model parameters.
+//!
+//! §3.1 associates three quantities with every undirected estimate edge
+//! `{u, v}`:
+//!
+//! * the estimate uncertainty `ε_{u,v}` of inequality (1),
+//! * the detection delay `τ_{u,v}` bounding how far apart the two endpoints
+//!   may observe link formation/failure,
+//! * the message delay bound `T_{u,v}` — here a range
+//!   `[delay_min, delay_max]`, so `T = delay_max` and the delay *uncertainty*
+//!   (the `U(M)` of §3.1) is `delay_max − delay_min`.
+//!
+//! Edges are heterogeneous: [`EdgeParamsMap`] keeps a default plus sparse
+//! per-edge overrides, which is what experiment E9 uses.
+
+use std::collections::HashMap;
+
+use crate::graph::EdgeKey;
+
+/// Model parameters of a single undirected estimate edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeParams {
+    /// Estimate uncertainty `ε` enforced by the estimate layer (seconds of
+    /// clock value).
+    pub epsilon: f64,
+    /// Detection delay `τ` (seconds of real time).
+    pub tau: f64,
+    /// Minimum message delay (seconds).
+    pub delay_min: f64,
+    /// Maximum message delay `T` (seconds).
+    pub delay_max: f64,
+}
+
+impl EdgeParams {
+    /// Creates edge parameters, validating ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is non-finite or negative, `epsilon` or `tau` is
+    /// zero, or `delay_min > delay_max`.
+    #[must_use]
+    pub fn new(epsilon: f64, tau: f64, delay_min: f64, delay_max: f64) -> Self {
+        assert!(epsilon.is_finite() && epsilon > 0.0, "epsilon must be > 0");
+        assert!(tau.is_finite() && tau > 0.0, "tau must be > 0");
+        assert!(
+            delay_min.is_finite() && delay_min >= 0.0,
+            "delay_min must be >= 0"
+        );
+        assert!(
+            delay_max.is_finite() && delay_max >= delay_min && delay_max > 0.0,
+            "delay_max must be >= delay_min and > 0"
+        );
+        EdgeParams {
+            epsilon,
+            tau,
+            delay_min,
+            delay_max,
+        }
+    }
+
+    /// The message delay bound `T` of the paper.
+    #[must_use]
+    pub fn delay_bound(&self) -> f64 {
+        self.delay_max
+    }
+
+    /// The message delay uncertainty `U = delay_max − delay_min`.
+    #[must_use]
+    pub fn delay_uncertainty(&self) -> f64 {
+        self.delay_max - self.delay_min
+    }
+}
+
+impl Default for EdgeParams {
+    /// A moderate default: `ε = 2 ms`, `τ = 10 ms`, delays in `[2, 10] ms`.
+    fn default() -> Self {
+        EdgeParams::new(0.002, 0.010, 0.002, 0.010)
+    }
+}
+
+/// Per-edge parameters: a default plus sparse overrides.
+///
+/// # Example
+///
+/// ```
+/// use gcs_net::{EdgeKey, EdgeParams, EdgeParamsMap, NodeId};
+///
+/// let mut map = EdgeParamsMap::uniform(EdgeParams::default());
+/// let heavy = EdgeKey::new(NodeId(0), NodeId(1));
+/// map.set(heavy, EdgeParams::new(0.02, 0.01, 0.002, 0.01));
+/// assert_eq!(map.get(heavy).epsilon, 0.02);
+/// assert_eq!(map.get(EdgeKey::new(NodeId(1), NodeId(2))).epsilon, 0.002);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EdgeParamsMap {
+    default: EdgeParams,
+    overrides: HashMap<EdgeKey, EdgeParams>,
+}
+
+impl EdgeParamsMap {
+    /// A map where every edge uses `default`.
+    #[must_use]
+    pub fn uniform(default: EdgeParams) -> Self {
+        EdgeParamsMap {
+            default,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Sets parameters for one edge.
+    pub fn set(&mut self, edge: EdgeKey, params: EdgeParams) {
+        self.overrides.insert(edge, params);
+    }
+
+    /// Parameters of `edge` (override or default).
+    #[must_use]
+    pub fn get(&self, edge: EdgeKey) -> EdgeParams {
+        self.overrides.get(&edge).copied().unwrap_or(self.default)
+    }
+
+    /// The default applied to edges without overrides.
+    #[must_use]
+    pub fn default_params(&self) -> EdgeParams {
+        self.default
+    }
+
+    /// The largest `ε` over default and all overrides.
+    #[must_use]
+    pub fn max_epsilon(&self) -> f64 {
+        self.overrides
+            .values()
+            .map(|p| p.epsilon)
+            .fold(self.default.epsilon, f64::max)
+    }
+
+    /// The smallest `ε` over default and all overrides.
+    #[must_use]
+    pub fn min_epsilon(&self) -> f64 {
+        self.overrides
+            .values()
+            .map(|p| p.epsilon)
+            .fold(self.default.epsilon, f64::min)
+    }
+
+    /// The largest `τ` over default and all overrides.
+    #[must_use]
+    pub fn max_tau(&self) -> f64 {
+        self.overrides
+            .values()
+            .map(|p| p.tau)
+            .fold(self.default.tau, f64::max)
+    }
+
+    /// The largest delay bound `T` over default and all overrides.
+    #[must_use]
+    pub fn max_delay_bound(&self) -> f64 {
+        self.overrides
+            .values()
+            .map(|p| p.delay_max)
+            .fold(self.default.delay_max, f64::max)
+    }
+
+    /// Number of per-edge overrides.
+    #[must_use]
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    #[test]
+    fn derived_delay_quantities() {
+        let p = EdgeParams::new(0.001, 0.01, 0.002, 0.012);
+        assert!((p.delay_bound() - 0.012).abs() < 1e-15);
+        assert!((p.delay_uncertainty() - 0.010).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay_max")]
+    fn rejects_inverted_delays() {
+        let _ = EdgeParams::new(0.001, 0.01, 0.02, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_zero_epsilon() {
+        let _ = EdgeParams::new(0.0, 0.01, 0.0, 0.01);
+    }
+
+    #[test]
+    fn overrides_and_extrema() {
+        let mut m = EdgeParamsMap::uniform(EdgeParams::new(0.002, 0.01, 0.0, 0.01));
+        let e01 = EdgeKey::new(NodeId(0), NodeId(1));
+        m.set(e01, EdgeParams::new(0.02, 0.05, 0.0, 0.04));
+        assert_eq!(m.get(e01).epsilon, 0.02);
+        assert_eq!(m.override_count(), 1);
+        assert!((m.max_epsilon() - 0.02).abs() < 1e-15);
+        assert!((m.min_epsilon() - 0.002).abs() < 1e-15);
+        assert!((m.max_tau() - 0.05).abs() < 1e-15);
+        assert!((m.max_delay_bound() - 0.04).abs() < 1e-15);
+    }
+
+    #[test]
+    fn default_params_are_valid() {
+        let p = EdgeParams::default();
+        assert!(p.epsilon > 0.0 && p.tau > 0.0 && p.delay_max >= p.delay_min);
+    }
+}

@@ -1,0 +1,627 @@
+//! Static graph shapes.
+//!
+//! A [`Topology`] is the *backbone* of a dynamic scenario: the set of
+//! potential undirected estimate edges. Dynamic behaviour (churn, chord
+//! insertion, mobility) is layered on top by
+//! [`NetworkSchedule`](crate::NetworkSchedule).
+//!
+//! Random generators repair connectivity if needed (the paper requires the
+//! network to remain connected over time for the global-skew bound to hold),
+//! and every generator is deterministic in its seed.
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
+
+use gcs_sim::rng;
+
+use crate::graph::{EdgeKey, NodeId};
+
+/// A named static graph on `n` nodes.
+///
+/// # Example
+///
+/// ```
+/// use gcs_net::Topology;
+///
+/// let line = Topology::line(5);
+/// assert_eq!(line.node_count(), 5);
+/// assert_eq!(line.edge_count(), 4);
+/// assert!(line.is_connected());
+/// assert_eq!(line.hop_diameter(), Some(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    n: usize,
+    edges: Vec<EdgeKey>,
+    name: String,
+}
+
+impl Topology {
+    /// Builds a topology from an explicit edge list.
+    ///
+    /// Duplicate edges are removed; the edge list is kept sorted for
+    /// determinism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge references a node `>= n`.
+    #[must_use]
+    pub fn from_edges(name: impl Into<String>, n: usize, edges: Vec<EdgeKey>) -> Self {
+        let set: BTreeSet<EdgeKey> = edges.into_iter().collect();
+        for e in &set {
+            assert!(
+                e.hi().index() < n,
+                "edge {e} references a node outside 0..{n}"
+            );
+        }
+        Topology {
+            n,
+            edges: set.into_iter().collect(),
+            name: name.into(),
+        }
+    }
+
+    /// A path `v0 — v1 — … — v(n−1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn line(n: usize) -> Self {
+        assert!(n >= 2, "a line needs at least 2 nodes");
+        let edges = (0..n - 1)
+            .map(|i| EdgeKey::new(NodeId::from(i), NodeId::from(i + 1)))
+            .collect();
+        Topology::from_edges(format!("line({n})"), n, edges)
+    }
+
+    /// A cycle on `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    #[must_use]
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 nodes");
+        let mut edges: Vec<EdgeKey> = (0..n - 1)
+            .map(|i| EdgeKey::new(NodeId::from(i), NodeId::from(i + 1)))
+            .collect();
+        edges.push(EdgeKey::new(NodeId::from(n - 1), NodeId::from(0usize)));
+        Topology::from_edges(format!("ring({n})"), n, edges)
+    }
+
+    /// A `w × h` grid with 4-neighbourhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w * h < 2`.
+    #[must_use]
+    pub fn grid(w: usize, h: usize) -> Self {
+        assert!(w * h >= 2, "a grid needs at least 2 nodes");
+        let mut edges = Vec::new();
+        let id = |x: usize, y: usize| NodeId::from(y * w + x);
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push(EdgeKey::new(id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < h {
+                    edges.push(EdgeKey::new(id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        Topology::from_edges(format!("grid({w}x{h})"), w * h, edges)
+    }
+
+    /// A `w × h` torus (grid with wraparound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w < 3` or `h < 3` (smaller tori create parallel edges).
+    #[must_use]
+    pub fn torus(w: usize, h: usize) -> Self {
+        assert!(w >= 3 && h >= 3, "a torus needs w, h >= 3");
+        let mut edges = Vec::new();
+        let id = |x: usize, y: usize| NodeId::from(y * w + x);
+        for y in 0..h {
+            for x in 0..w {
+                edges.push(EdgeKey::new(id(x, y), id((x + 1) % w, y)));
+                edges.push(EdgeKey::new(id(x, y), id(x, (y + 1) % h)));
+            }
+        }
+        Topology::from_edges(format!("torus({w}x{h})"), w * h, edges)
+    }
+
+    /// A star: node 0 is the hub.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 2, "a star needs at least 2 nodes");
+        let edges = (1..n)
+            .map(|i| EdgeKey::new(NodeId::from(0usize), NodeId::from(i)))
+            .collect();
+        Topology::from_edges(format!("star({n})"), n, edges)
+    }
+
+    /// The complete graph on `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn complete(n: usize) -> Self {
+        assert!(n >= 2, "a complete graph needs at least 2 nodes");
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                edges.push(EdgeKey::new(NodeId::from(i), NodeId::from(j)));
+            }
+        }
+        Topology::from_edges(format!("complete({n})"), n, edges)
+    }
+
+    /// An Erdős–Rényi `G(n, p)` graph, repaired to be connected by linking
+    /// components along a random spanning chain if necessary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `p ∉ [0, 1]`.
+    #[must_use]
+    pub fn random_gnp(n: usize, p: f64, seed: u64) -> Self {
+        assert!(n >= 2, "G(n, p) needs at least 2 nodes");
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        let mut r = rng::stream(seed, "topology-gnp", 0);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                if r.gen::<f64>() < p {
+                    edges.push(EdgeKey::new(NodeId::from(i), NodeId::from(j)));
+                }
+            }
+        }
+        let mut topo = Topology::from_edges(format!("gnp({n},{p})"), n, edges);
+        topo.repair_connectivity(seed);
+        topo
+    }
+
+    /// A random geometric graph: `n` points uniform in the unit square,
+    /// edges between pairs within `radius`; repaired to be connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `radius <= 0`.
+    #[must_use]
+    pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Self {
+        assert!(n >= 2, "a geometric graph needs at least 2 nodes");
+        assert!(radius > 0.0, "radius must be positive");
+        let mut r = rng::stream(seed, "topology-geo", 0);
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (r.gen::<f64>(), r.gen::<f64>())).collect();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+                if (dx * dx + dy * dy).sqrt() <= radius {
+                    edges.push(EdgeKey::new(NodeId::from(i), NodeId::from(j)));
+                }
+            }
+        }
+        let mut topo = Topology::from_edges(format!("geometric({n},{radius})"), n, edges);
+        topo.repair_connectivity(seed);
+        topo
+    }
+
+    /// A Watts–Strogatz small world: a ring lattice where each node links
+    /// to its `k/2` nearest neighbours per side, with each edge rewired to
+    /// a random target with probability `beta`; repaired to be connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4`, `k` is odd or `>= n`, or `beta ∉ [0, 1]`.
+    #[must_use]
+    pub fn small_world(n: usize, k: usize, beta: f64, seed: u64) -> Self {
+        assert!(n >= 4, "a small world needs at least 4 nodes");
+        assert!(k.is_multiple_of(2) && k >= 2 && k < n, "k must be even, 2 <= k < n");
+        assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+        let mut r = rng::stream(seed, "topology-ws", 0);
+        let mut set = BTreeSet::new();
+        for i in 0..n {
+            for j in 1..=k / 2 {
+                let mut a = NodeId::from(i);
+                let mut b = NodeId::from((i + j) % n);
+                if r.gen::<f64>() < beta {
+                    // Rewire to a uniform non-self target (duplicates are
+                    // deduplicated by the set; slight degree variance is
+                    // inherent to the model).
+                    let mut t = r.gen_range(0..n);
+                    while t == i {
+                        t = r.gen_range(0..n);
+                    }
+                    a = NodeId::from(i);
+                    b = NodeId::from(t);
+                }
+                set.insert(EdgeKey::new(a, b));
+            }
+        }
+        let mut topo =
+            Topology::from_edges(format!("small-world({n},{k},{beta})"), n, set.into_iter().collect());
+        topo.repair_connectivity(seed);
+        topo
+    }
+
+    /// A Barabási–Albert scale-free graph: nodes arrive one at a time and
+    /// attach `m` edges preferentially to high-degree nodes. Connected by
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `n <= m`.
+    #[must_use]
+    pub fn scale_free(n: usize, m: usize, seed: u64) -> Self {
+        assert!(m >= 1, "attachment count must be positive");
+        assert!(n > m, "need more nodes than attachments");
+        let mut r = rng::stream(seed, "topology-ba", 0);
+        let mut set = BTreeSet::new();
+        // Degree-proportional sampling via the repeated-endpoints trick.
+        let mut endpoints: Vec<usize> = Vec::new();
+        // Seed clique over the first m+1 nodes.
+        for i in 0..=m {
+            for j in i + 1..=m {
+                set.insert(EdgeKey::new(NodeId::from(i), NodeId::from(j)));
+                endpoints.push(i);
+                endpoints.push(j);
+            }
+        }
+        for v in m + 1..n {
+            let mut chosen = BTreeSet::new();
+            while chosen.len() < m {
+                let t = endpoints[r.gen_range(0..endpoints.len())];
+                if t != v {
+                    chosen.insert(t);
+                }
+            }
+            for t in chosen {
+                set.insert(EdgeKey::new(NodeId::from(v), NodeId::from(t)));
+                endpoints.push(v);
+                endpoints.push(t);
+            }
+        }
+        Topology::from_edges(format!("scale-free({n},{m})"), n, set.into_iter().collect())
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The undirected edges, sorted.
+    #[must_use]
+    pub fn edges(&self) -> &[EdgeKey] {
+        &self.edges
+    }
+
+    /// Human-readable name, e.g. `"line(8)"`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adjacency lists (sorted), for algorithms over the topology.
+    #[must_use]
+    pub fn adjacency(&self) -> Vec<Vec<NodeId>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for e in &self.edges {
+            adj[e.lo().index()].push(e.hi());
+            adj[e.hi().index()].push(e.lo());
+        }
+        adj
+    }
+
+    /// Whether the graph is connected.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.component_representatives().len() <= 1
+    }
+
+    /// BFS hop distances from `src` (`usize::MAX` for unreachable nodes).
+    #[must_use]
+    pub fn hop_distances(&self, src: NodeId) -> Vec<usize> {
+        let adj = self.adjacency();
+        let mut dist = vec![usize::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src.index()] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u.index()] {
+                if dist[v.index()] == usize::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The hop diameter, or `None` if the graph is disconnected.
+    #[must_use]
+    pub fn hop_diameter(&self) -> Option<usize> {
+        let mut best = 0;
+        for u in 0..self.n {
+            let d = self.hop_distances(NodeId::from(u));
+            let m = *d.iter().max()?;
+            if m == usize::MAX {
+                return None;
+            }
+            best = best.max(m);
+        }
+        Some(best)
+    }
+
+    /// A spanning tree (BFS from node 0), used as the always-up backbone of
+    /// churn schedules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is disconnected.
+    #[must_use]
+    pub fn spanning_tree(&self) -> Vec<EdgeKey> {
+        assert!(self.is_connected(), "spanning tree of a disconnected graph");
+        let adj = self.adjacency();
+        let mut seen = vec![false; self.n];
+        let mut tree = Vec::with_capacity(self.n.saturating_sub(1));
+        let mut queue = std::collections::VecDeque::new();
+        seen[0] = true;
+        queue.push_back(NodeId::from(0usize));
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u.index()] {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    tree.push(EdgeKey::new(u, v));
+                    queue.push_back(v);
+                }
+            }
+        }
+        tree
+    }
+
+    /// Renders the topology in Graphviz DOT format (for quick visual
+    /// inspection: `cargo run … | dot -Tsvg`).
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "graph \"{}\" {{", self.name);
+        let _ = writeln!(out, "  layout=neato; node [shape=circle];");
+        for i in 0..self.n {
+            let _ = writeln!(out, "  v{i};");
+        }
+        for e in &self.edges {
+            let _ = writeln!(out, "  v{} -- v{};", e.lo().index(), e.hi().index());
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Whether the subgraph induced by `nodes` is connected (used to
+    /// validate partition schedules: each side must stay connected, as the
+    /// paper's global-skew bound requires connectivity over time).
+    #[must_use]
+    pub fn induced_connected(&self, nodes: &[NodeId]) -> bool {
+        if nodes.len() <= 1 {
+            return true;
+        }
+        let inside: std::collections::BTreeSet<NodeId> = nodes.iter().copied().collect();
+        let adj = self.adjacency();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec![nodes[0]];
+        seen.insert(nodes[0]);
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u.index()] {
+                if inside.contains(&v) && seen.insert(v) {
+                    stack.push(v);
+                }
+            }
+        }
+        seen.len() == inside.len()
+    }
+
+    /// One representative node per connected component.
+    fn component_representatives(&self) -> Vec<NodeId> {
+        let adj = self.adjacency();
+        let mut seen = vec![false; self.n];
+        let mut reps = Vec::new();
+        for s in 0..self.n {
+            if seen[s] {
+                continue;
+            }
+            reps.push(NodeId::from(s));
+            let mut stack = vec![s];
+            seen[s] = true;
+            while let Some(u) = stack.pop() {
+                for &v in &adj[u] {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        stack.push(v.index());
+                    }
+                }
+            }
+        }
+        reps
+    }
+
+    /// Adds edges chaining component representatives together so the graph
+    /// becomes connected. No-op when already connected.
+    fn repair_connectivity(&mut self, seed: u64) {
+        let reps = self.component_representatives();
+        if reps.len() <= 1 {
+            return;
+        }
+        let mut r = rng::stream(seed, "topology-repair", 0);
+        let mut set: BTreeSet<EdgeKey> = self.edges.iter().copied().collect();
+        // Chain components in a random order to avoid a fixed hub bias.
+        let mut order = reps;
+        for i in (1..order.len()).rev() {
+            order.swap(i, r.gen_range(0..=i));
+        }
+        for w in order.windows(2) {
+            set.insert(EdgeKey::new(w[0], w[1]));
+        }
+        self.edges = set.into_iter().collect();
+        debug_assert!(self.is_connected());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_shape() {
+        let t = Topology::line(4);
+        assert_eq!(t.edge_count(), 3);
+        assert!(t.is_connected());
+        assert_eq!(t.hop_diameter(), Some(3));
+        assert_eq!(t.name(), "line(4)");
+    }
+
+    #[test]
+    fn ring_shape() {
+        let t = Topology::ring(6);
+        assert_eq!(t.edge_count(), 6);
+        assert_eq!(t.hop_diameter(), Some(3));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let t = Topology::grid(3, 3);
+        assert_eq!(t.node_count(), 9);
+        assert_eq!(t.edge_count(), 12);
+        assert_eq!(t.hop_diameter(), Some(4));
+    }
+
+    #[test]
+    fn torus_shape() {
+        let t = Topology::torus(4, 4);
+        assert_eq!(t.node_count(), 16);
+        assert_eq!(t.edge_count(), 32);
+        assert_eq!(t.hop_diameter(), Some(4));
+    }
+
+    #[test]
+    fn star_and_complete() {
+        assert_eq!(Topology::star(5).hop_diameter(), Some(2));
+        let k = Topology::complete(5);
+        assert_eq!(k.edge_count(), 10);
+        assert_eq!(k.hop_diameter(), Some(1));
+    }
+
+    #[test]
+    fn gnp_is_connected_and_deterministic() {
+        let a = Topology::random_gnp(20, 0.05, 7);
+        let b = Topology::random_gnp(20, 0.05, 7);
+        assert_eq!(a, b);
+        assert!(a.is_connected());
+    }
+
+    #[test]
+    fn sparse_gnp_gets_repaired() {
+        // p = 0 guarantees no random edges; repair must connect everything.
+        let t = Topology::random_gnp(10, 0.0, 3);
+        assert!(t.is_connected());
+        assert_eq!(t.edge_count(), 9); // exactly a chain over components
+    }
+
+    #[test]
+    fn geometric_is_connected() {
+        let t = Topology::random_geometric(25, 0.05, 11);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn spanning_tree_spans() {
+        let t = Topology::grid(4, 3);
+        let tree = t.spanning_tree();
+        assert_eq!(tree.len(), t.node_count() - 1);
+        let sub = Topology::from_edges("tree", t.node_count(), tree);
+        assert!(sub.is_connected());
+    }
+
+    #[test]
+    fn from_edges_dedups_and_sorts() {
+        let e = EdgeKey::new(NodeId(0), NodeId(1));
+        let t = Topology::from_edges("t", 2, vec![e, e]);
+        assert_eq!(t.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn from_edges_validates_nodes() {
+        let _ = Topology::from_edges("t", 2, vec![EdgeKey::new(NodeId(0), NodeId(5))]);
+    }
+
+    #[test]
+    fn small_world_is_connected_and_deterministic() {
+        let a = Topology::small_world(20, 4, 0.2, 3);
+        let b = Topology::small_world(20, 4, 0.2, 3);
+        assert_eq!(a, b);
+        assert!(a.is_connected());
+        // beta = 0 is the pure ring lattice: exactly n*k/2 edges.
+        let lattice = Topology::small_world(12, 4, 0.0, 0);
+        assert_eq!(lattice.edge_count(), 12 * 2);
+        assert_eq!(lattice.hop_diameter(), Some(3));
+    }
+
+    #[test]
+    fn scale_free_is_connected_with_hubs() {
+        let t = Topology::scale_free(40, 2, 7);
+        assert!(t.is_connected());
+        // Preferential attachment produces a hub noticeably above the
+        // minimum degree.
+        let max_deg = (0..40)
+            .map(|i| t.adjacency()[i].len())
+            .max()
+            .unwrap();
+        assert!(max_deg >= 6, "expected a hub, max degree {max_deg}");
+        // Every arriving node brought m = 2 edges.
+        assert!(t.edge_count() >= 2 * (40 - 3));
+    }
+
+    #[test]
+    fn induced_connected_checks_subsets() {
+        let t = Topology::line(6);
+        let left: Vec<NodeId> = (0..3u32).map(NodeId).collect();
+        assert!(t.induced_connected(&left));
+        // {0, 2} without 1 is disconnected inside a line.
+        assert!(!t.induced_connected(&[NodeId(0), NodeId(2)]));
+        assert!(t.induced_connected(&[NodeId(4)]));
+        assert!(t.induced_connected(&[]));
+    }
+
+    #[test]
+    fn dot_output_lists_nodes_and_edges() {
+        let dot = Topology::line(3).to_dot();
+        assert!(dot.starts_with("graph \"line(3)\""));
+        assert!(dot.contains("v0 -- v1;"));
+        assert!(dot.contains("v1 -- v2;"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches("--").count(), 2);
+    }
+
+    #[test]
+    fn hop_distances_from_corner() {
+        let t = Topology::grid(3, 3);
+        let d = t.hop_distances(NodeId(0));
+        assert_eq!(d[8], 4); // opposite corner
+        assert_eq!(d[0], 0);
+    }
+}

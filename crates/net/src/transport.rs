@@ -1,0 +1,151 @@
+//! Message envelopes and the delivery rule of §3.1.
+//!
+//! The model guarantees: if `u` sends a message at time `t` and
+//! `u ∈ N_v(t′)` for all `t′ ∈ [t, t + T]`, then `v` receives it within
+//! `[t, t + T]`. If the edge is absent at any point in between, delivery is
+//! *optional*; this implementation drops such messages (the conservative
+//! choice — the algorithm must not rely on lucky deliveries).
+//!
+//! Delays are sampled uniformly from the edge's `[delay_min, delay_max]`
+//! range, so the delay uncertainty `U(M)` equals `delay_max − delay_min` and
+//! a receiver may safely credit the sender's clock with
+//! `(1 − ρ) · delay_min` of progress (the minimum-transit credit used by the
+//! max-estimate flood, Condition 4.3).
+
+use rand::Rng;
+
+use gcs_sim::{SimDuration, SimTime};
+
+use crate::edge::EdgeParams;
+use crate::graph::{DynamicGraph, NodeId};
+
+/// A message in flight from `src` to `dst`.
+///
+/// The payload type is chosen by the layer above (`gcs-core` uses its own
+/// enum); the envelope carries everything the delivery rule needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<P> {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Real time the message was sent.
+    pub sent_at: SimTime,
+    /// Real time the message arrives (if deliverable).
+    pub deliver_at: SimTime,
+    /// The message body.
+    pub payload: P,
+}
+
+/// Samples a transit delay for `edge` and wraps `payload` in an [`Envelope`].
+pub fn send<P, R: Rng>(
+    rng: &mut R,
+    edge: EdgeParams,
+    src: NodeId,
+    dst: NodeId,
+    sent_at: SimTime,
+    payload: P,
+) -> Envelope<P> {
+    let delay = if edge.delay_max > edge.delay_min {
+        rng.gen_range(edge.delay_min..=edge.delay_max)
+    } else {
+        edge.delay_min
+    };
+    Envelope {
+        src,
+        dst,
+        sent_at,
+        deliver_at: sent_at + SimDuration::from_secs(delay),
+        payload,
+    }
+}
+
+/// The delivery rule: deliver iff the directed edge `(dst, src)` — i.e.
+/// "`src ∈ N_dst`" — has been continuously present since the send time.
+///
+/// Called at `deliver_at`; the graph must reflect the state at that time.
+#[must_use]
+pub fn deliverable<P>(graph: &DynamicGraph, env: &Envelope<P>) -> bool {
+    graph.continuously_present_since(env.dst, env.src, env.sent_at)
+}
+
+/// The minimum-transit clock credit a receiver may add to a piggybacked
+/// clock value: the message was demonstrably in transit for at least
+/// `delay_min` real seconds, during which the sender's clock advanced at
+/// rate at least `1 − ρ`.
+#[must_use]
+pub fn min_transit_credit(edge: EdgeParams, rho: f64) -> f64 {
+    (1.0 - rho) * edge.delay_min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_sim::rng;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn delay_is_within_edge_range() {
+        let edge = EdgeParams::new(0.001, 0.01, 0.004, 0.009);
+        let mut r = rng::stream(0, "t", 0);
+        for _ in 0..200 {
+            let env = send(&mut r, edge, NodeId(0), NodeId(1), t(1.0), ());
+            let d = (env.deliver_at - env.sent_at).as_secs();
+            assert!((0.004..=0.009).contains(&d), "delay {d} out of range");
+        }
+    }
+
+    #[test]
+    fn degenerate_range_is_deterministic() {
+        let edge = EdgeParams::new(0.001, 0.01, 0.005, 0.005);
+        let mut r = rng::stream(0, "t", 0);
+        let env = send(&mut r, edge, NodeId(0), NodeId(1), t(0.0), ());
+        assert!((env.deliver_at.as_secs() - 0.005).abs() < 1e-15);
+    }
+
+    #[test]
+    fn delivery_requires_continuity() {
+        let mut g = DynamicGraph::new(2);
+        let env = Envelope {
+            src: NodeId(0),
+            dst: NodeId(1),
+            sent_at: t(5.0),
+            deliver_at: t(5.01),
+            payload: (),
+        };
+        // Receiver's edge to the sender came up before the send: deliver.
+        g.insert_directed(NodeId(1), NodeId(0), t(1.0));
+        assert!(deliverable(&g, &env));
+        // Edge flapped after the send: drop.
+        g.remove_directed(NodeId(1), NodeId(0));
+        g.insert_directed(NodeId(1), NodeId(0), t(5.005));
+        assert!(!deliverable(&g, &env));
+        // Edge absent entirely: drop.
+        g.remove_directed(NodeId(1), NodeId(0));
+        assert!(!deliverable(&g, &env));
+    }
+
+    #[test]
+    fn delivery_checks_receiver_side_direction() {
+        // Only (src -> dst) present; the rule looks at (dst -> src).
+        let mut g = DynamicGraph::new(2);
+        g.insert_directed(NodeId(0), NodeId(1), t(0.0));
+        let env = Envelope {
+            src: NodeId(0),
+            dst: NodeId(1),
+            sent_at: t(1.0),
+            deliver_at: t(1.01),
+            payload: (),
+        };
+        assert!(!deliverable(&g, &env));
+    }
+
+    #[test]
+    fn credit_is_rate_scaled_min_delay() {
+        let edge = EdgeParams::new(0.001, 0.01, 0.004, 0.009);
+        assert!((min_transit_credit(edge, 0.01) - 0.99 * 0.004).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the dynamic-network substrate.
+
+use proptest::prelude::*;
+
+use gcs_net::mobility::RandomWaypoint;
+use gcs_net::{ChurnOptions, EdgeEventKind, EdgeKey, NetworkSchedule, NodeId, Topology};
+use gcs_sim::SimTime;
+
+/// Replays a schedule against a state table and checks consistency: Down
+/// only on up edges, Up only on down edges, paired directions within the
+/// declared skew.
+fn replay_and_check(schedule: &NetworkSchedule, skew_max: f64) -> Result<(), TestCaseError> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut up: BTreeSet<(NodeId, NodeId)> =
+        schedule.initial_directed().iter().copied().collect();
+    // Pending transitions awaiting their mirrored direction.
+    let mut pending: BTreeMap<(NodeId, NodeId, bool), SimTime> = BTreeMap::new();
+    for ev in schedule.events() {
+        let key = (ev.from, ev.to);
+        match ev.kind {
+            EdgeEventKind::Up => {
+                prop_assert!(!up.contains(&key), "Up for already-up {key:?}");
+                up.insert(key);
+            }
+            EdgeEventKind::Down => {
+                prop_assert!(up.remove(&key), "Down for already-down {key:?}");
+            }
+        }
+        // Direction pairing: the mirrored event must occur within skew_max.
+        let mirror = (ev.to, ev.from, ev.kind == EdgeEventKind::Up);
+        if let Some(t0) = pending.remove(&mirror) {
+            prop_assert!(
+                (ev.time.as_secs() - t0.as_secs()).abs() <= skew_max + 1e-9,
+                "direction skew too large on {key:?}"
+            );
+        } else {
+            pending.insert((ev.from, ev.to, ev.kind == EdgeEventKind::Up), ev.time);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn churn_schedules_replay_consistently(
+        seed in any::<u64>(),
+        mean_up in 1.0f64..10.0,
+        mean_down in 1.0f64..10.0,
+        p_up in 0.0f64..=1.0,
+    ) {
+        let topo = Topology::complete(6);
+        let opts = ChurnOptions {
+            horizon: 60.0,
+            mean_up,
+            mean_down,
+            direction_skew_max: 0.003,
+            start_up_probability: p_up,
+        };
+        let s = NetworkSchedule::churn(&topo, opts, seed);
+        replay_and_check(&s, 0.003)?;
+        // The backbone tree keeps the initial graph connected.
+        let tree_edges = topo.spanning_tree();
+        for e in tree_edges {
+            prop_assert!(s.initial_directed().contains(&(e.lo(), e.hi())));
+        }
+    }
+
+    #[test]
+    fn mobility_schedules_replay_consistently(
+        seed in any::<u64>(),
+        n in 4usize..10,
+        radius in 0.2f64..0.7,
+    ) {
+        let m = RandomWaypoint {
+            n,
+            radius,
+            hysteresis: 1.2,
+            speed: (0.02, 0.06),
+            horizon: 40.0,
+            sample_period: 0.5,
+            direction_skew_max: 0.002,
+        };
+        let s = m.generate(seed);
+        replay_and_check(&s, 0.002)?;
+    }
+
+    #[test]
+    fn partition_schedules_replay_consistently(
+        seed in any::<u64>(),
+        cut_at in 1u32..6,
+    ) {
+        let topo = Topology::ring(8);
+        let left: Vec<NodeId> = (0..=cut_at).map(NodeId).collect();
+        let s = NetworkSchedule::partition_and_merge(
+            &topo,
+            &left,
+            SimTime::from_secs(5.0),
+            SimTime::from_secs(10.0),
+            0.001,
+        );
+        let _ = seed;
+        replay_and_check(&s, 0.001)?;
+    }
+
+    #[test]
+    fn generators_cover_edge_universe(
+        seed in any::<u64>(),
+        n in 5usize..12,
+    ) {
+        // Every event's edge must be in the universe, and the universe must
+        // contain the initial edges.
+        let topo = Topology::random_gnp(n, 0.4, seed);
+        let s = NetworkSchedule::churn(&topo, ChurnOptions::default(), seed);
+        let universe: std::collections::BTreeSet<EdgeKey> =
+            s.edge_universe().into_iter().collect();
+        for &(u, v) in s.initial_directed() {
+            prop_assert!(universe.contains(&EdgeKey::new(u, v)));
+        }
+        for ev in s.events() {
+            prop_assert!(universe.contains(&EdgeKey::new(ev.from, ev.to)));
+        }
+    }
+}

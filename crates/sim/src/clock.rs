@@ -1,0 +1,223 @@
+//! Drifting hardware clocks.
+//!
+//! §3 of the paper equips every node with a hardware clock `H_u` whose rate
+//! `h_u(t)` lies in `[1−ρ, 1+ρ]` at all times. In the simulator a clock's
+//! rate changes only at discrete events (drift-schedule changes), so between
+//! events the clock is *exactly* linear and we integrate it in closed form —
+//! there is no accumulating numerical drift beyond one `f64` rounding per
+//! rate change.
+
+use crate::time::SimTime;
+
+/// A piecewise-linear clock: `value' = rate` between rate changes.
+///
+/// Used both for hardware clocks (rate ∈ `[1−ρ, 1+ρ]`) and, in `gcs-core`,
+/// for logical clocks and flood bounds, whose rates are products of the
+/// hardware rate with algorithmic multipliers.
+///
+/// # Example
+///
+/// ```
+/// use gcs_sim::{HardwareClock, SimTime};
+///
+/// let mut c = HardwareClock::new(0.99);
+/// c.advance_to(SimTime::from_secs(100.0));
+/// assert!((c.value() - 99.0).abs() < 1e-9);
+/// c.set_rate(1.01);
+/// c.advance_to(SimTime::from_secs(200.0));
+/// assert!((c.value() - 200.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareClock {
+    value: f64,
+    rate: f64,
+    last_update: SimTime,
+}
+
+impl HardwareClock {
+    /// Creates a clock with value `0` at `t = 0` running at `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        Self::with_value(0.0, rate, SimTime::ZERO)
+    }
+
+    /// Creates a clock with an explicit initial value and epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive, or `value` is not finite.
+    #[must_use]
+    pub fn with_value(value: f64, rate: f64, at: SimTime) -> Self {
+        assert!(value.is_finite(), "clock value must be finite");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "clock rate must be finite and positive, got {rate}"
+        );
+        HardwareClock {
+            value,
+            rate,
+            last_update: at,
+        }
+    }
+
+    /// Integrates the clock forward to real time `t`.
+    ///
+    /// Calling with `t` equal to the last update time is a no-op; the clock
+    /// never moves backwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the last update.
+    pub fn advance_to(&mut self, t: SimTime) {
+        let dt = t.duration_since(self.last_update).as_secs();
+        self.value += self.rate * dt;
+        self.last_update = t;
+    }
+
+    /// Current clock value (as of the last `advance_to`).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Clock value the clock *will* have at future time `t` if the rate does
+    /// not change, without mutating the clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the last update.
+    #[must_use]
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        self.value + self.rate * t.duration_since(self.last_update).as_secs()
+    }
+
+    /// Current rate.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Changes the rate. The caller must have advanced the clock to the time
+    /// of the change first, otherwise the old segment would be integrated at
+    /// the new rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn set_rate(&mut self, rate: f64) {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "clock rate must be finite and positive, got {rate}"
+        );
+        self.rate = rate;
+    }
+
+    /// Sets the clock value directly (used for fault injection / corruption
+    /// experiments). The epoch is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn set_value(&mut self, value: f64) {
+        assert!(value.is_finite(), "clock value must be finite");
+        self.value = value;
+    }
+
+    /// Time of the last `advance_to` (or construction).
+    #[must_use]
+    pub fn last_update(&self) -> SimTime {
+        self.last_update
+    }
+
+    /// Real time at which the clock will reach `target`, assuming the rate
+    /// does not change. Returns `None` if `target` is already passed.
+    #[must_use]
+    pub fn time_to_reach(&self, target: f64) -> Option<SimTime> {
+        if target <= self.value {
+            return None;
+        }
+        let dt = (target - self.value) / self.rate;
+        Some(self.last_update + crate::time::SimDuration::from_secs(dt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn integrates_linearly() {
+        let mut c = HardwareClock::new(2.0);
+        c.advance_to(SimTime::from_secs(3.0));
+        assert!((c.value() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn piecewise_rates_integrate_exactly() {
+        let mut c = HardwareClock::new(1.0);
+        c.advance_to(SimTime::from_secs(1.0));
+        c.set_rate(0.5);
+        c.advance_to(SimTime::from_secs(3.0));
+        c.set_rate(2.0);
+        c.advance_to(SimTime::from_secs(4.0));
+        // 1*1 + 0.5*2 + 2*1 = 4
+        assert!((c.value() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_at_previews_without_mutation() {
+        let mut c = HardwareClock::new(1.5);
+        c.advance_to(SimTime::from_secs(2.0));
+        let preview = c.value_at(SimTime::from_secs(4.0));
+        assert!((preview - 6.0).abs() < 1e-12);
+        assert!((c.value() - 3.0).abs() < 1e-12);
+        assert_eq!(c.last_update(), SimTime::from_secs(2.0));
+    }
+
+    #[test]
+    fn advance_to_same_time_is_noop() {
+        let mut c = HardwareClock::new(1.0);
+        c.advance_to(SimTime::from_secs(1.0));
+        let v = c.value();
+        c.advance_to(SimTime::from_secs(1.0));
+        assert_eq!(c.value(), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn cannot_go_backwards() {
+        let mut c = HardwareClock::new(1.0);
+        c.advance_to(SimTime::from_secs(2.0));
+        c.advance_to(SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    fn time_to_reach_inverts_value_at() {
+        let mut c = HardwareClock::new(1.25);
+        c.advance_to(SimTime::from_secs(1.0));
+        let t = c.time_to_reach(10.0).unwrap();
+        assert!((c.value_at(t) - 10.0).abs() < 1e-9);
+        assert_eq!(c.time_to_reach(c.value()), None);
+        assert_eq!(c.time_to_reach(c.value() - 1.0), None);
+    }
+
+    #[test]
+    fn with_value_and_set_value() {
+        let mut c = HardwareClock::with_value(5.0, 1.0, SimTime::from_secs(10.0));
+        c.advance_to(SimTime::from_secs(10.0) + SimDuration::from_secs(2.0));
+        assert!((c.value() - 7.0).abs() < 1e-12);
+        c.set_value(100.0);
+        assert_eq!(c.value(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be finite and positive")]
+    fn rejects_zero_rate() {
+        let _ = HardwareClock::new(0.0);
+    }
+}

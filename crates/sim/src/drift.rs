@@ -1,0 +1,317 @@
+//! Bounded-drift rate schedules for hardware clocks.
+//!
+//! The paper's adversary may vary every hardware clock rate arbitrarily
+//! within `[1−ρ, 1+ρ]` over time. A [`DriftModel`] is a recipe; calling
+//! [`DriftModel::realize`] turns it into a concrete [`DriftSchedule`] — an
+//! initial rate per node plus a time-ordered list of [`RateChange`]s that the
+//! simulation engine replays as events.
+//!
+//! The `TwoBlock` model (one half of the nodes fast, the other half slow) is
+//! the canonical worst case for skew build-up on a line and is what the
+//! lower-bound constructions in §8 / [11] use.
+
+use rand::Rng;
+
+use crate::rng;
+use crate::time::SimTime;
+
+/// A single scheduled hardware-clock rate change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateChange {
+    /// When the rate changes.
+    pub time: SimTime,
+    /// Which node's clock changes (index into the node array).
+    pub node: usize,
+    /// The new rate; must lie in `[1−ρ, 1+ρ]`.
+    pub rate: f64,
+}
+
+/// A fully materialized drift schedule for `n` nodes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DriftSchedule {
+    /// Initial rate of each node's hardware clock.
+    pub initial: Vec<f64>,
+    /// Future rate changes, sorted by time.
+    pub changes: Vec<RateChange>,
+}
+
+impl DriftSchedule {
+    /// Creates a schedule, sorting the change list by time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is not finite and positive, or a change refers to a
+    /// node outside `initial`.
+    #[must_use]
+    pub fn new(initial: Vec<f64>, mut changes: Vec<RateChange>) -> Self {
+        for (i, &r) in initial.iter().enumerate() {
+            assert!(r.is_finite() && r > 0.0, "node {i}: bad initial rate {r}");
+        }
+        for c in &changes {
+            assert!(
+                c.rate.is_finite() && c.rate > 0.0,
+                "bad rate {} at {:?}",
+                c.rate,
+                c.time
+            );
+            assert!(c.node < initial.len(), "rate change for unknown node {}", c.node);
+        }
+        changes.sort_by(|a, b| a.time.cmp(&b.time).then(a.node.cmp(&b.node)));
+        DriftSchedule { initial, changes }
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.initial.len()
+    }
+
+    /// Checks that every rate (initial and scheduled) lies in
+    /// `[1−ρ, 1+ρ]`. Used by tests and by `Params` validation.
+    #[must_use]
+    pub fn respects_bound(&self, rho: f64) -> bool {
+        let lo = 1.0 - rho;
+        let hi = 1.0 + rho;
+        let ok = |r: f64| (lo..=hi).contains(&r);
+        self.initial.iter().copied().all(ok) && self.changes.iter().all(|c| ok(c.rate))
+    }
+}
+
+/// A recipe for generating hardware-clock drift, bounded by `ρ`.
+///
+/// All variants guarantee rates within `[1−ρ, 1+ρ]` for the `rho` they are
+/// given at [`realize`](DriftModel::realize) time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriftModel {
+    /// All clocks run at exactly rate 1 (drift-free reference).
+    None,
+    /// Every node gets an independent uniform rate in `[1−ρ, 1+ρ]`, constant
+    /// for the whole run.
+    RandomConstant,
+    /// Nodes with index `< n/2` run at `1+ρ`, the rest at `1−ρ` — the
+    /// worst-case skew generator on a line ordered by index.
+    TwoBlock,
+    /// Even-indexed nodes run at `1+ρ`, odd-indexed at `1−ρ` — stresses the
+    /// *local* skew on every single edge.
+    Alternating,
+    /// Every `period` seconds each node's rate takes an independent bounded
+    /// random step (clamped to `[1−ρ, 1+ρ]`): a slowly wandering oscillator.
+    RandomWalk {
+        /// Seconds between steps.
+        period: f64,
+        /// Maximum rate change per step, as a fraction of `ρ` (e.g. `0.25`).
+        step_frac: f64,
+    },
+    /// All nodes swap between the two extremes every `period` seconds, with
+    /// the two blocks of `TwoBlock` in antiphase.
+    FlipFlop {
+        /// Seconds between swaps.
+        period: f64,
+    },
+    /// A hand-written schedule (used by adversarial constructions). The
+    /// schedule is used as-is; `realize` checks it against `ρ`.
+    Explicit(DriftSchedule),
+}
+
+impl DriftModel {
+    /// Materializes the recipe for `n` nodes over `[0, horizon]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `Explicit` schedule violates the `rho` bound or has the
+    /// wrong node count, or if parameters are out of range (`rho ∈ [0, 1)`,
+    /// positive periods).
+    #[must_use]
+    pub fn realize(&self, n: usize, rho: f64, horizon: SimTime, seed: u64) -> DriftSchedule {
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0, 1), got {rho}");
+        match self {
+            DriftModel::None => DriftSchedule::new(vec![1.0; n], Vec::new()),
+            DriftModel::RandomConstant => {
+                let mut rates = Vec::with_capacity(n);
+                for i in 0..n {
+                    let mut r = rng::stream(seed, "drift-const", i as u64);
+                    rates.push(r.gen_range(1.0 - rho..=1.0 + rho));
+                }
+                DriftSchedule::new(rates, Vec::new())
+            }
+            DriftModel::TwoBlock => {
+                let rates = (0..n)
+                    .map(|i| if i < n / 2 { 1.0 + rho } else { 1.0 - rho })
+                    .collect();
+                DriftSchedule::new(rates, Vec::new())
+            }
+            DriftModel::Alternating => {
+                let rates = (0..n)
+                    .map(|i| if i % 2 == 0 { 1.0 + rho } else { 1.0 - rho })
+                    .collect();
+                DriftSchedule::new(rates, Vec::new())
+            }
+            DriftModel::RandomWalk { period, step_frac } => {
+                assert!(*period > 0.0, "period must be positive");
+                assert!(
+                    (0.0..=1.0).contains(step_frac),
+                    "step_frac must be in [0, 1]"
+                );
+                let mut rates: Vec<f64> = Vec::with_capacity(n);
+                for i in 0..n {
+                    let mut r = rng::stream(seed, "drift-walk-init", i as u64);
+                    rates.push(r.gen_range(1.0 - rho..=1.0 + rho));
+                }
+                let initial = rates.clone();
+                let mut changes = Vec::new();
+                let steps = (horizon.as_secs() / period).floor() as u64;
+                for k in 1..=steps {
+                    let t = SimTime::from_secs(k as f64 * period);
+                    for (i, rate) in rates.iter_mut().enumerate() {
+                        let mut r = rng::stream(seed, "drift-walk", (k << 32) ^ i as u64);
+                        let step = r.gen_range(-1.0..=1.0) * step_frac * rho;
+                        *rate = (*rate + step).clamp(1.0 - rho, 1.0 + rho);
+                        changes.push(RateChange {
+                            time: t,
+                            node: i,
+                            rate: *rate,
+                        });
+                    }
+                }
+                DriftSchedule::new(initial, changes)
+            }
+            DriftModel::FlipFlop { period } => {
+                assert!(*period > 0.0, "period must be positive");
+                let phase0: Vec<f64> = (0..n)
+                    .map(|i| if i < n / 2 { 1.0 + rho } else { 1.0 - rho })
+                    .collect();
+                let mut changes = Vec::new();
+                let steps = (horizon.as_secs() / period).floor() as u64;
+                for k in 1..=steps {
+                    let t = SimTime::from_secs(k as f64 * period);
+                    for (i, &p0) in phase0.iter().enumerate() {
+                        let mirrored = if p0 > 1.0 { 1.0 - rho } else { 1.0 + rho };
+                        let rate = if k % 2 == 1 { mirrored } else { p0 };
+                        changes.push(RateChange {
+                            time: t,
+                            node: i,
+                            rate,
+                        });
+                    }
+                }
+                DriftSchedule::new(phase0, changes)
+            }
+            DriftModel::Explicit(schedule) => {
+                assert_eq!(
+                    schedule.node_count(),
+                    n,
+                    "explicit drift schedule covers {} nodes, expected {n}",
+                    schedule.node_count()
+                );
+                assert!(
+                    schedule.respects_bound(rho),
+                    "explicit drift schedule violates the rho = {rho} bound"
+                );
+                schedule.clone()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H: SimTime = SimTime::ZERO;
+
+    fn horizon() -> SimTime {
+        SimTime::from_secs(100.0)
+    }
+
+    #[test]
+    fn none_is_driftless() {
+        let s = DriftModel::None.realize(4, 0.01, H, 0);
+        assert_eq!(s.initial, vec![1.0; 4]);
+        assert!(s.changes.is_empty());
+        assert!(s.respects_bound(0.0));
+    }
+
+    #[test]
+    fn two_block_splits_at_half() {
+        let s = DriftModel::TwoBlock.realize(5, 0.1, H, 0);
+        assert_eq!(s.initial, vec![1.1, 1.1, 0.9, 0.9, 0.9]);
+    }
+
+    #[test]
+    fn alternating_alternates() {
+        let s = DriftModel::Alternating.realize(4, 0.1, H, 0);
+        assert_eq!(s.initial, vec![1.1, 0.9, 1.1, 0.9]);
+    }
+
+    #[test]
+    fn random_constant_respects_bound_and_seed() {
+        let a = DriftModel::RandomConstant.realize(16, 0.05, H, 9);
+        let b = DriftModel::RandomConstant.realize(16, 0.05, H, 9);
+        let c = DriftModel::RandomConstant.realize(16, 0.05, H, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.respects_bound(0.05));
+    }
+
+    #[test]
+    fn random_walk_stays_bounded() {
+        let s = DriftModel::RandomWalk {
+            period: 5.0,
+            step_frac: 0.5,
+        }
+        .realize(8, 0.02, horizon(), 3);
+        assert!(s.respects_bound(0.02));
+        assert_eq!(s.changes.len(), 20 * 8);
+        // Changes must be sorted by time.
+        assert!(s.changes.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn flip_flop_swaps_blocks() {
+        let s = DriftModel::FlipFlop { period: 10.0 }.realize(2, 0.1, horizon(), 0);
+        assert_eq!(s.initial, vec![1.1, 0.9]);
+        let first_swap: Vec<_> = s
+            .changes
+            .iter()
+            .filter(|c| c.time == SimTime::from_secs(10.0))
+            .collect();
+        assert_eq!(first_swap.len(), 2);
+        assert_eq!(first_swap[0].rate, 0.9); // node 0 flips to slow
+        assert_eq!(first_swap[1].rate, 1.1); // node 1 flips to fast
+        assert!(s.respects_bound(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "violates the rho")]
+    fn explicit_is_validated() {
+        let bad = DriftSchedule::new(vec![1.5], Vec::new());
+        let _ = DriftModel::Explicit(bad).realize(1, 0.01, H, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "covers 1 nodes, expected 2")]
+    fn explicit_node_count_is_validated() {
+        let s = DriftSchedule::new(vec![1.0], Vec::new());
+        let _ = DriftModel::Explicit(s).realize(2, 0.01, H, 0);
+    }
+
+    #[test]
+    fn schedule_sorts_changes() {
+        let s = DriftSchedule::new(
+            vec![1.0, 1.0],
+            vec![
+                RateChange {
+                    time: SimTime::from_secs(5.0),
+                    node: 0,
+                    rate: 1.0,
+                },
+                RateChange {
+                    time: SimTime::from_secs(1.0),
+                    node: 1,
+                    rate: 1.0,
+                },
+            ],
+        );
+        assert_eq!(s.changes[0].time, SimTime::from_secs(1.0));
+    }
+}

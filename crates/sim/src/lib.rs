@@ -1,0 +1,48 @@
+//! Discrete-event simulation kernel for `gradient-clock-sync`.
+//!
+//! This crate provides the low-level substrate every other crate in the
+//! workspace builds on:
+//!
+//! * [`SimTime`] — a totally ordered, finite wall-clock time point,
+//! * [`EventQueue`] — a deterministic future-event list,
+//! * [`HardwareClock`] — a drifting clock integrated exactly between rate
+//!   changes (the clocks of §3 of the paper),
+//! * [`DriftModel`] — bounded-drift rate schedules, including the adversarial
+//!   ones used by the lower-bound experiments,
+//! * [`rng`] — seeded, splittable random-number streams so that every
+//!   simulation is reproducible from a single `u64` seed.
+//!
+//! The kernel is intentionally free of any networking or algorithm logic;
+//! see `gcs-net` and `gcs-core` for those layers.
+//!
+//! # Example
+//!
+//! ```
+//! use gcs_sim::{EventQueue, HardwareClock, SimTime};
+//!
+//! let mut queue: EventQueue<&'static str> = EventQueue::new();
+//! queue.schedule(SimTime::from_secs(1.0), "hello");
+//! queue.schedule(SimTime::from_secs(0.5), "world");
+//!
+//! let (t, ev) = queue.pop().unwrap();
+//! assert_eq!(ev, "world");
+//! assert_eq!(t, SimTime::from_secs(0.5));
+//!
+//! let mut clock = HardwareClock::new(1.01); // 1% fast
+//! clock.advance_to(SimTime::from_secs(10.0));
+//! assert!((clock.value() - 10.1).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod drift;
+mod event;
+pub mod rng;
+mod time;
+
+pub use clock::HardwareClock;
+pub use drift::{DriftModel, DriftSchedule, RateChange};
+pub use event::{EventQueue, ScheduledEvent};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,77 @@
+//! Network partition and merge — why the model requires connectivity.
+//!
+//! A 16-node ring is cut in half for 30 seconds. While the cut is open,
+//! nothing can bound the skew across it: it grows at the full drift rate
+//! `2ρ` (each side chases its own fastest clock). Within each side the
+//! gradient property keeps everything tight. When the cut closes, the
+//! max-estimate flood collapses the global skew at the guaranteed recovery
+//! rate while the staged insertion re-admits the cut edges to the level
+//! sets without disturbing the survivors.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example partition
+//! ```
+
+use gradient_clock_sync::net::NodeId;
+use gradient_clock_sync::prelude::*;
+
+const SPLIT: f64 = 10.0;
+const MERGE: f64 = 40.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = Topology::ring(16);
+    let left: Vec<NodeId> = (0..8u32).map(NodeId).collect();
+    let schedule = NetworkSchedule::partition_and_merge(
+        &topo,
+        &left,
+        SimTime::from_secs(SPLIT),
+        SimTime::from_secs(MERGE),
+        0.002,
+    );
+
+    let mut pb = Params::builder();
+    pb.rho(0.01).mu(0.1).g_tilde(2.0).insertion_scale(0.02);
+    let mut sim = SimBuilder::new(pb.build()?)
+        .schedule(schedule)
+        .drift(DriftModel::TwoBlock)
+        .seed(10)
+        .build()?;
+
+    let side_skew = |sim: &Simulation, range: std::ops::Range<u32>| {
+        let snap = sim.snapshot();
+        let vals: Vec<f64> = range.map(|u| snap.logical[u as usize]).collect();
+        vals.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - vals.iter().copied().fold(f64::INFINITY, f64::min)
+    };
+
+    println!("ring(16): cut {{0..8}} | {{8..16}} open during [{SPLIT}s, {MERGE}s]\n");
+    println!("    t   phase       global     left-half  right-half");
+    for step in 0..=16 {
+        let t = f64::from(step) * 5.0;
+        sim.run_until_secs(t);
+        let phase = if t < SPLIT {
+            "connected"
+        } else if t < MERGE {
+            "CUT OPEN "
+        } else {
+            "merged   "
+        };
+        println!(
+            "{t:>5.0}s  {phase}  {:>9.5}s  {:>9.5}s  {:>9.5}s",
+            sim.snapshot().global_skew(),
+            side_skew(&sim, 0..8),
+            side_skew(&sim, 8..16),
+        );
+    }
+
+    println!(
+        "\nWhile the cut was open the halves drifted apart at ~2*rho = {:.3}/s;\n\
+         each half stayed internally synchronized the whole time, and after\n\
+         the merge the skew collapsed at ~mu(1-rho)-2rho = {:.3}/s.",
+        2.0 * sim.params().rho(),
+        sim.params().mu() * (1.0 - sim.params().rho()) - 2.0 * sim.params().rho()
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! TDMA guard bands in a grid sensor network — the motivating scenario
+//! from the paper's introduction.
+//!
+//! A TDMA MAC layer must pad every transmission slot with a guard band
+//! covering the worst clock skew that can ever occur between *interfering*
+//! (i.e. nearby) nodes. Guard bands are provisioned from *guarantees*, not
+//! from lucky runs:
+//!
+//! * with a max-flood synchronizer the only guarantee available is the
+//!   global-skew bound Θ(D) — any edge may carry the whole network skew in
+//!   the worst case;
+//! * with gradient synchronization the local skew is guaranteed to stay
+//!   within `O(κ · log_σ(D/κ))`, exponentially smaller.
+//!
+//! This example provisions both guards on a 6×6 grid from the respective
+//! bounds and sanity-checks them against a measured run.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example sensor_network
+//! ```
+
+use gradient_clock_sync::prelude::*;
+
+const SLOT_SECONDS: f64 = 0.050; // 50 ms TDMA slots
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = Params::builder().rho(0.01).mu(0.1).build()?;
+    let mut sim = SimBuilder::new(params)
+        .topology(Topology::grid(6, 6))
+        .drift(DriftModel::RandomConstant)
+        .estimates(EstimateMode::Oracle(ErrorModel::RandomBias))
+        .seed(7)
+        .build()?;
+
+    // Provisioning: the guarantees each synchronizer can promise.
+    let g_hat = sim.params().g_tilde().expect("derived by the builder");
+    let chord = sim.graph().undirected_edges().next().expect("grid edge");
+    let kappa = sim.edge_info(chord).expect("edge info").kappa;
+    let gradient_guard = gradient_bound(sim.params(), g_hat, kappa);
+    let global_guard = g_hat;
+
+    // Sanity run: observe one minute of steady state.
+    sim.run_until_secs(30.0);
+    let mut worst_local: f64 = 0.0;
+    let mut worst_global: f64 = 0.0;
+    for step in 0..60 {
+        sim.run_until_secs(30.0 + f64::from(step));
+        worst_local = worst_local.max(local_skew(&sim));
+        worst_global = worst_global.max(sim.snapshot().global_skew());
+    }
+
+    let capacity = |guard: f64| (SLOT_SECONDS / (SLOT_SECONDS + 2.0 * guard)) * 100.0;
+
+    println!("6x6 sensor grid, 50 ms TDMA slots, rho = 1%\n");
+    println!("provisioned guarantees:");
+    println!(
+        "  gradient (A_OPT) local-skew bound : {gradient_guard:>9.4}s  -> slot efficiency {:>5.1}%",
+        capacity(gradient_guard)
+    );
+    println!(
+        "  max-flood global-skew bound       : {global_guard:>9.4}s  -> slot efficiency {:>5.1}%",
+        capacity(global_guard)
+    );
+    println!(
+        "  provisioning advantage            : {:>8.1}x smaller guard band",
+        global_guard / gradient_guard
+    );
+    println!("\nmeasured over 60 s of steady state (benign drift):");
+    println!("  worst neighbour skew: {worst_local:>9.6}s (within the gradient guard: {})",
+        worst_local <= gradient_guard);
+    println!("  worst global skew   : {worst_global:>9.6}s");
+    Ok(())
+}

@@ -1,0 +1,138 @@
+//! Integration tests for the baseline policies: they run on the same
+//! substrate, keep the global skew bounded (they share the max-estimate
+//! machinery), and the policy wiring is faithful.
+
+use gradient_clock_sync::net::NodeId;
+use gradient_clock_sync::prelude::*;
+
+fn params() -> Params {
+    Params::builder().rho(0.01).mu(0.1).build().unwrap()
+}
+
+fn run_policy(policy: Option<Box<dyn ModePolicy>>, seed: u64) -> (Simulation, f64) {
+    let mut b = SimBuilder::new(params())
+        .topology(Topology::line(8))
+        .drift(DriftModel::TwoBlock)
+        .seed(seed);
+    if let Some(p) = policy {
+        b = b.policy(p);
+    }
+    let mut sim = b.build().unwrap();
+    let mut worst_local: f64 = 0.0;
+    for k in 1..=30 {
+        sim.run_until_secs(f64::from(k));
+        worst_local = worst_local.max(local_skew(&sim));
+    }
+    (sim, worst_local)
+}
+
+#[test]
+fn all_policies_keep_global_skew_bounded() {
+    for (i, policy) in [
+        None,
+        Some(Box::new(MaxOnlyPolicy) as Box<dyn ModePolicy>),
+        Some(Box::new(SingleLevelPolicy::new(0.05)) as Box<dyn ModePolicy>),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let (sim, _) = run_policy(policy, i as u64);
+        let g = sim.snapshot().global_skew();
+        let g_tilde = sim.params().g_tilde().unwrap();
+        assert!(
+            g <= g_tilde,
+            "policy {} exceeded the global bound: {g} > {g_tilde}",
+            sim.policy_name()
+        );
+    }
+}
+
+#[test]
+fn policy_names_are_wired_through() {
+    let (aopt, _) = run_policy(None, 0);
+    assert_eq!(aopt.policy_name(), "aopt");
+    let (maxo, _) = run_policy(Some(Box::new(MaxOnlyPolicy)), 0);
+    assert_eq!(maxo.policy_name(), "max-only");
+    let (single, _) = run_policy(Some(Box::new(SingleLevelPolicy::new(0.1))), 0);
+    assert_eq!(single.policy_name(), "single-level");
+}
+
+#[test]
+fn aopt_is_no_worse_than_baselines_after_disruption() {
+    // Inject a skew at one end and compare the worst local skew on the
+    // *interior* edges during recovery: A_OPT redistributes the skew
+    // gradually (bounded per edge), max-only concentrates catch-up via the
+    // global max estimate. A_OPT must respect its gradient bound; the
+    // baselines are only required to recover.
+    let disrupt = |policy: Option<Box<dyn ModePolicy>>| -> (f64, f64) {
+        let mut b = SimBuilder::new(params())
+            .topology(Topology::line(8))
+            .drift(DriftModel::TwoBlock)
+            .seed(9);
+        if let Some(p) = policy {
+            b = b.policy(p);
+        }
+        let mut sim = b.build().unwrap();
+        sim.run_until_secs(5.0);
+        sim.inject_clock_offset(NodeId(7), 0.25);
+        let mut worst_interior: f64 = 0.0;
+        for k in 0..100 {
+            sim.run_until_secs(5.0 + f64::from(k) * 0.25);
+            // Interior edge far from the injection point.
+            let s = sim.snapshot().skew(NodeId(2), NodeId(3));
+            worst_interior = worst_interior.max(s);
+        }
+        (worst_interior, sim.snapshot().global_skew())
+    };
+
+    let (aopt_interior, aopt_final) = disrupt(None);
+    let (max_interior, max_final) = disrupt(Some(Box::new(MaxOnlyPolicy)));
+
+    // Both recover globally.
+    assert!(aopt_final < 0.05, "A_OPT did not recover: {aopt_final}");
+    assert!(max_final < 0.05, "max-only did not recover: {max_final}");
+    // A_OPT's interior edges carry bounded skew during redistribution.
+    let sim = SimBuilder::new(params())
+        .topology(Topology::line(8))
+        .seed(9)
+        .build()
+        .unwrap();
+    let info = sim
+        .edge_info(gradient_clock_sync::net::EdgeKey::new(NodeId(2), NodeId(3)))
+        .unwrap();
+    let g_hat = sim.params().g_tilde().unwrap().max(0.25);
+    let bound = gradient_bound(sim.params(), g_hat, info.kappa);
+    assert!(
+        aopt_interior <= bound + 1e-3,
+        "A_OPT interior skew {aopt_interior} above gradient bound {bound} \
+         (max-only saw {max_interior})"
+    );
+}
+
+#[test]
+fn single_level_threshold_controls_local_skew_budget() {
+    // A larger threshold B lets more skew accumulate on an edge before the
+    // policy reacts; under adversarial drift the measured local skew must
+    // not exceed ~1.5 B + slack for the *small*-B run.
+    let run = |b: f64, seed: u64| -> f64 {
+        let mut sim = SimBuilder::new(params())
+            .topology(Topology::line(8))
+            .drift(DriftModel::TwoBlock)
+            .policy(Box::new(SingleLevelPolicy::new(b)))
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut worst: f64 = 0.0;
+        for k in 1..=30 {
+            sim.run_until_secs(f64::from(k));
+            worst = worst.max(local_skew(&sim));
+        }
+        worst
+    };
+    let tight = run(0.02, 1);
+    // The tight threshold keeps each edge within ~1.5 B + eps + slack.
+    assert!(
+        tight <= 1.5 * 0.02 + 0.01,
+        "single-level local skew {tight} above its budget"
+    );
+}

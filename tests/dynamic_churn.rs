@@ -1,0 +1,141 @@
+//! Integration tests for fully dynamic behaviour: connectivity-preserving
+//! churn and mobility-driven schedules. The model invariants and the
+//! global-skew bound must survive arbitrary (scripted) edge dynamics.
+
+use gradient_clock_sync::net::mobility::RandomWaypoint;
+use gradient_clock_sync::net::{ChurnOptions, NetworkSchedule, Topology};
+use gradient_clock_sync::prelude::*;
+
+fn params(scale: f64) -> Params {
+    let mut pb = Params::builder();
+    pb.rho(0.01).mu(0.1).insertion_scale(scale);
+    pb.build().unwrap()
+}
+
+#[test]
+fn churn_preserves_invariants_and_global_bound() {
+    let topo = Topology::grid(3, 3);
+    let schedule = NetworkSchedule::churn(
+        &topo,
+        ChurnOptions {
+            horizon: 40.0,
+            mean_up: 8.0,
+            mean_down: 4.0,
+            direction_skew_max: 0.004,
+            start_up_probability: 0.6,
+        },
+        11,
+    );
+    let mut sim = SimBuilder::new(params(0.05))
+        .schedule(schedule)
+        .drift(DriftModel::TwoBlock)
+        .seed(11)
+        .build()
+        .unwrap();
+    let g_tilde = sim.params().g_tilde().unwrap();
+    for k in 1..=40 {
+        sim.run_until_secs(f64::from(k));
+        let violations = sim.verify_invariants();
+        assert!(violations.is_empty(), "t={k}s: {violations:?}");
+        assert!(sim.snapshot().global_skew() <= g_tilde);
+    }
+    // Churn actually happened.
+    assert!(sim.stats().edge_removals > 0, "no churn exercised");
+}
+
+#[test]
+fn mobility_schedule_runs_clean() {
+    let schedule = RandomWaypoint {
+        n: 10,
+        radius: 0.45,
+        hysteresis: 1.2,
+        speed: (0.02, 0.05),
+        horizon: 30.0,
+        sample_period: 0.5,
+        direction_skew_max: 0.002,
+    }
+    .generate(13);
+    let mut sim = SimBuilder::new(params(0.02))
+        .schedule(schedule)
+        .drift(DriftModel::RandomConstant)
+        .seed(13)
+        .build()
+        .unwrap();
+    for k in 1..=30 {
+        sim.run_until_secs(f64::from(k));
+        let violations = sim.verify_invariants();
+        assert!(violations.is_empty(), "t={k}s: {violations:?}");
+    }
+}
+
+#[test]
+fn messages_dropped_only_under_churn() {
+    // On a static graph the continuity rule never drops anything...
+    let mut sim = SimBuilder::new(params(1.0))
+        .topology(Topology::ring(6))
+        .seed(1)
+        .build()
+        .unwrap();
+    sim.run_until_secs(20.0);
+    assert_eq!(sim.stats().messages_dropped, 0);
+
+    // ...under churn it may (and the counters stay consistent).
+    let topo = Topology::complete(6);
+    let schedule = NetworkSchedule::churn(
+        &topo,
+        ChurnOptions {
+            horizon: 20.0,
+            mean_up: 2.0,
+            mean_down: 2.0,
+            direction_skew_max: 0.004,
+            start_up_probability: 0.8,
+        },
+        3,
+    );
+    let mut churny = SimBuilder::new(params(0.05))
+        .schedule(schedule)
+        .seed(3)
+        .build()
+        .unwrap();
+    churny.run_until_secs(20.0);
+    let stats = churny.stats();
+    assert_eq!(
+        stats.messages_delivered + stats.messages_dropped,
+        stats.messages_sent - pending_in_flight(&churny),
+        "counters add up (modulo in-flight messages)"
+    );
+}
+
+/// Messages still in the queue at the end of a run.
+fn pending_in_flight(sim: &Simulation) -> u64 {
+    let s = sim.stats();
+    s.messages_sent - s.messages_delivered - s.messages_dropped
+}
+
+#[test]
+fn long_churn_run_remains_stable() {
+    let topo = Topology::ring(8);
+    let schedule = NetworkSchedule::churn(
+        &topo,
+        ChurnOptions {
+            horizon: 80.0,
+            mean_up: 10.0,
+            mean_down: 5.0,
+            direction_skew_max: 0.002,
+            start_up_probability: 0.5,
+        },
+        21,
+    );
+    let mut sim = SimBuilder::new(params(0.02))
+        .schedule(schedule)
+        .drift(DriftModel::FlipFlop { period: 10.0 })
+        .horizon(90.0)
+        .seed(21)
+        .build()
+        .unwrap();
+    sim.run_until_secs(80.0);
+    let g = sim.snapshot().global_skew();
+    let g_tilde = sim.params().g_tilde().unwrap();
+    assert!(g <= g_tilde, "skew {g} exceeded estimate {g_tilde}");
+    assert!(sim.verify_invariants().is_empty());
+}

@@ -1,0 +1,168 @@
+//! Integration tests for the gradient skew property (Theorems 5.22 / 7.9,
+//! Corollaries 5.26 / 7.10): after stabilization, the system is legal with
+//! respect to the gradient sequences and every pair's skew obeys the
+//! `O(κ_p · log_σ(Ĝ/κ_p))` bound.
+
+use gradient_clock_sync::analysis::{
+    gradient_bound, legality::gradient_sequence, skew::stable_local_skew, weighted_skew_profile,
+    GradientChecker,
+};
+use gradient_clock_sync::net::{EdgeKey, EdgeParams, EdgeParamsMap, NodeId};
+use gradient_clock_sync::prelude::*;
+
+fn params() -> Params {
+    Params::builder().rho(0.01).mu(0.1).build().unwrap()
+}
+
+fn stabilized(topo: Topology, drift: DriftModel, seed: u64, secs: f64) -> Simulation {
+    let mut sim = SimBuilder::new(params())
+        .topology(topo)
+        .drift(drift)
+        .seed(seed)
+        .build()
+        .unwrap();
+    sim.run_until_secs(secs);
+    sim
+}
+
+fn check_legal(sim: &Simulation) {
+    let g_hat = sim.params().g_tilde().unwrap();
+    let slack = sim.params().discretization_slack(sim.tick_interval());
+    let report = GradientChecker::new(g_hat, 16, slack).check(sim);
+    assert!(
+        report.is_legal(),
+        "legality violated: {:?}",
+        report.violations()
+    );
+    assert!(
+        report.worst_pair_ratio <= 1.0,
+        "a pair exceeds the gradient bound: ratio {}",
+        report.worst_pair_ratio
+    );
+}
+
+#[test]
+fn line_is_legal_under_worst_case_drift() {
+    check_legal(&stabilized(Topology::line(10), DriftModel::TwoBlock, 1, 30.0));
+}
+
+#[test]
+fn ring_is_legal_under_alternating_drift() {
+    check_legal(&stabilized(Topology::ring(10), DriftModel::Alternating, 2, 30.0));
+}
+
+#[test]
+fn grid_is_legal_under_random_walk_drift() {
+    let drift = DriftModel::RandomWalk {
+        period: 2.0,
+        step_frac: 0.5,
+    };
+    check_legal(&stabilized(Topology::grid(3, 4), drift, 3, 30.0));
+}
+
+#[test]
+fn legality_holds_at_many_instants() {
+    let mut sim = SimBuilder::new(params())
+        .topology(Topology::line(8))
+        .drift(DriftModel::TwoBlock)
+        .seed(4)
+        .build()
+        .unwrap();
+    let g_hat = sim.params().g_tilde().unwrap();
+    let slack = sim.params().discretization_slack(sim.tick_interval());
+    let checker = GradientChecker::new(g_hat, 16, slack);
+    for k in 1..=25 {
+        sim.run_until_secs(f64::from(k));
+        let report = checker.check(&sim);
+        assert!(report.is_legal(), "t={k}s: {:?}", report.violations());
+    }
+}
+
+#[test]
+fn pairwise_skew_respects_d_log_d_shape() {
+    // Neighbouring pairs must be *much* tighter than the global bound: the
+    // essence of the gradient property.
+    let sim = stabilized(Topology::line(12), DriftModel::TwoBlock, 5, 40.0);
+    let g_hat = sim.params().g_tilde().unwrap();
+    let profile = weighted_skew_profile(&sim);
+    assert!(!profile.is_empty());
+    for (kappa_p, skew) in profile {
+        let bound = gradient_bound(sim.params(), g_hat, kappa_p)
+            + sim.params().discretization_slack(sim.tick_interval());
+        assert!(
+            skew <= bound,
+            "pair at weight {kappa_p}: skew {skew} above bound {bound}"
+        );
+    }
+    // And the local skew is far below the global estimate.
+    assert!(stable_local_skew(&sim) < g_hat / 4.0);
+}
+
+#[test]
+fn gradient_sequences_anchor_at_global_skew() {
+    // C_1 = C_2 = 2 G^, then geometric decay by sigma (Definition 5.19
+    // stabilized form).
+    let sigma = params().sigma();
+    let c: Vec<f64> = (1..=5).map(|s| gradient_sequence(1.0, sigma, s)).collect();
+    assert_eq!(c[0], 2.0);
+    assert_eq!(c[1], 2.0);
+    assert!((c[2] - 2.0 / sigma).abs() < 1e-12);
+    assert!((c[3] - 2.0 / (sigma * sigma)).abs() < 1e-12);
+    assert!(c[4] < c[3]);
+}
+
+#[test]
+fn heterogeneous_edges_bound_in_terms_of_kappa() {
+    // E9: a line whose middle edge is 10x noisier. The skew across that
+    // edge may be larger in absolute terms, but every pair still respects
+    // its kappa-weighted bound.
+    let mut map = EdgeParamsMap::uniform(EdgeParams::default());
+    map.set(
+        EdgeKey::new(NodeId(3), NodeId(4)),
+        EdgeParams::new(0.02, 0.01, 0.002, 0.01),
+    );
+    let mut sim = SimBuilder::new(params())
+        .topology(Topology::line(8))
+        .edge_params(map)
+        .drift(DriftModel::TwoBlock)
+        .seed(6)
+        .build()
+        .unwrap();
+    sim.run_until_secs(30.0);
+
+    let heavy = sim.edge_info(EdgeKey::new(NodeId(3), NodeId(4))).unwrap();
+    let light = sim.edge_info(EdgeKey::new(NodeId(0), NodeId(1))).unwrap();
+    assert!(heavy.kappa > 5.0 * light.kappa, "weights reflect epsilon");
+
+    check_legal(&sim);
+}
+
+#[test]
+fn message_mode_satisfies_gradient_property() {
+    let mut sim = SimBuilder::new(params())
+        .topology(Topology::line(8))
+        .estimates(EstimateMode::Messages)
+        .drift(DriftModel::TwoBlock)
+        .seed(7)
+        .build()
+        .unwrap();
+    sim.run_until_secs(30.0);
+    check_legal(&sim);
+    assert!(sim.verify_invariants().is_empty());
+}
+
+#[test]
+fn adversarial_hide_estimates_stay_legal() {
+    // Even when the estimate layer hides as much skew as inequality (1)
+    // permits, the gradient property holds (the bound already budgets for
+    // epsilon).
+    let mut sim = SimBuilder::new(params())
+        .topology(Topology::line(8))
+        .estimates(EstimateMode::Oracle(ErrorModel::Hide))
+        .drift(DriftModel::TwoBlock)
+        .seed(8)
+        .build()
+        .unwrap();
+    sim.run_until_secs(30.0);
+    check_legal(&sim);
+}

@@ -1,0 +1,158 @@
+//! Integration comparison of the two insertion strategies the paper
+//! discusses (§5.5): the staged Listing 1/2 insertion (the contribution)
+//! versus the simultaneous decaying-weight insertion of [16].
+
+use gradient_clock_sync::analysis::GradientChecker;
+use gradient_clock_sync::core::edge_state::Level;
+use gradient_clock_sync::net::{EdgeKey, NetworkSchedule, NodeId, Topology};
+use gradient_clock_sync::prelude::*;
+
+fn chord_schedule(n: usize, at: f64) -> (EdgeKey, NetworkSchedule) {
+    let chord = EdgeKey::new(NodeId(0), NodeId::from(n / 2));
+    let schedule = NetworkSchedule::with_edge_insertion(
+        &Topology::ring(n),
+        &[(chord, SimTime::from_secs(at))],
+        0.002,
+    );
+    (chord, schedule)
+}
+
+#[test]
+fn decaying_weight_preserves_legality_with_adequate_halving() {
+    // The decay must be slow enough that skew drains before the weight
+    // tightens; with a generous halving distance the gradient property
+    // holds at every sampled instant, exactly like staged insertion.
+    let n = 10;
+    let (chord, schedule) = chord_schedule(n, 2.0);
+    let mut pb = Params::builder();
+    pb.rho(0.01)
+        .mu(0.1)
+        .insertion_strategy(InsertionStrategy::DecayingWeight { halving: 1.0 });
+    let mut sim = SimBuilder::new(pb.build().unwrap())
+        .schedule(schedule)
+        .drift(DriftModel::TwoBlock)
+        .seed(1)
+        .build()
+        .unwrap();
+    let g_hat = sim.params().g_tilde().unwrap();
+    let slack = sim.params().discretization_slack(sim.tick_interval());
+    let checker = GradientChecker::new(g_hat, 12, slack);
+    for k in 1..=60 {
+        sim.run_until_secs(f64::from(k));
+        let report = checker.check(&sim);
+        assert!(report.is_legal(), "t={k}s: {:?}", report.violations());
+        assert!(sim.verify_invariants().is_empty(), "t={k}s");
+    }
+    // The chord eventually reaches its final weight.
+    let info = sim.edge_info(chord).unwrap();
+    assert!((sim.effective_kappa(chord).unwrap() - info.kappa).abs() < 1e-9);
+}
+
+#[test]
+fn both_strategies_converge_to_the_same_stable_state() {
+    let n = 8;
+    let run = |strategy: InsertionStrategy| {
+        let (chord, schedule) = chord_schedule(n, 2.0);
+        let mut pb = Params::builder();
+        pb.rho(0.01)
+            .mu(0.1)
+            .insertion_scale(0.05)
+            .insertion_strategy(strategy);
+        let mut sim = SimBuilder::new(pb.build().unwrap())
+            .schedule(schedule)
+            .drift(DriftModel::TwoBlock)
+            .seed(2)
+            .build()
+            .unwrap();
+        sim.run_until_secs(80.0);
+        let info = sim.edge_info(chord).unwrap();
+        (
+            sim.level_between(chord.lo(), chord.hi()),
+            sim.effective_kappa(chord).unwrap(),
+            info.kappa,
+            sim.snapshot().skew(chord.lo(), chord.hi()),
+            sim.stats(),
+        )
+    };
+    let (lvl_staged, k_staged, kf_staged, skew_staged, stats_staged) =
+        run(InsertionStrategy::Staged);
+    let (lvl_decay, k_decay, kf_decay, skew_decay, stats_decay) =
+        run(InsertionStrategy::DecayingWeight { halving: 0.5 });
+
+    assert_eq!(lvl_staged, Some(Level::Infinite));
+    assert_eq!(lvl_decay, Some(Level::Infinite));
+    assert!((k_staged - kf_staged).abs() < 1e-9);
+    assert!((k_decay - kf_decay).abs() < 1e-9);
+    // Both end up within the same stable bound.
+    let bound = gradient_bound(
+        &Params::builder().rho(0.01).mu(0.1).build().unwrap(),
+        1.0,
+        kf_staged,
+    );
+    assert!(skew_staged <= bound && skew_decay <= bound);
+    // The structural difference: decaying needs no handshake traffic.
+    assert!(stats_staged.handshakes_offered >= 1);
+    assert_eq!(stats_decay.handshakes_offered, 0);
+}
+
+#[test]
+fn aggressive_decay_violates_legality_under_installed_skew() {
+    // The flip side (why the paper's staged insertion is the contribution):
+    // decay the weight much faster than skew can drain across a shortcut
+    // carrying Theta(n) skew, and the legality checker flags the window.
+    let n = 12;
+    let probe = SimBuilder::new(Params::builder().rho(0.01).mu(0.1).build().unwrap())
+        .topology(Topology::line(n))
+        .build()
+        .unwrap();
+    let kappa = probe
+        .edge_info(EdgeKey::new(NodeId(0), NodeId(1)))
+        .unwrap()
+        .kappa;
+    let per_edge = 2.0 * kappa;
+    let injected = per_edge * (n - 1) as f64;
+
+    let run = |halving: f64| {
+        let chord = EdgeKey::new(NodeId(0), NodeId::from(n - 1));
+        let schedule = NetworkSchedule::with_edge_insertion(
+            &Topology::line(n),
+            &[(chord, SimTime::from_secs(2.0))],
+            0.002,
+        );
+        let mut pb = Params::builder();
+        pb.rho(0.01)
+            .mu(0.1)
+            .g_tilde(1.5 * injected)
+            .insertion_strategy(InsertionStrategy::DecayingWeight { halving });
+        let mut sim = SimBuilder::new(pb.build().unwrap())
+            .schedule(schedule)
+            .drift(DriftModel::TwoBlock)
+            .seed(3)
+            .build()
+            .unwrap();
+        sim.run_until_secs(2.0);
+        for i in 0..n {
+            sim.inject_clock_offset(NodeId::from(i), per_edge * (n - 1 - i) as f64);
+        }
+        let slack = sim.params().discretization_slack(sim.tick_interval());
+        let checker = GradientChecker::new(1.5 * injected, 12, slack);
+        let mut violations = 0u32;
+        let mut t = 2.25;
+        while t <= 20.0 {
+            sim.run_until_secs(t);
+            if !checker.check(&sim).is_legal() {
+                violations += 1;
+            }
+            t += 0.25;
+        }
+        violations
+    };
+
+    let aggressive = run(0.005); // weight collapses almost immediately
+    let gentle = run(2.0);
+    assert!(
+        aggressive > 0,
+        "collapsing the weight instantly must violate legality"
+    );
+    assert_eq!(gentle, 0, "a slow decay must stay legal (got violations)");
+}

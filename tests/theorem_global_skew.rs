@@ -1,0 +1,204 @@
+//! Integration tests for Theorem 5.6: the global skew bound.
+//!
+//! (I) the global skew grows at rate at most 2ρ;
+//! (II) whenever it exceeds `D(t) + ι`, it shrinks at rate at least
+//!      `µ(1−ρ) − 2ρ`.
+
+use gradient_clock_sync::prelude::*;
+use gradient_clock_sync::net::NodeId;
+
+fn params() -> Params {
+    Params::builder().rho(0.01).mu(0.1).build().unwrap()
+}
+
+fn build(topo: Topology, drift: DriftModel, seed: u64) -> Simulation {
+    SimBuilder::new(params())
+        .topology(topo)
+        .drift(drift)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn global_skew_bounded_by_derived_estimate_on_line() {
+    // The builder's derived G~ is a (conservative) bound on D(t) + iota;
+    // Theorem 5.6 says the skew can never exceed that for long.
+    let mut sim = build(Topology::line(8), DriftModel::TwoBlock, 1);
+    let g_tilde = sim.params().g_tilde().unwrap();
+    for k in 1..=30 {
+        sim.run_until_secs(f64::from(k) * 2.0);
+        let g = sim.snapshot().global_skew();
+        assert!(
+            g <= g_tilde,
+            "t={}s: global skew {g} exceeds the static estimate {g_tilde}",
+            k * 2
+        );
+    }
+}
+
+#[test]
+fn global_skew_bounded_across_topologies_and_drifts() {
+    let topos = [
+        Topology::ring(8),
+        Topology::grid(3, 3),
+        Topology::star(8),
+        Topology::complete(6),
+    ];
+    for (i, topo) in topos.into_iter().enumerate() {
+        let drift = if i % 2 == 0 {
+            DriftModel::TwoBlock
+        } else {
+            DriftModel::Alternating
+        };
+        let mut sim = build(topo.clone(), drift, i as u64);
+        sim.run_until_secs(30.0);
+        let g = sim.snapshot().global_skew();
+        let g_tilde = sim.params().g_tilde().unwrap();
+        assert!(
+            g <= g_tilde,
+            "{}: skew {g} above estimate {g_tilde}",
+            topo.name()
+        );
+        assert!(sim.verify_invariants().is_empty(), "{}", topo.name());
+    }
+}
+
+#[test]
+fn skew_growth_rate_is_at_most_two_rho() {
+    // Statement (I): between any two instants, G(t) grows at most 2 rho per
+    // second (plus the sampling slack of one tick).
+    let mut sim = build(Topology::line(10), DriftModel::TwoBlock, 3);
+    let slack = sim.params().discretization_slack(sim.tick_interval());
+    let mut prev = sim.snapshot().global_skew();
+    let dt = 0.5;
+    for k in 1..=60 {
+        sim.run_until_secs(f64::from(k) * dt);
+        let g = sim.snapshot().global_skew();
+        let growth = g - prev;
+        assert!(
+            growth <= 2.0 * sim.params().rho() * dt + slack + 1e-9,
+            "t={}: growth {growth} exceeds 2*rho*dt",
+            f64::from(k) * dt
+        );
+        prev = g;
+    }
+}
+
+#[test]
+fn excess_skew_shrinks_at_the_guaranteed_rate() {
+    // Statement (II): after injecting a large skew, it must decay at least
+    // at rate mu(1-rho) - 2rho until back near steady state.
+    let mut sim = build(Topology::line(6), DriftModel::TwoBlock, 4);
+    sim.run_until_secs(5.0);
+    let steady = sim.snapshot().global_skew();
+
+    sim.inject_clock_offset(NodeId(0), 0.5);
+    let g0 = sim.snapshot().global_skew();
+    assert!(g0 >= 0.5, "injection visible");
+
+    let rate = sim.params().mu() * (1.0 - sim.params().rho()) - 2.0 * sim.params().rho();
+    assert!(rate > 0.0, "recovery rate positive by eq. (8)");
+
+    // While far above steady state, each second must shave off >= rate,
+    // up to a tolerance for flood propagation hiccups.
+    let mut prev = g0;
+    let mut t = 5.0;
+    while prev > steady + 0.1 {
+        t += 1.0;
+        sim.run_until_secs(t);
+        let g = sim.snapshot().global_skew();
+        assert!(
+            prev - g >= rate * 0.5,
+            "t={t}: decay {:.6}/s below half the guaranteed rate {rate:.6}",
+            prev - g
+        );
+        prev = g;
+        assert!(t < 60.0, "did not recover in time");
+    }
+}
+
+#[test]
+fn global_skew_bounded_by_measured_dynamic_diameter() {
+    // The sharp form of Theorem 5.6: G(t) <= D(t) + iota, with D(t) the
+    // *measured* dynamic estimate diameter of Definition 3.1 (tracked from
+    // the actual flood traffic), not a static proxy.
+    let params = params();
+    let mut sim = SimBuilder::new(params)
+        .topology(Topology::line(12))
+        .drift(DriftModel::TwoBlock)
+        .track_diameter(true)
+        .seed(2)
+        .build()
+        .unwrap();
+    let iota = sim.params().iota();
+    for k in 2..=30 {
+        sim.run_until_secs(f64::from(k));
+        let g = sim.snapshot().global_skew();
+        let d = sim.dynamic_diameter().expect("tracking enabled");
+        assert!(d.is_finite(), "diameter finite after initial flooding");
+        assert!(
+            g <= d + iota + 1e-9,
+            "t={k}s: G = {g} exceeds D(t) + iota = {}",
+            d + iota
+        );
+    }
+}
+
+#[test]
+fn dynamic_radius_is_within_diameter() {
+    let mut sim = SimBuilder::new(params())
+        .topology(Topology::ring(8))
+        .drift(DriftModel::Alternating)
+        .track_diameter(true)
+        .seed(3)
+        .build()
+        .unwrap();
+    sim.run_until_secs(10.0);
+    let d = sim.dynamic_diameter().unwrap();
+    for u in 0..8u32 {
+        let r = sim.dynamic_radius(NodeId(u)).unwrap();
+        assert!(r <= d + 1e-12, "radius of v{u} exceeds the diameter");
+        assert!(r > 0.0, "radius must be positive under drift");
+    }
+}
+
+#[test]
+fn max_estimates_satisfy_condition_4_3() {
+    // (2) M_u <= max_v L_v, (4) M_u >= L_u at all sampled times; and (3)
+    // M_u >= max_v L_v - D(t): we use the static estimate as a stand-in
+    // bound for D(t).
+    let mut sim = build(Topology::ring(8), DriftModel::TwoBlock, 5);
+    let d_bound = sim.params().g_tilde().unwrap();
+    for k in 1..=40 {
+        sim.run_until_secs(f64::from(k) * 0.5);
+        let snap = sim.snapshot();
+        let max_l = snap.max_logical();
+        for u in 0..snap.node_count() {
+            let m = snap.max_estimates[u];
+            let l = snap.logical[u];
+            assert!(m >= l - 1e-9, "node {u}: M < L");
+            assert!(m <= max_l + 1e-9, "node {u}: M exceeds the true maximum");
+            assert!(
+                m >= max_l - d_bound,
+                "node {u}: M = {m} lags the maximum {max_l} by more than D"
+            );
+        }
+    }
+}
+
+#[test]
+fn clock_rates_stay_in_the_envelope() {
+    // alpha = 1 - rho <= dL/dt <= beta = (1+rho)(1+mu), cumulatively.
+    let mut sim = build(Topology::line(5), DriftModel::Alternating, 6);
+    sim.run_until_secs(25.0);
+    let snap = sim.snapshot();
+    for (i, &l) in snap.logical.iter().enumerate() {
+        let lo = sim.params().alpha() * 25.0 - 1e-9;
+        let hi = sim.params().beta() * 25.0 + 1e-9;
+        assert!(
+            (lo..=hi).contains(&l),
+            "node {i}: L = {l} outside [{lo}, {hi}]"
+        );
+    }
+}
