@@ -102,7 +102,13 @@ impl LegalityReport {
     pub fn to_table(&self) -> crate::Table {
         let mut t = crate::Table::new(
             format!("legality vs gradient sequence (G^ = {:.4})", self.g_hat),
-            &["level s", "Psi^s (measured)", "C_s/2 (allowed)", "usage", "legal"],
+            &[
+                "level s",
+                "Psi^s (measured)",
+                "C_s/2 (allowed)",
+                "usage",
+                "legal",
+            ],
         );
         for l in &self.levels {
             t.row([

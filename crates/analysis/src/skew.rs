@@ -11,9 +11,7 @@ use crate::paths::{full_level_graph, level_graph};
 pub fn local_skew(sim: &Simulation) -> f64 {
     sim.level_edges(1)
         .into_iter()
-        .map(|e| {
-            (sim.node(e.lo()).logical() - sim.node(e.hi()).logical()).abs()
-        })
+        .map(|e| (sim.node(e.lo()).logical() - sim.node(e.hi()).logical()).abs())
         .fold(0.0, f64::max)
 }
 
@@ -23,9 +21,7 @@ pub fn local_skew(sim: &Simulation) -> f64 {
 pub fn stable_local_skew(sim: &Simulation) -> f64 {
     sim.level_edges(u32::MAX)
         .into_iter()
-        .map(|e| {
-            (sim.node(e.lo()).logical() - sim.node(e.hi()).logical()).abs()
-        })
+        .map(|e| (sim.node(e.lo()).logical() - sim.node(e.hi()).logical()).abs())
         .fold(0.0, f64::max)
 }
 
@@ -129,7 +125,7 @@ mod tests {
         let s = sim(6);
         let p = skew_profile(&s);
         assert_eq!(p.len(), 5); // line(6): max hop distance 5
-        // The max skew at the diameter dominates the single-edge skew.
+                                // The max skew at the diameter dominates the single-edge skew.
         assert!(p[4] >= p[0] - 1e-12);
     }
 
@@ -148,6 +144,9 @@ mod tests {
     fn kappa_diameter_scales_with_length() {
         let a = kappa_diameter(&sim(4), 1).unwrap();
         let b = kappa_diameter(&sim(8), 1).unwrap();
-        assert!((b / a - 7.0 / 3.0).abs() < 1e-9, "uniform weights scale by hops");
+        assert!(
+            (b / a - 7.0 / 3.0).abs() < 1e-9,
+            "uniform weights scale by hops"
+        );
     }
 }

@@ -51,7 +51,14 @@ pub fn a1_mu_sweep(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "A1  mu / sigma sweep (line(12), rho = 0.2%)",
-        &["mu", "sigma", "recovery rate", "measured local skew", "local bound", "levels needed"],
+        &[
+            "mu",
+            "sigma",
+            "recovery rate",
+            "measured local skew",
+            "local bound",
+            "levels needed",
+        ],
     );
     t.caption(
         "Expected: sigma grows with mu, so fewer levels cover G~ (the 'levels needed' column \
@@ -130,7 +137,11 @@ pub fn a2_insertion_scale(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "A2  insertion duration ablation — legality violations vs I scale",
-        &["I scale", "installed skew", "violating instants (0.25 s samples)"],
+        &[
+            "I scale",
+            "installed skew",
+            "violating instants (0.25 s samples)",
+        ],
     );
     t.caption(
         "Shortcut inserted across a legal Theta(n) gradient. Expected: scaling I down floods \
@@ -178,19 +189,22 @@ pub fn a3_kappa_slack(scale: Scale) -> Table {
             worst = worst.max(local_skew(&sim));
             t_now += 0.5;
         }
-        let info = sim
-            .edge_info(EdgeKey::new(NodeId(0), NodeId(1)))
-            .unwrap();
+        let info = sim.edge_info(EdgeKey::new(NodeId(0), NodeId(1))).unwrap();
         // The Lemma 5.3 disjointness margin: kappa/2 - 2 eps - 2 mu tau
         // must be positive for the proof to go through.
-        let margin =
-            info.kappa / 2.0 - 2.0 * info.epsilon - 2.0 * 0.1 * info.params.tau;
+        let margin = info.kappa / 2.0 - 2.0 * info.epsilon - 2.0 * 0.1 * info.params.tau;
         (c, info.kappa, margin, conflicts, worst)
     });
 
     let mut t = Table::new(
         "A3  kappa slack ablation — eq. (9) requires kappa > 4(eps + mu tau)",
-        &["kappa scale c", "kappa", "Lemma 5.3 margin", "trigger conflicts", "measured local skew"],
+        &[
+            "kappa scale c",
+            "kappa",
+            "Lemma 5.3 margin",
+            "trigger conflicts",
+            "measured local skew",
+        ],
     );
     t.caption(
         "The margin column is kappa/2 - 2eps - 2mu*tau: negative means fast/slow \
@@ -293,7 +307,12 @@ pub fn a5_insertion_strategy(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "A5  insertion strategies — staged (paper) vs decaying weight (Sec. 5.5 / [16])",
-        &["strategy", "insertion complete", "legality violations", "handshake msgs"],
+        &[
+            "strategy",
+            "insertion complete",
+            "legality violations",
+            "handshake msgs",
+        ],
     );
     t.caption(
         "Shortcut across an installed legal Theta(n) gradient. Expected: staged and gently \
@@ -337,9 +356,7 @@ pub fn a4_refresh_period(scale: Scale) -> Table {
             worst = worst.max(local_skew(&sim));
             t_now += 0.5;
         }
-        let info = sim
-            .edge_info(EdgeKey::new(NodeId(0), NodeId(1)))
-            .unwrap();
+        let info = sim.edge_info(EdgeKey::new(NodeId(0), NodeId(1))).unwrap();
         let g_tilde = sim.params().g_tilde().unwrap();
         let bound = gradient_bound(sim.params(), g_tilde, info.kappa);
         (p, info.epsilon, info.kappa, worst, bound)
@@ -347,7 +364,13 @@ pub fn a4_refresh_period(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "A4  estimate refresh period (message mode, line(10))",
-        &["refresh P", "derived eps", "kappa", "measured local skew", "local bound"],
+        &[
+            "refresh P",
+            "derived eps",
+            "kappa",
+            "measured local skew",
+            "local bound",
+        ],
     );
     t.caption(
         "Expected: eps (hence kappa and the bound) grows ~linearly with P; measured skew \

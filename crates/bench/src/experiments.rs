@@ -7,7 +7,9 @@ use gcs_core::edge_state::Level;
 use gcs_core::{
     ErrorModel, EstimateMode, ModePolicy, Params, ParamsBuilder, SimBuilder, Simulation,
 };
-use gcs_net::{EdgeKey, EdgeParams, EdgeParamsMap, ChurnOptions, NetworkSchedule, NodeId, Topology};
+use gcs_net::{
+    ChurnOptions, EdgeKey, EdgeParams, EdgeParamsMap, NetworkSchedule, NodeId, Topology,
+};
 use gcs_sim::{DriftModel, SimTime};
 
 use crate::{parallel_map, Scale};
@@ -94,7 +96,15 @@ pub fn e1_global_skew(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "E1  Theorem 5.6 — global skew vs diameter (line, two-block drift)",
-        &["n", "kappa-diam", "measured D(t)", "max G(t)", "G/D(t)", "G <= D+iota", "static G~"],
+        &[
+            "n",
+            "kappa-diam",
+            "measured D(t)",
+            "max G(t)",
+            "G/D(t)",
+            "G <= D+iota",
+            "static G~",
+        ],
     );
     t.caption(
         "D(t) is the *measured* dynamic estimate diameter (Def. 3.1, eta-relation tracked \
@@ -172,7 +182,15 @@ pub fn e2_gradient_skew(scale: Scale) -> Table {
         format!(
             "E2  Theorem 5.22 — gradient skew vs distance (line({n}) and torus, two-block drift)"
         ),
-        &["topology", "hops d", "kappa_p", "max skew", "bound (s(p)+1)k_p", "usage", "skew/d"],
+        &[
+            "topology",
+            "hops d",
+            "kappa_p",
+            "max skew",
+            "bound (s(p)+1)k_p",
+            "usage",
+            "skew/d",
+        ],
     );
     t.caption(
         "Expected: skew <= bound everywhere; skew/d falls as d grows (d log(D/d) shape) on \
@@ -243,11 +261,7 @@ pub fn e3_policy_comparison(scale: Scale) -> Table {
             .unwrap()
             .kappa;
         let (name, policy, guarantee): (&str, Option<Box<dyn ModePolicy>>, f64) = match which {
-            Which::Aopt => (
-                "aopt",
-                None,
-                gradient_bound(probe.params(), g_tilde, kappa),
-            ),
+            Which::Aopt => ("aopt", None, gradient_bound(probe.params(), g_tilde, kappa)),
             Which::Single => {
                 let b = SingleLevelPolicy::sqrt_threshold(0.01, 0.1, g_tilde, kappa);
                 (
@@ -275,7 +289,13 @@ pub fn e3_policy_comparison(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "E3  local skew: A_OPT (log D) vs single-level (sqrt D) vs max-only (D)",
-        &["n", "policy", "measured local skew", "provisionable guarantee", "usage"],
+        &[
+            "n",
+            "policy",
+            "measured local skew",
+            "provisionable guarantee",
+            "usage",
+        ],
     );
     t.caption(
         "Line, flip-flop drift, adversarial (hiding) estimates. The guarantee column is what \
@@ -321,8 +341,7 @@ pub fn e4_stabilization_time(scale: Scale) -> Table {
             .build()
             .unwrap();
         let g_tilde = sim.params().g_tilde().unwrap();
-        let predicted =
-            sim.params().insertion_duration_static(g_tilde) / sim.params().beta();
+        let predicted = sim.params().insertion_duration_static(g_tilde) / sim.params().beta();
         let deadline = 2.0 + 4.0 * predicted + 20.0;
         let done = time_until(&mut sim, 2.0, deadline, 0.25, |s| {
             s.level_between(NodeId(0), NodeId::from(n / 2)) == Some(Level::Infinite)
@@ -332,7 +351,13 @@ pub fn e4_stabilization_time(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "E4  Theorem 5.25 — stabilization time of a new edge (ring + antipodal chord)",
-        &["n", "G~", "predicted I(G~)/beta", "measured", "measured/predicted"],
+        &[
+            "n",
+            "G~",
+            "predicted I(G~)/beta",
+            "measured",
+            "measured/predicted",
+        ],
     );
     t.caption(format!(
         "Insertion scale {INSERTION_SCALE} (same for every n, so the *shape* is unaffected). \
@@ -411,7 +436,14 @@ pub fn e5_lower_bound(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "E5  Theorem 8.1 — Omega(D) stabilization lower bound (line + endpoint edge)",
-        &["n", "installed skew G", "stable bound", "rate floor (G-b)/(beta-alpha)", "measured", "measured/floor"],
+        &[
+            "n",
+            "installed skew G",
+            "stable bound",
+            "rate floor (G-b)/(beta-alpha)",
+            "measured",
+            "measured/floor",
+        ],
     );
     t.caption(
         "A legal Theta(n) gradient exists (Thm 8.1's adversary); once the shortcut appears, \
@@ -465,11 +497,9 @@ pub fn e6_self_stabilization(scale: Scale) -> Table {
         // Record the decay and fit its linear rate (Theorem 5.6 II).
         let trace = sim.record_trace(5.0 + 4.0 * x / rate + 30.0, 0.1);
         let series = trace.global_skew_series();
-        let measured_rate =
-            gcs_analysis::convergence::linear_decay_rate(&series, steady + 0.2 * x);
+        let measured_rate = gcs_analysis::convergence::linear_decay_rate(&series, steady + 0.2 * x);
         let recovered =
-            gcs_analysis::convergence::settle_time(&series, steady + 0.05 * x)
-                .map(|t| t - 5.0);
+            gcs_analysis::convergence::settle_time(&series, steady + 0.05 * x).map(|t| t - 5.0);
         (x, rate, measured_rate, recovered)
     });
 
@@ -567,7 +597,11 @@ pub fn e7_dynamic_estimates(scale: Scale) -> Table {
 
     let mut t = Table::new(
         format!("E7  Section 7 — dynamic G~ estimates vs static (ring({n}) + chord)"),
-        &["insertion estimate", "full-insertion time", "actual global skew"],
+        &[
+            "insertion estimate",
+            "full-insertion time",
+            "actual global skew",
+        ],
     );
     t.caption(
         "All variants share the same pessimistic a-priori G~ except the first. Expected: the \
@@ -597,7 +631,11 @@ pub fn e8_churn(scale: Scale) -> Table {
     let horizon = scale.observe_secs() + scale.warmup_secs();
     let configs = vec![
         ("grid churn", Topology::grid(4, 4), 8u64),
-        ("geometric churn", Topology::random_geometric(16, 0.45, 5), 9u64),
+        (
+            "geometric churn",
+            Topology::random_geometric(16, 0.45, 5),
+            9u64,
+        ),
         ("complete churn", Topology::complete(8), 10u64),
     ];
     let rows = parallel_map(configs, |(name, topo, seed)| {
@@ -653,7 +691,15 @@ pub fn e8_churn(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "E8  model generality — invariants and bounds under churn",
-        &["scenario", "invariant viol.", "legality viol.", "max G", "G~", "edge removals", "msgs dropped"],
+        &[
+            "scenario",
+            "invariant viol.",
+            "legality viol.",
+            "max G",
+            "G~",
+            "edge removals",
+            "msgs dropped",
+        ],
     );
     t.caption("Expected: zero violations; global skew within G~ throughout heavy churn.");
     for (name, iv, lv, max_g, g_tilde, removals, dropped) in rows {
@@ -710,7 +756,13 @@ pub fn e10_partition(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "E10  partition & merge — the connectivity requirement (ring(16), cut open 30 s)",
-        &["t", "phase", "global skew", "left-side skew", "right-side skew"],
+        &[
+            "t",
+            "phase",
+            "global skew",
+            "left-side skew",
+            "right-side skew",
+        ],
     );
     t.caption(
         "Expected: during the open cut the global (= cross-cut) skew grows at ~2 rho per \
@@ -718,7 +770,16 @@ pub fn e10_partition(scale: Scale) -> Table {
          mu(1-rho)-2rho recovery rate.",
     );
     let horizon = merge + scale.observe_secs();
-    for &at in &[5.0, split, 20.0, 30.0, merge, merge + 5.0, merge + 15.0, horizon] {
+    for &at in &[
+        5.0,
+        split,
+        20.0,
+        30.0,
+        merge,
+        merge + 5.0,
+        merge + 15.0,
+        horizon,
+    ] {
         sim.run_until_secs(at);
         let phase = if at < split {
             "connected"
@@ -787,7 +848,14 @@ pub fn e9_heterogeneous(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "E9  heterogeneous edges — skew across a noisy edge vs its kappa bound (line(12))",
-        &["eps factor", "eps", "kappa", "max skew", "kappa bound", "usage"],
+        &[
+            "eps factor",
+            "eps",
+            "kappa",
+            "max skew",
+            "kappa bound",
+            "usage",
+        ],
     );
     t.caption(
         "Expected: absolute skew across the noisy edge grows with eps, but its usage of the \

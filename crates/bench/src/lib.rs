@@ -110,17 +110,16 @@ where
     F: Fn(T) -> R + Sync,
 {
     let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, item) in items.into_iter().enumerate() {
             let f = &f;
-            handles.push((i, scope.spawn(move |_| f(item))));
+            handles.push((i, scope.spawn(move || f(item))));
         }
         for (i, h) in handles {
             out[i] = Some(h.join().expect("experiment job panicked"));
         }
-    })
-    .expect("scope failed");
+    });
     out.into_iter().map(|r| r.expect("job filled")).collect()
 }
 

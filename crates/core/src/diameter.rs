@@ -86,8 +86,8 @@ impl DiameterTracker {
         // source row's aging over the transit back to the 2-rho relay rate.
         self.age_row(src, delivered_at);
         self.age_row(dst, delivered_at);
-        let relay_cost = (1.0 - self.rho) * delay_uncertainty
-            + (2.0 * self.rho - self.aging_rate) * transit;
+        let relay_cost =
+            (1.0 - self.rho) * delay_uncertainty + (2.0 * self.rho - self.aging_rate) * transit;
         for u in 0..self.n {
             let cand = if u == src {
                 // src knows itself perfectly at send time.

@@ -215,8 +215,7 @@ impl EdgeSlot {
     /// receiver's current hardware clock value (message mode).
     #[must_use]
     pub fn reckoned_estimate(&self, hw_now: f64) -> Option<f64> {
-        self.estimate
-            .map(|e| e.value + (hw_now - e.hw_at_recv))
+        self.estimate.map(|e| e.value + (hw_now - e.hw_at_recv))
     }
 }
 

@@ -70,12 +70,7 @@ impl EstimateMode {
     /// The uncertainty `ε` this layer advertises for an edge (the value the
     /// algorithm plugs into eq. 9 for `κ`).
     #[must_use]
-    pub fn advertised_epsilon(
-        self,
-        params: &Params,
-        edge: EdgeParams,
-        refresh_period: f64,
-    ) -> f64 {
+    pub fn advertised_epsilon(self, params: &Params, edge: EdgeParams, refresh_period: f64) -> f64 {
         match self {
             EstimateMode::Oracle(_) => edge.epsilon,
             EstimateMode::Messages => params.message_epsilon(edge, refresh_period),

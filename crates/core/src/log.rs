@@ -124,14 +124,18 @@ impl EventLog {
     pub fn for_node(&self, node: NodeId) -> impl Iterator<Item = &LogEntry> + '_ {
         self.entries.iter().filter(move |e| match **e {
             LogEntry::ModeSwitch { node: n, .. } => n == node,
-            LogEntry::EdgeDiscovered { node: n, neighbor, .. }
-            | LogEntry::EdgeLost { node: n, neighbor, .. }
-            | LogEntry::InsertScheduled { node: n, neighbor, .. } => {
-                n == node || neighbor == node
+            LogEntry::EdgeDiscovered {
+                node: n, neighbor, ..
             }
-            LogEntry::InsertOffered { leader, follower, .. } => {
-                leader == node || follower == node
+            | LogEntry::EdgeLost {
+                node: n, neighbor, ..
             }
+            | LogEntry::InsertScheduled {
+                node: n, neighbor, ..
+            } => n == node || neighbor == node,
+            LogEntry::InsertOffered {
+                leader, follower, ..
+            } => leader == node || follower == node,
         })
     }
 }

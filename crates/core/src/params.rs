@@ -643,7 +643,10 @@ mod tests {
         let e = EdgeParams::default();
         let i = p.insertion_duration(e, 1.0);
         let log = i.log2();
-        assert!((log - log.round()).abs() < 1e-9, "I = {i} is not a power of 2");
+        assert!(
+            (log - log.round()).abs() < 1e-9,
+            "I = {i} is not a power of 2"
+        );
         // Larger estimates never shrink the duration.
         assert!(p.insertion_duration(e, 4.0) >= i);
     }

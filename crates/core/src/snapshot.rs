@@ -34,7 +34,11 @@ impl ClockSnapshot {
     /// Panics if the snapshot is empty.
     #[must_use]
     pub fn global_skew(&self) -> f64 {
-        let max = self.logical.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .logical
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         let min = self.logical.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(max.is_finite() && min.is_finite(), "empty snapshot");
         max - min
@@ -53,7 +57,10 @@ impl ClockSnapshot {
     /// The largest logical clock.
     #[must_use]
     pub fn max_logical(&self) -> f64 {
-        self.logical.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.logical
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The smallest logical clock.
@@ -91,10 +98,7 @@ impl Trace {
     /// Panics if the snapshot's time precedes the previous sample's.
     pub fn push(&mut self, snap: ClockSnapshot) {
         if let Some(last) = self.samples.last() {
-            assert!(
-                snap.time >= last.time,
-                "trace samples must be time-ordered"
-            );
+            assert!(snap.time >= last.time, "trace samples must be time-ordered");
         }
         self.samples.push(snap);
     }

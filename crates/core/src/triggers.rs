@@ -388,7 +388,10 @@ mod tests {
         // Theorem 5.6 prerequisite: a node at the network maximum with
         // M = L must be slow regardless of neighbours behind it.
         let p = AoptPolicy::new(64);
-        let ns = [neighbor(5.0, Level::Infinite), neighbor(9.9, Level::Infinite)];
+        let ns = [
+            neighbor(5.0, Level::Infinite),
+            neighbor(9.9, Level::Infinite),
+        ];
         assert_eq!(p.decide(&view(10.0, 10.0, &ns)), Mode::Slow);
     }
 }

@@ -237,13 +237,14 @@ impl DynamicGraph {
         seen[0] = true;
         let mut count = 1;
         while let Some(u) = stack.pop() {
-            let push = |w: usize, seen: &mut Vec<bool>, stack: &mut Vec<usize>, count: &mut usize| {
-                if !seen[w] {
-                    seen[w] = true;
-                    *count += 1;
-                    stack.push(w);
-                }
-            };
+            let push =
+                |w: usize, seen: &mut Vec<bool>, stack: &mut Vec<usize>, count: &mut usize| {
+                    if !seen[w] {
+                        seen[w] = true;
+                        *count += 1;
+                        stack.push(w);
+                    }
+                };
             for v in self.adj[u].keys() {
                 push(v.index(), &mut seen, &mut stack, &mut count);
             }

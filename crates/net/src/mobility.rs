@@ -98,8 +98,7 @@ impl RandomWaypoint {
             for j in i + 1..self.n {
                 if walkers[i].dist(&walkers[j]) <= connect {
                     up[i * self.n + j] = true;
-                    schedule
-                        .add_initial_undirected(EdgeKey::new(NodeId::from(i), NodeId::from(j)));
+                    schedule.add_initial_undirected(EdgeKey::new(NodeId::from(i), NodeId::from(j)));
                 }
             }
         }

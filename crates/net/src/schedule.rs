@@ -379,8 +379,16 @@ mod tests {
     #[test]
     fn events_stay_sorted() {
         let mut s = NetworkSchedule::empty(3);
-        s.add_undirected_up(EdgeKey::new(NodeId(0), NodeId(1)), SimTime::from_secs(9.0), 0.0);
-        s.add_undirected_up(EdgeKey::new(NodeId(1), NodeId(2)), SimTime::from_secs(1.0), 0.0);
+        s.add_undirected_up(
+            EdgeKey::new(NodeId(0), NodeId(1)),
+            SimTime::from_secs(9.0),
+            0.0,
+        );
+        s.add_undirected_up(
+            EdgeKey::new(NodeId(1), NodeId(2)),
+            SimTime::from_secs(1.0),
+            0.0,
+        );
         let times: Vec<f64> = s.events().iter().map(|e| e.time.as_secs()).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }

@@ -224,7 +224,10 @@ impl Topology {
     #[must_use]
     pub fn small_world(n: usize, k: usize, beta: f64, seed: u64) -> Self {
         assert!(n >= 4, "a small world needs at least 4 nodes");
-        assert!(k.is_multiple_of(2) && k >= 2 && k < n, "k must be even, 2 <= k < n");
+        assert!(
+            k.is_multiple_of(2) && k >= 2 && k < n,
+            "k must be even, 2 <= k < n"
+        );
         assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
         let mut r = rng::stream(seed, "topology-ws", 0);
         let mut set = BTreeSet::new();
@@ -246,8 +249,11 @@ impl Topology {
                 set.insert(EdgeKey::new(a, b));
             }
         }
-        let mut topo =
-            Topology::from_edges(format!("small-world({n},{k},{beta})"), n, set.into_iter().collect());
+        let mut topo = Topology::from_edges(
+            format!("small-world({n},{k},{beta})"),
+            n,
+            set.into_iter().collect(),
+        );
         topo.repair_connectivity(seed);
         topo
     }
@@ -587,10 +593,7 @@ mod tests {
         assert!(t.is_connected());
         // Preferential attachment produces a hub noticeably above the
         // minimum degree.
-        let max_deg = (0..40)
-            .map(|i| t.adjacency()[i].len())
-            .max()
-            .unwrap();
+        let max_deg = (0..40).map(|i| t.adjacency()[i].len()).max().unwrap();
         assert!(max_deg >= 6, "expected a hub, max degree {max_deg}");
         // Every arriving node brought m = 2 edges.
         assert!(t.edge_count() >= 2 * (40 - 3));

@@ -11,8 +11,7 @@ use gcs_sim::SimTime;
 /// declared skew.
 fn replay_and_check(schedule: &NetworkSchedule, skew_max: f64) -> Result<(), TestCaseError> {
     use std::collections::{BTreeMap, BTreeSet};
-    let mut up: BTreeSet<(NodeId, NodeId)> =
-        schedule.initial_directed().iter().copied().collect();
+    let mut up: BTreeSet<(NodeId, NodeId)> = schedule.initial_directed().iter().copied().collect();
     // Pending transitions awaiting their mirrored direction.
     let mut pending: BTreeMap<(NodeId, NodeId, bool), SimTime> = BTreeMap::new();
     for ev in schedule.events() {

@@ -54,7 +54,11 @@ impl DriftSchedule {
                 c.rate,
                 c.time
             );
-            assert!(c.node < initial.len(), "rate change for unknown node {}", c.node);
+            assert!(
+                c.node < initial.len(),
+                "rate change for unknown node {}",
+                c.node
+            );
         }
         changes.sort_by(|a, b| a.time.cmp(&b.time).then(a.node.cmp(&b.node)));
         DriftSchedule { initial, changes }
@@ -123,7 +127,10 @@ impl DriftModel {
     /// positive periods).
     #[must_use]
     pub fn realize(&self, n: usize, rho: f64, horizon: SimTime, seed: u64) -> DriftSchedule {
-        assert!((0.0..1.0).contains(&rho), "rho must be in [0, 1), got {rho}");
+        assert!(
+            (0.0..1.0).contains(&rho),
+            "rho must be in [0, 1), got {rho}"
+        );
         match self {
             DriftModel::None => DriftSchedule::new(vec![1.0; n], Vec::new()),
             DriftModel::RandomConstant => {

@@ -30,7 +30,11 @@ fn splitmix64_output(mut z: u64) -> u64 {
 pub fn derive_seed(root: u64, label: &str, index: u64) -> u64 {
     let mut state = root ^ 0xD6E8_FEB8_6659_FD93;
     for &b in label.as_bytes() {
-        state = splitmix64_output(state.wrapping_add(u64::from(b)).wrapping_mul(0x100_0000_01B3));
+        state = splitmix64_output(
+            state
+                .wrapping_add(u64::from(b))
+                .wrapping_mul(0x100_0000_01B3),
+        );
     }
     splitmix64_output(state ^ splitmix64_output(index.wrapping_add(0x9E37_79B9_7F4A_7C15)))
 }
@@ -81,8 +85,14 @@ mod tests {
 
     #[test]
     fn streams_reproduce() {
-        let xs: Vec<u64> = stream(7, "a", 3).sample_iter(rand::distributions::Standard).take(16).collect();
-        let ys: Vec<u64> = stream(7, "a", 3).sample_iter(rand::distributions::Standard).take(16).collect();
+        let xs: Vec<u64> = stream(7, "a", 3)
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
+        let ys: Vec<u64> = stream(7, "a", 3)
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
         assert_eq!(xs, ys);
     }
 

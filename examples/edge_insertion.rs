@@ -14,8 +14,8 @@
 //! ```
 
 use gradient_clock_sync::core::edge_state::Level;
-use gradient_clock_sync::prelude::*;
 use gradient_clock_sync::net::{EdgeKey, NodeId};
+use gradient_clock_sync::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 12;
@@ -71,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let final_skew = sim.snapshot().skew(u, v);
     println!(
         "\nfinal skew on the chord: {final_skew:.6}s  (stable gradient bound: {bound:.6}s) -> {}",
-        if final_skew <= bound { "OK" } else { "not yet stabilized" }
+        if final_skew <= bound {
+            "OK"
+        } else {
+            "not yet stabilized"
+        }
     );
     Ok(())
 }

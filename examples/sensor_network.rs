@@ -68,8 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         global_guard / gradient_guard
     );
     println!("\nmeasured over 60 s of steady state (benign drift):");
-    println!("  worst neighbour skew: {worst_local:>9.6}s (within the gradient guard: {})",
-        worst_local <= gradient_guard);
+    println!(
+        "  worst neighbour skew: {worst_local:>9.6}s (within the gradient guard: {})",
+        worst_local <= gradient_guard
+    );
     println!("  worst global skew   : {worst_global:>9.6}s");
     Ok(())
 }

@@ -50,8 +50,6 @@ pub mod prelude {
         InsertionStrategy, LogEntry, Mode, ModePolicy, Params, ParamsBuilder, ParamsError,
         SimBuilder, SimStats, Simulation, Trace,
     };
-    pub use gcs_net::{
-        ChurnOptions, EdgeParams, EdgeParamsMap, NetworkSchedule, Topology,
-    };
+    pub use gcs_net::{ChurnOptions, EdgeParams, EdgeParamsMap, NetworkSchedule, Topology};
     pub use gcs_sim::{DriftModel, DriftSchedule, SimDuration, SimTime};
 }

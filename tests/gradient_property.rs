@@ -43,12 +43,22 @@ fn check_legal(sim: &Simulation) {
 
 #[test]
 fn line_is_legal_under_worst_case_drift() {
-    check_legal(&stabilized(Topology::line(10), DriftModel::TwoBlock, 1, 30.0));
+    check_legal(&stabilized(
+        Topology::line(10),
+        DriftModel::TwoBlock,
+        1,
+        30.0,
+    ));
 }
 
 #[test]
 fn ring_is_legal_under_alternating_drift() {
-    check_legal(&stabilized(Topology::ring(10), DriftModel::Alternating, 2, 30.0));
+    check_legal(&stabilized(
+        Topology::ring(10),
+        DriftModel::Alternating,
+        2,
+        30.0,
+    ));
 }
 
 #[test]

@@ -35,7 +35,10 @@ fn levels_unlock_monotonically() {
         sim.run_until_secs(f64::from(k) * 0.25);
         let level = sim.level_between(NodeId(0), NodeId(5));
         if let (Some(prev), Some(cur)) = (last, level) {
-            assert!(cur >= prev, "level dropped from {prev:?} to {cur:?} at step {k}");
+            assert!(
+                cur >= prev,
+                "level dropped from {prev:?} to {cur:?} at step {k}"
+            );
         }
         if level.is_some() {
             last = level;
@@ -114,7 +117,10 @@ fn new_edge_reaches_stable_gradient_bound() {
     let chord = EdgeKey::new(NodeId(0), NodeId(5));
     let mut sim = insertion_sim(10, chord, 2.0, 0.05, 5);
     sim.run_until_secs(80.0);
-    assert_eq!(sim.level_between(NodeId(0), NodeId(5)), Some(Level::Infinite));
+    assert_eq!(
+        sim.level_between(NodeId(0), NodeId(5)),
+        Some(Level::Infinite)
+    );
     let info = sim.edge_info(chord).unwrap();
     let g_hat = sim.params().g_tilde().unwrap();
     let bound = gradient_bound(sim.params(), g_hat, info.kappa)

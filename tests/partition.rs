@@ -77,8 +77,14 @@ fn skew_grows_across_the_cut_but_not_within_sides() {
         "cross-cut skew grew faster than drift allows: {open_cross}"
     );
     // Each side stays internally tight (an order of magnitude below).
-    assert!(left_internal < open_cross / 4.0, "left side loose: {left_internal}");
-    assert!(right_internal < open_cross / 4.0, "right side loose: {right_internal}");
+    assert!(
+        left_internal < open_cross / 4.0,
+        "left side loose: {left_internal}"
+    );
+    assert!(
+        right_internal < open_cross / 4.0,
+        "right side loose: {right_internal}"
+    );
 }
 
 #[test]

@@ -24,10 +24,8 @@ fn arb_drift() -> impl Strategy<Value = DriftModel> {
         Just(DriftModel::TwoBlock),
         Just(DriftModel::Alternating),
         Just(DriftModel::RandomConstant),
-        (0.5f64..3.0, 0.1f64..0.9).prop_map(|(period, step_frac)| DriftModel::RandomWalk {
-            period,
-            step_frac
-        }),
+        (0.5f64..3.0, 0.1f64..0.9)
+            .prop_map(|(period, step_frac)| DriftModel::RandomWalk { period, step_frac }),
     ]
 }
 
@@ -98,7 +96,7 @@ proptest! {
 /// Brute-force reference for the trigger definitions: scan every level up
 /// to a huge cap with no early termination.
 mod trigger_reference {
-    use gradient_clock_sync::core::{NodeView};
+    use gradient_clock_sync::core::NodeView;
 
     pub fn fast(view: &NodeView<'_>) -> bool {
         (1..=2000u32).any(|s| {
@@ -138,7 +136,9 @@ mod trigger_reference {
                             exists = true;
                         }
                         if est - view.logical
-                            > sh * n.kappa + n.delta + n.epsilon
+                            > sh * n.kappa
+                                + n.delta
+                                + n.epsilon
                                 + view.mu * (1.0 + view.rho) * n.tau
                         {
                             return false;

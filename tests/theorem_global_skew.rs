@@ -4,8 +4,8 @@
 //! (II) whenever it exceeds `D(t) + ι`, it shrinks at rate at least
 //!      `µ(1−ρ) − 2ρ`.
 
-use gradient_clock_sync::prelude::*;
 use gradient_clock_sync::net::NodeId;
+use gradient_clock_sync::prelude::*;
 
 fn params() -> Params {
     Params::builder().rho(0.01).mu(0.1).build().unwrap()

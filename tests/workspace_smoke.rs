@@ -1,0 +1,56 @@
+//! Workspace smoke test: drives the umbrella `prelude` end-to-end, proving
+//! the re-export surface stays wired.  If a future refactor drops or
+//! renames a cross-crate re-export, this file stops compiling.
+
+use gradient_clock_sync::prelude::*;
+
+#[test]
+fn prelude_builds_and_runs_a_ring() {
+    let params = Params::builder().rho(0.01).mu(0.1).build().unwrap();
+    let mut sim = SimBuilder::new(params)
+        .topology(Topology::ring(8))
+        .drift(DriftModel::Alternating)
+        .seed(42)
+        .build()
+        .unwrap();
+    sim.run_until_secs(10.0);
+
+    let snap = sim.snapshot();
+    let g = snap.global_skew();
+    assert!(g.is_finite(), "global skew must be finite, got {g}");
+    assert!(g > 0.0, "drifting clocks must show some skew, got {g}");
+    assert!(sim.verify_invariants().is_empty());
+}
+
+#[test]
+fn prelude_exposes_the_advertised_symbols() {
+    // Analysis layer: closed-form gradient bound and κ-weighted diameter.
+    let params = Params::builder().rho(0.01).mu(0.1).build().unwrap();
+    let mut sim = SimBuilder::new(params)
+        .topology(Topology::line(4))
+        .drift(DriftModel::TwoBlock)
+        .seed(7)
+        .build()
+        .unwrap();
+    sim.run_until_secs(5.0);
+
+    let kd = kappa_diameter(&sim, 1).expect("connected line has a finite kappa diameter");
+    assert!(kd > 0.0, "kappa diameter of a connected line is positive");
+    let bound = gradient_bound(sim.params(), kd, kd);
+    assert!(bound > 0.0);
+    assert!(local_skew(&sim).is_finite());
+
+    // Reporting layer: Table is constructible and renders.
+    let mut table = Table::new("smoke", &["col"]);
+    table.row(["1.0"]);
+    assert!(table.to_string().contains("smoke"));
+
+    // Baselines are nameable as policies.
+    let _max_only: MaxOnlyPolicy = MaxOnlyPolicy;
+    let single = SingleLevelPolicy::new(0.5);
+    assert_eq!(single.threshold(), 0.5);
+
+    // Sim-kernel types reach through the prelude.
+    let t = SimTime::from_secs(1.5) + SimDuration::from_secs(0.5);
+    assert!((t.as_secs() - 2.0).abs() < 1e-12);
+}

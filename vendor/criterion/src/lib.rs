@@ -1,0 +1,237 @@
+//! Minimal vendored shim of the `criterion` 0.5 API surface used by this
+//! workspace.
+//!
+//! The build environment is hermetic (no registry access), so the bench
+//! harness vendors the handful of criterion types it uses: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — a short warm-up followed by a fixed
+//! number of timed batches, reporting the per-iteration mean and the min/max
+//! batch means.  There is no statistical analysis, outlier detection, or
+//! HTML reporting; the shim exists so `cargo bench` compiles, runs, and
+//! prints comparable wall-clock numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies a parameterized benchmark, e.g. `line_5s/32`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean per-iteration times of each measured batch, in seconds.
+    batch_means: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring `sample_size`
+    /// batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until ~50ms or 3 iterations, whichever comes first.
+        let warmup_deadline = Instant::now() + Duration::from_millis(50);
+        let mut warmup_iters = 0u64;
+        let mut warmup_time = Duration::ZERO;
+        while warmup_iters < 3 || (Instant::now() < warmup_deadline && warmup_iters < 1_000_000) {
+            let t0 = Instant::now();
+            black_box(routine());
+            warmup_time += t0.elapsed();
+            warmup_iters += 1;
+            if warmup_time > Duration::from_millis(200) {
+                break;
+            }
+        }
+        let per_iter = warmup_time.as_secs_f64() / warmup_iters as f64;
+        // Aim for ~20ms per batch, at least 1 iteration.
+        let batch_iters = ((0.02 / per_iter.max(1e-12)) as u64).clamp(1, 1_000_000);
+        self.batch_means.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            self.batch_means
+                .push(t0.elapsed().as_secs_f64() / batch_iters as f64);
+        }
+    }
+}
+
+fn format_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        sample_size,
+        batch_means: Vec::new(),
+    };
+    f(&mut b);
+    if b.batch_means.is_empty() {
+        println!("{id:<44} (no measurement)");
+        return;
+    }
+    let mean = b.batch_means.iter().sum::<f64>() / b.batch_means.len() as f64;
+    let lo = b.batch_means.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = b
+        .batch_means
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{id:<44} time: [{} {} {}]",
+        format_secs(lo),
+        format_secs(mean),
+        format_secs(hi)
+    );
+}
+
+/// Default number of measured batches per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measured batches for subsequent benchmarks.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Finishes the group (a no-op in this shim, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; a custom
+            // harness is expected to tolerate them.  `--list` must print
+            // nothing and exit for tooling that enumerates tests.
+            if std::env::args().any(|a| a == "--list") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,19 @@
+//! `bool` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// The fair-coin strategy for `bool`.
+pub static ANY: AnyBool = AnyBool;
+
+/// Unit type standing in for upstream's `proptest::bool::Any`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.gen::<f64>() < 0.5
+    }
+}

@@ -1,0 +1,28 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// Strategy for `Option<S::Value>`; `None` with probability 1/4, matching
+/// upstream's default weighting closely enough for coverage purposes.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Generates `Some` values from `inner` (and `None` some of the time).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.gen::<f64>() < 0.25 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The case-running engine behind the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Runner configuration; mirrors the `proptest::test_runner::Config` fields
+/// this workspace sets.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of rejected (assumed-away) cases tolerated.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should not be counted.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Creates a rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runs the configured number of cases with a deterministic RNG.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: Config,
+    name: &'static str,
+    seed: u64,
+}
+
+/// FNV-1a, used to derive a per-test seed from its name.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    ///
+    /// The RNG seed is `hash(name)` unless the `PROPTEST_SEED` environment
+    /// variable overrides it, so failures reproduce across runs and
+    /// machines.
+    #[must_use]
+    pub fn new_for_test(config: Config, name: &'static str) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| hash_name(name));
+        TestRunner { config, name, seed }
+    }
+
+    /// Runs `case` until `config.cases` successes are recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a case fails, or if rejects exceed the configured budget.
+    pub fn run_shim<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rejects = 0u32;
+        let mut passed = 0u32;
+        let mut attempt = 0u64;
+        while passed < self.config.cases {
+            // One fresh, addressable stream per attempt: a failure report
+            // names the attempt and the root seed, which fully determine the
+            // inputs.
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(attempt));
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= self.config.max_global_rejects,
+                        "proptest '{}': too many prop_assume! rejections ({})",
+                        self.name,
+                        rejects
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{}' failed at attempt {} (seed {}):\n{}",
+                        self.name, attempt, self.seed, msg
+                    );
+                }
+            }
+            attempt += 1;
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Minimal vendored shim of the `rand` 0.8 API surface used by this
+//! workspace.
+//!
+//! The build environment is hermetic (no registry access), so instead of the
+//! upstream crate this workspace vendors exactly the pieces it consumes:
+//! [`Rng`], [`SeedableRng`], [`rngs::StdRng`], and
+//! [`distributions::Standard`].  The generator behind `StdRng` here is
+//! xoshiro256++ seeded through SplitMix64 — high-quality and fully
+//! deterministic, though its output stream intentionally makes no attempt to
+//! match upstream `StdRng` (ChaCha12).  Nothing in this workspace depends on
+//! the exact stream, only on determinism for a fixed seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+
+pub use distributions::{Distribution, Standard};
+
+/// A low-level source of uniformly random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators; only `seed_from_u64` is needed by this workspace.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value via the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        let x: f64 = Standard.sample(self);
+        x < p
+    }
+
+    /// Converts this generator into an iterator of samples from `distr`.
+    fn sample_iter<T, D>(self, distr: D) -> DistIter<D, Self, T>
+    where
+        D: Distribution<T>,
+        Self: Sized,
+    {
+        DistIter {
+            distr,
+            rng: self,
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Iterator returned by [`Rng::sample_iter`].
+#[derive(Debug)]
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: core::marker::PhantomData<fn() -> T>,
+}
+
+impl<D, R, T> Iterator for DistIter<D, R, T>
+where
+    D: Distribution<T>,
+    R: RngCore,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+/// Ranges that can produce a uniform sample of `T`.
+///
+/// As in upstream rand, the only impls are the blanket ones over
+/// [`SampleUniform`] element types — a single generic impl per range shape
+/// keeps type inference working for unsuffixed literals like
+/// `gen_range(-1.0..=1.0)`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Element types [`SampleRange`] knows how to sample uniformly.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Maps a random word to a float in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        lo + unit_f64(rng) * (hi - lo)
+    }
+
+    fn sample_inclusive<R: RngCore>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        // The closed/open distinction is immaterial at f64 resolution; a
+        // plain affine map keeps the endpoints reachable in principle.
+        lo + (rng.next_u64() as f64 / u64::MAX as f64) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: RngCore>(rng: &mut R, lo: f32, hi: f32) -> f32 {
+        lo + (unit_f64(rng) as f32) * (hi - lo)
+    }
+
+    fn sample_inclusive<R: RngCore>(rng: &mut R, lo: f32, hi: f32) -> f32 {
+        lo + ((rng.next_u64() as f64 / u64::MAX as f64) as f32) * (hi - lo)
+    }
+}
+
+/// Uniform `u64` in `[0, n)` by widening multiply (Lemire); unbiased enough
+/// for simulation use and, crucially, deterministic.
+fn below<R: RngCore>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((u128::from(rng.next_u64()) * u128::from(n)) >> 64) as u64
+}
+
+macro_rules! impl_int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let width = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + below(rng, width) as i128) as $t
+            }
+
+            fn sample_inclusive<R: RngCore>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let width = (hi as i128 - lo as i128) as u64;
+                if width == u64::MAX {
+                    return (lo as i128 + rng.next_u64() as i128) as $t;
+                }
+                (lo as i128 + below(rng, width + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-5.0f64..5.0);
+            assert!((-5.0..5.0).contains(&x));
+            let y = rng.gen_range(0u32..7);
+            assert!(y < 7);
+            let z = rng.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn sample_iter_yields_standard_samples() {
+        let xs: Vec<u64> = StdRng::seed_from_u64(1)
+            .sample_iter(Standard)
+            .take(4)
+            .collect();
+        let ys: Vec<u64> = StdRng::seed_from_u64(1)
+            .sample_iter(Standard)
+            .take(4)
+            .collect();
+        assert_eq!(xs, ys);
+    }
+}
