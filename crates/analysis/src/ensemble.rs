@@ -1,0 +1,124 @@
+//! Monte-Carlo ensembles: run the same scenario across many seeds and
+//! aggregate a scalar metric. Single-seed tables are perfectly
+//! reproducible, but shape claims are stronger when the spread across
+//! seeds is known; this module provides the machinery (used by tests,
+//! the experiment harness, and the scenario campaign runner).
+//!
+//! `gcs-bench` re-exports this module as `gcs_bench::ensemble`.
+
+use crate::parallel::parallel_map;
+use crate::stats;
+
+/// Aggregated statistics of one metric across seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleStats {
+    /// Number of runs.
+    pub runs: usize,
+    /// Mean of the metric.
+    pub mean: f64,
+    /// Minimum observed.
+    pub min: f64,
+    /// Maximum observed.
+    pub max: f64,
+    /// Median.
+    pub median: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// 10th percentile (linear interpolation).
+    pub p10: f64,
+    /// 90th percentile (linear interpolation).
+    pub p90: f64,
+}
+
+impl EnsembleStats {
+    /// Aggregates raw per-run values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains NaN.
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "an ensemble needs at least one value");
+        assert!(values.iter().all(|v| !v.is_nan()), "NaN in ensemble values");
+        EnsembleStats {
+            runs: values.len(),
+            mean: stats::mean(values),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: stats::max(values),
+            median: stats::quantile(values, 0.5),
+            stddev: stats::stddev(values),
+            p10: stats::quantile(values, 0.1),
+            p90: stats::quantile(values, 0.9),
+        }
+    }
+
+    /// Relative spread `(max − min) / mean` (0 for degenerate data).
+    #[must_use]
+    pub fn relative_spread(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            (self.max - self.min) / self.mean
+        }
+    }
+}
+
+/// Runs `metric` for every seed in `seeds` (in parallel) and aggregates.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty or a run returns NaN.
+pub fn run<F>(seeds: &[u64], metric: F) -> EnsembleStats
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    assert!(!seeds.is_empty(), "an ensemble needs at least one seed");
+    let values = parallel_map(seeds.to_vec(), |s| {
+        let v = metric(s);
+        assert!(!v.is_nan(), "metric returned NaN for seed {s}");
+        v
+    });
+    EnsembleStats::from_values(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_simple_metrics() {
+        let s = run(&[1, 2, 3, 4], |seed| seed as f64);
+        assert_eq!(s.runs, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+        assert!((s.relative_spread() - 1.2).abs() < 1e-12);
+        // Population stddev of {1,2,3,4} is sqrt(1.25).
+        assert!((s.stddev - 1.25f64.sqrt()).abs() < 1e-12);
+        assert!((s.p10 - 1.3).abs() < 1e-12);
+        assert!((s.p90 - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_value_is_degenerate() {
+        let s = EnsembleStats::from_values(&[2.0]);
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.p10, 2.0);
+        assert_eq!(s.p90, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_ensemble_rejected() {
+        let _ = run(&[], |_| 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_values_rejected() {
+        let _ = EnsembleStats::from_values(&[1.0, f64::NAN]);
+    }
+}

@@ -12,19 +12,25 @@
 //!   closed-form gradient bound,
 //! * [`report`] — plain-text tables and CSV output for the experiment
 //!   harness,
-//! * [`stats`] — small summary-statistics helpers.
+//! * [`stats`] — small summary-statistics helpers,
+//! * [`ensemble`] — multi-seed aggregation ([`EnsembleStats`]),
+//! * [`parallel`] — scoped-thread fan-out for independent jobs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod convergence;
+pub mod ensemble;
 pub mod legality;
+pub mod parallel;
 pub mod paths;
 pub mod potentials;
 pub mod report;
 pub mod skew;
 pub mod stats;
 
+pub use ensemble::EnsembleStats;
 pub use legality::{gradient_bound, GradientChecker, LegalityReport, LevelReport};
+pub use parallel::parallel_map;
 pub use report::Table;
 pub use skew::{kappa_diameter, local_skew, skew_profile, weighted_skew_profile};

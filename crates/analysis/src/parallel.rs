@@ -1,0 +1,46 @@
+//! Scoped-thread fan-out for independent simulation jobs.
+//!
+//! Lives in `gcs-analysis` so both the experiment harness (`gcs-bench`)
+//! and the scenario campaign runner (`gcs-scenarios`) share one
+//! implementation; `gcs-bench` re-exports it as `gcs_bench::parallel_map`.
+
+/// Runs independent jobs on scoped threads and returns results in input
+/// order (used to parallelize sweep rows and scenario × seed campaigns;
+/// each item is typically a whole simulation).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, item) in items.into_iter().enumerate() {
+            let f = &f;
+            handles.push((i, scope.spawn(move || f(item))));
+        }
+        for (i, h) in handles {
+            out[i] = Some(h.join().expect("parallel job panicked"));
+        }
+    });
+    out.into_iter().map(|r| r.expect("job filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let xs = vec![3u64, 1, 4, 1, 5, 9, 2, 6];
+        let ys = parallel_map(xs.clone(), |x| x * 2);
+        assert_eq!(ys, xs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_input() {
+        let ys: Vec<u64> = parallel_map(Vec::<u64>::new(), |x| x);
+        assert!(ys.is_empty());
+    }
+}

@@ -16,6 +16,17 @@ pub fn max(xs: &[f64]) -> f64 {
     xs.iter().copied().fold(0.0, f64::max)
 }
 
+/// Population standard deviation; 0 for slices with fewer than 2 values.
+#[must_use]
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
 /// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation on sorted data.
 ///
 /// # Panics
@@ -84,6 +95,15 @@ mod tests {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[1.0, 3.0]), 2.0);
         assert_eq!(max(&[1.0, 3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn stddev_matches_hand_computation() {
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert_eq!(stddev(&[2.0, 2.0, 2.0]), 0.0);
+        // Population stddev of {1, 2, 3, 4} is sqrt(1.25).
+        assert!((stddev(&[1.0, 2.0, 3.0, 4.0]) - 1.25f64.sqrt()).abs() < 1e-12);
     }
 
     #[test]

@@ -7,9 +7,7 @@ use gcs_core::edge_state::Level;
 use gcs_core::{
     ErrorModel, EstimateMode, ModePolicy, Params, ParamsBuilder, SimBuilder, Simulation,
 };
-use gcs_net::{
-    ChurnOptions, EdgeKey, EdgeParams, EdgeParamsMap, NetworkSchedule, NodeId, Topology,
-};
+use gcs_net::{EdgeKey, EdgeParams, EdgeParamsMap, NetworkSchedule, NodeId, Topology};
 use gcs_sim::{DriftModel, SimTime};
 
 use crate::{parallel_map, Scale};
@@ -321,25 +319,17 @@ pub fn e3_policy_comparison(scale: Scale) -> Table {
 /// E4: time from a chord's appearance until it is inserted on all levels,
 /// vs network size. Expected shape: linear in `G̃ ∝ n` and close to
 /// `I(G̃)/β` (the logical insertion duration converted to real time).
+///
+/// The scenario (ring + antipodal chord at `t = 2 s`) comes from the
+/// scenario subsystem — [`gcs_scenarios::presets::ring_chord`] — so the
+/// harness and the campaign runner measure the same workload.
 #[must_use]
 pub fn e4_stabilization_time(scale: Scale) -> Table {
     const INSERTION_SCALE: f64 = 0.05;
     let rows = parallel_map(scale.sizes().to_vec(), |n| {
-        let mut pb = base_params();
-        pb.insertion_scale(INSERTION_SCALE);
-        let params = pb.build().unwrap();
-        let chord = EdgeKey::new(NodeId(0), NodeId::from(n / 2));
-        let schedule = NetworkSchedule::with_edge_insertion(
-            &Topology::ring(n),
-            &[(chord, SimTime::from_secs(2.0))],
-            0.002,
-        );
-        let mut sim = SimBuilder::new(params)
-            .schedule(schedule)
-            .drift(DriftModel::TwoBlock)
-            .seed(n as u64)
-            .build()
-            .unwrap();
+        let mut sim = gcs_scenarios::presets::ring_chord(n, INSERTION_SCALE)
+            .build(n as u64)
+            .expect("ring-chord preset builds");
         let g_tilde = sim.params().g_tilde().unwrap();
         let predicted = sim.params().insertion_duration_static(g_tilde) / sim.params().beta();
         let deadline = 2.0 + 4.0 * predicted + 20.0;
@@ -628,37 +618,28 @@ pub fn e7_dynamic_estimates(scale: Scale) -> Table {
 /// protects), global skew within `G̃`.
 #[must_use]
 pub fn e8_churn(scale: Scale) -> Table {
+    use gcs_scenarios::TopologySpec;
     let horizon = scale.observe_secs() + scale.warmup_secs();
+    // The churn workload is the scenario subsystem's `churn` preset (the
+    // registry's `churn-storm` is the same family at its canonical size);
+    // the harness only re-sizes the window and sweeps topologies.
     let configs = vec![
-        ("grid churn", Topology::grid(4, 4), 8u64),
+        ("grid churn", TopologySpec::Grid { w: 4, h: 4 }, 8u64),
         (
             "geometric churn",
-            Topology::random_geometric(16, 0.45, 5),
+            TopologySpec::Geometric {
+                n: 16,
+                radius: 0.45,
+            },
             9u64,
         ),
-        ("complete churn", Topology::complete(8), 10u64),
+        ("complete churn", TopologySpec::Complete { n: 8 }, 10u64),
     ];
-    let rows = parallel_map(configs, |(name, topo, seed)| {
-        let schedule = NetworkSchedule::churn(
-            &topo,
-            ChurnOptions {
-                horizon,
-                mean_up: 10.0,
-                mean_down: 5.0,
-                direction_skew_max: 0.004,
-                start_up_probability: 0.7,
-            },
-            seed,
-        );
-        let mut pb = base_params();
-        pb.insertion_scale(0.02);
-        let mut sim = SimBuilder::new(pb.build().unwrap())
-            .schedule(schedule)
-            .drift(DriftModel::TwoBlock)
-            .horizon(horizon + 10.0)
-            .seed(seed)
-            .build()
-            .unwrap();
+    let rows = parallel_map(configs, |(name, topology, seed)| {
+        let mut spec = gcs_scenarios::presets::churn("churn-sweep", topology);
+        spec.warmup = 0.0;
+        spec.duration = horizon;
+        let mut sim = spec.build(seed).expect("churn preset builds");
         let g_tilde = sim.params().g_tilde().unwrap();
         let slack = sim.params().discretization_slack(sim.tick_interval());
         let checker = GradientChecker::new(g_tilde, 12, slack);

@@ -26,8 +26,14 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
-pub mod ensemble;
 pub mod experiments;
+
+// The multi-seed aggregation and the scoped-thread fan-out moved down to
+// `gcs-analysis` so the scenario campaign runner (`gcs-scenarios`) can share
+// them without a dependency cycle; the historical `gcs_bench::` paths keep
+// working via these re-exports.
+pub use gcs_analysis::ensemble;
+pub use gcs_analysis::parallel_map;
 
 use gcs_analysis::Table;
 
@@ -101,38 +107,9 @@ pub fn all_experiments(scale: Scale) -> Vec<Table> {
     ]
 }
 
-/// Runs independent jobs on scoped threads and returns results in input
-/// order (used to parallelize sweep rows; each row is a whole simulation).
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, item) in items.into_iter().enumerate() {
-            let f = &f;
-            handles.push((i, scope.spawn(move || f(item))));
-        }
-        for (i, h) in handles {
-            out[i] = Some(h.join().expect("experiment job panicked"));
-        }
-    });
-    out.into_iter().map(|r| r.expect("job filled")).collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let xs = vec![3u64, 1, 4, 1, 5, 9, 2, 6];
-        let ys = parallel_map(xs.clone(), |x| x * 2);
-        assert_eq!(ys, xs.iter().map(|x| x * 2).collect::<Vec<_>>());
-    }
 
     #[test]
     fn quick_scale_is_smaller_than_full() {

@@ -1,0 +1,30 @@
+//! Simulation-backed ensemble checks (the pure aggregation tests live with
+//! the moved module in `gcs-analysis`).
+
+use gcs_bench::ensemble;
+use gcs_core::SimBuilder;
+use gcs_net::Topology;
+use gcs_sim::DriftModel;
+
+#[test]
+fn skew_spread_across_seeds_is_modest() {
+    // The global skew of a stabilized line should not be wildly
+    // seed-dependent: the bound is deterministic, the noise is not.
+    let stats = ensemble::run(&[1, 2, 3, 4, 5], |seed| {
+        let params = gcs_bench::experiments::base_params().build().unwrap();
+        let mut sim = SimBuilder::new(params)
+            .topology(Topology::line(8))
+            .drift(DriftModel::RandomConstant)
+            .seed(seed)
+            .build()
+            .unwrap();
+        sim.run_until_secs(15.0);
+        sim.snapshot().global_skew()
+    });
+    assert!(stats.mean > 0.0);
+    assert!(stats.max <= 0.12, "a seed exceeded the n=8 estimate");
+    // The new percentile fields bracket the median and stay within range.
+    assert!(stats.min <= stats.p10 && stats.p10 <= stats.median);
+    assert!(stats.median <= stats.p90 && stats.p90 <= stats.max);
+    assert!(stats.stddev >= 0.0);
+}

@@ -164,6 +164,31 @@ impl Topology {
         Topology::from_edges(format!("complete({n})"), n, edges)
     }
 
+    /// The `dim`-dimensional hypercube: `2^dim` nodes, an edge between
+    /// every pair of ids differing in exactly one bit. The log-diameter
+    /// family (`hop_diameter == dim`) the gradient bound is most sensitive
+    /// to: distances grow like `log n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `dim > 16`.
+    #[must_use]
+    pub fn hypercube(dim: u32) -> Self {
+        assert!(dim >= 1, "a hypercube needs dimension >= 1");
+        assert!(dim <= 16, "dimension {dim} too large (2^dim nodes)");
+        let n = 1usize << dim;
+        let mut edges = Vec::with_capacity(n * dim as usize / 2);
+        for v in 0..n {
+            for b in 0..dim {
+                let u = v ^ (1 << b);
+                if v < u {
+                    edges.push(EdgeKey::new(NodeId::from(v), NodeId::from(u)));
+                }
+            }
+        }
+        Topology::from_edges(format!("hypercube({dim})"), n, edges)
+    }
+
     /// An Erdős–Rényi `G(n, p)` graph, repaired to be connected by linking
     /// components along a random spanning chain if necessary.
     ///
@@ -529,6 +554,38 @@ mod tests {
         let k = Topology::complete(5);
         assert_eq!(k.edge_count(), 10);
         assert_eq!(k.hop_diameter(), Some(1));
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let t = Topology::hypercube(4);
+        assert_eq!(t.node_count(), 16);
+        // n * dim / 2 edges, every node of degree dim.
+        assert_eq!(t.edge_count(), 32);
+        assert!(t.is_connected());
+        assert_eq!(t.hop_diameter(), Some(4));
+        for adj in t.adjacency() {
+            assert_eq!(adj.len(), 4);
+        }
+        assert_eq!(t.name(), "hypercube(4)");
+        // Hop distance equals Hamming distance to the antipode.
+        let d = t.hop_distances(NodeId(0));
+        assert_eq!(d[15], 4);
+        assert_eq!(d[0b0101], 2);
+    }
+
+    #[test]
+    fn hypercube_dim_one_is_an_edge() {
+        let t = Topology::hypercube(1);
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.edge_count(), 1);
+        assert_eq!(t.hop_diameter(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn hypercube_rejects_dim_zero() {
+        let _ = Topology::hypercube(0);
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! The campaign runner: scenario × seed fan-out, ensemble aggregation,
+//! and the machine-readable `results/campaign_*.json` trajectory artifact.
+//!
+//! Fan-out goes through [`gcs_analysis::parallel_map`] (the same function
+//! the experiment harness uses as `gcs_bench::parallel_map`) and
+//! aggregation through [`EnsembleStats`], so campaign numbers are directly
+//! comparable with the theorem experiments.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use gcs_analysis::{local_skew, parallel_map, EnsembleStats};
+
+use crate::error::ScenarioError;
+use crate::json::Json;
+use crate::spec::{FaultSpec, Metric, Scale, ScenarioSpec};
+
+/// Everything one seeded run of one scenario produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// The run seed.
+    pub seed: u64,
+    /// The scenario's primary metric (see [`Metric`]).
+    pub primary: f64,
+    /// Maximum global skew over the observation window.
+    pub max_global_skew: f64,
+    /// Maximum local (per-edge) skew over the observation window.
+    pub max_local_skew: f64,
+    /// Global skew at the final instant.
+    pub final_global_skew: f64,
+    /// Sampled instants (inside the observation window) at which
+    /// [`Simulation::verify_invariants`](gcs_core::Simulation::verify_invariants)
+    /// reported violations. Nonzero is expected while a partition is open
+    /// or right after a fault injection.
+    pub invariant_violations: u64,
+    /// Messages handed to the transport.
+    pub messages_sent: u64,
+    /// Messages delivered.
+    pub messages_delivered: u64,
+    /// Messages dropped by the continuity rule.
+    pub messages_dropped: u64,
+    /// `(t, global skew)` at every sampled instant of the whole run —
+    /// the trajectory other tooling plots or regression-checks.
+    pub trajectory: Vec<(f64, f64)>,
+}
+
+/// Runs one scenario once: builds the simulation, replays scripted faults
+/// at their exact instants, samples on the observation grid, and returns
+/// the outcome.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError`] if the spec fails to validate or build.
+pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<ScenarioOutcome, ScenarioError> {
+    let mut sim = spec.build(seed)?;
+    let end = spec.end_secs();
+    let mut faults = spec.faults.clone();
+    faults.sort_by(|a, b| a.at().total_cmp(&b.at()));
+    let mut next_fault = 0usize;
+
+    let mut trajectory = Vec::new();
+    let mut max_global_skew = 0.0f64;
+    let mut max_local_skew = 0.0f64;
+    let mut invariant_violations = 0u64;
+
+    let mut k = 0u64;
+    loop {
+        // Sample grid k * sample, with the exact end instant appended.
+        let t = (k as f64 * spec.sample).min(end);
+        while next_fault < faults.len() && faults[next_fault].at() <= t {
+            let FaultSpec::ClockOffset { at, node, amount } = faults[next_fault];
+            sim.run_until_secs(at);
+            sim.inject_clock_offset(gcs_net::NodeId::from(node), amount);
+            next_fault += 1;
+        }
+        sim.run_until_secs(t);
+        let g = sim.snapshot().global_skew();
+        trajectory.push((t, g));
+        if t >= spec.warmup - 1e-9 {
+            max_global_skew = max_global_skew.max(g);
+            max_local_skew = max_local_skew.max(local_skew(&sim));
+            if !sim.verify_invariants().is_empty() {
+                invariant_violations += 1;
+            }
+        }
+        if t >= end - 1e-12 {
+            break;
+        }
+        k += 1;
+    }
+
+    let final_global_skew = trajectory.last().map_or(0.0, |&(_, g)| g);
+    let stats = sim.stats();
+    Ok(ScenarioOutcome {
+        seed,
+        primary: match spec.metric {
+            Metric::GlobalSkew => max_global_skew,
+            Metric::LocalSkew => max_local_skew,
+            Metric::FinalGlobalSkew => final_global_skew,
+        },
+        max_global_skew,
+        max_local_skew,
+        final_global_skew,
+        invariant_violations,
+        messages_sent: stats.messages_sent,
+        messages_delivered: stats.messages_delivered,
+        messages_dropped: stats.messages_dropped,
+        trajectory,
+    })
+}
+
+/// One scenario's aggregated campaign result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRow {
+    /// Scenario name.
+    pub name: String,
+    /// Node count after scaling.
+    pub nodes: usize,
+    /// The aggregated metric.
+    pub metric: Metric,
+    /// Ensemble statistics of the primary metric across seeds.
+    pub stats: EnsembleStats,
+    /// Per-seed outcomes, in seed order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+/// Runs every scenario × seed combination in parallel (one scoped thread
+/// per run, input order preserved) and aggregates per scenario.
+///
+/// # Errors
+///
+/// Returns the first [`ScenarioError`] any run produced.
+pub fn run_campaign(
+    specs: &[ScenarioSpec],
+    seeds: &[u64],
+) -> Result<Vec<CampaignRow>, ScenarioError> {
+    assert!(!seeds.is_empty(), "a campaign needs at least one seed");
+    let jobs: Vec<(usize, u64)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| seeds.iter().map(move |&s| (i, s)))
+        .collect();
+    let results = parallel_map(jobs, |(i, seed)| run_scenario(&specs[i], seed));
+
+    let mut rows = Vec::with_capacity(specs.len());
+    let mut it = results.into_iter();
+    for spec in specs {
+        let mut outcomes = Vec::with_capacity(seeds.len());
+        for _ in seeds {
+            outcomes.push(it.next().expect("one result per job")?);
+        }
+        let primaries: Vec<f64> = outcomes.iter().map(|o| o.primary).collect();
+        rows.push(CampaignRow {
+            name: spec.name.clone(),
+            nodes: spec.topology.node_count(),
+            metric: spec.metric,
+            stats: EnsembleStats::from_values(&primaries),
+            outcomes,
+        });
+    }
+    Ok(rows)
+}
+
+/// Serializes a campaign to the JSON artifact format (see
+/// `scenarios/README.md` for the schema).
+#[must_use]
+pub fn campaign_json(title: &str, scale: Scale, seeds: &[u64], rows: &[CampaignRow]) -> String {
+    let stats_json = |s: &EnsembleStats| {
+        Json::Obj(vec![
+            ("runs", Json::Int(s.runs as u64)),
+            ("mean", Json::Num(s.mean)),
+            ("min", Json::Num(s.min)),
+            ("max", Json::Num(s.max)),
+            ("median", Json::Num(s.median)),
+            ("stddev", Json::Num(s.stddev)),
+            ("p10", Json::Num(s.p10)),
+            ("p90", Json::Num(s.p90)),
+        ])
+    };
+    let outcome_json = |o: &ScenarioOutcome| {
+        Json::Obj(vec![
+            ("seed", Json::Int(o.seed)),
+            ("primary", Json::Num(o.primary)),
+            ("max_global_skew", Json::Num(o.max_global_skew)),
+            ("max_local_skew", Json::Num(o.max_local_skew)),
+            ("final_global_skew", Json::Num(o.final_global_skew)),
+            ("invariant_violations", Json::Int(o.invariant_violations)),
+            ("messages_sent", Json::Int(o.messages_sent)),
+            ("messages_delivered", Json::Int(o.messages_delivered)),
+            ("messages_dropped", Json::Int(o.messages_dropped)),
+            (
+                "trajectory",
+                Json::Arr(
+                    o.trajectory
+                        .iter()
+                        .map(|&(t, g)| Json::Arr(vec![Json::Num(t), Json::Num(g)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    };
+    let doc = Json::Obj(vec![
+        ("format", Json::Str("gcs-campaign/v1".to_string())),
+        ("campaign", Json::Str(title.to_string())),
+        ("scale", Json::Str(scale.name().to_string())),
+        (
+            "seeds",
+            Json::Arr(seeds.iter().map(|&s| Json::Int(s)).collect()),
+        ),
+        (
+            "scenarios",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("name", Json::Str(r.name.clone())),
+                            ("nodes", Json::Int(r.nodes as u64)),
+                            ("metric", Json::Str(r.metric.token().to_string())),
+                            ("stats", stats_json(&r.stats)),
+                            (
+                                "outcomes",
+                                Json::Arr(r.outcomes.iter().map(outcome_json).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    format!("{doc}\n")
+}
+
+/// Writes the artifact to `dir/campaign_<unix-millis>.json`, creating the
+/// directory if needed, and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_campaign(
+    dir: &Path,
+    title: &str,
+    scale: Scale,
+    seeds: &[u64],
+    rows: &[CampaignRow],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0);
+    let path = dir.join(format!("campaign_{stamp}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(campaign_json(title, scale, seeds, rows).as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    fn tiny(name: &str) -> ScenarioSpec {
+        registry::find(name).expect("built-in").scaled(Scale::Tiny)
+    }
+
+    #[test]
+    fn run_scenario_is_deterministic() {
+        let spec = tiny("line-worstcase");
+        let a = run_scenario(&spec, 3).unwrap();
+        let b = run_scenario(&spec, 3).unwrap();
+        assert_eq!(a, b, "identical spec + seed must give identical outcomes");
+        let c = run_scenario(&spec, 4).unwrap();
+        assert_ne!(a.trajectory, c.trajectory, "seeds must matter");
+    }
+
+    #[test]
+    fn faults_fire_and_show_in_the_trajectory() {
+        let spec = tiny("self-heal");
+        let fault_at = spec.faults[0].at();
+        let out = run_scenario(&spec, 1).unwrap();
+        // Just after the injection the global skew must reflect the offset.
+        let after = out
+            .trajectory
+            .iter()
+            .find(|&&(t, _)| t >= fault_at)
+            .expect("samples after the fault");
+        assert!(after.1 >= 0.9, "fault not visible: {after:?}");
+        // final-global-skew metric: recovery should beat the spike.
+        assert!(out.primary < out.max_global_skew);
+    }
+
+    #[test]
+    fn campaign_aggregates_per_scenario() {
+        let specs = vec![tiny("line-worstcase"), tiny("ring-steady")];
+        let seeds = [1, 2];
+        let rows = run_campaign(&specs, &seeds).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "line-worstcase");
+        assert_eq!(rows[0].stats.runs, 2);
+        assert!(rows[0].stats.min <= rows[0].stats.max);
+        let json = campaign_json("smoke", Scale::Tiny, &seeds, &rows);
+        assert!(json.starts_with("{\"format\":\"gcs-campaign/v1\""));
+        assert!(json.contains("\"stddev\""));
+        assert!(json.contains("\"p90\""));
+        assert!(json.contains("\"trajectory\":[["));
+        assert!(json.ends_with("}\n"));
+    }
+}

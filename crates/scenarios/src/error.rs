@@ -1,0 +1,48 @@
+//! Error type shared by the spec, format, and campaign layers.
+
+use gcs_core::{BuildError, ParamsError};
+
+/// Everything that can go wrong turning a scenario into a running
+/// simulation: a malformed `.scn` file, an out-of-range spec, parameter
+/// validation, or the simulation builder itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A `.scn` line failed to parse (1-based line number).
+    Parse {
+        /// Line number the error was detected on.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The spec is structurally valid but semantically out of range.
+    Invalid(String),
+    /// The algorithm parameters were rejected.
+    Params(ParamsError),
+    /// The simulation builder rejected the compiled scenario.
+    Build(BuildError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            ScenarioError::Invalid(msg) => write!(f, "invalid scenario: {msg}"),
+            ScenarioError::Params(e) => write!(f, "parameters: {e}"),
+            ScenarioError::Build(e) => write!(f, "build: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ParamsError> for ScenarioError {
+    fn from(e: ParamsError) -> Self {
+        ScenarioError::Params(e)
+    }
+}
+
+impl From<BuildError> for ScenarioError {
+    fn from(e: BuildError) -> Self {
+        ScenarioError::Build(e)
+    }
+}

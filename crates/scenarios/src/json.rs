@@ -1,0 +1,113 @@
+//! A minimal hand-rolled JSON writer (the workspace is hermetic — no
+//! serde). Only what campaign artifacts need: objects with static keys,
+//! arrays, strings, and numbers. Non-finite numbers serialize as `null`.
+
+use std::fmt;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (written via `f64`'s shortest round-trip formatting;
+    /// NaN/infinite values become `null`).
+    Num(f64),
+    /// An unsigned integer (written without a decimal point).
+    Int(u64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys are static in all campaign artifacts.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Json::Int(v) => write!(f, "{v}"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_values() {
+        let v = Json::Obj(vec![
+            ("name", Json::Str("churn \"storm\"".to_string())),
+            ("runs", Json::Int(4)),
+            ("mean", Json::Num(0.25)),
+            ("bad", Json::Num(f64::NAN)),
+            ("ok", Json::Bool(true)),
+            ("xs", Json::Arr(vec![Json::Num(1.5), Json::Null])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"churn \"storm\"","runs":4,"mean":0.25,"bad":null,"ok":true,"xs":[1.5,null]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let v = Json::Str("a\nb\t\u{1}".to_string());
+        assert_eq!(v.to_string(), "\"a\\nb\\t\\u0001\"");
+    }
+
+    #[test]
+    fn integers_have_no_decimal_point() {
+        assert_eq!(Json::Num(4.0).to_string(), "4");
+        assert_eq!(Json::Int(0).to_string(), "0");
+    }
+}

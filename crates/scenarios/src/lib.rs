@@ -1,0 +1,51 @@
+//! Declarative scenarios for `gradient-clock-sync`.
+//!
+//! The paper's guarantees are claims over *adversarial dynamic-network
+//! scenarios* — churn, insertion, partition, drift flips. This crate makes
+//! those scenarios first-class data instead of per-scenario Rust:
+//!
+//! * [`spec`] — [`ScenarioSpec`]: topology family + size, drift model,
+//!   estimate layer, edge-schedule generator, fault injections, parameters,
+//!   and the observation plan, compiled through one seam
+//!   ([`ScenarioSpec::build`]) into a ready-to-run
+//!   [`Simulation`](gcs_core::Simulation);
+//! * [`format`] — the line-oriented `.scn` text format (hand-rolled parser
+//!   and canonical writer with exact round-trip; grammar in
+//!   `scenarios/README.md`);
+//! * [`registry`] — ≥ 12 named built-in scenarios spanning
+//!   ring/line/grid/torus/geometric/small-world/scale-free/hypercube
+//!   topologies and churn-storm / flash-join / partition-heal /
+//!   mobile-swarm / drift-flip dynamics;
+//! * [`presets`] — parametric families shared with the experiment harness;
+//! * [`campaign`] — the parallel scenario × seed runner and the
+//!   `results/campaign_*.json` trajectory artifact;
+//! * the `gcs-scenarios` CLI (`list | validate <dir> | run <name|file> |
+//!   export <dir> | show <name>`).
+//!
+//! # Example
+//!
+//! ```
+//! use gcs_scenarios::{registry, Scale};
+//!
+//! let spec = registry::find("churn-storm").unwrap().scaled(Scale::Tiny);
+//! let mut sim = spec.build(7).unwrap();
+//! sim.run_until_secs(spec.end_secs());
+//! assert!(sim.snapshot().global_skew().is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod error;
+pub mod format;
+pub mod json;
+pub mod presets;
+pub mod registry;
+pub mod spec;
+
+pub use campaign::{run_campaign, run_scenario, CampaignRow, ScenarioOutcome};
+pub use error::ScenarioError;
+pub use spec::{
+    DriftSpec, DynamicsSpec, EstimateSpec, FaultSpec, Metric, Scale, ScenarioSpec, TopologySpec,
+};

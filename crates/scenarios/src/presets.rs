@@ -1,0 +1,115 @@
+//! Parametric scenario families shared by the built-in registry and the
+//! experiment harness (`gcs-bench` sizes them per sweep point instead of
+//! re-assembling schedules by hand).
+
+use crate::spec::{DriftSpec, DynamicsSpec, EstimateSpec, Metric, ScenarioSpec, TopologySpec};
+
+/// A neutral starting point: paper parameters (ρ = 1%, µ = 10%), a 10 s
+/// warm-up, a 30 s observation window sampled twice a second, global skew
+/// as the primary metric, no faults.
+#[must_use]
+pub fn base(name: &str, topology: TopologySpec) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.to_string(),
+        description: String::new(),
+        topology,
+        drift: DriftSpec::TwoBlock,
+        estimates: EstimateSpec::OracleNone,
+        dynamics: DynamicsSpec::Static,
+        faults: Vec::new(),
+        rho: 0.01,
+        mu: 0.1,
+        insertion_scale: None,
+        g_tilde: None,
+        dynamic_estimates: false,
+        warmup: 10.0,
+        duration: 30.0,
+        sample: 0.5,
+        metric: Metric::GlobalSkew,
+    }
+}
+
+/// A ring of `n` nodes with one antipodal chord appearing at `t = 2 s`
+/// under two-block drift — the Theorem 5.25 stabilization workload (the
+/// chord connects nodes `0` and `n/2`, so observers know which pair to
+/// watch). Used by experiment E4 at every sweep size.
+#[must_use]
+pub fn ring_chord(n: usize, insertion_scale: f64) -> ScenarioSpec {
+    let mut spec = base("ring-chord", TopologySpec::Ring { n });
+    spec.description = "Antipodal chord appears on a ring: staged-insertion stabilization \
+                        (Theorem 5.25)"
+        .to_string();
+    spec.dynamics = DynamicsSpec::Insertion {
+        at: 2.0,
+        count: 1,
+        skew: 0.002,
+    };
+    spec.insertion_scale = Some(insertion_scale);
+    spec.warmup = 2.0;
+    spec.duration = 60.0;
+    spec
+}
+
+/// Heavy connectivity-preserving churn over any topology: exponential
+/// up/down phases (10 s / 5 s means) on every non-backbone edge. Used by
+/// experiment E8 across its topology sweep.
+#[must_use]
+pub fn churn(name: &str, topology: TopologySpec) -> ScenarioSpec {
+    let mut spec = base(name, topology);
+    spec.dynamics = DynamicsSpec::Churn {
+        mean_up: 10.0,
+        mean_down: 5.0,
+        skew: 0.004,
+        start_up: 0.7,
+    };
+    spec.insertion_scale = Some(0.02);
+    spec.warmup = 5.0;
+    spec.duration = 30.0;
+    spec
+}
+
+/// A ring of `n` nodes cut into two halves during `[split, merge]` — the
+/// connectivity-requirement workload (experiment E10 and the `partition`
+/// example).
+#[must_use]
+pub fn partition_heal(n: usize, split: f64, merge: f64) -> ScenarioSpec {
+    let mut spec = base("partition-heal", TopologySpec::Ring { n });
+    spec.description = "Ring cut in half and merged again: cross-cut skew grows at 2*rho \
+                        while open, then collapses at the recovery rate"
+        .to_string();
+    spec.dynamics = DynamicsSpec::Partition {
+        split,
+        merge,
+        skew: 0.002,
+    };
+    spec.g_tilde = Some(2.0);
+    spec.insertion_scale = Some(0.02);
+    spec.warmup = 0.0;
+    spec.duration = merge + 30.0;
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate_across_sizes() {
+        for n in [8, 16, 32] {
+            ring_chord(n, 0.05).validate().unwrap();
+            partition_heal(n, 10.0, 40.0).validate().unwrap();
+        }
+        churn("churn-test", TopologySpec::Grid { w: 4, h: 4 })
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn ring_chord_inserts_the_antipodal_chord() {
+        let spec = ring_chord(12, 0.05);
+        let sched = spec.schedule(7).unwrap();
+        assert_eq!(sched.events().len(), 2); // both directions of (0, 6)
+        let ev = sched.events()[0];
+        assert_eq!((ev.from.index(), ev.to.index()), (0, 6));
+    }
+}

@@ -1,0 +1,242 @@
+//! The built-in registry: named, validated scenarios spanning every
+//! topology family and dynamics generator the subsystem supports.
+//!
+//! These are the canonical workloads — the `scenarios/` directory at the
+//! repo root holds their canonical `.scn` serializations (regenerate with
+//! `gcs-scenarios export scenarios/`), the examples build from them, and
+//! `gcs-scenarios run all` sweeps the lot.
+
+use crate::presets;
+use crate::spec::{
+    DriftSpec, DynamicsSpec, EstimateSpec, FaultSpec, Metric, ScenarioSpec, TopologySpec,
+};
+
+/// All built-in scenarios, sorted by name. Every entry passes
+/// [`ScenarioSpec::validate`] at every [`Scale`](crate::Scale) (enforced
+/// by tests).
+#[must_use]
+pub fn all() -> Vec<ScenarioSpec> {
+    let mut specs = vec![
+        ring_steady(),
+        line_worstcase(),
+        grid_sensor(),
+        torus_messages(),
+        geometric_dense(),
+        small_world_hub(),
+        scale_free_hubs(),
+        hypercube_log(),
+        churn_storm(),
+        flash_join(),
+        partition_heal(),
+        mobile_swarm(),
+        drift_flip(),
+        self_heal(),
+    ];
+    specs.sort_by(|a, b| a.name.cmp(&b.name));
+    specs
+}
+
+/// Looks up a built-in scenario by name.
+#[must_use]
+pub fn find(name: &str) -> Option<ScenarioSpec> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+fn ring_steady() -> ScenarioSpec {
+    let mut s = presets::base("ring-steady", TopologySpec::Ring { n: 8 });
+    s.description =
+        "Steady-state ring under alternating worst-case drift (the quickstart scenario)"
+            .to_string();
+    s.drift = DriftSpec::Alternating;
+    s.warmup = 10.0;
+    s.duration = 50.0;
+    s
+}
+
+fn line_worstcase() -> ScenarioSpec {
+    let mut s = presets::base("line-worstcase", TopologySpec::Line { n: 16 });
+    s.description =
+        "The canonical worst case: a line with two-block drift (Theorem 5.6 shape)".to_string();
+    s
+}
+
+fn grid_sensor() -> ScenarioSpec {
+    let mut s = presets::base("grid-sensor", TopologySpec::Grid { w: 6, h: 6 });
+    s.description =
+        "TDMA sensor grid with biased estimates: the paper's motivating deployment".to_string();
+    s.drift = DriftSpec::RandomConstant;
+    s.estimates = EstimateSpec::OracleBias;
+    s.metric = Metric::LocalSkew;
+    s
+}
+
+fn torus_messages() -> ScenarioSpec {
+    let mut s = presets::base("torus-messages", TopologySpec::Torus { w: 4, h: 4 });
+    s.description = "Message-borne estimates (floods + dead reckoning) on a 2-D torus".to_string();
+    s.drift = DriftSpec::RandomConstant;
+    s.estimates = EstimateSpec::Messages;
+    s.duration = 20.0;
+    s
+}
+
+fn geometric_dense() -> ScenarioSpec {
+    let mut s = presets::base(
+        "geometric-dense",
+        TopologySpec::Geometric {
+            n: 24,
+            radius: 0.35,
+        },
+    );
+    s.description = "Random geometric graph with slowly wandering oscillators".to_string();
+    s.drift = DriftSpec::RandomWalk {
+        period: 5.0,
+        step: 0.25,
+    };
+    s
+}
+
+fn small_world_hub() -> ScenarioSpec {
+    let mut s = presets::base(
+        "small-world-hub",
+        TopologySpec::SmallWorld {
+            n: 24,
+            k: 4,
+            beta: 0.2,
+        },
+    );
+    s.description = "Watts-Strogatz small world: shortcuts shrink the kappa-diameter".to_string();
+    s.drift = DriftSpec::RandomConstant;
+    s.metric = Metric::LocalSkew;
+    s
+}
+
+fn scale_free_hubs() -> ScenarioSpec {
+    let mut s = presets::base("scale-free-hubs", TopologySpec::ScaleFree { n: 32, m: 2 });
+    s.description = "Barabasi-Albert hubs with biased estimates: degree-skewed load".to_string();
+    s.drift = DriftSpec::RandomConstant;
+    s.estimates = EstimateSpec::OracleBias;
+    s.metric = Metric::LocalSkew;
+    s
+}
+
+fn hypercube_log() -> ScenarioSpec {
+    let mut s = presets::base("hypercube-log", TopologySpec::Hypercube { dim: 4 });
+    s.description =
+        "Hypercube: the log-diameter family the gradient bound is most sensitive to".to_string();
+    s
+}
+
+fn churn_storm() -> ScenarioSpec {
+    let mut s = presets::churn("churn-storm", TopologySpec::Grid { w: 4, h: 4 });
+    s.description = "Heavy exponential churn over a grid; a spanning tree preserves \
+                     connectivity (experiment E8)"
+        .to_string();
+    s
+}
+
+fn flash_join() -> ScenarioSpec {
+    let mut s = presets::base("flash-join", TopologySpec::Ring { n: 12 });
+    s.description =
+        "Four chords appear at once: concurrent staged insertions (Theorem 5.25)".to_string();
+    s.dynamics = DynamicsSpec::Insertion {
+        at: 5.0,
+        count: 4,
+        skew: 0.002,
+    };
+    s.insertion_scale = Some(0.05);
+    s.warmup = 5.0;
+    s.duration = 40.0;
+    s
+}
+
+fn partition_heal() -> ScenarioSpec {
+    presets::partition_heal(16, 10.0, 40.0)
+}
+
+fn mobile_swarm() -> ScenarioSpec {
+    let mut s = presets::base("mobile-swarm", TopologySpec::Complete { n: 12 });
+    s.description = "Random-waypoint swarm: links appear and disappear with distance \
+                     (topology supplies only the node count)"
+        .to_string();
+    s.drift = DriftSpec::RandomConstant;
+    s.dynamics = DynamicsSpec::Mobility {
+        radius: 0.5,
+        hysteresis: 1.2,
+        speed_min: 0.01,
+        speed_max: 0.03,
+        sample: 0.5,
+        skew: 0.002,
+    };
+    s.insertion_scale = Some(0.05);
+    s.warmup = 0.0;
+    s.duration = 120.0;
+    s
+}
+
+fn drift_flip() -> ScenarioSpec {
+    let mut s = presets::base("drift-flip", TopologySpec::Line { n: 12 });
+    s.description = "Flip-flop drift with adversarial hiding estimates: the local-skew \
+                     stress test (experiment E3)"
+        .to_string();
+    s.drift = DriftSpec::FlipFlop { period: 5.0 };
+    s.estimates = EstimateSpec::OracleHide;
+    s.metric = Metric::LocalSkew;
+    s
+}
+
+fn self_heal() -> ScenarioSpec {
+    let mut s = presets::base("self-heal", TopologySpec::Line { n: 8 });
+    s.description = "One clock corrupted by a full second: linear-time self-stabilization \
+                     (Theorem 5.6 II)"
+        .to_string();
+    s.faults = vec![FaultSpec::ClockOffset {
+        at: 15.0,
+        node: 0,
+        amount: 1.0,
+    }];
+    s.warmup = 10.0;
+    s.duration = 40.0;
+    s.metric = Metric::FinalGlobalSkew;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_large_diverse_and_valid() {
+        let specs = all();
+        assert!(
+            specs.len() >= 12,
+            "need >= 12 built-ins, got {}",
+            specs.len()
+        );
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "duplicate names");
+        assert!(names.windows(2).all(|w| w[0] < w[1]), "sorted by name");
+        for s in &specs {
+            s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert!(!s.description.is_empty(), "{} needs a description", s.name);
+        }
+        // Topology diversity: at least 7 distinct families.
+        let mut families: Vec<&str> = specs.iter().map(|s| s.topology.family()).collect();
+        families.sort_unstable();
+        families.dedup();
+        assert!(families.len() >= 7, "families: {families:?}");
+        // Dynamics diversity: every generator appears.
+        for kind in ["static", "insertion", "churn", "mobility", "partition"] {
+            assert!(
+                specs.iter().any(|s| s.dynamics.kind() == kind),
+                "no scenario exercises {kind} dynamics"
+            );
+        }
+    }
+
+    #[test]
+    fn find_matches_by_name() {
+        assert!(find("churn-storm").is_some());
+        assert!(find("no-such-scenario").is_none());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests of the scenario subsystem: exact `.scn` round-trips and
+//! deterministic builds.
+
+use proptest::prelude::*;
+
+use gcs_scenarios::{campaign, format, registry, Scale};
+
+/// Every registry scenario serializes → parses → re-serializes
+/// byte-identically (and value-identically).
+#[test]
+fn every_registry_scenario_round_trips_byte_identically() {
+    for spec in registry::all() {
+        let text = format::write(&spec);
+        let parsed = format::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert_eq!(parsed, spec, "value round-trip of {}", spec.name);
+        let re = format::write(&parsed);
+        assert_eq!(re, text, "byte round-trip of {}", spec.name);
+    }
+}
+
+/// Turns arbitrary bits into a finite float (round-tripping must work for
+/// *any* finite value, not just pretty ones).
+fn finite(bits: u64) -> f64 {
+    let v = f64::from_bits(bits);
+    if v.is_finite() {
+        v
+    } else {
+        1.0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// `build(seed)` is deterministic: two runs from the same spec + seed
+    /// produce identical skew trajectories (and every other outcome field).
+    #[test]
+    fn builds_are_deterministic(idx in any::<u64>(), seed in 0u64..1_000) {
+        let specs = registry::all();
+        let spec = specs[(idx as usize) % specs.len()].scaled(Scale::Tiny);
+        let a = campaign::run_scenario(&spec, seed).unwrap();
+        let b = campaign::run_scenario(&spec, seed).unwrap();
+        prop_assert!(!a.trajectory.is_empty());
+        prop_assert_eq!(&a.trajectory, &b.trajectory, "skew traces diverged for {}", spec.name);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The writer/parser pair is exact for arbitrary finite floats in the
+    /// numeric fields, not only for the registry's round numbers.
+    #[test]
+    fn arbitrary_floats_round_trip(
+        idx in any::<u64>(),
+        rho_bits in any::<u64>(),
+        warm_bits in any::<u64>(),
+        g_bits in any::<u64>(),
+    ) {
+        let specs = registry::all();
+        let mut spec = specs[(idx as usize) % specs.len()].clone();
+        spec.rho = finite(rho_bits);
+        spec.warmup = finite(warm_bits);
+        spec.g_tilde = Some(finite(g_bits));
+        // Round-tripping is a property of the format alone; the spec need
+        // not be semantically valid.
+        let text = format::write(&spec);
+        let parsed = format::parse(&text).unwrap();
+        prop_assert_eq!(&parsed, &spec);
+        prop_assert_eq!(format::write(&parsed), text);
+    }
+
+    /// The parser never panics, whatever prefix of a canonical file it
+    /// sees (canonical text is ASCII, so byte slicing is safe).
+    #[test]
+    fn parser_survives_truncation(idx in any::<u64>(), cut in 0usize..600) {
+        let specs = registry::all();
+        let text = format::write(&specs[(idx as usize) % specs.len()]);
+        prop_assert!(text.is_ascii());
+        let prefix = &text[..cut.min(text.len())];
+        let _ = format::parse(prefix); // Ok or Err, never a panic.
+    }
+}

@@ -6,42 +6,35 @@
 //! algorithm keeps currently-adjacent nodes tightly synchronized while the
 //! global skew stays bounded.
 //!
+//! The walk parameters live in the registry scenario `mobile-swarm`
+//! (`scenarios/mobile-swarm.scn`); this example just replays and narrates
+//! it.
+//!
 //! Run with:
 //!
 //! ```sh
 //! cargo run --release --example mobile_swarm
 //! ```
 
-use gradient_clock_sync::net::mobility::RandomWaypoint;
 use gradient_clock_sync::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mobility = RandomWaypoint {
-        n: 12,
-        radius: 0.5, // generous range keeps the swarm connected
-        hysteresis: 1.2,
-        speed: (0.01, 0.03),
-        horizon: 120.0,
-        sample_period: 0.5,
-        direction_skew_max: 0.002,
-    };
-    let schedule = mobility.generate(23);
+    let spec = registry::find("mobile-swarm").expect("built-in scenario");
+    // Schedule generation is deterministic per seed, so inspecting the
+    // script here and letting build() compile its own copy below yields
+    // the exact same link events.
+    let schedule = spec.schedule(23)?;
     println!(
         "mobile swarm: {} nodes, {} scripted link events\n",
         schedule.node_count(),
         schedule.events().len()
     );
-
-    let mut pb = Params::builder();
-    pb.rho(0.01).mu(0.1).insertion_scale(0.05);
-    let mut sim = SimBuilder::new(pb.build()?)
-        .schedule(schedule)
-        .drift(DriftModel::RandomConstant)
-        .seed(23)
-        .build()?;
+    let mut sim = spec.build(23)?;
 
     println!("   t    links   global skew   worst link skew");
-    for step in 0..=12 {
+    let end = spec.end_secs();
+    let steps = (end / 10.0).floor() as u32;
+    for step in 0..=steps {
         let t = f64::from(step) * 10.0;
         sim.run_until_secs(t);
         let links = sim.graph().undirected_edges().count();

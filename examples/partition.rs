@@ -8,36 +8,24 @@
 //! rate while the staged insertion re-admits the cut edges to the level
 //! sets without disturbing the survivors.
 //!
+//! The whole script — who is cut, when, and for how long — is the
+//! registry scenario `partition-heal` (`scenarios/partition-heal.scn`).
+//!
 //! Run with:
 //!
 //! ```sh
 //! cargo run --release --example partition
 //! ```
 
-use gradient_clock_sync::net::NodeId;
 use gradient_clock_sync::prelude::*;
 
-const SPLIT: f64 = 10.0;
-const MERGE: f64 = 40.0;
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let topo = Topology::ring(16);
-    let left: Vec<NodeId> = (0..8u32).map(NodeId).collect();
-    let schedule = NetworkSchedule::partition_and_merge(
-        &topo,
-        &left,
-        SimTime::from_secs(SPLIT),
-        SimTime::from_secs(MERGE),
-        0.002,
-    );
-
-    let mut pb = Params::builder();
-    pb.rho(0.01).mu(0.1).g_tilde(2.0).insertion_scale(0.02);
-    let mut sim = SimBuilder::new(pb.build()?)
-        .schedule(schedule)
-        .drift(DriftModel::TwoBlock)
-        .seed(10)
-        .build()?;
+    let spec = registry::find("partition-heal").expect("built-in scenario");
+    let DynamicsSpec::Partition { split, merge, .. } = spec.dynamics else {
+        unreachable!("partition-heal scripts a partition");
+    };
+    let n = spec.topology.node_count() as u32;
+    let mut sim = spec.build(10)?;
 
     let side_skew = |sim: &Simulation, range: std::ops::Range<u32>| {
         let snap = sim.snapshot();
@@ -46,14 +34,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             - vals.iter().copied().fold(f64::INFINITY, f64::min)
     };
 
-    println!("ring(16): cut {{0..8}} | {{8..16}} open during [{SPLIT}s, {MERGE}s]\n");
+    println!(
+        "ring({n}): cut {{0..{h}}} | {{{h}..{n}}} open during [{split}s, {merge}s]\n",
+        h = n / 2
+    );
     println!("    t   phase       global     left-half  right-half");
-    for step in 0..=16 {
-        let t = f64::from(step) * 5.0;
+    let end = spec.end_secs();
+    let steps = (end / 5.0).ceil() as u32;
+    for step in 0..=steps {
+        let t = (f64::from(step) * 5.0).min(end);
         sim.run_until_secs(t);
-        let phase = if t < SPLIT {
+        let phase = if t < split {
             "connected"
-        } else if t < MERGE {
+        } else if t < merge {
             "CUT OPEN "
         } else {
             "merged   "
@@ -61,8 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{t:>5.0}s  {phase}  {:>9.5}s  {:>9.5}s  {:>9.5}s",
             sim.snapshot().global_skew(),
-            side_skew(&sim, 0..8),
-            side_skew(&sim, 8..16),
+            side_skew(&sim, 0..n / 2),
+            side_skew(&sim, n / 2..n),
         );
     }
 

@@ -1,4 +1,8 @@
-//! Quickstart: synchronize an 8-node ring and print the skews.
+//! Quickstart: run a built-in scenario and print the skews.
+//!
+//! The scenario itself — an 8-ring with alternating worst-case drift —
+//! is data, not code: `ring-steady` in the scenario registry (see
+//! `scenarios/ring-steady.scn` and `gcs-scenarios list`).
 //!
 //! Run with:
 //!
@@ -9,27 +13,23 @@
 use gradient_clock_sync::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Algorithm parameters: drift bound rho, fast-mode boost mu.
-    //    sigma = (1-rho)*mu/(2*rho) is the gradient base; here ~4.95.
-    let params = Params::builder().rho(0.01).mu(0.1).build()?;
+    // 1. The scenario: topology, drift, estimates, and observation plan
+    //    all come from the registry entry.
+    let spec = registry::find("ring-steady").expect("built-in scenario");
+    let mut sim = spec.build(42)?;
     println!(
-        "A_OPT with rho = {}, mu = {}, sigma = {:.2}",
-        params.rho(),
-        params.mu(),
-        params.sigma()
+        "scenario {} — {}\nA_OPT with rho = {}, mu = {}, sigma = {:.2}\n",
+        spec.name,
+        spec.description,
+        sim.params().rho(),
+        sim.params().mu(),
+        sim.params().sigma()
     );
 
-    // 2. Scenario: a static 8-ring with worst-case drift (alternate nodes
-    //    run +1% / -1% fast).
-    let mut sim = SimBuilder::new(params)
-        .topology(Topology::ring(8))
-        .drift(DriftModel::Alternating)
-        .seed(42)
-        .build()?;
-
-    // 3. Run for 60 simulated seconds, reporting every 15.
-    for checkpoint in [15.0, 30.0, 45.0, 60.0] {
-        sim.run_until_secs(checkpoint);
+    // 2. Run to the scenario's end, reporting at four checkpoints.
+    let end = spec.end_secs();
+    for step in 1..=4 {
+        sim.run_until_secs(end * f64::from(step) / 4.0);
         let snap = sim.snapshot();
         println!(
             "t = {:>4.0}s   global skew = {:>10.6}s   local skew = {:>10.6}s",
@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 4. The gradient property: neighbours are far better synchronized
+    // 3. The gradient property: neighbours are far better synchronized
     //    than the global bound requires.
     let g_hat = sim.params().g_tilde().expect("derived by the builder");
     let slack = sim.params().discretization_slack(sim.tick_interval());

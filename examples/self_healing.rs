@@ -2,10 +2,11 @@
 //!
 //! Theorem 5.6 (II) promises that whenever the global skew exceeds the
 //! steady-state bound, it *shrinks* at rate at least `mu(1-rho) - 2rho`.
-//! We corrupt one node's logical clock by a full second and watch the
-//! network pull itself back into spec — in time linear in the injected
-//! skew, exactly as the self-stabilization discussion in §5.2/§5.3
-//! predicts.
+//! The registry scenario `self-heal` scripts the corruption — one node's
+//! logical clock jumps a full second — as a `fault offset` line in
+//! `scenarios/self-heal.scn`; this example injects it at the scripted
+//! instant (exactly what the campaign runner does) and watches the network
+//! pull itself back into spec, in time linear in the injected skew.
 //!
 //! Run with:
 //!
@@ -17,31 +18,29 @@ use gradient_clock_sync::net::NodeId;
 use gradient_clock_sync::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = Params::builder().rho(0.01).mu(0.1).build()?;
-    let recovery_rate = params.mu() * (1.0 - params.rho()) - 2.0 * params.rho();
-    let mut sim = SimBuilder::new(params)
-        .topology(Topology::line(8))
-        .drift(DriftModel::TwoBlock)
-        .seed(5)
-        .build()?;
+    let spec = registry::find("self-heal").expect("built-in scenario");
+    let &FaultSpec::ClockOffset { at, node, amount } =
+        spec.faults.first().expect("self-heal scripts a fault");
+    let mut sim = spec.build(5)?;
+    let recovery_rate = sim.params().mu() * (1.0 - sim.params().rho()) - 2.0 * sim.params().rho();
 
-    sim.run_until_secs(10.0);
+    sim.run_until_secs(at);
     let baseline = sim.snapshot().global_skew();
     println!("steady-state global skew: {baseline:.6}s");
 
-    const INJECTED: f64 = 1.0;
-    sim.inject_clock_offset(NodeId(0), INJECTED);
-    println!("t = 10s: corrupted node v0 by +{INJECTED}s\n");
+    sim.inject_clock_offset(NodeId::from(node), amount);
+    println!("t = {at}s: corrupted node v{node} by +{amount}s\n");
     println!(
         "expected recovery rate >= mu(1-rho) - 2rho = {recovery_rate:.4}  \
          (=> ~{:.0}s to recover)\n",
-        INJECTED / recovery_rate
+        amount / recovery_rate
     );
 
     println!("   t      global skew");
     let mut recovered_at = None;
-    for step in 0..=30 {
-        let t = 10.0 + f64::from(step);
+    let steps = (spec.end_secs() - at).ceil() as u32;
+    for step in 0..=steps {
+        let t = at + f64::from(step);
         sim.run_until_secs(t);
         let g = sim.snapshot().global_skew();
         if step % 2 == 0 {
@@ -56,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(t) => println!(
             "\nrecovered to 2x the steady-state skew after {:.0}s — linear-time \
              self-stabilization.",
-            t - 10.0
+            t - at
         ),
         None => println!("\nnot yet recovered (increase the horizon)"),
     }

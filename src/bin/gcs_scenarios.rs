@@ -1,0 +1,257 @@
+//! The `gcs-scenarios` CLI: list, validate, run, export, and show
+//! declarative scenarios.
+//!
+//! ```sh
+//! cargo run --release --bin gcs-scenarios -- list
+//! cargo run --release --bin gcs-scenarios -- validate scenarios/
+//! cargo run --release --bin gcs-scenarios -- run churn-storm --seeds 4
+//! cargo run --release --bin gcs-scenarios -- run all --seeds 2 --scale tiny
+//! cargo run --release --bin gcs-scenarios -- export scenarios/
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use gcs_scenarios::{campaign, format, registry, Scale, ScenarioSpec};
+
+const USAGE: &str = "\
+gcs-scenarios — declarative dynamic-network scenarios
+
+USAGE:
+    gcs-scenarios list
+        List the built-in scenario registry.
+    gcs-scenarios show <name>
+        Print a built-in scenario in canonical .scn form.
+    gcs-scenarios validate <dir>
+        Parse, validate, round-trip-check, and test-build every .scn
+        file in <dir>; exits nonzero on the first problem.
+    gcs-scenarios run <name|file.scn|all> [--seeds N] [--scale S] [--out DIR]
+        Run a campaign (scenario x seed fan-out) and write the
+        results/campaign_*.json artifact.
+        --seeds N   seeds 0..N          (default 4)
+        --scale S   tiny|default|full   (default default)
+        --out DIR   artifact directory  (default results)
+    gcs-scenarios export <dir>
+        Write every built-in scenario to <dir>/<name>.scn.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("show") => cmd_show(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    let specs = registry::all();
+    println!("{} built-in scenarios:\n", specs.len());
+    println!(
+        "{:<18} {:>5}  {:<22} {:<10} {:<17} description",
+        "name", "nodes", "topology", "dynamics", "metric"
+    );
+    for s in &specs {
+        println!(
+            "{:<18} {:>5}  {:<22} {:<10} {:<17} {}",
+            s.name,
+            s.topology.node_count(),
+            format!("{} ", s.topology.family()),
+            s.dynamics.kind(),
+            s.metric.token(),
+            s.description
+        );
+    }
+    Ok(())
+}
+
+fn cmd_show(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("show needs a scenario name")?;
+    let spec = registry::find(name)
+        .ok_or_else(|| format!("no built-in scenario {name:?} (try `gcs-scenarios list`)"))?;
+    print!("{}", format::write(&spec));
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let dir = args.first().ok_or("validate needs a directory")?;
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .scn files in {dir}"));
+    }
+    let mut names = std::collections::BTreeSet::new();
+    let mut failures = 0usize;
+    for path in &files {
+        match validate_file(path) {
+            Ok(spec) => {
+                if !names.insert(spec.name.clone()) {
+                    eprintln!(
+                        "FAIL {}: duplicate scenario name {:?}",
+                        path.display(),
+                        spec.name
+                    );
+                    failures += 1;
+                } else {
+                    println!("ok   {} ({})", path.display(), spec.name);
+                }
+            }
+            Err(msg) => {
+                eprintln!("FAIL {}: {msg}", path.display());
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {} file(s) failed", files.len()));
+    }
+    println!("all {} scenario file(s) valid", files.len());
+    Ok(())
+}
+
+fn validate_file(path: &Path) -> Result<ScenarioSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let spec = format::parse(&text).map_err(|e| e.to_string())?;
+    spec.validate().map_err(|e| e.to_string())?;
+    // The repo keeps scenario files in canonical form so diffs stay
+    // meaningful; `gcs-scenarios export` regenerates them.
+    let canonical = format::write(&spec);
+    if canonical != text {
+        return Err(
+            "file is not in canonical form (regenerate with `gcs-scenarios export`)".to_string(),
+        );
+    }
+    // A spec that parses but cannot build is rot; seed 0 stands in for all.
+    spec.build(0).map_err(|e| format!("build(0): {e}"))?;
+    Ok(spec)
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let target = args
+        .first()
+        .ok_or("run needs a scenario name, .scn file, or `all`")?;
+    let mut seeds_n = 4u64;
+    let mut scale = Scale::Default;
+    let mut out_dir = PathBuf::from("results");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                seeds_n = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--seeds needs a positive integer")?;
+                i += 2;
+            }
+            "--scale" => {
+                scale = args
+                    .get(i + 1)
+                    .and_then(|v| Scale::parse(v))
+                    .ok_or("--scale needs tiny|default|full")?;
+                i += 2;
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.get(i + 1).ok_or("--out needs a directory")?);
+                i += 2;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+
+    let (title, specs) = resolve_specs(target)?;
+    let specs: Vec<ScenarioSpec> = specs.iter().map(|s| s.scaled(scale)).collect();
+    let seeds: Vec<u64> = (0..seeds_n).collect();
+    println!(
+        "campaign {title:?}: {} scenario(s) x {} seed(s), scale {}",
+        specs.len(),
+        seeds.len(),
+        scale.name()
+    );
+
+    let started = std::time::Instant::now();
+    let rows = campaign::run_campaign(&specs, &seeds).map_err(|e| e.to_string())?;
+    println!(
+        "\n{:<18} {:>5} {:<17} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}",
+        "scenario", "nodes", "metric", "mean", "stddev", "p10", "p90", "max", "viol"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:>5} {:<17} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>6}",
+            r.name,
+            r.nodes,
+            r.metric.token(),
+            r.stats.mean,
+            r.stats.stddev,
+            r.stats.p10,
+            r.stats.p90,
+            r.stats.max,
+            r.outcomes
+                .iter()
+                .map(|o| o.invariant_violations)
+                .sum::<u64>()
+        );
+    }
+    let path = campaign::write_campaign(&out_dir, &title, scale, &seeds, &rows)
+        .map_err(|e| format!("cannot write artifact: {e}"))?;
+    println!(
+        "\n{} run(s) in {:.1}s; wrote {}",
+        rows.len() * seeds.len(),
+        started.elapsed().as_secs_f64(),
+        path.display()
+    );
+    Ok(())
+}
+
+/// Resolves a `run` target into a campaign title and spec list: the whole
+/// registry (`all`), a `.scn` file on disk, or a built-in by name.
+fn resolve_specs(target: &str) -> Result<(String, Vec<ScenarioSpec>), String> {
+    if target == "all" {
+        return Ok(("all".to_string(), registry::all()));
+    }
+    let path = Path::new(target);
+    if target.ends_with(".scn") || path.exists() {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {target}: {e}"))?;
+        let spec = format::parse(&text).map_err(|e| format!("{target}: {e}"))?;
+        spec.validate().map_err(|e| format!("{target}: {e}"))?;
+        return Ok((spec.name.clone(), vec![spec]));
+    }
+    let spec = registry::find(target).ok_or_else(|| {
+        format!("no built-in scenario {target:?} and no such file (try `gcs-scenarios list`)")
+    })?;
+    Ok((spec.name.clone(), vec![spec]))
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let dir = args.first().ok_or("export needs a directory")?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let specs = registry::all();
+    for spec in &specs {
+        let path = Path::new(dir).join(format!("{}.scn", spec.name));
+        std::fs::write(&path, format::write(spec))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    println!("exported {} scenario(s) to {dir}", specs.len());
+    Ok(())
+}

@@ -11,6 +11,8 @@
 //! * [`core`] — the `A_OPT` algorithm, its parameters, and the simulation driver
 //! * [`baselines`] — comparison policies (max-flood, single-level blocking)
 //! * [`analysis`] — skew metrics, gradient-legality checking, reporting
+//! * [`scenarios`] — declarative scenarios: the `.scn` format, the named
+//!   registry, and the campaign runner (see also the `gcs-scenarios` CLI)
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@ pub use gcs_analysis as analysis;
 pub use gcs_baselines as baselines;
 pub use gcs_core as core;
 pub use gcs_net as net;
+pub use gcs_scenarios as scenarios;
 pub use gcs_sim as sim;
 
 /// One-stop imports for the most common types.
@@ -51,5 +54,9 @@ pub mod prelude {
         SimBuilder, SimStats, Simulation, Trace,
     };
     pub use gcs_net::{ChurnOptions, EdgeParams, EdgeParamsMap, NetworkSchedule, Topology};
+    pub use gcs_scenarios::{
+        registry, DriftSpec, DynamicsSpec, EstimateSpec, FaultSpec, Metric, ScenarioError,
+        ScenarioSpec, TopologySpec,
+    };
     pub use gcs_sim::{DriftModel, DriftSchedule, SimDuration, SimTime};
 }
