@@ -1,35 +1,98 @@
-//! Scoped-thread fan-out for independent simulation jobs.
+//! Chunked work-stealing fan-out for independent simulation jobs.
 //!
 //! Lives in `gcs-analysis` so both the experiment harness (`gcs-bench`)
 //! and the scenario campaign runner (`gcs-scenarios`) share one
 //! implementation; `gcs-bench` re-exports it as `gcs_bench::parallel_map`.
+//!
+//! A fixed pool of workers (at most the machine's parallelism) pulls
+//! chunks of job indexes from a shared atomic queue until it drains, so a
+//! campaign with hundreds of scenario × seed jobs never spawns hundreds
+//! of threads, and a straggler job cannot idle the rest of the pool:
+//! whichever worker finishes its chunk first steals the next one.
 
-/// Runs independent jobs on scoped threads and returns results in input
-/// order (used to parallelize sweep rows and scenario × seed campaigns;
-/// each item is typically a whole simulation).
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on pool size; beyond this, more threads only add
+/// scheduler pressure for the simulation-sized jobs this runs.
+const MAX_WORKERS: usize = 64;
+
+/// How many chunks each worker would get if jobs were split evenly.
+/// Smaller chunks balance stragglers better; larger ones amortize the
+/// queue traffic. 4 chunks per worker keeps the tail short while touching
+/// the shared counter O(workers) times, not O(jobs).
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Runs independent jobs on a fixed worker pool and returns results in
+/// input order (used to parallelize sweep rows and scenario × seed
+/// campaigns; each item is typically a whole simulation).
+///
+/// Workers claim contiguous index chunks from a shared queue, so the
+/// thread count is `min(parallelism, jobs)` regardless of how many jobs
+/// are submitted, and results are bit-identical to the sequential
+/// `items.into_iter().map(f)` — scheduling never changes *what* runs,
+/// only *where*.
+///
+/// # Panics
+///
+/// Propagates the first panic of any job.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map_or(4, std::num::NonZeroUsize::get)
+        .min(MAX_WORKERS)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+
+    // Jobs and result slots live behind per-index mutexes (the workspace
+    // forbids unsafe code); each lock is taken exactly once per job, so
+    // contention is nil next to simulation-sized work.
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
     std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, item) in items.into_iter().enumerate() {
-            let f = &f;
-            handles.push((i, scope.spawn(move || f(item))));
-        }
-        for (i, h) in handles {
-            out[i] = Some(h.join().expect("parallel job panicked"));
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + chunk).min(n) {
+                    let item = jobs[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("job index claimed twice");
+                    let r = f(item);
+                    *results[i].lock().expect("result slot poisoned") = Some(r);
+                }
+            });
         }
     });
-    out.into_iter().map(|r| r.expect("job filled")).collect()
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("parallel job dropped")
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn parallel_map_preserves_order() {
@@ -42,5 +105,43 @@ mod tests {
     fn parallel_map_handles_empty_input() {
         let ys: Vec<u64> = parallel_map(Vec::<u64>::new(), |x| x);
         assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_matches_sequential_for_large_inputs() {
+        // Far more jobs than workers: every chunk boundary is exercised
+        // and the output must still be the sequential map, in order.
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys = parallel_map(xs.clone(), |x| x.wrapping_mul(2_654_435_761) ^ 0x9e37);
+        let expected: Vec<u64> = xs
+            .iter()
+            .map(|x| x.wrapping_mul(2_654_435_761) ^ 0x9e37)
+            .collect();
+        assert_eq!(ys, expected);
+    }
+
+    #[test]
+    fn parallel_map_runs_every_job_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let ys = parallel_map((0..257u64).collect(), |x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+        assert_eq!(ys, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_single_item() {
+        assert_eq!(parallel_map(vec![7u64], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn parallel_map_propagates_job_panics() {
+        let _ = parallel_map(vec![1u64, 2, 3], |x| {
+            assert!(x != 2, "boom");
+            x
+        });
     }
 }

@@ -1,13 +1,20 @@
 //! Ablations of the design choices DESIGN.md calls out: the parameters the
 //! paper constrains (µ/σ, the insertion duration `I`, the κ slack of
 //! eq. 9) and the estimate refresh period.
+//!
+//! Like the experiments, every ablation takes its adversary — topology,
+//! edge schedule, drift, estimates, fault script — from
+//! [`gcs_scenarios::presets`]; the sweeps only vary algorithm parameters,
+//! through the [`ScenarioSpec::builder_with`] seam.
+//!
+//! [`ScenarioSpec::builder_with`]: gcs_scenarios::ScenarioSpec::builder_with
 
 use gcs_analysis::report::fmt_val;
 use gcs_analysis::{gradient_bound, local_skew, GradientChecker, Table};
 use gcs_core::edge_state::Level;
-use gcs_core::{ErrorModel, EstimateMode, InsertionStrategy, SimBuilder};
-use gcs_net::{EdgeKey, NetworkSchedule, NodeId, Topology};
-use gcs_sim::{DriftModel, SimTime};
+use gcs_core::InsertionStrategy;
+use gcs_net::{EdgeKey, NodeId};
+use gcs_scenarios::{campaign, presets, DriftSpec, EstimateSpec, TopologySpec};
 
 use crate::experiments::base_params;
 use crate::{parallel_map, Scale};
@@ -21,16 +28,15 @@ pub fn a1_mu_sweep(scale: Scale) -> Table {
     const RHO: f64 = 0.002;
     let mus: &[f64] = &[0.02, 0.05, 0.1];
     let rows = parallel_map(mus.to_vec(), |mu| {
-        let params = gcs_core::Params::builder().rho(RHO).mu(mu).build().unwrap();
-        let sigma = params.sigma();
+        let mut spec = presets::base("mu-sweep", TopologySpec::Line { n: 12 });
+        spec.estimates = EstimateSpec::OracleHide;
+        spec.rho = RHO;
+        spec.mu = mu;
+        spec.warmup = scale.warmup_secs();
+        spec.duration = scale.observe_secs();
+        let mut sim = spec.build(1).expect("mu-sweep spec builds");
+        let sigma = sim.params().sigma();
         let recovery = mu * (1.0 - RHO) - 2.0 * RHO;
-        let mut sim = SimBuilder::new(params)
-            .topology(Topology::line(12))
-            .drift(DriftModel::TwoBlock)
-            .estimates(EstimateMode::Oracle(ErrorModel::Hide))
-            .seed(1)
-            .build()
-            .unwrap();
         sim.run_until_secs(scale.warmup_secs());
         let mut worst: f64 = 0.0;
         let horizon = scale.warmup_secs() + scale.observe_secs();
@@ -90,35 +96,14 @@ pub fn a2_insertion_scale(scale: Scale) -> Table {
     let scales: &[f64] = &[0.002, 0.02, 0.2];
     let n = 12usize;
     let rows = parallel_map(scales.to_vec(), |ins_scale| {
-        let probe = SimBuilder::new(base_params().build().unwrap())
-            .topology(Topology::line(n))
-            .build()
-            .unwrap();
-        let kappa = probe
-            .edge_info(EdgeKey::new(NodeId(0), NodeId(1)))
-            .unwrap()
-            .kappa;
-        let per_edge = 2.0 * kappa;
-        let injected = per_edge * (n - 1) as f64;
-
-        let mut pb = base_params();
-        pb.g_tilde(1.5 * injected).insertion_scale(ins_scale);
-        let chord = EdgeKey::new(NodeId(0), NodeId::from(n - 1));
-        let schedule = NetworkSchedule::with_edge_insertion(
-            &Topology::line(n),
-            &[(chord, SimTime::from_secs(2.0))],
-            0.002,
-        );
-        let mut sim = SimBuilder::new(pb.build().unwrap())
-            .schedule(schedule)
-            .drift(DriftModel::TwoBlock)
-            .seed(2)
-            .build()
-            .unwrap();
-        sim.run_until_secs(1.0);
-        for i in 0..n {
-            sim.inject_clock_offset(NodeId::from(i), per_edge * (n - 1 - i) as f64);
-        }
+        // The gradient is installed at t = 1, one second before the
+        // shortcut appears at t = 2 (the preset's fault script).
+        let mut spec = presets::shortcut_gradient(n, ins_scale, 2.0, 1.0);
+        let injected = presets::gradient_install_skew(n);
+        spec.warmup = 0.0;
+        spec.duration = 2.0 + scale.observe_secs() + 40.0;
+        let mut sim = spec.build(2).expect("shortcut preset builds");
+        campaign::apply_faults(&mut sim, &spec.faults);
         let g_hat = sim.params().g_tilde().unwrap();
         let slack = sim.params().discretization_slack(sim.tick_interval());
         let checker = GradientChecker::new(g_hat, 12, slack);
@@ -163,16 +148,19 @@ pub fn a2_insertion_scale(scale: Scale) -> Table {
 pub fn a3_kappa_slack(scale: Scale) -> Table {
     let cs: &[f64] = &[2.0, 3.0, 4.5, 8.0];
     let rows = parallel_map(cs.to_vec(), |c| {
+        let mut spec = presets::base("kappa-slack", TopologySpec::Line { n: 10 });
+        spec.drift = DriftSpec::Alternating;
+        spec.estimates = EstimateSpec::OracleBias;
+        spec.warmup = 0.0;
+        spec.duration = scale.warmup_secs() + scale.observe_secs();
         let mut pb = base_params();
         pb.kappa_scale(c);
         if c <= 4.0 {
             pb.allow_unproven();
         }
-        let mut sim = SimBuilder::new(pb.build().unwrap())
-            .topology(Topology::line(10))
-            .drift(DriftModel::Alternating)
-            .estimates(EstimateMode::Oracle(ErrorModel::RandomBias))
-            .seed(3)
+        let mut sim = spec
+            .builder_with(pb.build().unwrap(), 3)
+            .expect("kappa-slack spec builds")
             .build()
             .unwrap();
         let mut conflicts = 0u32;
@@ -224,6 +212,65 @@ pub fn a3_kappa_slack(scale: Scale) -> Table {
     t
 }
 
+/// A4: sweep the flood/estimate refresh period `P` in message mode.
+/// Expected: the derived uncertainty `ε(P)` — and with it `κ` and the
+/// measured local skew — grows roughly linearly in `P`.
+#[must_use]
+pub fn a4_refresh_period(scale: Scale) -> Table {
+    let periods: &[f64] = &[0.01, 0.05, 0.2];
+    let rows = parallel_map(periods.to_vec(), |p| {
+        let mut spec = presets::base("refresh-period", TopologySpec::Line { n: 10 });
+        spec.estimates = EstimateSpec::Messages;
+        spec.warmup = scale.warmup_secs();
+        spec.duration = scale.observe_secs();
+        let mut pb = base_params();
+        pb.refresh_period(p);
+        let mut sim = spec
+            .builder_with(pb.build().unwrap(), 4)
+            .expect("refresh-period spec builds")
+            .build()
+            .unwrap();
+        sim.run_until_secs(scale.warmup_secs());
+        let mut worst: f64 = 0.0;
+        let horizon = scale.warmup_secs() + scale.observe_secs();
+        let mut t_now = scale.warmup_secs();
+        while t_now <= horizon {
+            sim.run_until_secs(t_now);
+            worst = worst.max(local_skew(&sim));
+            t_now += 0.5;
+        }
+        let info = sim.edge_info(EdgeKey::new(NodeId(0), NodeId(1))).unwrap();
+        let g_tilde = sim.params().g_tilde().unwrap();
+        let bound = gradient_bound(sim.params(), g_tilde, info.kappa);
+        (p, info.epsilon, info.kappa, worst, bound)
+    });
+
+    let mut t = Table::new(
+        "A4  estimate refresh period (message mode, line(10))",
+        &[
+            "refresh P",
+            "derived eps",
+            "kappa",
+            "measured local skew",
+            "local bound",
+        ],
+    );
+    t.caption(
+        "Expected: eps (hence kappa and the bound) grows ~linearly with P; measured skew \
+         follows the same ordering.",
+    );
+    for (p, eps, kappa, worst, bound) in rows {
+        t.row([
+            fmt_val(p),
+            fmt_val(eps),
+            fmt_val(kappa),
+            fmt_val(worst),
+            fmt_val(bound),
+        ]);
+    }
+    t
+}
+
 /// A5: staged insertion (the paper's contribution) vs the simultaneous
 /// decaying-weight insertion of \[16\] that §5.5 compares against. The
 /// scenario installs a legal `Θ(n)` gradient and adds a shortcut across
@@ -234,16 +281,7 @@ pub fn a3_kappa_slack(scale: Scale) -> Table {
 #[must_use]
 pub fn a5_insertion_strategy(scale: Scale) -> Table {
     let n = 12usize;
-    let probe = SimBuilder::new(base_params().build().unwrap())
-        .topology(Topology::line(n))
-        .build()
-        .unwrap();
-    let kappa = probe
-        .edge_info(EdgeKey::new(NodeId(0), NodeId(1)))
-        .unwrap()
-        .kappa;
-    let per_edge = 2.0 * kappa;
-    let injected = per_edge * (n - 1) as f64;
+    let injected = presets::gradient_install_skew(n);
 
     let variants: Vec<(&'static str, InsertionStrategy, f64)> = vec![
         ("staged (Listing 1/2)", InsertionStrategy::Staged, 0.02),
@@ -261,25 +299,19 @@ pub fn a5_insertion_strategy(scale: Scale) -> Table {
 
     let rows = parallel_map(variants, |(name, strategy, ins_scale)| {
         let chord = EdgeKey::new(NodeId(0), NodeId::from(n - 1));
-        let schedule = NetworkSchedule::with_edge_insertion(
-            &Topology::line(n),
-            &[(chord, SimTime::from_secs(2.0))],
-            0.002,
-        );
+        let mut spec = presets::shortcut_gradient(n, ins_scale, 2.0, 2.0);
+        spec.warmup = 0.0;
+        spec.duration = 2.0 + scale.observe_secs() + 60.0;
         let mut pb = base_params();
         pb.g_tilde(1.5 * injected)
             .insertion_scale(ins_scale)
             .insertion_strategy(strategy);
-        let mut sim = SimBuilder::new(pb.build().unwrap())
-            .schedule(schedule)
-            .drift(DriftModel::TwoBlock)
-            .seed(5)
+        let mut sim = spec
+            .builder_with(pb.build().unwrap(), 5)
+            .expect("shortcut preset builds")
             .build()
             .unwrap();
-        sim.run_until_secs(2.0);
-        for i in 0..n {
-            sim.inject_clock_offset(NodeId::from(i), per_edge * (n - 1 - i) as f64);
-        }
+        campaign::apply_faults(&mut sim, &spec.faults);
         let slack = sim.params().discretization_slack(sim.tick_interval());
         let checker = GradientChecker::new(1.5 * injected, 12, slack);
         let mut violations = 0u32;
@@ -326,63 +358,6 @@ pub fn a5_insertion_strategy(scale: Scale) -> Table {
             done.map_or("> horizon".into(), |d| format!("{d:.2}s")),
             violations.to_string(),
             handshakes.to_string(),
-        ]);
-    }
-    t
-}
-
-/// A4: sweep the flood/estimate refresh period `P` in message mode.
-/// Expected: the derived uncertainty `ε(P)` — and with it `κ` and the
-/// measured local skew — grows roughly linearly in `P`.
-#[must_use]
-pub fn a4_refresh_period(scale: Scale) -> Table {
-    let periods: &[f64] = &[0.01, 0.05, 0.2];
-    let rows = parallel_map(periods.to_vec(), |p| {
-        let mut pb = base_params();
-        pb.refresh_period(p);
-        let mut sim = SimBuilder::new(pb.build().unwrap())
-            .topology(Topology::line(10))
-            .drift(DriftModel::TwoBlock)
-            .estimates(EstimateMode::Messages)
-            .seed(4)
-            .build()
-            .unwrap();
-        sim.run_until_secs(scale.warmup_secs());
-        let mut worst: f64 = 0.0;
-        let horizon = scale.warmup_secs() + scale.observe_secs();
-        let mut t_now = scale.warmup_secs();
-        while t_now <= horizon {
-            sim.run_until_secs(t_now);
-            worst = worst.max(local_skew(&sim));
-            t_now += 0.5;
-        }
-        let info = sim.edge_info(EdgeKey::new(NodeId(0), NodeId(1))).unwrap();
-        let g_tilde = sim.params().g_tilde().unwrap();
-        let bound = gradient_bound(sim.params(), g_tilde, info.kappa);
-        (p, info.epsilon, info.kappa, worst, bound)
-    });
-
-    let mut t = Table::new(
-        "A4  estimate refresh period (message mode, line(10))",
-        &[
-            "refresh P",
-            "derived eps",
-            "kappa",
-            "measured local skew",
-            "local bound",
-        ],
-    );
-    t.caption(
-        "Expected: eps (hence kappa and the bound) grows ~linearly with P; measured skew \
-         follows the same ordering.",
-    );
-    for (p, eps, kappa, worst, bound) in rows {
-        t.row([
-            fmt_val(p),
-            fmt_val(eps),
-            fmt_val(kappa),
-            fmt_val(worst),
-            fmt_val(bound),
         ]);
     }
     t

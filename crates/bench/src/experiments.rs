@@ -1,19 +1,24 @@
 //! The nine theorem experiments (see crate docs and DESIGN.md §3).
+//!
+//! Every experiment sources its workload — topology, edge schedule,
+//! drift, estimate layer, fault injections — from the scenario subsystem
+//! ([`gcs_scenarios::presets`] / the registry), resized per sweep point;
+//! the harness itself only chooses observation windows, seeds, baseline
+//! policies, and parameter sweeps. The campaign runner therefore measures
+//! the *same* workloads the experiments report on.
 
 use gcs_analysis::report::fmt_val;
 use gcs_analysis::{gradient_bound, kappa_diameter, local_skew, GradientChecker, Table};
 use gcs_baselines::{MaxOnlyPolicy, SingleLevelPolicy};
 use gcs_core::edge_state::Level;
-use gcs_core::{
-    ErrorModel, EstimateMode, ModePolicy, Params, ParamsBuilder, SimBuilder, Simulation,
-};
-use gcs_net::{EdgeKey, EdgeParams, EdgeParamsMap, NetworkSchedule, NodeId, Topology};
-use gcs_sim::{DriftModel, SimTime};
+use gcs_core::{ModePolicy, Params, ParamsBuilder, Simulation};
+use gcs_net::{EdgeKey, EdgeParams, EdgeParamsMap, NodeId};
+use gcs_scenarios::{campaign, presets, EstimateSpec, TopologySpec};
 
 use crate::{parallel_map, Scale};
 
 /// Baseline parameters every experiment starts from: `ρ = 1%`, `µ = 10%`,
-/// hence `σ ≈ 4.95`.
+/// hence `σ ≈ 4.95` (the scenario presets' defaults).
 #[must_use]
 pub fn base_params() -> ParamsBuilder {
     let mut pb = Params::builder();
@@ -66,15 +71,19 @@ fn time_until(
 /// E1: max global skew vs network extent on a line under worst-case
 /// (two-block) drift. Expected shape: linear in the κ-diameter, far below
 /// the conservative static estimate `G̃`.
+///
+/// The workload is [`presets::line_worstcase`] at every sweep size (the
+/// registry's `line-worstcase` is its canonical instance).
 #[must_use]
 pub fn e1_global_skew(scale: Scale) -> Table {
     let rows = parallel_map(scale.sizes().to_vec(), |n| {
-        let params = base_params().build().unwrap();
-        let mut sim = SimBuilder::new(params)
-            .topology(Topology::line(n))
-            .drift(DriftModel::TwoBlock)
+        let mut spec = presets::line_worstcase(n);
+        spec.warmup = scale.warmup_secs();
+        spec.duration = scale.observe_secs();
+        let mut sim = spec
+            .builder(n as u64)
+            .expect("line-worstcase preset builds")
             .track_diameter(true)
-            .seed(n as u64)
             .build()
             .unwrap();
         sim.run_until_secs(scale.warmup_secs());
@@ -136,17 +145,16 @@ pub fn e1_global_skew(scale: Scale) -> Table {
 pub fn e2_gradient_skew(scale: Scale) -> Table {
     let n = scale.profile_n();
     let side = (n as f64).sqrt().round() as usize;
-    let topologies = vec![Topology::line(n), Topology::torus(side, side)];
+    let specs = vec![
+        presets::line_worstcase(n),
+        presets::base("torus-profile", TopologySpec::Torus { w: side, h: side }),
+    ];
 
-    let results = parallel_map(topologies, |topo| {
-        let name = topo.name().to_string();
-        let params = base_params().build().unwrap();
-        let mut sim = SimBuilder::new(params)
-            .topology(topo)
-            .drift(DriftModel::TwoBlock)
-            .seed(2)
-            .build()
-            .unwrap();
+    let results = parallel_map(specs, |mut spec| {
+        let name = format!("{}({})", spec.topology.family(), spec.topology.node_count());
+        spec.warmup = scale.warmup_secs();
+        spec.duration = scale.observe_secs();
+        let mut sim = spec.build(2).expect("profile spec builds");
         sim.run_until_secs(scale.warmup_secs());
 
         // Track the max skew per hop distance over the observation window.
@@ -222,6 +230,10 @@ pub fn e2_gradient_skew(scale: Scale) -> Table {
 /// E3: worst local skew and, more importantly, the *provisionable
 /// guarantee* for the three policies. Expected: the guarantee columns grow
 /// like `log D` / `√D` / `D`; measured skews respect each policy's budget.
+///
+/// The adversary is [`presets::drift_flip`] (flip-flop drift + hiding
+/// estimates, the registry's `drift-flip` family) at every sweep size;
+/// only the mode policy differs between the three contenders.
 #[must_use]
 pub fn e3_policy_comparison(scale: Scale) -> Table {
     #[derive(Clone, Copy)]
@@ -241,18 +253,14 @@ pub fn e3_policy_comparison(scale: Scale) -> Table {
         .collect();
 
     let results = parallel_map(jobs, |(n, which)| {
-        let params = base_params().build().unwrap();
-        let mut builder = SimBuilder::new(params)
-            .topology(Topology::line(n))
-            .drift(DriftModel::FlipFlop { period: 5.0 })
-            .estimates(EstimateMode::Oracle(ErrorModel::Hide))
-            .horizon(scale.warmup_secs() + scale.observe_secs() + 10.0)
-            .seed(3);
-        // Shared facts needed for thresholds/bounds.
-        let probe = SimBuilder::new(base_params().build().unwrap())
-            .topology(Topology::line(n))
-            .build()
-            .unwrap();
+        let mut spec = presets::drift_flip(n, 5.0);
+        spec.warmup = scale.warmup_secs();
+        spec.duration = scale.observe_secs();
+        // Shared facts needed for thresholds/bounds, from a static probe
+        // of the same line at the same parameters.
+        let probe = presets::base("e3-probe", TopologySpec::Line { n })
+            .build(0)
+            .expect("probe spec builds");
         let g_tilde = probe.params().g_tilde().unwrap();
         let kappa = probe
             .edge_info(EdgeKey::new(NodeId(0), NodeId(1)))
@@ -270,6 +278,7 @@ pub fn e3_policy_comparison(scale: Scale) -> Table {
             }
             Which::MaxOnly => ("max-only", Some(Box::new(MaxOnlyPolicy)), g_tilde),
         };
+        let mut builder = spec.builder(3).expect("drift-flip preset builds");
         if let Some(p) = policy {
             builder = builder.policy(p);
         }
@@ -321,13 +330,14 @@ pub fn e3_policy_comparison(scale: Scale) -> Table {
 /// `I(G̃)/β` (the logical insertion duration converted to real time).
 ///
 /// The scenario (ring + antipodal chord at `t = 2 s`) comes from the
-/// scenario subsystem — [`gcs_scenarios::presets::ring_chord`] — so the
-/// harness and the campaign runner measure the same workload.
+/// scenario subsystem — [`presets::ring_chord`], the registry's
+/// `ring-chord` family — so the harness and the campaign runner measure
+/// the same workload.
 #[must_use]
 pub fn e4_stabilization_time(scale: Scale) -> Table {
     const INSERTION_SCALE: f64 = 0.05;
     let rows = parallel_map(scale.sizes().to_vec(), |n| {
-        let mut sim = gcs_scenarios::presets::ring_chord(n, INSERTION_SCALE)
+        let mut sim = presets::ring_chord(n, INSERTION_SCALE)
             .build(n as u64)
             .expect("ring-chord preset builds");
         let g_tilde = sim.params().g_tilde().unwrap();
@@ -377,42 +387,25 @@ pub fn e4_stabilization_time(scale: Scale) -> Table {
 /// edge's skew falls below its stable gradient bound grows linearly with
 /// `n`, and is at least the information-theoretic floor
 /// `(G − bound)/(β − α)` (clock rates alone limit how fast skew closes).
+///
+/// Both the shortcut schedule and the gradient install are data: the
+/// workload is [`presets::shortcut_gradient`] (registry family
+/// `line-shortcut`), its scripted clock-offset faults replayed via
+/// [`campaign::apply_faults`].
 #[must_use]
 pub fn e5_lower_bound(scale: Scale) -> Table {
     let rows = parallel_map(scale.sizes().to_vec(), |n| {
-        let probe = SimBuilder::new(base_params().build().unwrap())
-            .topology(Topology::line(n))
-            .build()
-            .unwrap();
-        let kappa = probe
-            .edge_info(EdgeKey::new(NodeId(0), NodeId(1)))
-            .unwrap()
-            .kappa;
-        let per_edge = 2.0 * kappa;
-        let injected = per_edge * (n - 1) as f64;
-
-        let mut pb = base_params();
-        pb.g_tilde(1.5 * injected).insertion_scale(0.05);
-        let params = pb.build().unwrap();
-        let chord = EdgeKey::new(NodeId(0), NodeId::from(n - 1));
-        let schedule = NetworkSchedule::with_edge_insertion(
-            &Topology::line(n),
-            &[(chord, SimTime::from_secs(2.0))],
-            0.002,
-        );
-        let mut sim = SimBuilder::new(params)
-            .schedule(schedule)
-            .drift(DriftModel::TwoBlock)
-            .seed(n as u64)
-            .build()
-            .unwrap();
-        // Install the legal gradient at the very instant the shortcut
-        // appears (events at t = 2 have fired): node i leads node i+1 by
-        // 2 kappa.
-        sim.run_until_secs(2.0);
-        for i in 0..n {
-            sim.inject_clock_offset(NodeId::from(i), per_edge * (n - 1 - i) as f64);
-        }
+        let mut spec = presets::shortcut_gradient(n, 0.05, 2.0, 2.0);
+        let params = spec.params().expect("shortcut preset params");
+        let injected = presets::gradient_install_skew(n);
+        // Generous horizon: the settle poll below never outruns it.
+        spec.duration = 20.0 * injected / (params.beta() - params.alpha()) + 120.0;
+        let kappa = presets::default_edge_kappa();
+        let mut sim = spec.build(n as u64).expect("shortcut preset builds");
+        // Replay the scripted gradient install at the very instant the
+        // shortcut appears (events at t = 2 have fired): node i leads
+        // node i+1 by 2 kappa.
+        campaign::apply_faults(&mut sim, &spec.faults);
         let g_at_insert = sim.snapshot().skew(NodeId(0), NodeId::from(n - 1));
 
         let g_hat = sim.params().g_tilde().unwrap();
@@ -460,6 +453,9 @@ pub fn e5_lower_bound(scale: Scale) -> Table {
 
 /// E6: recovery time after corrupting one clock by `X`, for a sweep of
 /// `X`. Expected: linear in `X` with slope `≈ 1/(µ(1−ρ)−2ρ)`.
+///
+/// The corruption is the [`presets::self_heal`] fault script (registry
+/// family `self-heal`), resized to `X` per sweep point.
 #[must_use]
 pub fn e6_self_stabilization(scale: Scale) -> Table {
     let magnitudes: &[f64] = match scale {
@@ -467,14 +463,12 @@ pub fn e6_self_stabilization(scale: Scale) -> Table {
         Scale::Full => &[0.1, 0.2, 0.4, 0.8, 1.6],
     };
     let rows = parallel_map(magnitudes.to_vec(), |x| {
-        let params = base_params().build().unwrap();
+        let mut spec = presets::self_heal(12, 5.0, x);
+        let params = spec.params().expect("self-heal preset params");
         let rate = params.mu() * (1.0 - params.rho()) - 2.0 * params.rho();
-        let mut sim = SimBuilder::new(params)
-            .topology(Topology::line(12))
-            .drift(DriftModel::TwoBlock)
-            .seed(6)
-            .build()
-            .unwrap();
+        spec.warmup = 0.0;
+        spec.duration = 5.0 + 4.0 * x / rate + 40.0;
+        let mut sim = spec.build(6).expect("self-heal preset builds");
         // Learn the steady-state fluctuation band first, so the settle
         // threshold sits above the noise floor.
         let steady = sim
@@ -483,7 +477,7 @@ pub fn e6_self_stabilization(scale: Scale) -> Table {
             .iter()
             .map(|&(_, g)| g)
             .fold(0.0f64, f64::max);
-        sim.inject_clock_offset(NodeId(0), x);
+        campaign::apply_faults(&mut sim, &spec.faults);
         // Record the decay and fit its linear rate (Theorem 5.6 II).
         let trace = sim.record_trace(5.0 + 4.0 * x / rate + 30.0, 0.1);
         let series = trace.global_skew_series();
@@ -531,6 +525,12 @@ pub fn e6_self_stabilization(scale: Scale) -> Table {
 /// `G̃_u(t)`. Expected: (b) pays the conservatism linearly; (c) tracks the
 /// *actual* skew and lands near (a) or below, despite the same pessimistic
 /// a-priori estimate as (b).
+///
+/// All three variants run the [`presets::ring_chord`] workload; only the
+/// insertion-estimate parameters differ (the [`ScenarioSpec::builder_with`]
+/// seam).
+///
+/// [`ScenarioSpec::builder_with`]: gcs_scenarios::ScenarioSpec::builder_with
 #[must_use]
 pub fn e7_dynamic_estimates(scale: Scale) -> Table {
     let n = match scale {
@@ -538,10 +538,9 @@ pub fn e7_dynamic_estimates(scale: Scale) -> Table {
         Scale::Full => 24,
     };
     const SCALE: f64 = 0.02;
-    let probe = SimBuilder::new(base_params().build().unwrap())
-        .topology(Topology::ring(n))
-        .build()
-        .unwrap();
+    let probe = presets::base("e7-probe", TopologySpec::Ring { n })
+        .build(0)
+        .expect("probe spec builds");
     let derived = probe.params().g_tilde().unwrap();
 
     let variants: Vec<(&'static str, Params)> = vec![
@@ -566,16 +565,11 @@ pub fn e7_dynamic_estimates(scale: Scale) -> Table {
     ];
 
     let rows = parallel_map(variants, |(name, params)| {
-        let chord = EdgeKey::new(NodeId(0), NodeId::from(n / 2));
-        let schedule = NetworkSchedule::with_edge_insertion(
-            &Topology::ring(n),
-            &[(chord, SimTime::from_secs(2.0))],
-            0.002,
-        );
-        let mut sim = SimBuilder::new(params)
-            .schedule(schedule)
-            .drift(DriftModel::TwoBlock)
-            .seed(7)
+        let mut spec = presets::ring_chord(n, SCALE);
+        spec.duration = 620.0;
+        let mut sim = spec
+            .builder_with(params, 7)
+            .expect("ring-chord preset builds")
             .build()
             .unwrap();
         let done = time_until(&mut sim, 2.0, 600.0, 0.25, |s| {
@@ -618,7 +612,6 @@ pub fn e7_dynamic_estimates(scale: Scale) -> Table {
 /// protects), global skew within `G̃`.
 #[must_use]
 pub fn e8_churn(scale: Scale) -> Table {
-    use gcs_scenarios::TopologySpec;
     let horizon = scale.observe_secs() + scale.warmup_secs();
     // The churn workload is the scenario subsystem's `churn` preset (the
     // registry's `churn-storm` is the same family at its canonical size);
@@ -636,7 +629,7 @@ pub fn e8_churn(scale: Scale) -> Table {
         ("complete churn", TopologySpec::Complete { n: 8 }, 10u64),
     ];
     let rows = parallel_map(configs, |(name, topology, seed)| {
-        let mut spec = gcs_scenarios::presets::churn("churn-sweep", topology);
+        let mut spec = presets::churn("churn-sweep", topology);
         spec.warmup = 0.0;
         spec.duration = horizon;
         let mut sim = spec.build(seed).expect("churn preset builds");
@@ -698,6 +691,86 @@ pub fn e8_churn(scale: Scale) -> Table {
 }
 
 // ---------------------------------------------------------------------
+// E9 — heterogeneous edges: bounds in terms of kappa_p.
+// ---------------------------------------------------------------------
+
+/// E9: a line whose middle edge is progressively noisier. Expected: the
+/// skew across the noisy edge grows with its `ε`, but stays within *its*
+/// κ-weighted bound — the weighted generalization of §4.1.
+///
+/// The adversary (line + hiding estimates) is a scenario preset; the
+/// per-edge ε override is the physical layer, supplied through the
+/// builder seam.
+#[must_use]
+pub fn e9_heterogeneous(scale: Scale) -> Table {
+    let factors: &[f64] = &[1.0, 4.0, 16.0];
+    let n = 12usize;
+    let mid = EdgeKey::new(NodeId::from(n / 2 - 1), NodeId::from(n / 2));
+    let rows = parallel_map(factors.to_vec(), |f| {
+        let base_edge = EdgeParams::default();
+        let mut map = EdgeParamsMap::uniform(base_edge);
+        map.set(
+            mid,
+            EdgeParams::new(
+                base_edge.epsilon * f,
+                base_edge.tau,
+                base_edge.delay_min,
+                base_edge.delay_max,
+            ),
+        );
+        let mut spec = presets::base("line-heterogeneous", TopologySpec::Line { n });
+        spec.estimates = EstimateSpec::OracleHide;
+        spec.warmup = scale.warmup_secs();
+        spec.duration = scale.observe_secs();
+        let mut sim = spec
+            .builder(f as u64)
+            .expect("heterogeneous spec builds")
+            .edge_params(map)
+            .build()
+            .unwrap();
+        sim.run_until_secs(scale.warmup_secs());
+        let worst_mid = observe_max(
+            &mut sim,
+            scale.warmup_secs(),
+            scale.warmup_secs() + scale.observe_secs(),
+            0.5,
+            |s| s.snapshot().skew(mid.lo(), mid.hi()),
+        );
+        let info = sim.edge_info(mid).unwrap();
+        let g_hat = sim.params().g_tilde().unwrap();
+        let bound = gradient_bound(sim.params(), g_hat, info.kappa);
+        (f, info.epsilon, info.kappa, worst_mid, bound)
+    });
+
+    let mut t = Table::new(
+        "E9  heterogeneous edges — skew across a noisy edge vs its kappa bound (line(12))",
+        &[
+            "eps factor",
+            "eps",
+            "kappa",
+            "max skew",
+            "kappa bound",
+            "usage",
+        ],
+    );
+    t.caption(
+        "Expected: absolute skew across the noisy edge grows with eps, but its usage of the \
+         kappa-weighted bound stays level — the bound is per-weight, not per-hop.",
+    );
+    for (f, eps, kappa, worst, bound) in rows {
+        t.row([
+            format!("{f}x"),
+            fmt_val(eps),
+            fmt_val(kappa),
+            fmt_val(worst),
+            fmt_val(bound),
+            format!("{:.1}%", 100.0 * worst / bound),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // E10 — partitions: why the model requires connectivity.
 // ---------------------------------------------------------------------
 
@@ -707,26 +780,15 @@ pub fn e8_churn(scale: Scale) -> Table {
 /// global bound presumes connectivity — while each side stays internally
 /// tight; after the merge the skew collapses at the recovery rate and the
 /// cut edges re-run the staged insertion.
+///
+/// The workload is [`presets::partition_heal`] — the registry's
+/// `partition-heal` scenario, verbatim.
 #[must_use]
 pub fn e10_partition(scale: Scale) -> Table {
     let (split, merge) = (10.0, 40.0);
-    let topo = Topology::ring(16);
-    let left: Vec<NodeId> = (0..8u32).map(NodeId).collect();
-    let schedule = NetworkSchedule::partition_and_merge(
-        &topo,
-        &left,
-        SimTime::from_secs(split),
-        SimTime::from_secs(merge),
-        0.002,
-    );
-    let mut pb = base_params();
-    pb.g_tilde(2.0).insertion_scale(0.02);
-    let mut sim = SimBuilder::new(pb.build().unwrap())
-        .schedule(schedule)
-        .drift(DriftModel::TwoBlock)
-        .seed(10)
-        .build()
-        .unwrap();
+    let mut spec = presets::partition_heal(16, split, merge);
+    spec.duration = merge + scale.observe_secs();
+    let mut sim = spec.build(10).expect("partition-heal preset builds");
 
     let side = |sim: &Simulation, lo: u32, hi: u32| {
         let snap = sim.snapshot();
@@ -775,81 +837,6 @@ pub fn e10_partition(scale: Scale) -> Table {
             fmt_val(sim.snapshot().global_skew()),
             fmt_val(side(&sim, 0, 8)),
             fmt_val(side(&sim, 8, 16)),
-        ]);
-    }
-    t
-}
-
-// ---------------------------------------------------------------------
-// E9 — heterogeneous edges: bounds in terms of kappa_p.
-// ---------------------------------------------------------------------
-
-/// E9: a line whose middle edge is progressively noisier. Expected: the
-/// skew across the noisy edge grows with its `ε`, but stays within *its*
-/// κ-weighted bound — the weighted generalization of §4.1.
-#[must_use]
-pub fn e9_heterogeneous(scale: Scale) -> Table {
-    let factors: &[f64] = &[1.0, 4.0, 16.0];
-    let n = 12usize;
-    let mid = EdgeKey::new(NodeId::from(n / 2 - 1), NodeId::from(n / 2));
-    let rows = parallel_map(factors.to_vec(), |f| {
-        let base_edge = EdgeParams::default();
-        let mut map = EdgeParamsMap::uniform(base_edge);
-        map.set(
-            mid,
-            EdgeParams::new(
-                base_edge.epsilon * f,
-                base_edge.tau,
-                base_edge.delay_min,
-                base_edge.delay_max,
-            ),
-        );
-        let params = base_params().build().unwrap();
-        let mut sim = SimBuilder::new(params)
-            .topology(Topology::line(n))
-            .edge_params(map)
-            .drift(DriftModel::TwoBlock)
-            .estimates(EstimateMode::Oracle(ErrorModel::Hide))
-            .seed(f as u64)
-            .build()
-            .unwrap();
-        sim.run_until_secs(scale.warmup_secs());
-        let worst_mid = observe_max(
-            &mut sim,
-            scale.warmup_secs(),
-            scale.warmup_secs() + scale.observe_secs(),
-            0.5,
-            |s| s.snapshot().skew(mid.lo(), mid.hi()),
-        );
-        let info = sim.edge_info(mid).unwrap();
-        let g_hat = sim.params().g_tilde().unwrap();
-        let bound = gradient_bound(sim.params(), g_hat, info.kappa);
-        (f, info.epsilon, info.kappa, worst_mid, bound)
-    });
-
-    let mut t = Table::new(
-        "E9  heterogeneous edges — skew across a noisy edge vs its kappa bound (line(12))",
-        &[
-            "eps factor",
-            "eps",
-            "kappa",
-            "max skew",
-            "kappa bound",
-            "usage",
-        ],
-    );
-    t.caption(
-        "Expected: absolute skew across the noisy edge grows with eps, but its usage of the \
-         kappa-weighted bound stays level — the bound is per-weight, not per-hop.",
-    );
-    for (f, eps, kappa, worst, bound) in rows {
-        t.row([
-            format!("{f}x"),
-            fmt_val(eps),
-            fmt_val(kappa),
-            fmt_val(worst),
-            fmt_val(bound),
-            format!("{:.1}%", 100.0 * worst / bound),
         ]);
     }
     t

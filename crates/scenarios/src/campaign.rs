@@ -15,6 +15,21 @@ use crate::error::ScenarioError;
 use crate::json::Json;
 use crate::spec::{FaultSpec, Metric, Scale, ScenarioSpec};
 
+/// Replays a spec's scripted faults into a hand-driven simulation: runs
+/// it forward to each fault's instant (in time order) and injects the
+/// offset. The campaign runner interleaves faults with its sampling grid
+/// itself; this is the seam for experiment harnesses that drive their
+/// own observation loop but still source injections from the spec.
+pub fn apply_faults(sim: &mut gcs_core::Simulation, faults: &[FaultSpec]) {
+    let mut faults = faults.to_vec();
+    faults.sort_by(|a, b| a.at().total_cmp(&b.at()));
+    for f in faults {
+        let FaultSpec::ClockOffset { at, node, amount } = f;
+        sim.run_until_secs(at);
+        sim.inject_clock_offset(gcs_net::NodeId::from(node), amount);
+    }
+}
+
 /// Everything one seeded run of one scenario produced.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioOutcome {

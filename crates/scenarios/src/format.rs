@@ -91,6 +91,7 @@ fn dynamics_line(d: &DynamicsSpec) -> String {
         DynamicsSpec::Insertion { at, count, skew } => {
             format!("insertion t={at} count={count} skew={skew}")
         }
+        DynamicsSpec::Shortcut { at, skew } => format!("shortcut t={at} skew={skew}"),
         DynamicsSpec::Churn {
             mean_up,
             mean_down,
@@ -513,6 +514,13 @@ fn parse_dynamics(ctx: &LineCtx, rest: &str) -> Result<DynamicsSpec, ScenarioErr
                         .ok_or_else(|| ctx.err("missing argument \"count\""))?,
                     "count",
                 )?,
+                skew: ctx.kv_f64(&map, "skew")?,
+            })
+        }
+        "shortcut" => {
+            let map = ctx.kv(args, &["t", "skew"])?;
+            Ok(DynamicsSpec::Shortcut {
+                at: ctx.kv_f64(&map, "t")?,
                 skew: ctx.kv_f64(&map, "skew")?,
             })
         }

@@ -19,6 +19,8 @@
 //! * [`presets`] — parametric families shared with the experiment harness;
 //! * [`campaign`] — the parallel scenario × seed runner and the
 //!   `results/campaign_*.json` trajectory artifact;
+//! * [`trend`] — the artifact reader, `gcs-baseline/v1` summaries, and
+//!   the tolerance-gated baseline comparison CI runs;
 //! * the `gcs-scenarios` CLI (`list | validate <dir> | run <name|file> |
 //!   export <dir> | show <name>`).
 //!
@@ -43,9 +45,11 @@ pub mod json;
 pub mod presets;
 pub mod registry;
 pub mod spec;
+pub mod trend;
 
 pub use campaign::{run_campaign, run_scenario, CampaignRow, ScenarioOutcome};
 pub use error::ScenarioError;
 pub use spec::{
     DriftSpec, DynamicsSpec, EstimateSpec, FaultSpec, Metric, Scale, ScenarioSpec, TopologySpec,
 };
+pub use trend::{CampaignArtifact, CompareReport, TrendRow, TrendSummary};

@@ -7,9 +7,7 @@
 //! `gcs-scenarios run all` sweeps the lot.
 
 use crate::presets;
-use crate::spec::{
-    DriftSpec, DynamicsSpec, EstimateSpec, FaultSpec, Metric, ScenarioSpec, TopologySpec,
-};
+use crate::spec::{DriftSpec, DynamicsSpec, EstimateSpec, Metric, ScenarioSpec, TopologySpec};
 
 /// All built-in scenarios, sorted by name. Every entry passes
 /// [`ScenarioSpec::validate`] at every [`Scale`](crate::Scale) (enforced
@@ -27,6 +25,8 @@ pub fn all() -> Vec<ScenarioSpec> {
         hypercube_log(),
         churn_storm(),
         flash_join(),
+        ring_chord(),
+        line_shortcut(),
         partition_heal(),
         mobile_swarm(),
         drift_flip(),
@@ -54,10 +54,7 @@ fn ring_steady() -> ScenarioSpec {
 }
 
 fn line_worstcase() -> ScenarioSpec {
-    let mut s = presets::base("line-worstcase", TopologySpec::Line { n: 16 });
-    s.description =
-        "The canonical worst case: a line with two-block drift (Theorem 5.6 shape)".to_string();
-    s
+    presets::line_worstcase(16)
 }
 
 fn grid_sensor() -> ScenarioSpec {
@@ -149,6 +146,14 @@ fn flash_join() -> ScenarioSpec {
     s
 }
 
+fn ring_chord() -> ScenarioSpec {
+    presets::ring_chord(16, 0.05)
+}
+
+fn line_shortcut() -> ScenarioSpec {
+    presets::shortcut_gradient(12, 0.05, 2.0, 2.0)
+}
+
 fn partition_heal() -> ScenarioSpec {
     presets::partition_heal(16, 10.0, 40.0)
 }
@@ -174,30 +179,11 @@ fn mobile_swarm() -> ScenarioSpec {
 }
 
 fn drift_flip() -> ScenarioSpec {
-    let mut s = presets::base("drift-flip", TopologySpec::Line { n: 12 });
-    s.description = "Flip-flop drift with adversarial hiding estimates: the local-skew \
-                     stress test (experiment E3)"
-        .to_string();
-    s.drift = DriftSpec::FlipFlop { period: 5.0 };
-    s.estimates = EstimateSpec::OracleHide;
-    s.metric = Metric::LocalSkew;
-    s
+    presets::drift_flip(12, 5.0)
 }
 
 fn self_heal() -> ScenarioSpec {
-    let mut s = presets::base("self-heal", TopologySpec::Line { n: 8 });
-    s.description = "One clock corrupted by a full second: linear-time self-stabilization \
-                     (Theorem 5.6 II)"
-        .to_string();
-    s.faults = vec![FaultSpec::ClockOffset {
-        at: 15.0,
-        node: 0,
-        amount: 1.0,
-    }];
-    s.warmup = 10.0;
-    s.duration = 40.0;
-    s.metric = Metric::FinalGlobalSkew;
-    s
+    presets::self_heal(8, 15.0, 1.0)
 }
 
 #[cfg(test)]

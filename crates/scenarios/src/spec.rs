@@ -335,6 +335,16 @@ pub enum DynamicsSpec {
         /// Offset between the two directions of each appearance.
         skew: f64,
     },
+    /// One shortcut edge joining the two extreme nodes (`0` and `n − 1`)
+    /// appears at time `at` — the Theorem 8.1 lower-bound construction,
+    /// where a legal `Θ(n)` gradient suddenly gains an edge spanning it.
+    /// A shortcut duplicating a topology edge is skipped.
+    Shortcut {
+        /// Appearance time (seconds).
+        at: f64,
+        /// Offset between the two directions of the appearance.
+        skew: f64,
+    },
     /// Connectivity-preserving churn: a spanning tree stays up, every
     /// other edge flaps with exponential phases until the scenario ends.
     Churn {
@@ -382,6 +392,7 @@ impl DynamicsSpec {
         match self {
             DynamicsSpec::Static => "static",
             DynamicsSpec::Insertion { .. } => "insertion",
+            DynamicsSpec::Shortcut { .. } => "shortcut",
             DynamicsSpec::Churn { .. } => "churn",
             DynamicsSpec::Mobility { .. } => "mobility",
             DynamicsSpec::Partition { .. } => "partition",
@@ -396,6 +407,10 @@ impl DynamicsSpec {
             DynamicsSpec::Insertion { at, count, skew } => DynamicsSpec::Insertion {
                 at: at * factor,
                 count,
+                skew,
+            },
+            DynamicsSpec::Shortcut { at, skew } => DynamicsSpec::Shortcut {
+                at: at * factor,
                 skew,
             },
             DynamicsSpec::Partition { split, merge, skew } => DynamicsSpec::Partition {
@@ -516,7 +531,11 @@ impl ScenarioSpec {
     /// [`Scale::Tiny`], and every scripted time span (warm-up, duration,
     /// dynamics instants, fault times) is multiplied by the scale's time
     /// factor. The sampling period is left alone so tiny runs still
-    /// observe enough instants.
+    /// observe enough instants. Faults targeting nodes that no longer
+    /// exist are dropped — *not* re-aimed at surviving nodes, which would
+    /// stack offsets and corrupt multi-node scripts like the
+    /// `line-shortcut` gradient install (per-node offsets keep their
+    /// spacing, so a truncated install is still a legal gradient).
     #[must_use]
     pub fn scaled(&self, scale: Scale) -> Self {
         let f = scale.time_factor();
@@ -525,13 +544,15 @@ impl ScenarioSpec {
         spec.dynamics = self.dynamics.time_scaled(f);
         spec.warmup *= f;
         spec.duration = (self.duration * f).max(self.sample);
+        let nodes = spec.topology.node_count();
         spec.faults = self
             .faults
             .iter()
+            .filter(|&&FaultSpec::ClockOffset { node, .. }| node < nodes)
             .map(
                 |&FaultSpec::ClockOffset { at, node, amount }| FaultSpec::ClockOffset {
                     at: at * f,
-                    node: node.min(spec.topology.node_count().saturating_sub(1)),
+                    node,
                     amount,
                 },
             )
@@ -624,6 +645,14 @@ impl ScenarioSpec {
                 }
                 if n < 4 {
                     return fail("insertion needs at least 4 nodes for a chord".to_string());
+                }
+            }
+            DynamicsSpec::Shortcut { at, skew } => {
+                if at < 0.0 || skew < 0.0 {
+                    return fail("shortcut needs t >= 0 and skew >= 0".to_string());
+                }
+                if n < 3 {
+                    return fail("shortcut needs at least 3 nodes".to_string());
                 }
             }
             DynamicsSpec::Churn {
@@ -777,6 +806,16 @@ impl ScenarioSpec {
                 }
                 NetworkSchedule::with_edge_insertion(&topo, &chords, skew)
             }
+            DynamicsSpec::Shortcut { at, skew } => {
+                let n = topo.node_count();
+                let e = EdgeKey::new(NodeId(0), NodeId::from(n - 1));
+                let chords: Vec<(EdgeKey, SimTime)> = if topo.edges().contains(&e) {
+                    Vec::new()
+                } else {
+                    vec![(e, SimTime::from_secs(at))]
+                };
+                NetworkSchedule::with_edge_insertion(&topo, &chords, skew)
+            }
             DynamicsSpec::Churn {
                 mean_up,
                 mean_down,
@@ -823,6 +862,41 @@ impl ScenarioSpec {
         })
     }
 
+    /// A [`SimBuilder`] pre-loaded with everything the spec describes —
+    /// compiled schedule, drift, estimates, horizon, seed, and the spec's
+    /// own parameters. The experiment harness chains observation-only
+    /// toggles (diameter tracking, baseline policies, a longer horizon)
+    /// before calling [`SimBuilder::build`]; the topology and edge
+    /// schedule always come from the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if validation or the parameters reject
+    /// the spec.
+    pub fn builder(&self, seed: u64) -> Result<SimBuilder, ScenarioError> {
+        let params = self.params()?;
+        self.builder_with(params, seed)
+    }
+
+    /// Like [`ScenarioSpec::builder`], but with caller-supplied
+    /// parameters. This is the seam for ablations that sweep algorithm
+    /// knobs the scenario format deliberately does not model (κ scale,
+    /// refresh period, insertion strategy): the adversary — topology,
+    /// dynamics, drift, estimates — still comes from the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] if validation rejects the spec.
+    pub fn builder_with(&self, params: Params, seed: u64) -> Result<SimBuilder, ScenarioError> {
+        let schedule = self.schedule(seed)?;
+        Ok(SimBuilder::new(params)
+            .schedule(schedule)
+            .drift(self.drift.model())
+            .estimates(self.estimates.mode())
+            .horizon(self.end_secs() + 10.0)
+            .seed(seed))
+    }
+
     /// Compiles the spec into a ready-to-run [`Simulation`]: the single
     /// seam every consumer (examples, experiments, campaigns) goes
     /// through. Identical spec + seed ⇒ bit-identical runs.
@@ -832,15 +906,7 @@ impl ScenarioSpec {
     /// Returns [`ScenarioError`] if validation, the parameters, or the
     /// simulation builder reject the spec.
     pub fn build(&self, seed: u64) -> Result<Simulation, ScenarioError> {
-        let schedule = self.schedule(seed)?;
-        let params = self.params()?;
-        Ok(SimBuilder::new(params)
-            .schedule(schedule)
-            .drift(self.drift.model())
-            .estimates(self.estimates.mode())
-            .horizon(self.end_secs() + 10.0)
-            .seed(seed)
-            .build()?)
+        Ok(self.builder(seed)?.build()?)
     }
 }
 
@@ -903,6 +969,31 @@ mod tests {
                 spec.topology.node_count(),
                 tiny.node_count()
             );
+        }
+    }
+
+    #[test]
+    fn tiny_scale_drops_faults_on_vanished_nodes() {
+        // The line-shortcut gradient install has one offset per node;
+        // shrinking the line must drop the out-of-range faults, not
+        // re-aim them (stacking offsets would corrupt the legal
+        // 2-kappa-per-edge gradient).
+        let spec = registry::find("line-shortcut").expect("built-in");
+        let tiny = spec.scaled(Scale::Tiny);
+        let n = tiny.topology.node_count();
+        assert_eq!(tiny.faults.len(), n, "one fault per surviving node");
+        let mut amounts = vec![f64::NAN; n];
+        for &FaultSpec::ClockOffset { node, amount, .. } in &tiny.faults {
+            assert!(node < n);
+            assert!(amounts[node].is_nan(), "faults stacked on node {node}");
+            amounts[node] = amount;
+        }
+        // Adjacent offsets keep their original spacing: still a uniform
+        // gradient after truncation.
+        let step = amounts[0] - amounts[1];
+        assert!(step > 0.0);
+        for w in amounts.windows(2) {
+            assert!((w[0] - w[1] - step).abs() < 1e-12);
         }
     }
 

@@ -1,0 +1,739 @@
+//! Campaign trend tracking: read `gcs-campaign/v1` artifacts back in,
+//! distill them into compact `gcs-baseline/v1` summaries, and compare a
+//! fresh campaign against a checked-in baseline with a tolerance — the
+//! regression gate CI hangs off (`gcs-scenarios baseline` / `compare`).
+//!
+//! The reader is hand-rolled like the writer (no serde) and inverts
+//! [`campaign_json`](crate::campaign::campaign_json) exactly: floats are
+//! written in shortest round-trip notation and re-parsed with correct
+//! rounding, so a parsed artifact is bit-identical to the
+//! [`CampaignRow`]s that produced it (property-tested).
+
+use gcs_analysis::{EnsembleStats, Table};
+
+use crate::campaign::{CampaignRow, ScenarioOutcome};
+use crate::json::{self, Json, JsonValue};
+use crate::spec::{Metric, Scale};
+
+/// The artifact format tag the campaign writer emits.
+pub const CAMPAIGN_FORMAT: &str = "gcs-campaign/v1";
+/// The format tag of the distilled baseline summaries.
+pub const BASELINE_FORMAT: &str = "gcs-baseline/v1";
+
+/// Near-zero metrics (a skew of `1e-12` vs `2e-12`) must not trip the
+/// relative gate; drifts below this many seconds are never significant.
+const ABSOLUTE_FLOOR: f64 = 1e-6;
+
+// ---------------------------------------------------------------------
+// Reading campaign artifacts
+// ---------------------------------------------------------------------
+
+/// A fully parsed `gcs-campaign/v1` artifact — the same [`CampaignRow`]s
+/// the runner aggregated before writing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignArtifact {
+    /// Campaign title.
+    pub campaign: String,
+    /// Scale token (`tiny` / `default` / `full`).
+    pub scale: String,
+    /// The seed list the campaign fanned out over.
+    pub seeds: Vec<u64>,
+    /// Per-scenario rows, in artifact order.
+    pub rows: Vec<CampaignRow>,
+}
+
+fn field<'a>(v: &'a JsonValue, key: &str, what: &str) -> Result<&'a JsonValue, String> {
+    v.get(key)
+        .ok_or_else(|| format!("{what}: missing field {key:?}"))
+}
+
+fn str_field(v: &JsonValue, key: &str, what: &str) -> Result<String, String> {
+    field(v, key, what)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{what}: field {key:?} is not a string"))
+}
+
+fn f64_field(v: &JsonValue, key: &str, what: &str) -> Result<f64, String> {
+    field(v, key, what)?
+        .as_f64()
+        .ok_or_else(|| format!("{what}: field {key:?} is not a number"))
+}
+
+fn u64_field(v: &JsonValue, key: &str, what: &str) -> Result<u64, String> {
+    field(v, key, what)?
+        .as_u64()
+        .ok_or_else(|| format!("{what}: field {key:?} is not an unsigned integer"))
+}
+
+fn arr_field<'a>(v: &'a JsonValue, key: &str, what: &str) -> Result<&'a [JsonValue], String> {
+    field(v, key, what)?
+        .as_arr()
+        .ok_or_else(|| format!("{what}: field {key:?} is not an array"))
+}
+
+fn read_stats(v: &JsonValue, what: &str) -> Result<EnsembleStats, String> {
+    Ok(EnsembleStats {
+        runs: usize::try_from(u64_field(v, "runs", what)?).map_err(|e| format!("{what}: {e}"))?,
+        mean: f64_field(v, "mean", what)?,
+        min: f64_field(v, "min", what)?,
+        max: f64_field(v, "max", what)?,
+        median: f64_field(v, "median", what)?,
+        stddev: f64_field(v, "stddev", what)?,
+        p10: f64_field(v, "p10", what)?,
+        p90: f64_field(v, "p90", what)?,
+    })
+}
+
+fn read_outcome(v: &JsonValue, what: &str) -> Result<ScenarioOutcome, String> {
+    let mut trajectory = Vec::new();
+    for (i, pt) in arr_field(v, "trajectory", what)?.iter().enumerate() {
+        let pair = pt
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("{what}: trajectory[{i}] is not a [t, skew] pair"))?;
+        let t = pair[0]
+            .as_f64()
+            .ok_or_else(|| format!("{what}: trajectory[{i}] time is not a number"))?;
+        let g = pair[1]
+            .as_f64()
+            .ok_or_else(|| format!("{what}: trajectory[{i}] skew is not a number"))?;
+        trajectory.push((t, g));
+    }
+    Ok(ScenarioOutcome {
+        seed: u64_field(v, "seed", what)?,
+        primary: f64_field(v, "primary", what)?,
+        max_global_skew: f64_field(v, "max_global_skew", what)?,
+        max_local_skew: f64_field(v, "max_local_skew", what)?,
+        final_global_skew: f64_field(v, "final_global_skew", what)?,
+        invariant_violations: u64_field(v, "invariant_violations", what)?,
+        messages_sent: u64_field(v, "messages_sent", what)?,
+        messages_delivered: u64_field(v, "messages_delivered", what)?,
+        messages_dropped: u64_field(v, "messages_dropped", what)?,
+        trajectory,
+    })
+}
+
+/// Parses a `gcs-campaign/v1` artifact back into its [`CampaignRow`]s.
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON, a wrong `format` tag, or a
+/// missing/mistyped field.
+pub fn read_campaign(text: &str) -> Result<CampaignArtifact, String> {
+    campaign_from_doc(&json::parse(text)?)
+}
+
+fn campaign_from_doc(doc: &JsonValue) -> Result<CampaignArtifact, String> {
+    let format = str_field(doc, "format", "artifact")?;
+    if format != CAMPAIGN_FORMAT {
+        return Err(format!(
+            "expected format {CAMPAIGN_FORMAT:?}, got {format:?}"
+        ));
+    }
+    let seeds = arr_field(doc, "seeds", "artifact")?
+        .iter()
+        .map(|s| s.as_u64().ok_or_else(|| "non-integer seed".to_string()))
+        .collect::<Result<Vec<u64>, String>>()?;
+    let mut rows = Vec::new();
+    for sc in arr_field(doc, "scenarios", "artifact")? {
+        let name = str_field(sc, "name", "scenario")?;
+        let what = format!("scenario {name:?}");
+        let metric_token = str_field(sc, "metric", &what)?;
+        let metric = Metric::parse(&metric_token)
+            .ok_or_else(|| format!("{what}: unknown metric {metric_token:?}"))?;
+        let outcomes = arr_field(sc, "outcomes", &what)?
+            .iter()
+            .map(|o| read_outcome(o, &what))
+            .collect::<Result<Vec<_>, String>>()?;
+        rows.push(CampaignRow {
+            name,
+            nodes: usize::try_from(u64_field(sc, "nodes", &what)?)
+                .map_err(|e| format!("{what}: {e}"))?,
+            metric,
+            stats: read_stats(field(sc, "stats", &what)?, &what)?,
+            outcomes,
+        });
+    }
+    Ok(CampaignArtifact {
+        campaign: str_field(doc, "campaign", "artifact")?,
+        scale: str_field(doc, "scale", "artifact")?,
+        seeds,
+        rows,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Distilling: per-scenario trend rows
+// ---------------------------------------------------------------------
+
+/// The compact per-scenario statistics a baseline pins: ensemble mean and
+/// p90 of the primary metric and of both skew maxima, plus the mean
+/// stabilization time derived from the trajectories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendRow {
+    /// Scenario name.
+    pub name: String,
+    /// Node count after scaling.
+    pub nodes: u64,
+    /// Primary-metric token.
+    pub metric: String,
+    /// Seeds aggregated.
+    pub runs: u64,
+    /// Mean of the primary metric across seeds.
+    pub mean_primary: f64,
+    /// 90th percentile of the primary metric.
+    pub p90_primary: f64,
+    /// Mean of the per-run max global skew.
+    pub mean_global: f64,
+    /// p90 of the per-run max global skew.
+    pub p90_global: f64,
+    /// Mean of the per-run max local skew.
+    pub mean_local: f64,
+    /// p90 of the per-run max local skew.
+    pub p90_local: f64,
+    /// Mean stabilization time (see [`stabilization_time`]).
+    pub mean_stabilization: f64,
+}
+
+impl TrendRow {
+    /// The compared columns, as `(label, value)` pairs.
+    #[must_use]
+    pub fn columns(&self) -> [(&'static str, f64); 7] {
+        [
+            ("primary mean", self.mean_primary),
+            ("primary p90", self.p90_primary),
+            ("global mean", self.mean_global),
+            ("global p90", self.p90_global),
+            ("local mean", self.mean_local),
+            ("local p90", self.p90_local),
+            ("stabilization", self.mean_stabilization),
+        ]
+    }
+}
+
+/// When the trajectory settles: the earliest sampled instant after which
+/// the global skew never again leaves the settle band (1.1× the worst
+/// skew over the final quarter of the run). Recovery scenarios (faults,
+/// partitions) yield their recovery time; steady scenarios yield the end
+/// of their initial transient. A run that is still at its worst when
+/// observation ends — the final quarter clearly above everything before
+/// it — never settled and yields the final instant, so divergence shows
+/// up as *growing* stabilization time in the trend gate, not as zero.
+/// Returns `0` for an empty trajectory.
+#[must_use]
+pub fn stabilization_time(trajectory: &[(f64, f64)]) -> f64 {
+    let Some(&(last_t, _)) = trajectory.last() else {
+        return 0.0;
+    };
+    let tail_start = trajectory.len() - trajectory.len().div_ceil(4);
+    let max_over = |part: &[(f64, f64)]| part.iter().map(|&(_, g)| g).fold(0.0f64, f64::max);
+    let tail_max = max_over(&trajectory[tail_start..]);
+    // Still climbing at the end: the final quarter tops everything that
+    // came before it by more than noise.
+    if tail_max > max_over(&trajectory[..tail_start]) * 1.05 + 1e-9 {
+        return last_t;
+    }
+    let band = tail_max * 1.1 + 1e-9;
+    // The sample after the last excursion above the band (tail samples
+    // are below the band by construction, so `i + 1` always exists).
+    match trajectory.iter().rposition(|&(_, g)| g > band) {
+        None => trajectory[0].0,
+        Some(i) => trajectory[i + 1].0,
+    }
+}
+
+/// Distills campaign rows into per-scenario trend rows.
+#[must_use]
+pub fn summarize(rows: &[CampaignRow]) -> Vec<TrendRow> {
+    rows.iter()
+        .map(|r| {
+            let collect =
+                |f: fn(&ScenarioOutcome) -> f64| -> Vec<f64> { r.outcomes.iter().map(f).collect() };
+            let globals = EnsembleStats::from_values(&collect(|o| o.max_global_skew));
+            let locals = EnsembleStats::from_values(&collect(|o| o.max_local_skew));
+            let stab: Vec<f64> = r
+                .outcomes
+                .iter()
+                .map(|o| stabilization_time(&o.trajectory))
+                .collect();
+            TrendRow {
+                name: r.name.clone(),
+                nodes: r.nodes as u64,
+                metric: r.metric.token().to_string(),
+                runs: r.stats.runs as u64,
+                mean_primary: r.stats.mean,
+                p90_primary: r.stats.p90,
+                mean_global: globals.mean,
+                p90_global: globals.p90,
+                mean_local: locals.mean,
+                p90_local: locals.p90,
+                mean_stabilization: gcs_analysis::stats::mean(&stab),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Baseline artifacts
+// ---------------------------------------------------------------------
+
+/// A trend summary with its provenance — either distilled from a fresh
+/// campaign artifact or read back from a checked-in baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendSummary {
+    /// Campaign title the rows came from.
+    pub campaign: String,
+    /// Scale token.
+    pub scale: String,
+    /// Seed list.
+    pub seeds: Vec<u64>,
+    /// Per-scenario rows.
+    pub rows: Vec<TrendRow>,
+}
+
+impl TrendSummary {
+    /// Distills a parsed campaign artifact.
+    #[must_use]
+    pub fn from_campaign(artifact: &CampaignArtifact) -> Self {
+        TrendSummary {
+            campaign: artifact.campaign.clone(),
+            scale: artifact.scale.clone(),
+            seeds: artifact.seeds.clone(),
+            rows: summarize(&artifact.rows),
+        }
+    }
+
+    /// Builds a summary straight from in-memory campaign rows (what the
+    /// CLI uses right after a run).
+    #[must_use]
+    pub fn from_rows(campaign: &str, scale: Scale, seeds: &[u64], rows: &[CampaignRow]) -> Self {
+        TrendSummary {
+            campaign: campaign.to_string(),
+            scale: scale.name().to_string(),
+            seeds: seeds.to_vec(),
+            rows: summarize(rows),
+        }
+    }
+}
+
+/// Serializes a summary as a `gcs-baseline/v1` document (one scenario per
+/// line, so checked-in baselines diff cleanly).
+#[must_use]
+pub fn baseline_json(summary: &TrendSummary) -> String {
+    let row_json = |r: &TrendRow| {
+        Json::Obj(vec![
+            ("name", Json::Str(r.name.clone())),
+            ("nodes", Json::Int(r.nodes)),
+            ("metric", Json::Str(r.metric.clone())),
+            ("runs", Json::Int(r.runs)),
+            ("mean_primary", Json::Num(r.mean_primary)),
+            ("p90_primary", Json::Num(r.p90_primary)),
+            ("mean_global_skew", Json::Num(r.mean_global)),
+            ("p90_global_skew", Json::Num(r.p90_global)),
+            ("mean_local_skew", Json::Num(r.mean_local)),
+            ("p90_local_skew", Json::Num(r.p90_local)),
+            ("mean_stabilization", Json::Num(r.mean_stabilization)),
+        ])
+    };
+    let head = Json::Obj(vec![
+        ("format", Json::Str(BASELINE_FORMAT.to_string())),
+        ("campaign", Json::Str(summary.campaign.clone())),
+        ("scale", Json::Str(summary.scale.clone())),
+        (
+            "seeds",
+            Json::Arr(summary.seeds.iter().map(|&s| Json::Int(s)).collect()),
+        ),
+    ]);
+    // Splice the scenarios in by hand so each row sits on its own line.
+    let head = head.to_string();
+    let mut out = String::new();
+    out.push_str(&head[..head.len() - 1]);
+    out.push_str(",\"scenarios\":[\n");
+    for (i, r) in summary.rows.iter().enumerate() {
+        out.push_str(&row_json(r).to_string());
+        if i + 1 < summary.rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Reads a `gcs-baseline/v1` document.
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON, a wrong `format` tag, or a
+/// missing/mistyped field.
+pub fn read_baseline(text: &str) -> Result<TrendSummary, String> {
+    baseline_from_doc(&json::parse(text)?)
+}
+
+fn baseline_from_doc(doc: &JsonValue) -> Result<TrendSummary, String> {
+    let format = str_field(doc, "format", "baseline")?;
+    if format != BASELINE_FORMAT {
+        return Err(format!(
+            "expected format {BASELINE_FORMAT:?}, got {format:?}"
+        ));
+    }
+    let seeds = arr_field(doc, "seeds", "baseline")?
+        .iter()
+        .map(|s| s.as_u64().ok_or_else(|| "non-integer seed".to_string()))
+        .collect::<Result<Vec<u64>, String>>()?;
+    let mut rows = Vec::new();
+    for sc in arr_field(doc, "scenarios", "baseline")? {
+        let name = str_field(sc, "name", "baseline scenario")?;
+        let what = format!("baseline scenario {name:?}");
+        rows.push(TrendRow {
+            nodes: u64_field(sc, "nodes", &what)?,
+            metric: str_field(sc, "metric", &what)?,
+            runs: u64_field(sc, "runs", &what)?,
+            mean_primary: f64_field(sc, "mean_primary", &what)?,
+            p90_primary: f64_field(sc, "p90_primary", &what)?,
+            mean_global: f64_field(sc, "mean_global_skew", &what)?,
+            p90_global: f64_field(sc, "p90_global_skew", &what)?,
+            mean_local: f64_field(sc, "mean_local_skew", &what)?,
+            p90_local: f64_field(sc, "p90_local_skew", &what)?,
+            mean_stabilization: f64_field(sc, "mean_stabilization", &what)?,
+            name,
+        });
+    }
+    Ok(TrendSummary {
+        campaign: str_field(doc, "campaign", "baseline")?,
+        scale: str_field(doc, "scale", "baseline")?,
+        seeds,
+        rows,
+    })
+}
+
+/// Reads either artifact flavour into a [`TrendSummary`], keyed on the
+/// `format` tag — so `compare` accepts a raw campaign artifact where a
+/// baseline is expected and vice versa.
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON or an unknown `format` tag.
+pub fn read_summary(text: &str) -> Result<TrendSummary, String> {
+    let doc = json::parse(text)?;
+    match str_field(&doc, "format", "artifact")?.as_str() {
+        BASELINE_FORMAT => baseline_from_doc(&doc),
+        CAMPAIGN_FORMAT => Ok(TrendSummary::from_campaign(&campaign_from_doc(&doc)?)),
+        other => Err(format!("unknown artifact format {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------
+
+/// One out-of-tolerance observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftFinding {
+    /// Scenario name.
+    pub scenario: String,
+    /// What drifted: a [`TrendRow::columns`] label, or a structural
+    /// problem (`missing scenario`, `new scenario`, `runs`).
+    pub column: String,
+    /// Baseline value (NaN for structural findings).
+    pub baseline: f64,
+    /// Current value (NaN for structural findings).
+    pub current: f64,
+}
+
+impl DriftFinding {
+    /// Signed relative drift (`+0.25` = 25 % above baseline). A
+    /// significant move away from a (near-)zero baseline has no finite
+    /// ratio and reports ±∞, so it still ranks as the worst drift and
+    /// prints as `+inf%` rather than masquerading as `+0.0%`.
+    #[must_use]
+    pub fn relative(&self) -> f64 {
+        let delta = self.current - self.baseline;
+        if self.baseline.abs() >= ABSOLUTE_FLOOR {
+            delta / self.baseline.abs()
+        } else if delta.abs() <= ABSOLUTE_FLOOR {
+            0.0
+        } else {
+            f64::INFINITY.copysign(delta)
+        }
+    }
+}
+
+/// The outcome of a baseline comparison: a printable table plus every
+/// finding that breaches the tolerance.
+#[derive(Debug)]
+pub struct CompareReport {
+    /// One row per scenario, baseline vs current headline stats.
+    pub table: Table,
+    /// Out-of-tolerance findings (empty ⇒ gate passes).
+    pub findings: Vec<DriftFinding>,
+}
+
+impl CompareReport {
+    /// Whether the gate passes.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Diffs `current` against `baseline` with relative tolerance `tol`
+/// (`0.25` = ±25 %; drifts under an absolute floor of 1 µs never count).
+/// Scenario-set mismatches and changed seed counts are findings too —
+/// the baseline must be refreshed deliberately, not silently outgrown.
+#[must_use]
+pub fn compare(baseline: &TrendSummary, current: &TrendSummary, tol: f64) -> CompareReport {
+    let mut findings = Vec::new();
+    let mut table = Table::new(
+        format!(
+            "campaign trend — {} ({} seeds, scale {}) vs baseline, tol ±{:.0}%",
+            current.campaign,
+            current.seeds.len(),
+            current.scale,
+            tol * 100.0
+        ),
+        &[
+            "scenario",
+            "primary (base)",
+            "primary (cur)",
+            "global p90 (base)",
+            "global p90 (cur)",
+            "stabilize (base)",
+            "stabilize (cur)",
+            "worst drift",
+            "status",
+        ],
+    );
+    table.caption(
+        "primary = each scenario's own metric (mean across seeds). A drift beyond the \
+         tolerance in any tracked column (primary/global/local mean+p90, stabilization) \
+         fails the gate; refresh the baseline deliberately when a change is intended.",
+    );
+
+    for base_row in &baseline.rows {
+        let Some(cur_row) = current.rows.iter().find(|r| r.name == base_row.name) else {
+            findings.push(DriftFinding {
+                scenario: base_row.name.clone(),
+                column: "missing scenario".to_string(),
+                baseline: f64::NAN,
+                current: f64::NAN,
+            });
+            table.row([
+                base_row.name.clone(),
+                fmt(base_row.mean_primary),
+                "-".to_string(),
+                fmt(base_row.p90_global),
+                "-".to_string(),
+                fmt(base_row.mean_stabilization),
+                "-".to_string(),
+                "-".to_string(),
+                "MISSING".to_string(),
+            ]);
+            continue;
+        };
+        let mut row_findings = Vec::new();
+        if cur_row.runs != base_row.runs {
+            row_findings.push(DriftFinding {
+                scenario: base_row.name.clone(),
+                column: "runs".to_string(),
+                baseline: base_row.runs as f64,
+                current: cur_row.runs as f64,
+            });
+        }
+        let mut worst: Option<DriftFinding> = None;
+        for ((label, base), (_, cur)) in base_row.columns().iter().zip(cur_row.columns().iter()) {
+            let finding = DriftFinding {
+                scenario: base_row.name.clone(),
+                column: (*label).to_string(),
+                baseline: *base,
+                current: *cur,
+            };
+            let out_of_tol = (cur - base).abs() > tol * base.abs() + ABSOLUTE_FLOOR;
+            if worst
+                .as_ref()
+                .is_none_or(|w| finding.relative().abs() > w.relative().abs())
+            {
+                worst = Some(finding.clone());
+            }
+            if out_of_tol {
+                row_findings.push(finding);
+            }
+        }
+        let status = if row_findings.is_empty() {
+            "ok".to_string()
+        } else {
+            "DRIFT".to_string()
+        };
+        let worst_cell = worst.map_or("-".to_string(), |w| {
+            format!("{} {:+.1}%", w.column, w.relative() * 100.0)
+        });
+        table.row([
+            base_row.name.clone(),
+            fmt(base_row.mean_primary),
+            fmt(cur_row.mean_primary),
+            fmt(base_row.p90_global),
+            fmt(cur_row.p90_global),
+            fmt(base_row.mean_stabilization),
+            fmt(cur_row.mean_stabilization),
+            worst_cell,
+            status,
+        ]);
+        findings.append(&mut row_findings);
+    }
+    for cur_row in &current.rows {
+        if !baseline.rows.iter().any(|r| r.name == cur_row.name) {
+            findings.push(DriftFinding {
+                scenario: cur_row.name.clone(),
+                column: "new scenario (refresh the baseline)".to_string(),
+                baseline: f64::NAN,
+                current: f64::NAN,
+            });
+            table.row([
+                cur_row.name.clone(),
+                "-".to_string(),
+                fmt(cur_row.mean_primary),
+                "-".to_string(),
+                fmt(cur_row.p90_global),
+                "-".to_string(),
+                fmt(cur_row.mean_stabilization),
+                "-".to_string(),
+                "NEW".to_string(),
+            ]);
+        }
+    }
+    CompareReport { table, findings }
+}
+
+fn fmt(v: f64) -> String {
+    gcs_analysis::report::fmt_val(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{campaign_json, run_campaign};
+    use crate::registry;
+
+    fn tiny_rows() -> (Vec<u64>, Vec<CampaignRow>) {
+        let specs = vec![
+            registry::find("line-worstcase")
+                .unwrap()
+                .scaled(Scale::Tiny),
+            registry::find("self-heal").unwrap().scaled(Scale::Tiny),
+        ];
+        let seeds = vec![0, 1];
+        let rows = run_campaign(&specs, &seeds).unwrap();
+        (seeds, rows)
+    }
+
+    #[test]
+    fn campaign_reader_inverts_the_writer() {
+        let (seeds, rows) = tiny_rows();
+        let text = campaign_json("smoke", Scale::Tiny, &seeds, &rows);
+        let artifact = read_campaign(&text).unwrap();
+        assert_eq!(artifact.campaign, "smoke");
+        assert_eq!(artifact.scale, "tiny");
+        assert_eq!(artifact.seeds, seeds);
+        assert_eq!(artifact.rows, rows, "parsed rows must be bit-identical");
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let (seeds, rows) = tiny_rows();
+        let summary = TrendSummary::from_rows("smoke", Scale::Tiny, &seeds, &rows);
+        let text = baseline_json(&summary);
+        assert!(text.starts_with("{\"format\":\"gcs-baseline/v1\""));
+        let back = read_baseline(&text).unwrap();
+        assert_eq!(back, summary);
+        // And the format-sniffing reader agrees on both flavours.
+        assert_eq!(read_summary(&text).unwrap(), summary);
+        let campaign_text = campaign_json("smoke", Scale::Tiny, &seeds, &rows);
+        assert_eq!(read_summary(&campaign_text).unwrap(), summary);
+    }
+
+    #[test]
+    fn identical_artifacts_compare_clean() {
+        let (seeds, rows) = tiny_rows();
+        let summary = TrendSummary::from_rows("smoke", Scale::Tiny, &seeds, &rows);
+        let report = compare(&summary, &summary, 0.05);
+        assert!(report.passed(), "{:?}", report.findings);
+        assert_eq!(report.table.row_count(), summary.rows.len());
+    }
+
+    #[test]
+    fn injected_regression_is_flagged() {
+        let (seeds, rows) = tiny_rows();
+        let base = TrendSummary::from_rows("smoke", Scale::Tiny, &seeds, &rows);
+        let mut cur = base.clone();
+        // A +20 % global-skew regression in one scenario.
+        cur.rows[0].mean_global *= 1.2;
+        cur.rows[0].p90_global *= 1.2;
+        let report = compare(&base, &cur, 0.10);
+        assert!(!report.passed());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.scenario == base.rows[0].name && f.column == "global mean"));
+        // The same drift sails through a generous tolerance.
+        assert!(compare(&base, &cur, 0.30).passed());
+    }
+
+    #[test]
+    fn drift_from_a_zero_baseline_reports_infinite_relative() {
+        let (seeds, rows) = tiny_rows();
+        let base = TrendSummary::from_rows("smoke", Scale::Tiny, &seeds, &rows);
+        let mut cur = base.clone();
+        let mut zero_base = base.clone();
+        zero_base.rows[0].mean_stabilization = 0.0;
+        cur.rows[0].mean_stabilization = 5.0;
+        let report = compare(&zero_base, &cur, 0.10);
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.column == "stabilization")
+            .expect("zero-baseline drift flagged");
+        assert_eq!(f.relative(), f64::INFINITY, "must rank as worst, not +0%");
+    }
+
+    #[test]
+    fn scenario_set_mismatches_are_structural_findings() {
+        let (seeds, rows) = tiny_rows();
+        let base = TrendSummary::from_rows("smoke", Scale::Tiny, &seeds, &rows);
+        let mut cur = base.clone();
+        let dropped = cur.rows.remove(0);
+        let report = compare(&base, &cur, 0.5);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.scenario == dropped.name && f.column == "missing scenario"));
+        let report = compare(&cur, &base, 0.5);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.scenario == dropped.name && f.column.starts_with("new scenario")));
+    }
+
+    #[test]
+    fn stabilization_time_finds_the_recovery_point() {
+        // Steady at 0.1, spike to 1.0 at t = 5, decays back by t = 8.
+        let mut traj: Vec<(f64, f64)> = (0..=20).map(|k| (k as f64 * 0.5, 0.1)).collect();
+        for (t, g) in traj.iter_mut() {
+            if *t >= 5.0 {
+                *g = (1.0 - (*t - 5.0) * 0.3).max(0.1);
+            }
+        }
+        let st = stabilization_time(&traj);
+        assert!((7.0..=9.0).contains(&st), "got {st}");
+        // A flat run stabilizes immediately.
+        let flat: Vec<(f64, f64)> = (0..=10).map(|k| (k as f64, 0.2)).collect();
+        assert_eq!(stabilization_time(&flat), 0.0);
+        assert_eq!(stabilization_time(&[]), 0.0);
+        // A diverging run — still climbing when observation ends — never
+        // settles: it reports the final instant, not "settled at t=0".
+        let grow: Vec<(f64, f64)> = (0..=20)
+            .map(|k| (k as f64 * 0.5, 0.01 * k as f64))
+            .collect();
+        assert_eq!(stabilization_time(&grow), 10.0);
+    }
+}

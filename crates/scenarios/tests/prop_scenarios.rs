@@ -1,9 +1,12 @@
-//! Property tests of the scenario subsystem: exact `.scn` round-trips and
-//! deterministic builds.
+//! Property tests of the scenario subsystem: exact `.scn` round-trips,
+//! deterministic builds, the chunked executor vs the sequential path, and
+//! exact campaign-artifact JSON round-trips.
 
 use proptest::prelude::*;
 
-use gcs_scenarios::{campaign, format, registry, Scale};
+use gcs_scenarios::campaign::{campaign_json, CampaignRow, ScenarioOutcome};
+use gcs_scenarios::spec::Metric;
+use gcs_scenarios::{campaign, format, registry, trend, Scale};
 
 /// Every registry scenario serializes → parses → re-serializes
 /// byte-identically (and value-identically).
@@ -26,6 +29,45 @@ fn finite(bits: u64) -> f64 {
         v
     } else {
         1.0
+    }
+}
+
+/// The chunked work-stealing executor must be invisible in the results: a
+/// scenario × seed campaign fanned out through `parallel_map` returns
+/// bit-identical outcomes to the same jobs run sequentially, in order.
+#[test]
+fn chunked_parallel_map_matches_the_sequential_path() {
+    let specs: Vec<_> = ["line-worstcase", "ring-steady", "self-heal", "flash-join"]
+        .iter()
+        .map(|n| registry::find(n).expect("built-in").scaled(Scale::Tiny))
+        .collect();
+    let jobs: Vec<(usize, u64)> = (0..specs.len())
+        .flat_map(|i| (0..4u64).map(move |s| (i, s)))
+        .collect();
+    let run = |(i, seed): (usize, u64)| campaign::run_scenario(&specs[i], seed).unwrap();
+    let parallel = gcs_analysis::parallel_map(jobs.clone(), run);
+    let sequential: Vec<ScenarioOutcome> = jobs.into_iter().map(run).collect();
+    assert_eq!(
+        parallel, sequential,
+        "work-stealing changed a result or its order"
+    );
+}
+
+/// `run_campaign` (which fans out through the executor) aggregates the
+/// exact same outcomes the sequential per-seed runs produce.
+#[test]
+fn run_campaign_is_bit_identical_to_sequential_runs() {
+    let specs = vec![
+        registry::find("self-heal").unwrap().scaled(Scale::Tiny),
+        registry::find("hypercube-log").unwrap().scaled(Scale::Tiny),
+    ];
+    let seeds = [0u64, 1, 2];
+    let rows = campaign::run_campaign(&specs, &seeds).unwrap();
+    for (spec, row) in specs.iter().zip(&rows) {
+        for (&seed, outcome) in seeds.iter().zip(&row.outcomes) {
+            let solo = campaign::run_scenario(spec, seed).unwrap();
+            assert_eq!(&solo, outcome, "{} seed {seed} diverged", spec.name);
+        }
     }
 }
 
@@ -76,5 +118,48 @@ proptest! {
         prop_assert!(text.is_ascii());
         let prefix = &text[..cut.min(text.len())];
         let _ = format::parse(prefix); // Ok or Err, never a panic.
+    }
+
+    /// The trend reader inverts the campaign writer bit-exactly — for
+    /// *arbitrary* finite metric values, not just the pretty ones real
+    /// runs produce (shortest round-trip float formatting + correctly
+    /// rounded parsing).
+    #[test]
+    fn campaign_artifact_json_round_trips(
+        seeds in proptest::collection::vec(any::<u64>(), 1..4),
+        bits in proptest::collection::vec(any::<u64>(), 8),
+        counts in proptest::collection::vec(any::<u64>(), 4),
+    ) {
+        // Clamped so the ensemble aggregation itself stays finite
+        // (a variance of (1e308)^2 overflows; real metrics are tiny).
+        let v = |i: usize| finite(bits[i % bits.len()]).abs().min(1e100);
+        let outcomes: Vec<ScenarioOutcome> = seeds
+            .iter()
+            .enumerate()
+            .map(|(k, &seed)| ScenarioOutcome {
+                seed,
+                primary: v(k),
+                max_global_skew: v(k + 1),
+                max_local_skew: v(k + 2),
+                final_global_skew: v(k + 3),
+                invariant_violations: counts[k % counts.len()],
+                messages_sent: counts[(k + 1) % counts.len()],
+                messages_delivered: counts[(k + 2) % counts.len()],
+                messages_dropped: counts[(k + 3) % counts.len()],
+                trajectory: (0..3).map(|j| (j as f64 * 0.5, v(k + j))).collect(),
+            })
+            .collect();
+        let primaries: Vec<f64> = outcomes.iter().map(|o| o.primary).collect();
+        let rows = vec![CampaignRow {
+            name: "prop-row".to_string(),
+            nodes: 12,
+            metric: Metric::GlobalSkew,
+            stats: gcs_analysis::EnsembleStats::from_values(&primaries),
+            outcomes,
+        }];
+        let text = campaign_json("prop", Scale::Tiny, &seeds, &rows);
+        let artifact = trend::read_campaign(&text).unwrap();
+        prop_assert_eq!(&artifact.seeds, &seeds);
+        prop_assert_eq!(&artifact.rows, &rows);
     }
 }

@@ -12,7 +12,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use gcs_scenarios::{campaign, format, registry, Scale, ScenarioSpec};
+use gcs_scenarios::{campaign, format, registry, trend, Scale, ScenarioSpec};
 
 const USAGE: &str = "\
 gcs-scenarios — declarative dynamic-network scenarios
@@ -33,6 +33,18 @@ USAGE:
         --out DIR   artifact directory  (default results)
     gcs-scenarios export <dir>
         Write every built-in scenario to <dir>/<name>.scn.
+    gcs-scenarios baseline <campaign.json> [--out FILE]
+        Distill a gcs-campaign/v1 artifact into a compact gcs-baseline/v1
+        summary (per-scenario mean/p90 skews + stabilization time) and
+        write it to FILE (default: stdout). Check the summary in to pin
+        the current behaviour.
+    gcs-scenarios compare <baseline> <campaign.json>... [--tol PCT]
+        Diff a fresh campaign against a baseline (either file may be a
+        gcs-baseline/v1 summary or a raw gcs-campaign/v1 artifact) and
+        exit non-zero on any per-scenario drift beyond PCT percent
+        (default 20). With several campaign files (e.g. an unexpanded
+        results/campaign_*.json glob) the newest is compared. The CI
+        regression gate.
 ";
 
 fn main() -> ExitCode {
@@ -43,6 +55,8 @@ fn main() -> ExitCode {
         Some("validate") => cmd_validate(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
+        Some("baseline") => cmd_baseline(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -240,6 +254,114 @@ fn resolve_specs(target: &str) -> Result<(String, Vec<ScenarioSpec>), String> {
         format!("no built-in scenario {target:?} and no such file (try `gcs-scenarios list`)")
     })?;
     Ok((spec.name.clone(), vec![spec]))
+}
+
+fn cmd_baseline(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("baseline needs a campaign artifact")?;
+    let mut out: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out = Some(PathBuf::from(args.get(i + 1).ok_or("--out needs a file")?));
+                i += 2;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let summary = trend::read_summary(&text).map_err(|e| format!("{input}: {e}"))?;
+    let baseline = trend::baseline_json(&summary);
+    match out {
+        None => print!("{baseline}"),
+        Some(path) => {
+            std::fs::write(&path, baseline)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!(
+                "wrote {} ({} scenario(s), {} seed(s))",
+                path.display(),
+                summary.rows.len(),
+                summary.seeds.len()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let baseline_path = args.first().ok_or("compare needs a baseline file")?;
+    // Everything positional after the baseline is a campaign artifact —
+    // `results/campaign_*.json` may glob to several accumulated runs;
+    // the newest one (by modification time) is the campaign under test.
+    let mut campaign_paths: Vec<&String> = Vec::new();
+    let mut tol_pct = 20.0f64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tol" => {
+                tol_pct = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .ok_or("--tol needs a non-negative percentage")?;
+                i += 2;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
+            _ => {
+                campaign_paths.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let current_path = campaign_paths
+        .iter()
+        .max_by_key(|p| {
+            std::fs::metadata(p.as_str())
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH)
+        })
+        .ok_or("compare needs a campaign artifact")?;
+    if campaign_paths.len() > 1 {
+        println!(
+            "{} campaign artifact(s) given; comparing the newest: {current_path}",
+            campaign_paths.len()
+        );
+    }
+    let read = |path: &str| -> Result<trend::TrendSummary, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        trend::read_summary(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let baseline = read(baseline_path)?;
+    let current = read(current_path)?;
+    let report = trend::compare(&baseline, &current, tol_pct / 100.0);
+    println!("{}", report.table);
+    if report.passed() {
+        println!(
+            "ok: {} scenario(s) within ±{tol_pct}% of {baseline_path}",
+            baseline.rows.len()
+        );
+        Ok(())
+    } else {
+        for f in &report.findings {
+            if f.baseline.is_nan() {
+                eprintln!("DRIFT {}: {}", f.scenario, f.column);
+            } else {
+                eprintln!(
+                    "DRIFT {}: {} {} -> {} ({:+.1}%)",
+                    f.scenario,
+                    f.column,
+                    f.baseline,
+                    f.current,
+                    f.relative() * 100.0
+                );
+            }
+        }
+        Err(format!(
+            "{} drift finding(s) beyond ±{tol_pct}% (refresh the baseline with \
+             `gcs-scenarios baseline` if this change is intentional)",
+            report.findings.len()
+        ))
+    }
 }
 
 fn cmd_export(args: &[String]) -> Result<(), String> {
