@@ -33,4 +33,7 @@ pub use ensemble::EnsembleStats;
 pub use legality::{gradient_bound, GradientChecker, LegalityReport, LevelReport};
 pub use parallel::parallel_map;
 pub use report::Table;
-pub use skew::{kappa_diameter, local_skew, skew_profile, weighted_skew_profile};
+pub use skew::{
+    kappa_diameter, local_skew, local_skew_with, skew_profile, skew_profiles,
+    weighted_skew_profile, SkewProfiles,
+};

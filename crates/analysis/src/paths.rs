@@ -94,9 +94,43 @@ impl WeightedGraph {
         self.n
     }
 
+    /// Breadth-first *hop* distances from one source (every edge counts 1),
+    /// into a caller-provided buffer — the cheap companion to the weighted
+    /// [`distances_from`](WeightedGraph::distances_from) when both metrics
+    /// are needed over the same edge set. `f64::INFINITY` marks unreachable
+    /// nodes, matching the Dijkstra convention (and bit-identical to
+    /// unit-weight Dijkstra: hop counts are exact small-integer sums).
+    pub fn hop_distances_into(&self, src: NodeId, dist: &mut Vec<f64>, queue: &mut Vec<u32>) {
+        dist.clear();
+        dist.resize(self.n, f64::INFINITY);
+        queue.clear();
+        dist[src.index()] = 0.0;
+        queue.push(src.index() as u32);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head] as usize;
+            head += 1;
+            let next = dist[u] + 1.0;
+            for &(v, _) in &self.adj[u] {
+                if dist[v].is_infinite() {
+                    dist[v] = next;
+                    queue.push(v as u32);
+                }
+            }
+        }
+    }
+
     /// Dijkstra from one source.
     #[must_use]
     pub fn distances_from(&self, src: NodeId) -> Vec<f64> {
+        let mut dist = vec![f64::INFINITY; self.n];
+        self.distances_into(src, &mut dist);
+        dist
+    }
+
+    /// Dijkstra from one source into a caller-provided buffer (resized and
+    /// overwritten) — the per-sample analysis loops reuse one allocation.
+    pub fn distances_into(&self, src: NodeId, dist: &mut Vec<f64>) {
         #[derive(PartialEq)]
         struct Entry(f64, usize);
         impl Eq for Entry {}
@@ -116,7 +150,8 @@ impl WeightedGraph {
             }
         }
 
-        let mut dist = vec![f64::INFINITY; self.n];
+        dist.clear();
+        dist.resize(self.n, f64::INFINITY);
         let mut heap = BinaryHeap::new();
         dist[src.index()] = 0.0;
         heap.push(Entry(0.0, src.index()));
@@ -132,7 +167,6 @@ impl WeightedGraph {
                 }
             }
         }
-        dist
     }
 
     /// All-pairs shortest distances.

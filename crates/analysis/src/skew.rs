@@ -1,16 +1,27 @@
 //! Skew measurements over a running simulation.
 
 use gcs_core::Simulation;
-use gcs_net::NodeId;
+use gcs_net::{EdgeKey, NodeId};
 
-use crate::paths::{full_level_graph, level_graph};
+use crate::paths::level_graph;
 
 /// The *local skew*: the largest `|L_u − L_v|` over the undirected edges
 /// currently inserted at level ≥ 1. Returns 0 for edge-less graphs.
 #[must_use]
 pub fn local_skew(sim: &Simulation) -> f64 {
-    sim.level_edges(1)
-        .into_iter()
+    let mut edges = Vec::new();
+    local_skew_with(sim, &mut edges)
+}
+
+/// Buffer-reusing variant of [`local_skew`] for per-sample observation
+/// loops: `edges` is cleared and refilled (via
+/// [`Simulation::level_edges_into`]) instead of allocating a fresh edge
+/// vector at every sample.
+#[must_use]
+pub fn local_skew_with(sim: &Simulation, edges: &mut Vec<EdgeKey>) -> f64 {
+    sim.level_edges_into(1, edges);
+    edges
+        .iter()
         .map(|e| (sim.node(e.lo()).logical() - sim.node(e.hi()).logical()).abs())
         .fold(0.0, f64::max)
 }
@@ -25,21 +36,76 @@ pub fn stable_local_skew(sim: &Simulation) -> f64 {
         .fold(0.0, f64::max)
 }
 
+/// Both gradient profiles of the current fully-inserted graph, computed in
+/// one sweep (see [`skew_profiles`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SkewProfiles {
+    /// Skew vs hop distance: entry `d − 1` holds the maximum `|L_u − L_v|`
+    /// over pairs at hop distance `d`. Pairs in different components are
+    /// skipped.
+    pub per_hop: Vec<f64>,
+    /// Skew vs κ-weighted distance: `(κ_p, |L_u − L_v|)` for every
+    /// connected pair `u < v`, where `κ_p` is the minimum path weight —
+    /// the raw material for checking the `(log_σ(Ĝ/κ_p) + O(1))·κ_p`
+    /// bound of Theorem 5.22.
+    pub weighted: Vec<(f64, f64)>,
+}
+
+/// Computes [`SkewProfiles`] with a single graph build and one sweep over
+/// sources — per source, one κ-weighted Dijkstra plus one (much cheaper)
+/// hop BFS over the same adjacency, instead of the two independent
+/// all-pairs passes the separate profile functions used to pay per
+/// observation sample. All scratch is reused across sources.
+#[must_use]
+pub fn skew_profiles(sim: &Simulation) -> SkewProfiles {
+    let g = crate::paths::full_level_graph(sim);
+    let n = sim.node_count();
+    let mut out = SkewProfiles::default();
+    let mut kdist: Vec<f64> = Vec::new();
+    let mut hops: Vec<f64> = Vec::new();
+    let mut queue: Vec<u32> = Vec::new();
+    for u in 0..n {
+        let lu = sim.node(NodeId::from(u)).logical();
+        g.distances_into(NodeId::from(u), &mut kdist);
+        g.hop_distances_into(NodeId::from(u), &mut hops, &mut queue);
+        for (v, &h) in hops.iter().enumerate().skip(u + 1) {
+            if !h.is_finite() {
+                continue;
+            }
+            let d = h.round() as usize;
+            if d == 0 {
+                continue;
+            }
+            let skew = (lu - sim.node(NodeId::from(v)).logical()).abs();
+            if out.per_hop.len() < d {
+                out.per_hop.resize(d, 0.0);
+            }
+            out.per_hop[d - 1] = out.per_hop[d - 1].max(skew);
+            let kd = kdist[v];
+            if kd.is_finite() && kd != 0.0 {
+                out.weighted.push((kd, skew));
+            }
+        }
+    }
+    out
+}
+
 /// Skew vs hop distance: entry `d − 1` holds the maximum `|L_u − L_v|` over
 /// pairs at hop distance `d` in the current fully-inserted graph. Pairs in
 /// different components are skipped.
+///
+/// Callers that also need [`weighted_skew_profile`] at the same instant
+/// should use [`skew_profiles`], which shares one sweep between the two.
 #[must_use]
 pub fn skew_profile(sim: &Simulation) -> Vec<f64> {
-    let g = full_level_graph(sim);
-    // Hop distances: reuse the weighted machinery with unit weights.
-    let mut unit = crate::paths::WeightedGraph::new(sim.node_count());
-    for e in sim.level_edges(u32::MAX) {
-        unit.add_edge(e, 1.0);
-    }
+    let g = crate::paths::full_level_graph(sim);
     let n = sim.node_count();
     let mut profile: Vec<f64> = Vec::new();
+    let mut hops: Vec<f64> = Vec::new();
+    let mut queue: Vec<u32> = Vec::new();
     for u in 0..n {
-        let hops = unit.distances_from(NodeId::from(u));
+        let lu = sim.node(NodeId::from(u)).logical();
+        g.hop_distances_into(NodeId::from(u), &mut hops, &mut queue);
         for (v, &h) in hops.iter().enumerate().skip(u + 1) {
             if !h.is_finite() {
                 continue;
@@ -51,36 +117,22 @@ pub fn skew_profile(sim: &Simulation) -> Vec<f64> {
             if profile.len() < d {
                 profile.resize(d, 0.0);
             }
-            let skew =
-                (sim.node(NodeId::from(u)).logical() - sim.node(NodeId::from(v)).logical()).abs();
+            let skew = (lu - sim.node(NodeId::from(v)).logical()).abs();
             profile[d - 1] = profile[d - 1].max(skew);
         }
     }
-    drop(g);
     profile
 }
 
 /// Skew vs κ-weighted distance: `(κ_p, |L_u − L_v|)` for every connected
 /// pair `u < v`, where `κ_p` is the minimum path weight in the current
-/// fully-inserted graph. This is the raw material for checking the
-/// `(log_σ(Ĝ/κ_p) + O(1))·κ_p` bound of Theorem 5.22.
+/// fully-inserted graph.
+///
+/// Callers that also need [`skew_profile`] at the same instant should use
+/// [`skew_profiles`], which shares one sweep between the two.
 #[must_use]
 pub fn weighted_skew_profile(sim: &Simulation) -> Vec<(f64, f64)> {
-    let g = full_level_graph(sim);
-    let n = sim.node_count();
-    let mut out = Vec::new();
-    for u in 0..n {
-        let dist = g.distances_from(NodeId::from(u));
-        for (v, &d) in dist.iter().enumerate().skip(u + 1) {
-            if !d.is_finite() || d == 0.0 {
-                continue;
-            }
-            let skew =
-                (sim.node(NodeId::from(u)).logical() - sim.node(NodeId::from(v)).logical()).abs();
-            out.push((d, skew));
-        }
-    }
-    out
+    skew_profiles(sim).weighted
 }
 
 /// The κ-weighted diameter of the current level-`s` graph (`None` if
@@ -138,6 +190,31 @@ mod tests {
             assert!(d > 0.0);
             assert!(skew >= 0.0);
         }
+    }
+
+    #[test]
+    fn combined_sweep_matches_the_individual_profiles() {
+        let s = sim(7);
+        let both = skew_profiles(&s);
+        assert_eq!(both.per_hop, skew_profile(&s), "per-hop profile diverged");
+        // weighted_skew_profile is the combined sweep's weighted half by
+        // construction; check it against first principles instead: every
+        // connected pair, positive distances, symmetric-free (u < v).
+        assert_eq!(both.weighted.len(), 7 * 6 / 2);
+        for &(d, skew) in &both.weighted {
+            assert!(d > 0.0 && skew >= 0.0);
+        }
+    }
+
+    #[test]
+    fn local_skew_with_reuses_the_buffer() {
+        let s = sim(5);
+        let mut edges = Vec::new();
+        let a = local_skew_with(&s, &mut edges);
+        assert_eq!(edges.len(), 4); // line(5) edges
+        let b = local_skew_with(&s, &mut edges);
+        assert_eq!(a, b);
+        assert_eq!(a, local_skew(&s));
     }
 
     #[test]

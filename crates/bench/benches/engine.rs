@@ -134,6 +134,67 @@ fn bench_event_queue(c: &mut Criterion) {
             acc
         })
     });
+    // The engine's steady-state pattern: a standing backlog with one pop
+    // and one near-future push per event (what the calendar layout is for).
+    c.bench_function("event_queue_churn_backlog3k", |b| {
+        let mut q = EventQueue::new();
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut t = 0.0f64;
+        for i in 0..3_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            q.schedule(SimTime::from_secs(t + (x >> 44) as f64 * 1e-8), i);
+        }
+        b.iter(|| {
+            let (when, v) = q.pop().expect("standing backlog");
+            t = when.as_secs();
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            q.schedule(SimTime::from_secs(t + (x >> 44) as f64 * 1e-8), v);
+            v
+        })
+    });
+}
+
+/// The acceptance benchmark of the engine overhaul: a 1024-node ring under
+/// alternating worst-case drift, driven one tick-dominated second. The
+/// `BENCH_engine.json` artifact (`gcs-scenarios bench`) tracks the full
+/// 10-second workload; this is the in-tree criterion view of the same hot
+/// path.
+fn bench_ring_1024_tick_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_1024");
+    group.sample_size(10);
+    group.bench_function("tick_loop_1s", |b| {
+        b.iter(|| {
+            let mut sim = SimBuilder::new(params())
+                .topology(Topology::ring(1024))
+                .drift(DriftModel::Alternating)
+                .seed(0)
+                .build()
+                .unwrap();
+            sim.run_until_secs(1.0);
+            sim.stats().mode_evaluations
+        });
+    });
+    group.finish();
+}
+
+/// Per-node view assembly + decision + stability certificate — the unit of
+/// work the dirty-set machinery skips.
+fn bench_neighbor_views(c: &mut Criterion) {
+    let mut sim = SimBuilder::new(params())
+        .topology(Topology::ring(64))
+        .drift(DriftModel::Alternating)
+        .seed(5)
+        .build()
+        .unwrap();
+    sim.run_until_secs(2.0);
+    sim.set_full_reevaluation(true);
+    c.bench_function("reevaluate_ring64_full_pass", |b| {
+        b.iter(|| {
+            let t = sim.now().as_secs() + sim.tick_interval();
+            sim.run_until_secs(t);
+            sim.stats().mode_evaluations
+        });
+    });
 }
 
 fn bench_legality_apsp(c: &mut Criterion) {
@@ -152,6 +213,8 @@ fn bench_legality_apsp(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_simulation_throughput,
+    bench_ring_1024_tick_loop,
+    bench_neighbor_views,
     bench_policy_decide,
     bench_event_queue,
     bench_legality_apsp

@@ -56,4 +56,4 @@ pub use estimate::{ErrorModel, EstimateMode};
 pub use params::{InsertionStrategy, Params, ParamsBuilder, ParamsError};
 pub use sim::{BuildError, EdgeInfo, SimBuilder, SimStats, Simulation};
 pub use snapshot::{ClockSnapshot, Trace};
-pub use triggers::{AoptPolicy, Mode, ModePolicy, NeighborView, NodeView};
+pub use triggers::{AoptPolicy, Mode, ModePolicy, NeighborView, NodeView, StabilityCert};

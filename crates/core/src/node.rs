@@ -16,47 +16,202 @@
 //!
 //! `G̃_u(t) := P_u − W_u` then satisfies inequality (5): it upper-bounds the
 //! true global skew at all times.
-
-use std::collections::BTreeMap;
+//!
+//! # Anchored integration
+//!
+//! The state is stored as an *anchor* — the exact values at the last
+//! discontinuity (rate change, mode switch, flood merge, corruption) — plus
+//! a cache of the values at the last queried instant. [`advance_to`] only
+//! refreshes the cache: it evaluates each piecewise-linear segment in closed
+//! form from the anchor and never rewrites it. Two consequences the engine
+//! relies on:
+//!
+//! * **Query-invariance.** Advancing a node at extra intermediate instants
+//!   (eager `advance_all` per event, observation sampling, debug checks)
+//!   does not perturb any future value by even an ulp — the trajectory is a
+//!   pure function of the anchor sequence, which only events determine.
+//!   Lazy and eager advancement are therefore *bit-identical*.
+//! * **O(1) advancement.** A node untouched for a thousand ticks catches up
+//!   with the same handful of multiply-adds as one advanced every tick.
+//!
+//! [`advance_to`]: NodeState::advance_to
 
 use gcs_net::NodeId;
-use gcs_sim::{HardwareClock, SimTime};
+use gcs_sim::SimTime;
 
 use crate::edge_state::EdgeSlot;
 use crate::params::Params;
+use crate::sim::EdgeInfo;
 use crate::triggers::Mode;
+
+/// Everything a node tracks about one discovered neighbour, plus the cached
+/// per-edge derived constants (`ε`, `κ`, `δ`, delays) of the connecting
+/// edge — so the per-tick mode evaluation never touches the engine's
+/// edge-info map.
+#[derive(Debug, Clone)]
+pub struct NeighborEntry {
+    /// The neighbour's id.
+    pub id: NodeId,
+    /// Cached `EdgeInfo` of the undirected edge to this neighbour.
+    pub info: EdgeInfo,
+    /// Discovery/handshake/estimate state of this directed slot.
+    pub slot: EdgeSlot,
+}
+
+/// A node's discovered-neighbour table (`N⁰ᵤ`): a flat vector sorted by
+/// neighbour id. Degrees are small and topology changes are rare compared
+/// to trigger evaluations, so a sorted slab beats a tree on every hot
+/// operation (linear scans for views, binary search for lookups) while
+/// iterating in the same deterministic ascending order.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborTable {
+    entries: Vec<NeighborEntry>,
+}
+
+impl NeighborTable {
+    /// Number of discovered neighbours.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no neighbour has been discovered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn position(&self, v: NodeId) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&v, |e| e.id)
+    }
+
+    /// Whether `v` has been discovered.
+    #[must_use]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.position(v).is_ok()
+    }
+
+    /// The slot for neighbour `v`, if discovered.
+    #[must_use]
+    pub fn get(&self, v: NodeId) -> Option<&EdgeSlot> {
+        self.position(v).ok().map(|i| &self.entries[i].slot)
+    }
+
+    /// Mutable access to the slot for neighbour `v`.
+    pub fn get_mut(&mut self, v: NodeId) -> Option<&mut EdgeSlot> {
+        match self.position(v) {
+            Ok(i) => Some(&mut self.entries[i].slot),
+            Err(_) => None,
+        }
+    }
+
+    /// The full entry (slot + cached edge info) for neighbour `v`.
+    #[must_use]
+    pub fn entry(&self, v: NodeId) -> Option<&NeighborEntry> {
+        self.position(v).ok().map(|i| &self.entries[i])
+    }
+
+    /// Mutable access to the full entry for neighbour `v` (one search for
+    /// callers that read the cached info *and* write the slot).
+    pub fn entry_mut(&mut self, v: NodeId) -> Option<&mut NeighborEntry> {
+        match self.position(v) {
+            Ok(i) => Some(&mut self.entries[i]),
+            Err(_) => None,
+        }
+    }
+
+    /// Inserts (or replaces) the slot for `v`, keeping the table sorted.
+    pub fn insert(&mut self, v: NodeId, info: EdgeInfo, slot: EdgeSlot) {
+        match self.position(v) {
+            Ok(i) => self.entries[i] = NeighborEntry { id: v, info, slot },
+            Err(i) => self.entries.insert(i, NeighborEntry { id: v, info, slot }),
+        }
+    }
+
+    /// Removes the slot for `v`; returns whether it existed.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        match self.position(v) {
+            Ok(i) => {
+                self.entries.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Iterates over all entries in ascending neighbour order.
+    pub fn iter(&self) -> std::slice::Iter<'_, NeighborEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterates over the discovered neighbour ids in ascending order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.iter().map(|e| e.id)
+    }
+}
+
+impl<'a> IntoIterator for &'a NeighborTable {
+    type Item = &'a NeighborEntry;
+    type IntoIter = std::slice::Iter<'a, NeighborEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
 
 /// The full state of one node.
 #[derive(Debug, Clone)]
 pub struct NodeState {
     id: NodeId,
-    hw: HardwareClock,
-    logical: f64,
     mode: Mode,
-    max_est: f64,
-    min_lb: f64,
-    max_ub: f64,
-    fast_secs: f64,
-    last_update: SimTime,
+    hw_rate: f64,
+    /// Instant of the last discontinuity; all clocks are linear since then.
+    anchor: SimTime,
+    hw_at_anchor: f64,
+    logical_at_anchor: f64,
+    max_est_at_anchor: f64,
+    min_lb_at_anchor: f64,
+    max_ub_at_anchor: f64,
+    fast_at_anchor: f64,
+    /// Last queried instant; the `cur_*` caches hold the values there.
+    now: SimTime,
+    cur_hw: f64,
+    cur_logical: f64,
+    cur_max_est: f64,
+    cur_min_lb: f64,
+    cur_max_ub: f64,
+    cur_fast: f64,
     /// Discovered neighbours (`N⁰ᵤ`) with their handshake/estimate state.
-    pub slots: BTreeMap<NodeId, EdgeSlot>,
+    pub slots: NeighborTable,
 }
 
 impl NodeState {
     /// A node at time 0 with all clocks zero, in slow mode.
     #[must_use]
     pub fn new(id: NodeId, hw_rate: f64) -> Self {
+        assert!(
+            hw_rate.is_finite() && hw_rate > 0.0,
+            "clock rate must be finite and positive, got {hw_rate}"
+        );
         NodeState {
             id,
-            hw: HardwareClock::new(hw_rate),
-            logical: 0.0,
             mode: Mode::Slow,
-            max_est: 0.0,
-            min_lb: 0.0,
-            max_ub: 0.0,
-            fast_secs: 0.0,
-            last_update: SimTime::ZERO,
-            slots: BTreeMap::new(),
+            hw_rate,
+            anchor: SimTime::ZERO,
+            hw_at_anchor: 0.0,
+            logical_at_anchor: 0.0,
+            max_est_at_anchor: 0.0,
+            min_lb_at_anchor: 0.0,
+            max_ub_at_anchor: 0.0,
+            fast_at_anchor: 0.0,
+            now: SimTime::ZERO,
+            cur_hw: 0.0,
+            cur_logical: 0.0,
+            cur_max_est: 0.0,
+            cur_min_lb: 0.0,
+            cur_max_ub: 0.0,
+            cur_fast: 0.0,
+            slots: NeighborTable::default(),
         }
     }
 
@@ -69,19 +224,19 @@ impl NodeState {
     /// Logical clock `L_u` (as of the last advance).
     #[must_use]
     pub fn logical(&self) -> f64 {
-        self.logical
+        self.cur_logical
     }
 
     /// Hardware clock `H_u`.
     #[must_use]
     pub fn hardware(&self) -> f64 {
-        self.hw.value()
+        self.cur_hw
     }
 
     /// Current hardware rate `h_u`.
     #[must_use]
     pub fn hw_rate(&self) -> f64 {
-        self.hw.rate()
+        self.hw_rate
     }
 
     /// Current mode.
@@ -93,131 +248,222 @@ impl NodeState {
     /// Max estimate `M_u` (Condition 4.3).
     #[must_use]
     pub fn max_estimate(&self) -> f64 {
-        self.max_est
+        self.cur_max_est
     }
 
     /// Lower bound `W_u` on the minimum logical clock in the network.
     #[must_use]
     pub fn min_lower_bound(&self) -> f64 {
-        self.min_lb
+        self.cur_min_lb
     }
 
     /// Upper bound `P_u` on the maximum logical clock in the network.
     #[must_use]
     pub fn max_upper_bound(&self) -> f64 {
-        self.max_ub
+        self.cur_max_ub
     }
 
     /// The node-local global-skew estimate `G̃_u(t) = P_u − W_u` (§7).
     #[must_use]
     pub fn g_estimate(&self) -> f64 {
-        (self.max_ub - self.min_lb).max(0.0)
+        (self.cur_max_ub - self.cur_min_lb).max(0.0)
     }
 
     /// Total real seconds this node has spent in fast mode — a proxy for
     /// the extra energy/rate budget the algorithm consumed.
     #[must_use]
     pub fn fast_secs(&self) -> f64 {
-        self.fast_secs
+        self.cur_fast
     }
 
     /// Time of the last advance.
     #[must_use]
     pub fn last_update(&self) -> SimTime {
-        self.last_update
+        self.now
     }
 
-    /// Integrates all clocks forward to `t` at the current rates.
+    /// The logical clock value at `t`, computed from the anchor without
+    /// mutating anything — bit-identical to what [`advance_to`] +
+    /// [`logical`] would report, letting read-only observers (the view
+    /// builder reading *neighbour* clocks) avoid dirtying node state.
+    ///
+    /// [`advance_to`]: NodeState::advance_to
+    /// [`logical`]: NodeState::logical
+    #[must_use]
+    pub fn logical_at(&self, t: SimTime, params: &Params) -> f64 {
+        if t == self.now {
+            return self.cur_logical;
+        }
+        let dt = t.as_secs() - self.anchor.as_secs();
+        let h_delta = self.hw_rate * dt;
+        self.logical_at_anchor + self.mode.multiplier(params.mu()) * h_delta
+    }
+
+    /// Refreshes the cached clock values at `t` by evaluating each
+    /// piecewise-linear segment in closed form from the anchor. Pure with
+    /// respect to future values: extra intermediate calls change nothing
+    /// (see the module docs), so advancement can be as lazy or as eager as
+    /// the caller likes.
     ///
     /// # Panics
     ///
     /// Panics if `t` is earlier than the last advance.
     pub fn advance_to(&mut self, t: SimTime, params: &Params) {
-        if t == self.last_update {
+        if t == self.now {
             return;
         }
-        let dt = t.duration_since(self.last_update).as_secs();
-        let h_delta = self.hw.rate() * dt;
-        self.hw.advance_to(t);
+        assert!(
+            t >= self.now,
+            "cannot advance {} backwards from {:?} to {t:?}",
+            self.id,
+            self.now
+        );
+        let dt = t.as_secs() - self.anchor.as_secs();
+        let h_delta = self.hw_rate * dt;
+        self.cur_hw = self.hw_at_anchor + h_delta;
+        self.cur_logical = self.logical_at_anchor + self.mode.multiplier(params.mu()) * h_delta;
 
-        self.logical += self.mode.multiplier(params.mu()) * h_delta;
-        if self.mode == Mode::Fast {
-            self.fast_secs += dt;
-        }
-
-        let conservative = (1.0 - params.rho()) / (1.0 + params.rho());
-        self.max_est += conservative * h_delta;
-        self.min_lb += conservative * h_delta;
+        let rho = params.rho();
+        let conservative = (1.0 - rho) / (1.0 + rho);
+        // (4): M_u >= L_u; combined with the conservative rate this yields
+        // exactly the two-case update rule of Condition 4.3.
+        self.cur_max_est = (self.max_est_at_anchor + conservative * h_delta).max(self.cur_logical);
+        // W_u lower-bounds the network minimum, which is <= L_u (the min is
+        // mathematically a no-op — W never outruns L — but keeps the
+        // invariant robust).
+        self.cur_min_lb = (self.min_lb_at_anchor + conservative * h_delta).min(self.cur_logical);
         // The network maximum advances at most at rate 1+rho: a node holding
         // the maximum is in slow mode (Theorem 5.6's argument holds for all
         // policies built on the max-estimate rule), so growing P at
         // (1+rho)/(1-rho) * h >= 1+rho keeps it an upper bound. Brief
         // fast-mode episodes of a *newly* maximal node (bounded by one
         // trigger-evaluation tick) are absorbed by the invariant tolerance.
-        let aggressive = (1.0 + params.rho()) / (1.0 - params.rho());
-        self.max_ub += aggressive * h_delta;
+        let aggressive = (1.0 + rho) / (1.0 - rho);
+        self.cur_max_ub = (self.max_ub_at_anchor + aggressive * h_delta).max(self.cur_max_est);
 
-        self.clamp_bounds();
-        self.last_update = t;
+        self.cur_fast = self.fast_at_anchor + if self.mode == Mode::Fast { dt } else { 0.0 };
+        self.now = t;
+    }
+
+    /// Moves the anchor to the current instant, materializing the cached
+    /// values. Every discontinuity (rate change, mode switch, merge,
+    /// corruption) must re-anchor first; the caller must have advanced the
+    /// node to the discontinuity's time.
+    fn reanchor(&mut self) {
+        self.anchor = self.now;
+        self.hw_at_anchor = self.cur_hw;
+        self.logical_at_anchor = self.cur_logical;
+        self.max_est_at_anchor = self.cur_max_est;
+        self.min_lb_at_anchor = self.cur_min_lb;
+        self.max_ub_at_anchor = self.cur_max_ub;
+        self.fast_at_anchor = self.cur_fast;
+    }
+
+    /// Re-applies the invariant clamps to the anchor values (after a merge
+    /// or corruption) and refreshes the caches (anchor time == now here).
+    fn clamp_and_commit(&mut self) {
+        if self.max_est_at_anchor < self.logical_at_anchor {
+            self.max_est_at_anchor = self.logical_at_anchor;
+        }
+        if self.min_lb_at_anchor > self.logical_at_anchor {
+            self.min_lb_at_anchor = self.logical_at_anchor;
+        }
+        if self.max_ub_at_anchor < self.max_est_at_anchor {
+            self.max_ub_at_anchor = self.max_est_at_anchor;
+        }
+        self.cur_hw = self.hw_at_anchor;
+        self.cur_logical = self.logical_at_anchor;
+        self.cur_max_est = self.max_est_at_anchor;
+        self.cur_min_lb = self.min_lb_at_anchor;
+        self.cur_max_ub = self.max_ub_at_anchor;
+        self.cur_fast = self.fast_at_anchor;
     }
 
     /// Changes the hardware rate (caller must advance to the change time
     /// first).
     pub fn set_hw_rate(&mut self, rate: f64) {
-        self.hw.set_rate(rate);
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "clock rate must be finite and positive, got {rate}"
+        );
+        self.reanchor();
+        self.hw_rate = rate;
     }
 
     /// Switches mode (caller must advance to the switch time first).
+    /// Setting the current mode again is a no-op and does not re-anchor.
     pub fn set_mode(&mut self, mode: Mode) {
-        self.mode = mode;
+        if mode != self.mode {
+            self.reanchor();
+            self.mode = mode;
+        }
     }
 
-    /// Merges a received max estimate (already credited for minimum transit).
-    pub fn merge_max_estimate(&mut self, candidate: f64) {
-        if candidate > self.max_est {
-            self.max_est = candidate;
+    /// Merges a received max estimate (already credited for minimum
+    /// transit). Returns whether `M_u` actually moved — the engine uses
+    /// this to keep its dirty-node bookkeeping precise.
+    pub fn merge_max_estimate(&mut self, candidate: f64) -> bool {
+        self.reanchor();
+        let changed = candidate > self.max_est_at_anchor;
+        if changed {
+            self.max_est_at_anchor = candidate;
         }
-        self.clamp_bounds();
+        self.clamp_and_commit();
+        changed
+    }
+
+    /// Merges a full flood `(M, W, P)` triple in one re-anchor — the
+    /// per-delivery hot path. Equivalent to calling the three single-bound
+    /// merges in sequence (the interleaved clamps commute; see the unit
+    /// test). Returns whether `M_u` moved.
+    pub fn merge_flood_bounds(&mut self, max_est: f64, min_lb: f64, max_ub: f64) -> bool {
+        // All three bounds already dominated: nothing changes, so skip the
+        // re-anchor (the cached values equal the anchored segment at `now`,
+        // making the comparison against them exact).
+        if max_est <= self.cur_max_est && min_lb <= self.cur_min_lb && max_ub >= self.cur_max_ub {
+            return false;
+        }
+        self.reanchor();
+        let changed = max_est > self.max_est_at_anchor;
+        if changed {
+            self.max_est_at_anchor = max_est;
+        }
+        if min_lb > self.min_lb_at_anchor {
+            self.min_lb_at_anchor = min_lb;
+        }
+        if max_ub < self.max_ub_at_anchor {
+            self.max_ub_at_anchor = max_ub;
+        }
+        self.clamp_and_commit();
+        changed
     }
 
     /// Merges a received minimum-clock lower bound.
     pub fn merge_min_lower_bound(&mut self, candidate: f64) {
-        if candidate > self.min_lb {
-            self.min_lb = candidate;
+        self.reanchor();
+        if candidate > self.min_lb_at_anchor {
+            self.min_lb_at_anchor = candidate;
         }
-        self.clamp_bounds();
+        self.clamp_and_commit();
     }
 
     /// Merges a received maximum-clock upper bound (already padded for
     /// maximal in-transit growth).
     pub fn merge_max_upper_bound(&mut self, candidate: f64) {
-        if candidate < self.max_ub {
-            self.max_ub = candidate;
+        self.reanchor();
+        if candidate < self.max_ub_at_anchor {
+            self.max_ub_at_anchor = candidate;
         }
-        self.clamp_bounds();
+        self.clamp_and_commit();
     }
 
     /// Overwrites the logical clock (fault injection / corruption
     /// experiments), keeping the derived bounds consistent.
     pub fn corrupt_logical(&mut self, value: f64) {
-        self.logical = value;
-        self.clamp_bounds();
-    }
-
-    fn clamp_bounds(&mut self) {
-        // (4): M_u >= L_u; combined with the conservative rate this yields
-        // exactly the two-case update rule of Condition 4.3.
-        if self.max_est < self.logical {
-            self.max_est = self.logical;
-        }
-        // W_u lower-bounds the network minimum, which is <= L_u.
-        if self.min_lb > self.logical {
-            self.min_lb = self.logical;
-        }
-        // P_u upper-bounds the network maximum, which is >= M_u.
-        if self.max_ub < self.max_est {
-            self.max_ub = self.max_est;
-        }
+        assert!(value.is_finite(), "clock value must be finite");
+        self.reanchor();
+        self.logical_at_anchor = value;
+        self.clamp_and_commit();
     }
 }
 
@@ -264,7 +510,7 @@ mod tests {
     fn max_estimate_rate_is_conservative_when_ahead() {
         let p = params();
         let mut n = NodeState::new(NodeId(0), 1.0);
-        n.merge_max_estimate(1000.0);
+        assert!(n.merge_max_estimate(1000.0));
         n.advance_to(t(10.0), &p);
         let expected = 1000.0 + (0.99 / 1.01) * 10.0;
         assert!((n.max_estimate() - expected).abs() < 1e-9);
@@ -276,7 +522,7 @@ mod tests {
         let p = params();
         let mut n = NodeState::new(NodeId(0), 1.0);
         for k in 1..=50 {
-            n.advance_to(t(k as f64), &p);
+            n.advance_to(t(f64::from(k)), &p);
             assert!(n.min_lower_bound() <= n.logical() + 1e-12);
             assert!(n.max_upper_bound() >= n.max_estimate() - 1e-12);
             assert!(n.g_estimate() >= 0.0);
@@ -306,9 +552,9 @@ mod tests {
         let p = params();
         let mut n = NodeState::new(NodeId(0), 1.0);
         n.advance_to(t(5.0), &p);
-        n.merge_max_estimate(2.0); // below L: clamp keeps M = L
+        assert!(!n.merge_max_estimate(2.0)); // below L: clamp keeps M = L
         assert!((n.max_estimate() - n.logical()).abs() < 1e-12);
-        n.merge_max_estimate(7.0);
+        assert!(n.merge_max_estimate(7.0));
         assert!((n.max_estimate() - 7.0).abs() < 1e-12);
     }
 
@@ -331,5 +577,113 @@ mod tests {
         let l = n.logical();
         n.advance_to(t(3.0), &p);
         assert_eq!(n.logical(), l);
+    }
+
+    #[test]
+    fn advancement_is_query_invariant_bitwise() {
+        // The same trajectory of discontinuities, queried on two different
+        // grids, yields bit-identical values at shared instants — the
+        // property the engine's lazy advancement rests on.
+        let p = params();
+        let mut lazy = NodeState::new(NodeId(0), 1.003);
+        let mut eager = NodeState::new(NodeId(0), 1.003);
+        let script = |n: &mut NodeState, chatty: bool| {
+            if chatty {
+                n.advance_to(t(0.25), &p);
+                n.advance_to(t(0.7), &p);
+            }
+            n.advance_to(t(1.0), &p);
+            n.set_mode(Mode::Fast);
+            if chatty {
+                for k in 0..40 {
+                    n.advance_to(t(1.0 + 0.05 * f64::from(k)), &p);
+                }
+            }
+            n.advance_to(t(3.0), &p);
+            n.merge_max_estimate(5.0);
+            if chatty {
+                n.advance_to(t(3.5), &p);
+            }
+            n.advance_to(t(4.0), &p);
+            n.set_hw_rate(0.997);
+            n.advance_to(t(10.0), &p);
+        };
+        script(&mut lazy, false);
+        script(&mut eager, true);
+        assert_eq!(lazy.logical().to_bits(), eager.logical().to_bits());
+        assert_eq!(lazy.hardware().to_bits(), eager.hardware().to_bits());
+        assert_eq!(
+            lazy.max_estimate().to_bits(),
+            eager.max_estimate().to_bits()
+        );
+        assert_eq!(
+            lazy.min_lower_bound().to_bits(),
+            eager.min_lower_bound().to_bits()
+        );
+        assert_eq!(
+            lazy.max_upper_bound().to_bits(),
+            eager.max_upper_bound().to_bits()
+        );
+        assert_eq!(lazy.fast_secs().to_bits(), eager.fast_secs().to_bits());
+    }
+
+    #[test]
+    fn merge_flood_bounds_matches_sequential_merges() {
+        let p = params();
+        for (cm, cw, cp) in [
+            (5.0, 0.5, 9.0),
+            (0.1, 3.0, 0.2),
+            (2.0, 2.0, 2.0),
+            (-1.0, -1.0, 100.0),
+        ] {
+            let mut a = NodeState::new(NodeId(0), 1.0);
+            let mut b = NodeState::new(NodeId(0), 1.0);
+            for n in [&mut a, &mut b] {
+                n.advance_to(t(1.0), &p);
+                n.merge_max_estimate(1.5);
+                n.advance_to(t(2.0), &p);
+            }
+            let fused = a.merge_flood_bounds(cm, cw, cp);
+            let seq = b.merge_max_estimate(cm);
+            b.merge_min_lower_bound(cw);
+            b.merge_max_upper_bound(cp);
+            assert_eq!(fused, seq);
+            a.advance_to(t(5.0), &p);
+            b.advance_to(t(5.0), &p);
+            assert_eq!(a.max_estimate().to_bits(), b.max_estimate().to_bits());
+            assert_eq!(a.min_lower_bound().to_bits(), b.min_lower_bound().to_bits());
+            assert_eq!(a.max_upper_bound().to_bits(), b.max_upper_bound().to_bits());
+        }
+    }
+
+    #[test]
+    fn neighbor_table_stays_sorted_and_searchable() {
+        use crate::edge_state::EdgeSlot;
+        use gcs_net::EdgeParams;
+        let info = EdgeInfo {
+            params: EdgeParams::default(),
+            epsilon: 0.002,
+            kappa: 0.0135,
+            delta: 0.001,
+        };
+        let mut table = NeighborTable::default();
+        for v in [5u32, 1, 9, 3] {
+            table.insert(NodeId(v), info, EdgeSlot::initial());
+        }
+        assert_eq!(table.len(), 4);
+        let ids: Vec<NodeId> = table.ids().collect();
+        assert_eq!(ids, vec![NodeId(1), NodeId(3), NodeId(5), NodeId(9)]);
+        assert!(table.contains(NodeId(3)));
+        assert!(table.get(NodeId(9)).is_some());
+        assert!(table.get(NodeId(2)).is_none());
+        assert!(table.entry(NodeId(5)).is_some());
+        assert!(table.remove(NodeId(3)));
+        assert!(!table.remove(NodeId(3)));
+        assert_eq!(table.len(), 3);
+        assert!(table.get_mut(NodeId(1)).is_some());
+        // Re-inserting an existing id replaces in place.
+        table.insert(NodeId(1), info, EdgeSlot::discovered(t(1.0), 2.0, 7));
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.get(NodeId(1)).unwrap().generation, 7);
     }
 }

@@ -9,9 +9,20 @@
 //! seconds; the induced slack on measured bounds is
 //! [`Params::discretization_slack`].
 //!
+//! The hot path is *incremental*: per tick, only nodes whose decision
+//! inputs may have changed since their last evaluation are re-decided. A
+//! node evaluated at time `t` receives a
+//! [`StabilityCert`](crate::triggers::StabilityCert) from its policy
+//! — margins within which no trigger threshold can be crossed — which the
+//! engine converts into a real-time horizon using the worst-case relative
+//! drift rate `β − α`; until the horizon expires (or an event dirties the
+//! node) the decision provably cannot change, so skipping the evaluation
+//! is *bit-identical* to the full per-node pass (property-tested, and
+//! re-checked against the full pass on every tick in debug builds).
+//!
 //! Event kinds:
 //!
-//! * `Tick` — advance everyone, re-evaluate the [`ModePolicy`] per node,
+//! * `Tick` — re-evaluate the [`ModePolicy`] on dirty/expired nodes,
 //! * `Flood` — a node's periodic broadcast of `(L, M, W, P)` (the flooding
 //!   of Condition 4.3 / §7; in message-estimate mode it doubles as the
 //!   clock-sample carrier),
@@ -26,7 +37,7 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use gcs_net::transport::{self, Envelope};
+use gcs_net::transport;
 use gcs_net::{
     DynamicGraph, EdgeEventKind, EdgeKey, EdgeParams, EdgeParamsMap, NetworkSchedule, NodeId,
     Topology,
@@ -35,7 +46,7 @@ use gcs_sim::{rng, DriftModel, EventQueue, SimDuration, SimTime};
 
 use crate::edge_state::{align_t0, EdgeSlot, EstimateEntry, InsertState, Level};
 use crate::estimate::EstimateMode;
-use crate::node::NodeState;
+use crate::node::{NeighborEntry, NodeState};
 use crate::params::InsertionStrategy;
 use crate::params::Params;
 use crate::snapshot::ClockSnapshot;
@@ -77,7 +88,14 @@ enum Event {
     Flood {
         node: NodeId,
     },
-    Deliver(Envelope<Payload>),
+    /// A message arriving (the delivery instant is the event time itself,
+    /// so only the send time travels with the event).
+    Deliver {
+        src: NodeId,
+        dst: NodeId,
+        sent_at: SimTime,
+        payload: Payload,
+    },
     EdgeUp {
         from: NodeId,
         to: NodeId,
@@ -122,6 +140,10 @@ pub struct SimStats {
     pub ticks: u64,
     /// Total events processed.
     pub events: u64,
+    /// Per-node mode decisions actually evaluated (the full reference pass
+    /// would evaluate `ticks * node_count`; the difference is what the
+    /// dirty-set/stability-certificate machinery skipped).
+    pub mode_evaluations: u64,
     /// Listing 1 handshakes the leader completed (offer sent).
     pub handshakes_offered: u64,
     /// Insertion schedules installed (leader + follower sides).
@@ -395,6 +417,10 @@ impl SimBuilder {
         let initial: std::collections::BTreeSet<(NodeId, NodeId)> =
             schedule.initial_directed().iter().copied().collect();
         let rho = params.rho();
+        // The stability certificates assume staged insertion (constant
+        // per-edge weights); the decaying-weight strategy varies κ and δ
+        // continuously, so it falls back to full per-tick re-evaluation.
+        let certs_enabled = matches!(params.insertion_strategy(), InsertionStrategy::Staged);
         let mut sim = Simulation {
             policy: self
                 .policy
@@ -418,6 +444,12 @@ impl SimBuilder {
             log: (self.log_capacity > 0)
                 .then(|| crate::log::EventLog::with_capacity(self.log_capacity)),
             fault_injected: false,
+            stable_until: vec![f64::NEG_INFINITY; n],
+            m_jump_sensitive: vec![true; n],
+            certs_enabled,
+            full_reevaluation: false,
+            eager_advance: false,
+            scratch: Scratch::default(),
         };
         for &(u, v) in &initial {
             graph.insert_directed(u, v, SimTime::ZERO);
@@ -429,7 +461,8 @@ impl SimBuilder {
                 EdgeSlot::discovered(SimTime::ZERO, 0.0, sim.gen_counter)
             };
             slot.oracle_bias = bias_rng.gen_range(-1.0..=1.0);
-            nodes[u.index()].slots.insert(v, slot);
+            let info = sim.edge_info[&EdgeKey::new(u, v)];
+            nodes[u.index()].slots.insert(v, info, slot);
         }
         sim.graph = graph;
         sim.nodes = nodes;
@@ -443,8 +476,8 @@ impl SimBuilder {
                 let u = node.id();
                 node.slots
                     .iter()
-                    .filter(|(_, slot)| matches!(slot.insert, InsertState::Pending))
-                    .map(move |(&v, slot)| (u, v, slot.generation))
+                    .filter(|e| matches!(e.slot.insert, InsertState::Pending))
+                    .map(move |e| (u, e.id, e.slot.generation))
             })
             .collect();
         for (u, v, generation) in starts {
@@ -489,6 +522,46 @@ pub struct Simulation {
     /// flood-bound invariants then only hold up to the self-stabilization
     /// slack (see [`Simulation::verify_invariants`]).
     fault_injected: bool,
+    /// Per node: the instant (seconds) until which the last decision is
+    /// certified stable against pure drift. `NEG_INFINITY` marks the node
+    /// dirty (an event changed a decision input: a delivery that moved `M`
+    /// while sensitive, an estimate update in message mode, a slot change,
+    /// a rate change, a corruption); `INFINITY` means "until the next
+    /// event". One array doubles as dirty set and horizon table, so the
+    /// per-tick selection scan reads a single cache stream.
+    stable_until: Vec<f64>,
+    /// Per node: whether an upward jump of `M_u` (flood merge) can change
+    /// the decision (see `StabilityCert::m_jump_sensitive`).
+    m_jump_sensitive: Vec<bool>,
+    /// Stability certificates apply (staged insertion only).
+    certs_enabled: bool,
+    /// Verification seam: evaluate every node at every tick.
+    full_reevaluation: bool,
+    /// Verification seam: advance every node after every event.
+    eager_advance: bool,
+    scratch: Scratch,
+}
+
+/// Reusable buffers for the per-tick hot path — the engine allocates
+/// nothing per tick or per flood in steady state.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Nodes selected for re-evaluation this tick.
+    eval: Vec<u32>,
+    /// Neighbour views of the node currently being decided.
+    views: Vec<NeighborView>,
+    /// Decisions of this tick, applied after all views are taken.
+    decisions: Vec<Decision>,
+    /// Flood fan-out: neighbour id + edge parameters.
+    flood: Vec<(NodeId, EdgeParams)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    node: u32,
+    mode: Mode,
+    stable_until: f64,
+    m_jump_sensitive: bool,
 }
 
 impl Simulation {
@@ -576,17 +649,37 @@ impl Simulation {
     /// and statistics are unaffected.
     pub fn run_until(&mut self, t: SimTime) {
         assert!(t >= self.now, "cannot run backwards to {t:?}");
-        while let Some(next) = self.queue.peek() {
-            if next.time() > t {
+        while let Some(next) = self.queue.next_time() {
+            if next > t {
                 break;
             }
             let (when, event) = self.queue.pop().expect("peeked");
             self.now = when;
             self.stats.events += 1;
             self.handle(when, event);
+            if self.eager_advance {
+                self.advance_all(when);
+            }
         }
         self.now = t;
         self.advance_all(t);
+    }
+
+    /// Verification seam: when enabled, *every* node is re-decided at
+    /// every tick — the reference O(n·deg) pass the incremental dirty-set
+    /// engine is property-tested to be bit-identical to. Decisions (and
+    /// therefore clocks, messages, and statistics) must not change.
+    pub fn set_full_reevaluation(&mut self, on: bool) {
+        self.full_reevaluation = on;
+    }
+
+    /// Verification seam: when enabled, every node is advanced after every
+    /// event (maximally eager integration). Bit-identical to the default
+    /// lazy advancement by construction — advancement only refreshes
+    /// caches, it never moves a node's integration anchor (see the
+    /// [`node`](crate::node) module docs).
+    pub fn set_eager_advancement(&mut self, on: bool) {
+        self.eager_advance = on;
     }
 
     /// [`run_until`](Simulation::run_until) with a plain seconds argument.
@@ -613,12 +706,12 @@ impl Simulation {
     pub fn level_between(&self, u: NodeId, v: NodeId) -> Option<Level> {
         let a = self.nodes[u.index()]
             .slots
-            .get(&v)?
+            .get(v)?
             .insert
             .level_at(self.nodes[u.index()].logical());
         let b = self.nodes[v.index()]
             .slots
-            .get(&u)?
+            .get(u)?
             .insert
             .level_at(self.nodes[v.index()].logical());
         Some(a.min(b))
@@ -628,19 +721,40 @@ impl Simulation {
     #[must_use]
     pub fn level_edges(&self, s: u32) -> Vec<EdgeKey> {
         let mut out = Vec::new();
+        self.level_edges_into(s, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`level_edges`](Simulation::level_edges):
+    /// clears `out` and fills it with `E_s(t)`. Analysis loops that sample
+    /// every observation instant reuse one buffer instead of allocating a
+    /// fresh vector per sample.
+    pub fn level_edges_into(&self, s: u32, out: &mut Vec<EdgeKey>) {
+        out.clear();
         for node in &self.nodes {
             let u = node.id();
-            for &v in node.slots.keys() {
-                if u < v {
-                    if let Some(level) = self.level_between(u, v) {
-                        if level.includes(s) {
-                            out.push(EdgeKey::new(u, v));
-                        }
-                    }
+            let logical = node.logical();
+            for entry in node.slots.iter() {
+                let v = entry.id;
+                if u >= v {
+                    continue;
+                }
+                // min(level_a, level_b) includes s iff both sides do.
+                if !entry.slot.insert.level_at(logical).includes(s) {
+                    continue;
+                }
+                let Some(back) = self.nodes[v.index()].slots.get(u) else {
+                    continue;
+                };
+                if back
+                    .insert
+                    .level_at(self.nodes[v.index()].logical())
+                    .includes(s)
+                {
+                    out.push(EdgeKey::new(u, v));
                 }
             }
         }
-        out
     }
 
     /// Injects a logical-clock corruption (self-stabilization experiments):
@@ -656,12 +770,16 @@ impl Simulation {
     /// [`verify_invariants`]: Simulation::verify_invariants
     pub fn inject_clock_offset(&mut self, u: NodeId, offset: f64) {
         let t = self.now;
-        let params = self.params.clone();
+        self.nodes[u.index()].advance_to(t, &self.params);
         let node = &mut self.nodes[u.index()];
-        node.advance_to(t, &params);
         let l = node.logical();
         node.corrupt_logical(l + offset);
         self.fault_injected = true;
+        // Oracle estimates read the corrupted clock directly, so every
+        // node's decision inputs may have jumped: drop all certificates.
+        for s in &mut self.stable_until {
+            *s = f64::NEG_INFINITY;
+        }
     }
 
     /// The structured event log, if enabled via
@@ -712,15 +830,30 @@ impl Simulation {
     /// Nodes must be advanced to `now` (true after any `run_until`).
     #[must_use]
     pub fn estimate_of(&self, u: NodeId, v: NodeId) -> Option<f64> {
-        let slot = self.nodes[u.index()].slots.get(&v)?;
+        let node = &self.nodes[u.index()];
+        let entry = node.slots.entry(v)?;
+        self.estimate_from_entry(node, entry, self.nodes[v.index()].logical())
+    }
+
+    /// The estimate a node holds for one neighbour entry — the single code
+    /// path both [`estimate_of`](Simulation::estimate_of) and the view
+    /// builder use, so the two can never disagree. `truth` is the
+    /// neighbour's logical clock at the evaluation instant (callers read it
+    /// via `logical()` or the pure `logical_at`, which agree bitwise).
+    fn estimate_from_entry(
+        &self,
+        node: &NodeState,
+        entry: &NeighborEntry,
+        truth: f64,
+    ) -> Option<f64> {
         match self.mode {
-            EstimateMode::Oracle(model) => {
-                let info = self.edge_info.get(&EdgeKey::new(u, v))?;
-                let truth = self.nodes[v.index()].logical();
-                let own = self.nodes[u.index()].logical();
-                Some(model.apply(own, truth, slot.oracle_bias * info.epsilon, info.epsilon))
-            }
-            EstimateMode::Messages => slot.reckoned_estimate(self.nodes[u.index()].hardware()),
+            EstimateMode::Oracle(model) => Some(model.apply(
+                node.logical(),
+                truth,
+                entry.slot.oracle_bias * entry.info.epsilon,
+                entry.info.epsilon,
+            )),
+            EstimateMode::Messages => entry.slot.reckoned_estimate(node.hardware()),
         }
     }
 
@@ -787,16 +920,14 @@ impl Simulation {
                 violations.push(format!("{u}: P below the network maximum"));
             }
             // Estimate accuracy: inequality (1).
-            for &v in node.slots.keys() {
-                if let (Some(est), Some(info)) = (
-                    self.estimate_of(u, v),
-                    self.edge_info.get(&EdgeKey::new(u, v)),
-                ) {
-                    let truth = self.nodes[v.index()].logical();
-                    if (est - truth).abs() > info.epsilon + TOL {
+            for entry in node.slots.iter() {
+                let v = entry.id;
+                let truth = self.nodes[v.index()].logical();
+                if let Some(est) = self.estimate_from_entry(node, entry, truth) {
+                    if (est - truth).abs() > entry.info.epsilon + TOL {
                         violations.push(format!(
                             "estimate error |{est} - {truth}| > eps {} on ({u}, {v})",
-                            info.epsilon
+                            entry.info.epsilon
                         ));
                     }
                 }
@@ -814,7 +945,8 @@ impl Simulation {
         // Lemma 5.5 (I): both endpoints of a scheduled insertion agree.
         for node in &self.nodes {
             let u = node.id();
-            for (&v, slot) in &node.slots {
+            for entry in node.slots.iter() {
+                let v = entry.id;
                 if u >= v {
                     continue;
                 }
@@ -822,8 +954,8 @@ impl Simulation {
                     InsertState::Scheduled { t0: a0, i: ai },
                     Some(InsertState::Scheduled { t0: b0, i: bi }),
                 ) = (
-                    slot.insert,
-                    self.nodes[v.index()].slots.get(&u).map(|s| s.insert),
+                    entry.slot.insert,
+                    self.nodes[v.index()].slots.get(u).map(|s| s.insert),
                 ) {
                     if (a0 - b0).abs() > TOL || (ai - bi).abs() > TOL {
                         violations.push(format!(
@@ -844,20 +976,23 @@ impl Simulation {
         match event {
             Event::Tick => {
                 self.stats.ticks += 1;
-                self.advance_all(t);
-                self.reevaluate_modes();
+                self.reevaluate_modes(t);
                 self.queue
                     .schedule(t + SimDuration::from_secs(self.tick), Event::Tick);
             }
             Event::Flood { node } => self.on_flood(t, node),
-            Event::Deliver(env) => self.on_deliver(t, env),
+            Event::Deliver {
+                src,
+                dst,
+                sent_at,
+                payload,
+            } => self.on_deliver(t, src, dst, sent_at, payload),
             Event::EdgeUp { from, to } => self.on_edge_up(t, from, to),
             Event::EdgeDown { from, to } => self.on_edge_down(t, from, to),
             Event::RateChange { node, rate } => {
-                let params = self.params.clone();
-                let n = &mut self.nodes[node];
-                n.advance_to(t, &params);
-                n.set_hw_rate(rate);
+                self.nodes[node].advance_to(t, &self.params);
+                self.nodes[node].set_hw_rate(rate);
+                self.stable_until[node] = f64::NEG_INFINITY;
             }
             Event::LeaderCheck {
                 u,
@@ -875,38 +1010,70 @@ impl Simulation {
     }
 
     fn advance_all(&mut self, t: SimTime) {
-        let params = self.params.clone();
-        for node in &mut self.nodes {
-            node.advance_to(t, &params);
+        let Simulation { nodes, params, .. } = self;
+        for node in nodes.iter_mut() {
+            node.advance_to(t, params);
         }
     }
 
+    /// The neighbour views of one node, as a fresh vector (test/diagnostic
+    /// path; the tick loop uses [`fill_neighbor_views`] with a reused
+    /// buffer).
+    ///
+    /// [`fill_neighbor_views`]: Simulation::fill_neighbor_views
     fn neighbor_views(&self, u: usize) -> Vec<NeighborView> {
+        let mut out = Vec::with_capacity(self.nodes[u].slots.len());
+        self.fill_neighbor_views(u, self.nodes[u].last_update(), &mut out);
+        out
+    }
+
+    /// Clears `out` and fills it with node `u`'s neighbour views at `t`,
+    /// reading the per-edge constants from the node's own neighbour table
+    /// (no map lookups, no allocation) and the neighbours' clocks through
+    /// the pure `logical_at` (no mutation — skipped nodes stay untouched).
+    /// Node `u` itself must be advanced to `t`. Returns the logical-clock
+    /// distance to the nearest *scheduled level unlock* among the
+    /// neighbours (`INFINITY` if none is pending) — the level part of the
+    /// stability certificate.
+    fn fill_neighbor_views(&self, u: usize, t: SimTime, out: &mut Vec<NeighborView>) -> f64 {
+        out.clear();
         let node = &self.nodes[u];
+        debug_assert_eq!(node.last_update(), t, "evaluated node must be advanced");
         let logical = node.logical();
-        node.slots
-            .iter()
-            .filter_map(|(&v, slot)| {
-                let info = self.edge_info.get(&EdgeKey::new(node.id(), v))?;
-                // Under the decaying-weight strategy the edge's effective
-                // weight (and with it delta) shrinks with the local clock.
-                let (kappa, delta) = match self.params.insertion_strategy() {
-                    InsertionStrategy::Staged => (info.kappa, info.delta),
-                    InsertionStrategy::DecayingWeight { halving } => {
-                        let k = slot.insert.effective_kappa(logical, info.kappa, halving);
-                        (k, self.params.delta_for_kappa(k, info.params, info.epsilon))
-                    }
-                };
-                Some(NeighborView {
-                    estimate: self.estimate_of(node.id(), v),
-                    kappa,
-                    epsilon: info.epsilon,
-                    tau: info.params.tau,
-                    delta,
-                    level: slot.insert.level_at(logical),
-                })
-            })
-            .collect()
+        let mut unlock_margin = f64::INFINITY;
+        for entry in node.slots.iter() {
+            let info = &entry.info;
+            let level = entry.slot.insert.level_at(logical);
+            if let InsertState::Scheduled { t0, i } = entry.slot.insert {
+                if let Level::Finite(s) = level {
+                    // T_{s+1} is the next threshold L_u can cross
+                    // (T_1 = t0 covers the not-yet-started case).
+                    unlock_margin = unlock_margin.min(InsertState::t_s(t0, i, s + 1) - logical);
+                }
+            }
+            // Under the decaying-weight strategy the edge's effective
+            // weight (and with it delta) shrinks with the local clock.
+            let (kappa, delta) = match self.params.insertion_strategy() {
+                InsertionStrategy::Staged => (info.kappa, info.delta),
+                InsertionStrategy::DecayingWeight { halving } => {
+                    let k = entry
+                        .slot
+                        .insert
+                        .effective_kappa(logical, info.kappa, halving);
+                    (k, self.params.delta_for_kappa(k, info.params, info.epsilon))
+                }
+            };
+            let truth = self.nodes[entry.id.index()].logical_at(t, &self.params);
+            out.push(NeighborView {
+                estimate: self.estimate_from_entry(node, entry, truth),
+                kappa,
+                epsilon: info.epsilon,
+                tau: info.params.tau,
+                delta,
+                level,
+            });
+        }
+        unlock_margin
     }
 
     /// The *effective* weight of the undirected edge `{u, v}` right now:
@@ -918,13 +1085,13 @@ impl Simulation {
         let info = self.edge_info.get(&e)?;
         match self.params.insertion_strategy() {
             InsertionStrategy::Staged => {
-                self.nodes[e.lo().index()].slots.get(&e.hi())?;
-                self.nodes[e.hi().index()].slots.get(&e.lo())?;
+                self.nodes[e.lo().index()].slots.get(e.hi())?;
+                self.nodes[e.hi().index()].slots.get(e.lo())?;
                 Some(info.kappa)
             }
             InsertionStrategy::DecayingWeight { halving } => {
-                let a = self.nodes[e.lo().index()].slots.get(&e.hi())?;
-                let b = self.nodes[e.hi().index()].slots.get(&e.lo())?;
+                let a = self.nodes[e.lo().index()].slots.get(e.hi())?;
+                let b = self.nodes[e.hi().index()].slots.get(e.lo())?;
                 let ka = a.insert.effective_kappa(
                     self.nodes[e.lo().index()].logical(),
                     info.kappa,
@@ -953,32 +1120,120 @@ impl Simulation {
         }
     }
 
-    fn reevaluate_modes(&mut self) {
-        let decisions: Vec<Mode> = (0..self.nodes.len())
-            .map(|u| {
-                let neighbors = self.neighbor_views(u);
-                let view = self.node_view(u, &neighbors);
-                self.policy.decide(&view)
-            })
-            .collect();
-        let now = self.now;
-        for (node, mode) in self.nodes.iter_mut().zip(decisions) {
-            if node.mode() != mode {
+    /// The per-tick mode evaluation. Only nodes that are dirty (an event
+    /// touched their decision inputs) or whose stability horizon expired
+    /// are re-decided; everyone else provably decides the same mode, so the
+    /// skip is bit-identical to the full pass (debug builds re-check this
+    /// against the reference pass on every tick).
+    fn reevaluate_modes(&mut self, t: SimTime) {
+        let ts = t.as_secs();
+        let mut eval = std::mem::take(&mut self.scratch.eval);
+        eval.clear();
+        for u in 0..self.nodes.len() {
+            if self.full_reevaluation || ts >= self.stable_until[u] {
+                eval.push(u as u32);
+            }
+        }
+
+        // Advance only the nodes under evaluation; their neighbours' clocks
+        // are read through the pure `logical_at`, so skipped nodes are not
+        // even touched. Advancement is query-invariant, so advancing a
+        // subset (rather than all) changes no trajectory.
+        for &u in &eval {
+            self.nodes[u as usize].advance_to(t, &self.params);
+        }
+
+        // Decide every selected node from the pre-update state, then apply.
+        let mut views = std::mem::take(&mut self.scratch.views);
+        let mut decisions = std::mem::take(&mut self.scratch.decisions);
+        decisions.clear();
+        self.stats.mode_evaluations += eval.len() as u64;
+        // Worst-case rate at which any compared difference (estimate − L,
+        // M − L) can drift: fastest logical rate minus slowest.
+        let drift_rate = self.params.beta() - self.params.alpha();
+        for &u in &eval {
+            let u = u as usize;
+            let unlock_margin = self.fill_neighbor_views(u, t, &mut views);
+            let view = self.node_view(u, &views);
+            // With certificates disabled (decaying-weight strategy) the
+            // margin computation would be discarded — don't pay for it.
+            let (mode, cert) = if self.certs_enabled {
+                self.policy.decide_and_certify(&view)
+            } else {
+                (self.policy.decide(&view), None)
+            };
+            let (stable_until, m_jump_sensitive) = match cert {
+                Some(cert) => {
+                    let margin_secs = (cert.estimate_margin / drift_rate)
+                        .min(cert.m_margin / drift_rate)
+                        .min(unlock_margin / self.params.beta());
+                    // Halve the horizon: the margins are computed in real
+                    // arithmetic while the clocks integrate in f64, so keep
+                    // a wide safety band against rounding.
+                    (ts + 0.5 * margin_secs, cert.m_jump_sensitive)
+                }
+                None => (f64::NEG_INFINITY, true),
+            };
+            decisions.push(Decision {
+                node: u as u32,
+                mode,
+                stable_until,
+                m_jump_sensitive,
+            });
+        }
+        for d in &decisions {
+            let u = d.node as usize;
+            let node = &mut self.nodes[u];
+            if node.mode() != d.mode {
                 if let Some(log) = &mut self.log {
                     log.push(crate::log::LogEntry::ModeSwitch {
-                        time: now,
+                        time: t,
                         node: node.id(),
-                        mode,
+                        mode: d.mode,
                     });
                 }
             }
-            node.set_mode(mode);
+            node.set_mode(d.mode);
+            self.stable_until[u] = d.stable_until;
+            self.m_jump_sensitive[u] = d.m_jump_sensitive;
+        }
+
+        #[cfg(debug_assertions)]
+        self.debug_verify_skipped(t, &eval);
+
+        self.scratch.eval = eval;
+        self.scratch.views = views;
+        self.scratch.decisions = decisions;
+    }
+
+    /// Debug-build cross-check of the stability certificates: every node
+    /// *not* re-evaluated this tick must decide exactly its current mode
+    /// under the reference pass.
+    #[cfg(debug_assertions)]
+    fn debug_verify_skipped(&mut self, t: SimTime, evaluated: &[u32]) {
+        if self.full_reevaluation {
+            return;
+        }
+        let mut skipped = vec![true; self.nodes.len()];
+        for &u in evaluated {
+            skipped[u as usize] = false;
+        }
+        let mut views = Vec::new();
+        for (u, _) in skipped.iter().enumerate().filter(|&(_, &s)| s) {
+            self.nodes[u].advance_to(t, &self.params);
+            self.fill_neighbor_views(u, t, &mut views);
+            let view = self.node_view(u, &views);
+            let mode = self.policy.decide(&view);
+            assert_eq!(
+                mode,
+                self.nodes[u].mode(),
+                "stability certificate violated for node {u} at {t:?}"
+            );
         }
     }
 
     fn on_flood(&mut self, t: SimTime, u: NodeId) {
-        let params = self.params.clone();
-        self.nodes[u.index()].advance_to(t, &params);
+        self.nodes[u.index()].advance_to(t, &self.params);
         let node = &self.nodes[u.index()];
         let payload = Payload::Flood {
             logical: node.logical(),
@@ -986,10 +1241,15 @@ impl Simulation {
             min_lb: node.min_lower_bound(),
             max_ub: node.max_upper_bound(),
         };
-        let neighbors: Vec<NodeId> = self.graph.neighbors(u).collect();
-        for v in neighbors {
-            self.send(t, u, v, payload);
+        // The neighbour table mirrors the graph adjacency (same ids, same
+        // ascending order) and already carries each edge's parameters.
+        let mut flood = std::mem::take(&mut self.scratch.flood);
+        flood.clear();
+        flood.extend(node.slots.iter().map(|e| (e.id, e.info.params)));
+        for &(v, edge) in &flood {
+            self.send(t, u, v, edge, payload);
         }
+        self.scratch.flood = flood;
         // Next flood after `refresh` *hardware* seconds: converting with the
         // current rate keeps the real period within [P/(1+rho), P/(1-rho)].
         let dt = self.refresh / self.nodes[u.index()].hw_rate();
@@ -997,24 +1257,68 @@ impl Simulation {
             .schedule(t + SimDuration::from_secs(dt), Event::Flood { node: u });
     }
 
-    fn send(&mut self, t: SimTime, u: NodeId, v: NodeId, payload: Payload) {
-        let info = self.edge_info[&EdgeKey::new(u, v)];
-        let env = transport::send(&mut self.delay_rng, info.params, u, v, t, payload);
+    fn send(&mut self, t: SimTime, u: NodeId, v: NodeId, edge: EdgeParams, payload: Payload) {
+        let delay = transport::sample_delay(&mut self.delay_rng, edge);
         self.stats.messages_sent += 1;
-        self.queue.schedule(env.deliver_at, Event::Deliver(env));
+        self.queue.schedule(
+            t + SimDuration::from_secs(delay),
+            Event::Deliver {
+                src: u,
+                dst: v,
+                sent_at: t,
+                payload,
+            },
+        );
     }
 
-    fn on_deliver(&mut self, t: SimTime, env: Envelope<Payload>) {
-        if !transport::deliverable(&self.graph, &env) {
+    fn on_deliver(
+        &mut self,
+        t: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        sent_at: SimTime,
+        payload: Payload,
+    ) {
+        // §3.1 delivery rule: `(dst, src)` continuously present since the
+        // send. [`transport::deliverable`] is the documented reference
+        // implementation of the rule; this inlined check answers the same
+        // query from the receiver's slot table, which mirrors the graph
+        // adjacency (both are written at exactly the edge-up/edge-down
+        // sites with the same timestamps) — one lookup then serves the
+        // rule, the edge constants, and the estimate write. Debug builds
+        // assert the two implementations agree on every message.
+        let info = match self.nodes[dst.index()].slots.entry(src) {
+            Some(entry) if entry.slot.discovered_at <= sent_at => Some(entry.info),
+            _ => None,
+        };
+        #[cfg(debug_assertions)]
+        {
+            let reference = transport::deliverable(
+                &self.graph,
+                &transport::Envelope {
+                    src,
+                    dst,
+                    sent_at,
+                    deliver_at: t,
+                    payload: (),
+                },
+            );
+            debug_assert_eq!(
+                info.is_some(),
+                reference,
+                "slot mirror diverged from the §3.1 delivery rule on ({src}, {dst})"
+            );
+        }
+        let Some(info) = info else {
             self.stats.messages_dropped += 1;
             return;
-        }
+        };
         self.stats.messages_delivered += 1;
-        let params = self.params.clone();
-        let info = self.edge_info[&EdgeKey::new(env.src, env.dst)];
-        let dst = env.dst;
-        self.nodes[dst.index()].advance_to(t, &params);
-        match env.payload {
+        self.nodes[dst.index()].advance_to(t, &self.params);
+        let rho = self.params.rho();
+        let beta = self.params.beta();
+        let is_message_mode = matches!(self.mode, EstimateMode::Messages);
+        match payload {
             Payload::Flood {
                 logical,
                 max_est,
@@ -1023,31 +1327,53 @@ impl Simulation {
             } => {
                 if let Some(tracker) = &mut self.diameter {
                     tracker.on_delivery(
-                        env.src.index(),
+                        src.index(),
                         dst.index(),
-                        env.sent_at,
+                        sent_at,
                         t,
                         info.params.delay_uncertainty(),
                     );
                 }
-                let credit = transport::min_transit_credit(info.params, params.rho());
+                let credit = transport::min_transit_credit(info.params, rho);
                 let node = &mut self.nodes[dst.index()];
-                node.merge_max_estimate(max_est + credit);
-                node.merge_min_lower_bound(min_lb);
-                node.merge_max_upper_bound(max_ub + params.beta() * info.params.delay_bound());
+                let m_moved = node.merge_flood_bounds(
+                    max_est + credit,
+                    min_lb,
+                    max_ub + beta * info.params.delay_bound(),
+                );
                 let hw_now = node.hardware();
-                if let Some(slot) = node.slots.get_mut(&env.src) {
+                if let Some(slot) = node.slots.get_mut(src) {
                     slot.estimate = Some(EstimateEntry {
                         value: logical + credit,
                         hw_at_recv: hw_now,
                     });
+                    // In message mode the stored sample *is* a decision
+                    // input; in oracle mode the views never read it.
+                    if is_message_mode {
+                        self.stable_until[dst.index()] = f64::NEG_INFINITY;
+                    }
+                }
+                // An upward M jump flips a slow-decided node only once the
+                // lifted gap reaches iota (below that it lands in the
+                // hysteresis band, which keeps the slow decision). The
+                // comparison must be the *same float expression* as the
+                // policy's fast branch (`L <= M - iota`) — an algebraically
+                // equivalent rearrangement could disagree with it by an ulp
+                // right at the boundary and skip a node the reference pass
+                // would flip. (Between now and the next tick, m only
+                // drifts down, which can make this conservative but never
+                // unsound.)
+                if m_moved && self.m_jump_sensitive[dst.index()] {
+                    let node = &self.nodes[dst.index()];
+                    if node.logical() <= node.max_estimate() - self.params.iota() {
+                        self.stable_until[dst.index()] = f64::NEG_INFINITY;
+                    }
                 }
             }
             Payload::InsertEdge { l_ins, g_tilde } => {
                 let l_now = self.nodes[dst.index()].logical();
-                let beta = params.beta();
                 let wait = beta * (info.params.delay_bound() + info.params.tau);
-                let Some(slot) = self.nodes[dst.index()].slots.get_mut(&env.src) else {
+                let Some(slot) = self.nodes[dst.index()].slots.get_mut(src) else {
                     return; // Edge vanished at the receiver: offer ignored.
                 };
                 // Only accept an offer for a fresh, unscheduled incarnation.
@@ -1060,10 +1386,11 @@ impl Simulation {
                     l_at_receive: l_now,
                 };
                 let generation = slot.generation;
+                self.stable_until[dst.index()] = f64::NEG_INFINITY;
                 self.schedule_logical_event(dst, l_now + wait, |target_logical| {
                     Event::FollowerApply {
                         u: dst,
-                        v: env.src,
+                        v: src,
                         generation,
                         target_logical,
                     }
@@ -1077,11 +1404,11 @@ impl Simulation {
             return; // Idempotent: scripted duplicate.
         }
         self.graph.insert_directed(from, to, t);
-        let params = self.params.clone();
-        self.nodes[from.index()].advance_to(t, &params);
+        self.nodes[from.index()].advance_to(t, &self.params);
         self.gen_counter += 1;
         let generation = self.gen_counter;
         let logical = self.nodes[from.index()].logical();
+        let info = self.edge_info[&EdgeKey::new(from, to)];
         let mut slot = EdgeSlot::discovered(t, logical, generation);
         slot.oracle_bias = self.bias_rng.gen_range(-1.0..=1.0);
         if let InsertionStrategy::DecayingWeight { .. } = self.params.insertion_strategy() {
@@ -1092,7 +1419,6 @@ impl Simulation {
             } else {
                 self.params.g_tilde().expect("static G~ filled at build")
             };
-            let info = self.edge_info[&EdgeKey::new(from, to)];
             slot.insert = InsertState::Decaying {
                 l0: logical,
                 kappa0: (2.0 * g).max(info.kappa),
@@ -1100,7 +1426,8 @@ impl Simulation {
             self.stats.insertions_scheduled += 1;
         }
         let staged = matches!(slot.insert, InsertState::Pending);
-        self.nodes[from.index()].slots.insert(to, slot);
+        self.nodes[from.index()].slots.insert(to, info, slot);
+        self.stable_until[from.index()] = f64::NEG_INFINITY;
         if let Some(log) = &mut self.log {
             log.push(crate::log::LogEntry::EdgeDiscovered {
                 time: t,
@@ -1118,11 +1445,11 @@ impl Simulation {
             return;
         }
         self.graph.remove_directed(from, to);
-        let params = self.params.clone();
-        self.nodes[from.index()].advance_to(t, &params);
+        self.nodes[from.index()].advance_to(t, &self.params);
         // Listing 1 lines 15-18: drop the neighbour from every N^s and
         // forget the insertion times.
-        self.nodes[from.index()].slots.remove(&to);
+        self.nodes[from.index()].slots.remove(to);
+        self.stable_until[from.index()] = f64::NEG_INFINITY;
         self.stats.edge_removals += 1;
         if let Some(log) = &mut self.log {
             log.push(crate::log::LogEntry::EdgeLost {
@@ -1138,7 +1465,7 @@ impl Simulation {
         let delta = self.params.handshake_delta(info.params);
         let target = self.nodes[u.index()]
             .slots
-            .get(&v)
+            .get(v)
             .map(|s| s.discovered_l)
             .unwrap_or_default()
             + self.params.beta() * delta;
@@ -1176,9 +1503,8 @@ impl Simulation {
         generation: u64,
         target_logical: f64,
     ) {
-        let params = self.params.clone();
-        self.nodes[u.index()].advance_to(t, &params);
-        let Some(slot) = self.nodes[u.index()].slots.get(&v) else {
+        self.nodes[u.index()].advance_to(t, &self.params);
+        let Some(slot) = self.nodes[u.index()].slots.get(v) else {
             return; // Edge went down; a rediscovery starts a new handshake.
         };
         if slot.generation != generation || !matches!(slot.insert, InsertState::Pending) {
@@ -1197,19 +1523,20 @@ impl Simulation {
         // Continuity (Listing 1 line 6) holds by construction: the slot has
         // existed since `discovered_l` and L has advanced by beta * Delta.
         let info = self.edge_info[&EdgeKey::new(u, v)];
-        let g_tilde = if params.dynamic_estimates() {
+        let g_tilde = if self.params.dynamic_estimates() {
             // The iota margin absorbs the bracket's tick-level optimism.
-            self.nodes[u.index()].g_estimate() + params.iota()
+            self.nodes[u.index()].g_estimate() + self.params.iota()
         } else {
-            params.g_tilde().expect("static G~ filled at build")
+            self.params.g_tilde().expect("static G~ filled at build")
         };
         let l_now = self.nodes[u.index()].logical();
-        let l_ins = l_now + g_tilde + params.beta() * info.params.delay_bound();
-        let i = params.insertion_duration(info.params, g_tilde);
+        let l_ins = l_now + g_tilde + self.params.beta() * info.params.delay_bound();
+        let i = self.params.insertion_duration(info.params, g_tilde);
         let t0 = align_t0(l_ins, i);
-        if let Some(slot) = self.nodes[u.index()].slots.get_mut(&v) {
+        if let Some(slot) = self.nodes[u.index()].slots.get_mut(v) {
             slot.insert = InsertState::Scheduled { t0, i };
         }
+        self.stable_until[u.index()] = f64::NEG_INFINITY;
         self.stats.handshakes_offered += 1;
         self.stats.insertions_scheduled += 1;
         if let Some(log) = &mut self.log {
@@ -1227,7 +1554,7 @@ impl Simulation {
                 i,
             });
         }
-        self.send(t, u, v, Payload::InsertEdge { l_ins, g_tilde });
+        self.send(t, u, v, info.params, Payload::InsertEdge { l_ins, g_tilde });
     }
 
     fn on_follower_apply(
@@ -1238,9 +1565,8 @@ impl Simulation {
         generation: u64,
         target_logical: f64,
     ) {
-        let params = self.params.clone();
-        self.nodes[u.index()].advance_to(t, &params);
-        let Some(slot) = self.nodes[u.index()].slots.get(&v) else {
+        self.nodes[u.index()].advance_to(t, &self.params);
+        let Some(slot) = self.nodes[u.index()].slots.get(v) else {
             return;
         };
         if slot.generation != generation {
@@ -1269,11 +1595,12 @@ impl Simulation {
             return;
         }
         let info = self.edge_info[&EdgeKey::new(u, v)];
-        let i = params.insertion_duration(info.params, g_tilde);
+        let i = self.params.insertion_duration(info.params, g_tilde);
         let t0 = align_t0(l_ins, i);
-        if let Some(slot) = self.nodes[u.index()].slots.get_mut(&v) {
+        if let Some(slot) = self.nodes[u.index()].slots.get_mut(v) {
             slot.insert = InsertState::Scheduled { t0, i };
         }
+        self.stable_until[u.index()] = f64::NEG_INFINITY;
         self.stats.insertions_scheduled += 1;
         if let Some(log) = &mut self.log {
             log.push(crate::log::LogEntry::InsertScheduled {
@@ -1466,7 +1793,7 @@ mod tests {
         // After a few refresh periods every neighbour has an estimate.
         for u in 0..5u32 {
             let node = sim.node(NodeId(u));
-            for &v in node.slots.keys() {
+            for v in node.slots.ids() {
                 assert!(
                     sim.estimate_of(NodeId(u), v).is_some(),
                     "missing estimate ({u}, {v})"

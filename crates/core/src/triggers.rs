@@ -178,6 +178,35 @@ pub fn slow_trigger(view: &NodeView<'_>, max_levels: u32) -> bool {
     false
 }
 
+/// A decision-stability certificate: how far the decision inputs can move
+/// before the mode just decided could possibly change.
+///
+/// All margins are in logical-clock units. The engine converts them into a
+/// real-time horizon using the worst-case relative drift rates and skips
+/// re-evaluating the node until the horizon expires or an event touches its
+/// inputs — the decisions stay *bit-identical* to a full per-tick pass
+/// because a node is only skipped while no compared quantity can have
+/// crossed a threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StabilityCert {
+    /// Minimum distance of any `L̃ᵥᵤ − L_u` difference to any trigger
+    /// threshold (over both triggers, all clauses, all levels, all
+    /// neighbours). `INFINITY` when no neighbour constrains the decision.
+    pub estimate_margin: f64,
+    /// How far `M_u − L_u` may *drift* (it only shrinks between merges)
+    /// before the decision could change. `INFINITY` when the decision does
+    /// not depend on it: a trigger fired, or the decision is `Slow`, which
+    /// shrinking `m` can only re-confirm (via the `L = M` branch).
+    pub m_margin: f64,
+    /// Whether a discontinuous *upward* jump of `M_u` (a flood merge) can
+    /// change the decision: true exactly when the decision was `Slow` with
+    /// neither trigger firing — a merge lifting `M_u − L_u` to `≥ ι` then
+    /// flips the node fast. The engine checks the lifted value against `ι`
+    /// at each merge; jumps below `ι` land in the hysteresis band and keep
+    /// the slow decision.
+    pub m_jump_sensitive: bool,
+}
+
 /// A rule choosing a node's mode each evaluation step.
 ///
 /// `A_OPT` implements Listing 3; the baseline crates provide alternatives
@@ -188,6 +217,24 @@ pub trait ModePolicy: fmt::Debug + Send {
 
     /// Short, stable policy name for reports.
     fn name(&self) -> &'static str;
+
+    /// An optional [`StabilityCert`] for the decision just made. Policies
+    /// that return `None` (the default) are re-evaluated every tick;
+    /// policies that can bound their thresholds let the engine skip
+    /// re-evaluations without changing any decision.
+    fn stability(&self, _view: &NodeView<'_>, _decided: Mode) -> Option<StabilityCert> {
+        None
+    }
+
+    /// Decision and certificate in one call — the engine's tick path.
+    /// The default composes [`decide`](ModePolicy::decide) and
+    /// [`stability`](ModePolicy::stability); policies whose two answers
+    /// share work (like `A_OPT`'s trigger scans) override it.
+    fn decide_and_certify(&self, view: &NodeView<'_>) -> (Mode, Option<StabilityCert>) {
+        let mode = self.decide(view);
+        let cert = self.stability(view, mode);
+        (mode, cert)
+    }
 }
 
 /// The paper's mode logic (Listing 3):
@@ -210,13 +257,19 @@ impl AoptPolicy {
     }
 }
 
-impl ModePolicy for AoptPolicy {
-    fn decide(&self, view: &NodeView<'_>) -> Mode {
-        let cap = if self.max_levels == 0 {
+impl AoptPolicy {
+    fn cap(&self) -> u32 {
+        if self.max_levels == 0 {
             64
         } else {
             self.max_levels
-        };
+        }
+    }
+}
+
+impl ModePolicy for AoptPolicy {
+    fn decide(&self, view: &NodeView<'_>) -> Mode {
+        let cap = self.cap();
         if slow_trigger(view, cap) {
             Mode::Slow
         } else if fast_trigger(view, cap) {
@@ -233,6 +286,91 @@ impl ModePolicy for AoptPolicy {
 
     fn name(&self) -> &'static str {
         "aopt"
+    }
+
+    fn stability(&self, view: &NodeView<'_>, decided: Mode) -> Option<StabilityCert> {
+        let cap = self.cap();
+        let triggered = slow_trigger(view, cap) || fast_trigger(view, cap);
+        Some(self.certify(view, triggered, decided))
+    }
+
+    /// Decision and certificate sharing one pair of trigger scans — the
+    /// tick-path entry point (the default would scan the triggers twice).
+    fn decide_and_certify(&self, view: &NodeView<'_>) -> (Mode, Option<StabilityCert>) {
+        let cap = self.cap();
+        let st = slow_trigger(view, cap);
+        let ft = !st && fast_trigger(view, cap);
+        let mode = if st {
+            Mode::Slow
+        } else if ft {
+            Mode::Fast
+        } else if view.logical >= view.max_estimate {
+            Mode::Slow
+        } else if view.logical <= view.max_estimate - view.iota {
+            Mode::Fast
+        } else {
+            view.current_mode
+        };
+        (mode, Some(self.certify(view, st || ft, mode)))
+    }
+}
+
+impl AoptPolicy {
+    /// Listing 3's decision is a pure function of (a) the comparison of
+    /// each `d = L̃ᵥᵤ − L_u` against the four per-level threshold families
+    /// of Definitions 4.5/4.6, (b) the comparison of `m = M_u − L_u`
+    /// against `0` and `ι`, (c) neighbour level membership, and (d) the
+    /// current mode. (c) and (d) only change at events or level unlocks
+    /// (the engine bounds those separately); this certificate bounds (a)
+    /// and (b). Each threshold family is an arithmetic progression with
+    /// step `κ`, so the distance to the nearest threshold over all levels
+    /// `1..=cap` is a constant-time nearest-integer computation.
+    fn certify(&self, view: &NodeView<'_>, triggered: bool, decided: Mode) -> StabilityCert {
+        let cap = f64::from(self.cap());
+        let mut estimate_margin = f64::INFINITY;
+        for n in view.neighbors {
+            // A neighbour without an estimate blocks the universal clauses
+            // until a delivery provides one — an event, not a drift.
+            let Some(est) = n.estimate else { continue };
+            let d = est - view.logical;
+            let inv_kappa = 1.0 / n.kappa;
+            // FC exists:   d        >= s*k - eps
+            let y1 = (d + n.epsilon) * inv_kappa;
+            // FC forall:  -d        >  s*k + 2*mu*tau + eps
+            let y2 = (-d - (2.0 * view.mu * n.tau + n.epsilon)) * inv_kappa;
+            // SC exists:  -d        >= (s+1/2)*k - delta - eps
+            let y3 = (-d + n.delta + n.epsilon) * inv_kappa - 0.5;
+            // SC forall:   d        >  (s+1/2)*k + delta + eps + mu(1+rho)tau
+            let y4 =
+                (d - (n.delta + n.epsilon + view.mu * (1.0 + view.rho) * n.tau)) * inv_kappa - 0.5;
+            for y in [y1, y2, y3, y4] {
+                let nearest = y.round().clamp(1.0, cap);
+                estimate_margin = estimate_margin.min((y - nearest).abs() * n.kappa);
+            }
+        }
+        // Within `estimate_margin`, both trigger outcomes are pinned, so
+        // the m-dependence of the decision can be analysed per branch.
+        let (m_margin, m_jump_sensitive) = if triggered {
+            // A trigger decided; m is not consulted at all.
+            (f64::INFINITY, false)
+        } else if decided == Mode::Fast {
+            // Fast via the max-estimate branch or hysteresis: stays fast
+            // while m > 0 (the band only keeps it fast), flips slow
+            // exactly when the clamp closes m to 0. Upward jumps only
+            // re-confirm fast.
+            let m = view.max_estimate - view.logical;
+            (m.max(0.0), false)
+        } else {
+            // Slow with no trigger: drift only shrinks m, which keeps the
+            // slow decision (via L = M at the bottom); only an upward
+            // merge jump reaching iota flips it.
+            (f64::INFINITY, true)
+        };
+        StabilityCert {
+            estimate_margin,
+            m_margin,
+            m_jump_sensitive,
+        }
     }
 }
 

@@ -11,7 +11,6 @@
 //! has been *continuously* present; the algorithm's handshake (Listing 1) and
 //! the transport delivery rule both need exactly this continuity query.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use gcs_sim::SimTime;
@@ -131,7 +130,10 @@ impl fmt::Display for EdgeKey {
 #[derive(Debug, Clone)]
 pub struct DynamicGraph {
     /// `adj[u]` maps neighbour `v` to the time `(u, v)` last became present.
-    adj: Vec<BTreeMap<NodeId, SimTime>>,
+    /// Each row is sorted by neighbour id — a flat sorted vector rather than
+    /// a tree, because presence checks sit on the per-message hot path and
+    /// degrees are small.
+    adj: Vec<Vec<(NodeId, SimTime)>>,
 }
 
 impl DynamicGraph {
@@ -139,7 +141,7 @@ impl DynamicGraph {
     #[must_use]
     pub fn new(n: usize) -> Self {
         DynamicGraph {
-            adj: vec![BTreeMap::new(); n],
+            adj: vec![Vec::new(); n],
         }
     }
 
@@ -147,6 +149,11 @@ impl DynamicGraph {
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.adj.len()
+    }
+
+    /// Position of `v` in `u`'s sorted row, or the insertion point.
+    fn find(&self, u: NodeId, v: NodeId) -> Result<usize, usize> {
+        self.adj[u.index()].binary_search_by_key(&v, |&(w, _)| w)
     }
 
     /// Inserts the directed edge `(u, v)` at time `t`. Idempotent: if the
@@ -158,7 +165,9 @@ impl DynamicGraph {
     pub fn insert_directed(&mut self, u: NodeId, v: NodeId, t: SimTime) {
         assert_ne!(u, v, "self-loop at {u}");
         assert!(v.index() < self.adj.len(), "unknown node {v}");
-        self.adj[u.index()].entry(v).or_insert(t);
+        if let Err(pos) = self.find(u, v) {
+            self.adj[u.index()].insert(pos, (v, t));
+        }
     }
 
     /// Removes the directed edge `(u, v)`. Idempotent.
@@ -167,13 +176,15 @@ impl DynamicGraph {
     ///
     /// Panics if `u` is out of range.
     pub fn remove_directed(&mut self, u: NodeId, v: NodeId) {
-        self.adj[u.index()].remove(&v);
+        if let Ok(pos) = self.find(u, v) {
+            self.adj[u.index()].remove(pos);
+        }
     }
 
     /// Whether `(u, v) ∈ E(t)` right now, i.e. `v ∈ N_u(t)`.
     #[must_use]
     pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
-        self.adj[u.index()].contains_key(&v)
+        self.find(u, v).is_ok()
     }
 
     /// Whether both directions of `{u, v}` are present (the paper's
@@ -187,7 +198,7 @@ impl DynamicGraph {
     /// present now.
     #[must_use]
     pub fn up_since(&self, u: NodeId, v: NodeId) -> Option<SimTime> {
-        self.adj[u.index()].get(&v).copied()
+        self.find(u, v).ok().map(|pos| self.adj[u.index()][pos].1)
     }
 
     /// Whether `(u, v)` has been continuously present throughout `[t0, now]`.
@@ -198,7 +209,7 @@ impl DynamicGraph {
 
     /// Iterates over `N_u(t)` in ascending node order (deterministic).
     pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.adj[u.index()].keys().copied()
+        self.adj[u.index()].iter().map(|&(v, _)| v)
     }
 
     /// Out-degree of `u`.
@@ -212,7 +223,7 @@ impl DynamicGraph {
         self.adj
             .iter()
             .enumerate()
-            .flat_map(|(u, m)| m.keys().map(move |&v| (NodeId::from(u), v)))
+            .flat_map(|(u, m)| m.iter().map(move |&(v, _)| (NodeId::from(u), v)))
     }
 
     /// Iterates over the undirected edges present in *both* directions, each
@@ -245,12 +256,12 @@ impl DynamicGraph {
                         stack.push(w);
                     }
                 };
-            for v in self.adj[u].keys() {
+            for &(v, _) in &self.adj[u] {
                 push(v.index(), &mut seen, &mut stack, &mut count);
             }
             // Also traverse reverse direction: support is undirected.
-            for (w, m) in self.adj.iter().enumerate() {
-                if m.contains_key(&NodeId::from(u)) {
+            for (w, _) in self.adj.iter().enumerate() {
+                if self.contains(NodeId::from(w), NodeId::from(u)) {
                     push(w, &mut seen, &mut stack, &mut count);
                 }
             }

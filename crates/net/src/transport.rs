@@ -37,6 +37,17 @@ pub struct Envelope<P> {
     pub payload: P,
 }
 
+/// Samples a transit delay for `edge`: uniform in
+/// `[delay_min, delay_max]`, or the deterministic `delay_min` for a
+/// degenerate range. One RNG draw per non-degenerate send.
+pub fn sample_delay<R: Rng>(rng: &mut R, edge: EdgeParams) -> f64 {
+    if edge.delay_max > edge.delay_min {
+        rng.gen_range(edge.delay_min..=edge.delay_max)
+    } else {
+        edge.delay_min
+    }
+}
+
 /// Samples a transit delay for `edge` and wraps `payload` in an [`Envelope`].
 pub fn send<P, R: Rng>(
     rng: &mut R,
@@ -46,11 +57,7 @@ pub fn send<P, R: Rng>(
     sent_at: SimTime,
     payload: P,
 ) -> Envelope<P> {
-    let delay = if edge.delay_max > edge.delay_min {
-        rng.gen_range(edge.delay_min..=edge.delay_max)
-    } else {
-        edge.delay_min
-    };
+    let delay = sample_delay(rng, edge);
     Envelope {
         src,
         dst,

@@ -1,0 +1,230 @@
+//! Engine-throughput benchmarking: drive registry scenarios end to end,
+//! measure wall-clock and events/second, and emit the machine-readable
+//! `BENCH_engine.json` artifact (`gcs-engine-bench/v1`) that the repo's
+//! bench trajectory tracks across PRs.
+//!
+//! This is deliberately *not* a statistics campaign: runs execute
+//! sequentially (wall-clock timing must not share cores), skip the
+//! observation sampling grid, and report engine counters
+//! ([`SimStats`](gcs_core::SimStats)) next to the timings, so a throughput
+//! regression can be attributed (more events? slower events? more mode
+//! evaluations?) straight from the artifact.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use crate::error::ScenarioError;
+use crate::json::Json;
+use crate::spec::{Scale, ScenarioSpec};
+
+/// The artifact format tag.
+pub const BENCH_FORMAT: &str = "gcs-engine-bench/v1";
+
+/// One scenario × seed engine-throughput measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Scenario name.
+    pub scenario: String,
+    /// Node count after scaling.
+    pub nodes: usize,
+    /// Run seed.
+    pub seed: u64,
+    /// Simulated seconds driven (`warmup + duration`).
+    pub sim_secs: f64,
+    /// Wall-clock seconds to build the simulation.
+    pub build_secs: f64,
+    /// Wall-clock seconds to drive it to the end.
+    pub wall_secs: f64,
+    /// Events processed.
+    pub events: u64,
+    /// Throughput: `events / wall_secs`.
+    pub events_per_sec: f64,
+    /// Tick events processed.
+    pub ticks: u64,
+    /// Per-node mode decisions actually evaluated (`ticks × nodes` minus
+    /// what the dirty-set/stability-certificate machinery skipped).
+    pub mode_evaluations: u64,
+    /// Messages delivered.
+    pub messages_delivered: u64,
+}
+
+/// Runs one scenario once, for throughput: build, replay scripted faults,
+/// drive to the end instant, and time it. No observation sampling.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError`] if the spec fails to validate or build.
+pub fn run_one(spec: &ScenarioSpec, seed: u64) -> Result<BenchEntry, ScenarioError> {
+    let built = Instant::now();
+    let mut sim = spec.build(seed)?;
+    let build_secs = built.elapsed().as_secs_f64();
+
+    let end = spec.end_secs();
+    let started = Instant::now();
+    crate::campaign::apply_faults(&mut sim, &spec.faults);
+    sim.run_until_secs(end);
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let stats = sim.stats();
+    Ok(BenchEntry {
+        scenario: spec.name.clone(),
+        nodes: sim.node_count(),
+        seed,
+        sim_secs: end,
+        build_secs,
+        wall_secs,
+        events: stats.events,
+        events_per_sec: stats.events as f64 / wall_secs.max(1e-9),
+        ticks: stats.ticks,
+        mode_evaluations: stats.mode_evaluations,
+        messages_delivered: stats.messages_delivered,
+    })
+}
+
+/// Runs `specs × seeds` sequentially (never in parallel — the timings are
+/// the point) and returns the entries in input order. Each combination is
+/// driven `repeat` times and the fastest wall-clock run is kept — the
+/// standard way to strip scheduler noise from a throughput number; the
+/// engine counters are asserted identical across repetitions (determinism
+/// cross-check for free).
+///
+/// # Errors
+///
+/// Returns the first [`ScenarioError`] any run produced.
+///
+/// # Panics
+///
+/// Panics if `repeat` is zero, or if two repetitions of the same seeded
+/// run disagree on any engine counter (a determinism bug).
+pub fn run_suite(
+    specs: &[ScenarioSpec],
+    seeds: &[u64],
+    repeat: u32,
+) -> Result<Vec<BenchEntry>, ScenarioError> {
+    assert!(repeat > 0, "need at least one repetition");
+    let mut entries = Vec::with_capacity(specs.len() * seeds.len());
+    for spec in specs {
+        for &seed in seeds {
+            let mut best = run_one(spec, seed)?;
+            for _ in 1..repeat {
+                let again = run_one(spec, seed)?;
+                assert_eq!(
+                    (again.events, again.ticks, again.mode_evaluations),
+                    (best.events, best.ticks, best.mode_evaluations),
+                    "{} seed {seed}: engine counters diverged across repetitions",
+                    spec.name
+                );
+                if again.wall_secs < best.wall_secs {
+                    best = again;
+                }
+            }
+            entries.push(best);
+        }
+    }
+    Ok(entries)
+}
+
+/// Serializes a bench suite to the `gcs-engine-bench/v1` JSON artifact.
+#[must_use]
+pub fn bench_json(scale: Scale, seeds: &[u64], entries: &[BenchEntry]) -> String {
+    let entry_json = |e: &BenchEntry| {
+        Json::Obj(vec![
+            ("scenario", Json::Str(e.scenario.clone())),
+            ("nodes", Json::Int(e.nodes as u64)),
+            ("seed", Json::Int(e.seed)),
+            ("sim_secs", Json::Num(e.sim_secs)),
+            ("build_secs", Json::Num(e.build_secs)),
+            ("wall_secs", Json::Num(e.wall_secs)),
+            ("events", Json::Int(e.events)),
+            ("events_per_sec", Json::Num(e.events_per_sec)),
+            ("ticks", Json::Int(e.ticks)),
+            ("mode_evaluations", Json::Int(e.mode_evaluations)),
+            ("messages_delivered", Json::Int(e.messages_delivered)),
+        ])
+    };
+    let head = Json::Obj(vec![
+        ("format", Json::Str(BENCH_FORMAT.to_string())),
+        ("scale", Json::Str(scale.name().to_string())),
+        (
+            "seeds",
+            Json::Arr(seeds.iter().map(|&s| Json::Int(s)).collect()),
+        ),
+    ]);
+    // One entry per line so checked-in artifacts diff cleanly.
+    let head = head.to_string();
+    let mut out = String::new();
+    out.push_str(&head[..head.len() - 1]);
+    out.push_str(",\"entries\":[\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&entry_json(e).to_string());
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Writes the artifact to `path`, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bench(
+    path: &Path,
+    scale: Scale,
+    seeds: &[u64],
+    entries: &[BenchEntry],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bench_json(scale, seeds, entries).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn bench_runs_and_serializes() {
+        let spec = registry::find("ring-steady")
+            .expect("built-in")
+            .scaled(Scale::Tiny);
+        let entries = run_suite(std::slice::from_ref(&spec), &[0, 1], 2).unwrap();
+        assert_eq!(entries.len(), 2);
+        for e in &entries {
+            assert_eq!(e.scenario, "ring-steady");
+            assert!(e.events > 0);
+            assert!(e.events_per_sec > 0.0);
+            assert!(e.ticks > 0);
+            assert!(e.mode_evaluations > 0);
+        }
+        // Same seed twice: identical engine counters (timings differ).
+        let again = run_one(&spec, 0).unwrap();
+        assert_eq!(again.events, entries[0].events);
+        assert_eq!(again.mode_evaluations, entries[0].mode_evaluations);
+        let json = bench_json(Scale::Tiny, &[0, 1], &entries);
+        assert!(json.starts_with("{\"format\":\"gcs-engine-bench/v1\""));
+        assert!(json.contains("\"events_per_sec\""));
+        assert!(json.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn bench_includes_scripted_faults() {
+        // The fault replay is part of the driven workload: the scenario
+        // must still run to its end instant.
+        let spec = registry::find("self-heal")
+            .expect("built-in")
+            .scaled(Scale::Tiny);
+        let e = run_one(&spec, 3).unwrap();
+        assert!((e.sim_secs - spec.end_secs()).abs() < 1e-12);
+        assert!(e.events > 0);
+    }
+}

@@ -9,7 +9,7 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use gcs_analysis::{local_skew, parallel_map, EnsembleStats};
+use gcs_analysis::{local_skew_with, parallel_map, EnsembleStats};
 
 use crate::error::ScenarioError;
 use crate::json::Json;
@@ -77,6 +77,9 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<ScenarioOutcome, S
     let mut max_global_skew = 0.0f64;
     let mut max_local_skew = 0.0f64;
     let mut invariant_violations = 0u64;
+    // One edge buffer for the whole observation loop (the local-skew
+    // samples would otherwise allocate a fresh vector per instant).
+    let mut edges = Vec::new();
 
     let mut k = 0u64;
     loop {
@@ -93,7 +96,7 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<ScenarioOutcome, S
         trajectory.push((t, g));
         if t >= spec.warmup - 1e-9 {
             max_global_skew = max_global_skew.max(g);
-            max_local_skew = max_local_skew.max(local_skew(&sim));
+            max_local_skew = max_local_skew.max(local_skew_with(&sim, &mut edges));
             if !sim.verify_invariants().is_empty() {
                 invariant_violations += 1;
             }

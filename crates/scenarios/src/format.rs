@@ -30,7 +30,13 @@ pub fn write(spec: &ScenarioSpec) -> String {
     if !spec.description.is_empty() {
         let _ = writeln!(out, "description {}", spec.description);
     }
+    if spec.bench {
+        let _ = writeln!(out, "class bench");
+    }
     let _ = writeln!(out, "topology {}", topology_line(&spec.topology));
+    if let Some(t) = spec.tiny_nodes {
+        let _ = writeln!(out, "tiny-nodes {t}");
+    }
     let _ = writeln!(out, "drift {}", drift_line(&spec.drift));
     let _ = writeln!(out, "estimates {}", spec.estimates.token());
     let _ = writeln!(out, "dynamics {}", dynamics_line(&spec.dynamics));
@@ -190,6 +196,8 @@ impl LineCtx {
 pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
     let mut name: Option<String> = None;
     let mut description = String::new();
+    let mut bench: Option<bool> = None;
+    let mut tiny_nodes: Option<usize> = None;
     let mut topology: Option<TopologySpec> = None;
     let mut drift: Option<DriftSpec> = None;
     let mut estimates: Option<EstimateSpec> = None;
@@ -237,6 +245,26 @@ pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
                     return Err(ctx.err("description must not be empty (omit the line instead)"));
                 }
                 description = rest.to_string();
+            }
+            "class" => {
+                if bench.is_some() {
+                    dup(&ctx)?;
+                }
+                match rest {
+                    "bench" => bench = Some(true),
+                    other => {
+                        return Err(ctx.err(format!(
+                            "unknown class {other:?} (`bench`, or omit the line for a \
+                             standard scenario)"
+                        )))
+                    }
+                }
+            }
+            "tiny-nodes" => {
+                if tiny_nodes.is_some() {
+                    dup(&ctx)?;
+                }
+                tiny_nodes = Some(ctx.usize(rest, "tiny-nodes")?);
             }
             "topology" => {
                 if topology.is_some() {
@@ -348,6 +376,8 @@ pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
         duration: duration.ok_or_else(|| missing("duration"))?,
         sample: sample.ok_or_else(|| missing("sample"))?,
         metric: metric.ok_or_else(|| missing("metric"))?,
+        bench: bench.unwrap_or(false),
+        tiny_nodes,
     })
 }
 

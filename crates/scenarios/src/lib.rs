@@ -12,17 +12,22 @@
 //! * [`format`] — the line-oriented `.scn` text format (hand-rolled parser
 //!   and canonical writer with exact round-trip; grammar in
 //!   `scenarios/README.md`);
-//! * [`registry`] — ≥ 12 named built-in scenarios spanning
+//! * [`registry`] — ≥ 18 named built-in scenarios spanning
 //!   ring/line/grid/torus/geometric/small-world/scale-free/hypercube
 //!   topologies and churn-storm / flash-join / partition-heal /
-//!   mobile-swarm / drift-flip dynamics;
+//!   mobile-swarm / drift-flip dynamics, including the `bench`-class
+//!   engine-scale entries (`ring-1k`, `geometric-4k`) that the default
+//!   campaigns exclude;
 //! * [`presets`] — parametric families shared with the experiment harness;
 //! * [`campaign`] — the parallel scenario × seed runner and the
 //!   `results/campaign_*.json` trajectory artifact;
 //! * [`trend`] — the artifact reader, `gcs-baseline/v1` summaries, and
 //!   the tolerance-gated baseline comparison CI runs;
+//! * [`bench`] — the sequential engine-throughput harness behind
+//!   `gcs-scenarios bench` and the `BENCH_engine.json`
+//!   (`gcs-engine-bench/v1`) artifact;
 //! * the `gcs-scenarios` CLI (`list | validate <dir> | run <name|file> |
-//!   export <dir> | show <name>`).
+//!   bench | export <dir> | show <name>`).
 //!
 //! # Example
 //!
@@ -38,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod campaign;
 pub mod error;
 pub mod format;
@@ -47,6 +53,7 @@ pub mod registry;
 pub mod spec;
 pub mod trend;
 
+pub use bench::BenchEntry;
 pub use campaign::{run_campaign, run_scenario, CampaignRow, ScenarioOutcome};
 pub use error::ScenarioError;
 pub use spec::{

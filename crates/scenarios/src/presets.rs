@@ -31,6 +31,8 @@ pub fn base(name: &str, topology: TopologySpec) -> ScenarioSpec {
         duration: 30.0,
         sample: 0.5,
         metric: Metric::GlobalSkew,
+        bench: false,
+        tiny_nodes: None,
     }
 }
 

@@ -31,9 +31,27 @@ pub fn all() -> Vec<ScenarioSpec> {
         mobile_swarm(),
         drift_flip(),
         self_heal(),
+        ring_1k(),
+        geometric_4k(),
     ];
     specs.sort_by(|a, b| a.name.cmp(&b.name));
     specs
+}
+
+/// The default campaign set: every built-in except the `bench`-class
+/// engine-scale scenarios. This is what `gcs-scenarios run all` sweeps and
+/// what the CI regression gate pins, so growing the bench family never
+/// invalidates the checked-in campaign baseline.
+#[must_use]
+pub fn campaign() -> Vec<ScenarioSpec> {
+    all().into_iter().filter(|s| !s.bench).collect()
+}
+
+/// The `bench`-class engine-scale scenarios (`gcs-scenarios bench` sweeps
+/// these alongside the campaign set).
+#[must_use]
+pub fn bench() -> Vec<ScenarioSpec> {
+    all().into_iter().filter(|s| s.bench).collect()
 }
 
 /// Looks up a built-in scenario by name.
@@ -186,16 +204,85 @@ fn self_heal() -> ScenarioSpec {
     presets::self_heal(8, 15.0, 1.0)
 }
 
+fn ring_1k() -> ScenarioSpec {
+    let mut s = presets::base("ring-1k", TopologySpec::Ring { n: 1024 });
+    s.description = "Engine-scale benchmark: a 1024-node ring under alternating worst-case \
+                     drift (the tick-loop throughput workload)"
+        .to_string();
+    s.drift = DriftSpec::Alternating;
+    s.bench = true;
+    s.tiny_nodes = Some(32);
+    s.warmup = 2.0;
+    s.duration = 8.0;
+    s
+}
+
+fn geometric_4k() -> ScenarioSpec {
+    let mut s = presets::base(
+        "geometric-4k",
+        TopologySpec::Geometric {
+            n: 4096,
+            radius: 0.03,
+        },
+    );
+    s.description = "Engine-scale benchmark: a 4096-node random geometric graph with \
+                     independent constant drift (the message-path throughput workload)"
+        .to_string();
+    s.drift = DriftSpec::RandomConstant;
+    s.bench = true;
+    s.tiny_nodes = Some(64);
+    s.warmup = 1.0;
+    s.duration = 2.0;
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
+    fn campaign_and_bench_partition_the_registry() {
+        let specs = all();
+        let campaign = campaign();
+        let bench = bench();
+        assert_eq!(campaign.len() + bench.len(), specs.len());
+        assert!(campaign.iter().all(|s| !s.bench));
+        assert!(bench.iter().all(|s| s.bench));
+        // The campaign set is the historical 16: the CI baseline pins it.
+        assert_eq!(
+            campaign.len(),
+            16,
+            "growing the campaign set invalidates the baseline"
+        );
+        let names: Vec<&str> = bench.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["geometric-4k", "ring-1k"]);
+    }
+
+    #[test]
+    fn bench_scenarios_are_engine_scale_with_tiny_clamps() {
+        for s in bench() {
+            assert!(
+                s.topology.node_count() >= 1024,
+                "{} is not engine-scale",
+                s.name
+            );
+            let tiny = s.scaled(crate::Scale::Tiny);
+            assert!(
+                tiny.topology.node_count() <= 64,
+                "{}: tiny clamp missing ({} nodes)",
+                s.name,
+                tiny.topology.node_count()
+            );
+            tiny.validate().unwrap();
+        }
+    }
+
+    #[test]
     fn registry_is_large_diverse_and_valid() {
         let specs = all();
         assert!(
-            specs.len() >= 12,
-            "need >= 12 built-ins, got {}",
+            specs.len() >= 18,
+            "need >= 18 built-ins, got {}",
             specs.len()
         );
         let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();

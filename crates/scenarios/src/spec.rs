@@ -194,6 +194,48 @@ impl TopologySpec {
         }
     }
 
+    /// Resizes the family towards `target` nodes, respecting each family's
+    /// structural minimum and shape (grids stay square-ish, hypercubes pick
+    /// the nearest power of two). Used by the `tiny-nodes` clamp that lets
+    /// engine-scale benchmark scenarios (10³–10⁴ nodes) shrink to CI size.
+    #[must_use]
+    pub fn with_node_target(&self, target: usize) -> Self {
+        match *self {
+            TopologySpec::Line { .. } => TopologySpec::Line { n: target.max(2) },
+            TopologySpec::Ring { .. } => TopologySpec::Ring { n: target.max(3) },
+            TopologySpec::Grid { .. } => {
+                let side = ((target as f64).sqrt().round() as usize).max(2);
+                TopologySpec::Grid { w: side, h: side }
+            }
+            TopologySpec::Torus { .. } => {
+                let side = ((target as f64).sqrt().round() as usize).max(3);
+                TopologySpec::Torus { w: side, h: side }
+            }
+            TopologySpec::Star { .. } => TopologySpec::Star { n: target.max(2) },
+            TopologySpec::Complete { .. } => TopologySpec::Complete { n: target.max(2) },
+            TopologySpec::Hypercube { .. } => TopologySpec::Hypercube {
+                dim: ((target.max(2) as f64).log2().round() as u32).clamp(1, 16),
+            },
+            TopologySpec::Gnp { p, .. } => TopologySpec::Gnp {
+                n: target.max(4),
+                p,
+            },
+            TopologySpec::Geometric { radius, .. } => TopologySpec::Geometric {
+                n: target.max(4),
+                radius,
+            },
+            TopologySpec::SmallWorld { k, beta, .. } => TopologySpec::SmallWorld {
+                n: target.max(4).max(k + 1),
+                k,
+                beta,
+            },
+            TopologySpec::ScaleFree { m, .. } => TopologySpec::ScaleFree {
+                n: target.max(m + 1).max(4),
+                m,
+            },
+        }
+    }
+
     /// Shrinks node counts for [`Scale::Tiny`], respecting each family's
     /// structural minimum; other scales leave sizes untouched.
     #[must_use]
@@ -518,6 +560,14 @@ pub struct ScenarioSpec {
     pub sample: f64,
     /// Primary metric aggregated across seeds.
     pub metric: Metric,
+    /// Engine-scale benchmark scenario: excluded from default campaigns
+    /// (`run all` and the CI regression gate keep their historical scenario
+    /// set) but fully runnable by name and swept by `gcs-scenarios bench`.
+    pub bench: bool,
+    /// Explicit node-count clamp applied at [`Scale::Tiny`] instead of the
+    /// default halving — how 10³–10⁴-node benchmark scenarios stay
+    /// CI-sized. `None` keeps the halving rule.
+    pub tiny_nodes: Option<usize>,
 }
 
 impl ScenarioSpec {
@@ -540,7 +590,10 @@ impl ScenarioSpec {
     pub fn scaled(&self, scale: Scale) -> Self {
         let f = scale.time_factor();
         let mut spec = self.clone();
-        spec.topology = self.topology.scaled(scale);
+        spec.topology = match (scale, self.tiny_nodes) {
+            (Scale::Tiny, Some(target)) => self.topology.with_node_target(target),
+            _ => self.topology.scaled(scale),
+        };
         spec.dynamics = self.dynamics.time_scaled(f);
         spec.warmup *= f;
         spec.duration = (self.duration * f).max(self.sample);
@@ -749,6 +802,17 @@ impl ScenarioSpec {
         if let Some(g) = self.g_tilde {
             if g <= 0.0 {
                 return fail(format!("g-tilde must be positive, got {g}"));
+            }
+        }
+        if let Some(t) = self.tiny_nodes {
+            if t < 2 {
+                return fail(format!("tiny-nodes must be at least 2, got {t}"));
+            }
+            if t > self.topology.node_count() {
+                return fail(format!(
+                    "tiny-nodes ({t}) must not exceed the full-scale node count ({})",
+                    self.topology.node_count()
+                ));
             }
         }
         // Delegate the algorithm-parameter constraints to the real

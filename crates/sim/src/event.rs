@@ -4,54 +4,79 @@
 //! number, so two events scheduled for the same instant pop in FIFO order.
 //! This tie-break rule is what makes whole-simulation runs bit-reproducible
 //! across platforms.
+//!
+//! # Structure
+//!
+//! The queue is a three-tier calendar, sized for the engine's workload
+//! (per-message events a few milliseconds ahead of now, at backlogs of
+//! thousands):
+//!
+//! * **near** — the currently open bucket, sorted descending so the next
+//!   event pops from the back in O(1);
+//! * **ring** — a 64-slot bucket ring covering the next
+//!   `64 × 2⁻¹² s ≈ 15.6 ms` of simulated time; scheduling appends to a
+//!   bucket in O(1), and a bucket is sorted once when it opens (amortized
+//!   `O(log bucket)` per event with a contiguous `sort_unstable`, far
+//!   cheaper than per-event heap sifts at these sizes);
+//! * **far** — a binary min-heap for everything beyond the ring horizon
+//!   (pre-materialized drift schedules, long timers). Far events migrate
+//!   into the opening bucket when their time comes.
+//!
+//! Correctness does not depend on the bucket width: membership is
+//! `bucket(t) = ⌊t/W⌋`, which is monotone in `t`, so an event in an earlier
+//! bucket can never be later than one in a newer bucket — whatever floating
+//! point does at bucket boundaries, the pop order is exactly the total
+//! `(time, seq)` order (property-tested against a reference heap).
+//!
+//! Payloads are kept out of the ordering structures entirely: buckets and
+//! heap hold small `(time, seq, slot)` keys while payloads sit in a slab
+//! indexed by `slot`, so sorting moves 24-byte keys instead of whole
+//! events.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// An event together with the time it is scheduled for.
-///
-/// Returned by [`EventQueue::peek`]; the payload is accessible through
-/// [`ScheduledEvent::payload`].
-#[derive(Debug, Clone)]
-pub struct ScheduledEvent<E> {
+/// Number of ring buckets.
+const RING: usize = 64;
+/// Bucket width in seconds (2⁻¹²: exact in binary, ≈ 244 µs).
+const WIDTH: f64 = 1.0 / 4096.0;
+
+/// The bucket an instant belongs to. Monotone in `t`, which is all the
+/// ordering argument needs.
+#[inline]
+fn bucket_of(t: SimTime) -> u64 {
+    (t.as_secs() / WIDTH) as u64
+}
+
+/// Ordering key: totally ordered by `(time, seq)`. `slot` indexes the
+/// payload slab and does not participate in the order (seq is unique).
+#[derive(Debug, Clone, Copy)]
+struct Key {
     time: SimTime,
     seq: u64,
-    payload: E,
+    slot: u32,
 }
 
-impl<E> ScheduledEvent<E> {
-    /// The time the event fires.
-    #[must_use]
-    pub fn time(&self) -> SimTime {
-        self.time
-    }
-
-    /// The event payload.
-    #[must_use]
-    pub fn payload(&self) -> &E {
-        &self.payload
-    }
-}
-
-impl<E> PartialEq for ScheduledEvent<E> {
+impl PartialEq for Key {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
 
-impl<E> Eq for ScheduledEvent<E> {}
+impl Eq for Key {}
 
-impl<E> PartialOrd for ScheduledEvent<E> {
+impl PartialOrd for Key {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for ScheduledEvent<E> {
+impl Ord for Key {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse so the earliest event is on top.
+        // Reversed, so both the `far` BinaryHeap (a max-heap) and the
+        // descending `near` sort see the earliest event as the largest.
         other
             .time
             .cmp(&self.time)
@@ -72,12 +97,27 @@ impl<E> Ord for ScheduledEvent<E> {
 /// q.schedule(SimTime::from_secs(1.0), 'a');
 /// q.schedule(SimTime::from_secs(2.0), 'c'); // same instant as 'b': FIFO
 ///
+/// assert_eq!(q.next_time(), Some(SimTime::from_secs(1.0)));
 /// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
 /// assert_eq!(order, ['a', 'b', 'c']);
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+    /// Keys of the open bucket, sorted descending (next event at the back).
+    near: Vec<Key>,
+    /// Bucket ring; slot `g % RING` holds bucket `g` for
+    /// `g ∈ [next_bucket, next_bucket + RING)`.
+    ring: Vec<Vec<Key>>,
+    /// Total keys currently in the ring.
+    ring_len: usize,
+    /// The next bucket to open; `near` covers strictly earlier buckets.
+    next_bucket: u64,
+    /// Beyond-horizon events, earliest on top.
+    far: BinaryHeap<Key>,
+    /// Payload slab; `None` marks a free slot awaiting reuse.
+    slab: Vec<Option<E>>,
+    /// Indices of free slab slots.
+    free: Vec<u32>,
     next_seq: u64,
     /// Time of the most recently popped event; used to reject scheduling in
     /// the past, which would silently corrupt causality.
@@ -89,7 +129,13 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            near: Vec::new(),
+            ring: (0..RING).map(|_| Vec::new()).collect(),
+            ring_len: 0,
+            next_bucket: 0,
+            far: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -109,22 +155,86 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { time, seq, payload });
+        let slot = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx as usize] = Some(payload);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slab.len()).expect("event slab exceeds u32");
+                self.slab.push(Some(payload));
+                idx
+            }
+        };
+        let key = Key { time, seq, slot };
+        let g = bucket_of(time);
+        if g < self.next_bucket {
+            // Lands in the already-open bucket: keep `near` sorted
+            // (later events towards the front, i.e. ascending in the
+            // reversed Ord). Rare — only zero-delay reschedules hit this.
+            let pos = self.near.partition_point(|k| *k < key);
+            self.near.insert(pos, key);
+        } else if g < self.next_bucket + RING as u64 {
+            self.ring[(g % RING as u64) as usize].push(key);
+            self.ring_len += 1;
+        } else {
+            self.far.push(key);
+        }
+    }
+
+    /// Opens buckets until `near` holds the earliest pending events (or
+    /// everything is empty).
+    fn refill(&mut self) {
+        while self.near.is_empty() && (self.ring_len > 0 || !self.far.is_empty()) {
+            if self.ring_len == 0 {
+                // Ring dry: jump straight to the far tier's first bucket.
+                let g = bucket_of(self.far.peek().expect("far nonempty").time);
+                self.next_bucket = self.next_bucket.max(g);
+            }
+            let g = self.next_bucket;
+            self.next_bucket = g + 1;
+            // Reuse the drained `near` allocation as the new empty bucket.
+            std::mem::swap(&mut self.near, &mut self.ring[(g % RING as u64) as usize]);
+            self.ring_len -= self.near.len();
+            while let Some(k) = self.far.peek() {
+                if bucket_of(k.time) <= g {
+                    self.near.push(*k);
+                    self.far.pop();
+                } else {
+                    break;
+                }
+            }
+            // Descending by (time, seq). SimTime is non-negative, so the
+            // f64 bit pattern is order-isomorphic to the value — sorting by
+            // integer key keeps the comparator branch-free.
+            self.near
+                .sort_unstable_by_key(|k| std::cmp::Reverse((k.time.as_secs().to_bits(), k.seq)));
+        }
     }
 
     /// Removes and returns the earliest event, advancing the queue's notion
     /// of "now" to its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let ev = self.heap.pop()?;
-        debug_assert!(ev.time >= self.now);
-        self.now = ev.time;
-        Some((ev.time, ev.payload))
+        if self.near.is_empty() {
+            self.refill();
+        }
+        let key = self.near.pop()?;
+        debug_assert!(key.time >= self.now);
+        self.now = key.time;
+        let payload = self.slab[key.slot as usize]
+            .take()
+            .expect("key points at an occupied slot");
+        self.free.push(key.slot);
+        Some((key.time, payload))
     }
 
-    /// Returns the earliest event without removing it.
+    /// The time of the earliest pending event, without removing it.
     #[must_use]
-    pub fn peek(&self) -> Option<&ScheduledEvent<E>> {
-        self.heap.peek()
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        if self.near.is_empty() {
+            self.refill();
+        }
+        self.near.last().map(|k| k.time)
     }
 
     /// The time of the most recently popped event (`t = 0` before any pop).
@@ -136,13 +246,13 @@ impl<E> EventQueue<E> {
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.near.len() + self.ring_len + self.far.len()
     }
 
     /// Whether there are no pending events.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled on this queue.
@@ -211,12 +321,13 @@ mod tests {
     }
 
     #[test]
-    fn peek_does_not_consume() {
+    fn next_time_does_not_consume() {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_secs(1.0), 42);
-        assert_eq!(*q.peek().unwrap().payload(), 42);
-        assert_eq!(q.peek().unwrap().time(), SimTime::from_secs(1.0));
+        assert_eq!(q.next_time(), Some(SimTime::from_secs(1.0)));
         assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1.0), 42)));
+        assert_eq!(q.next_time(), None);
     }
 
     #[test]
@@ -231,5 +342,114 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.scheduled_count(), 2);
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..10u64 {
+            let t = SimTime::from_secs(round as f64);
+            for i in 0..50u64 {
+                q.schedule(t, (round, i));
+            }
+            for i in 0..50u64 {
+                assert_eq!(q.pop(), Some((t, (round, i))));
+            }
+        }
+        // Storage is bounded by the maximum concurrent backlog, not by the
+        // total number of events ever scheduled.
+        assert!(q.slab.len() <= 50);
+        assert_eq!(q.scheduled_count(), 500);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_keeps_global_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1.0), 1);
+        q.schedule(SimTime::from_secs(3.0), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1.0), 1)));
+        q.schedule(SimTime::from_secs(2.0), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2.0), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3.0), 3)));
+    }
+
+    #[test]
+    fn zero_delay_reschedule_lands_in_the_open_bucket() {
+        // Regression guard for the `near`-insert path: scheduling at (or a
+        // hair after) the just-popped instant must keep the global order.
+        let mut q = EventQueue::new();
+        for i in 0..8 {
+            q.schedule(SimTime::from_secs(1.0 + f64::from(i) * 1e-6), i);
+        }
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1.0), 0)));
+        q.schedule(q.now(), 100); // same instant, later seq: pops after 0
+        q.schedule(q.now() + crate::SimDuration::from_secs(5e-7), 101);
+        let rest: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(rest, vec![100, 101, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn far_future_events_cross_the_ring_horizon() {
+        let mut q = EventQueue::new();
+        // Far beyond the 15.6 ms ring horizon, interleaved with near ones.
+        q.schedule(SimTime::from_secs(100.0), 4);
+        q.schedule(SimTime::from_secs(0.001), 1);
+        q.schedule(SimTime::from_secs(50.0), 3);
+        q.schedule(SimTime::from_secs(0.002), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, [1, 2, 3, 4]);
+    }
+
+    /// Randomized cross-check against a reference priority queue: any
+    /// interleaving of schedules and pops must produce the exact
+    /// `(time, seq)` order, including bucket-boundary times.
+    #[test]
+    fn matches_reference_order_on_random_interleavings() {
+        use std::collections::BTreeMap;
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..50 {
+            let mut q = EventQueue::new();
+            let mut reference: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+            let mut seq = 0u64;
+            let mut now = 0.0f64;
+            for _ in 0..400 {
+                let op = rand() % 4;
+                if op < 3 {
+                    // Mix of in-bucket, cross-bucket, and boundary times.
+                    let r = rand();
+                    let dt = match r % 5 {
+                        0 => 0.0,
+                        1 => (r % 1000) as f64 * 1e-6,
+                        2 => (r % 100) as f64 * WIDTH, // exact boundaries
+                        3 => (r % 1000) as f64 * 1e-3,
+                        _ => (r % 10) as f64 * 10.0, // far tier
+                    };
+                    let t = now + dt;
+                    q.schedule(SimTime::from_secs(t), seq);
+                    reference.insert((t.to_bits(), seq), seq);
+                    seq += 1;
+                } else if let Some((when, got)) = q.pop() {
+                    let (&key, &want) = reference.iter().next().expect("reference nonempty");
+                    assert_eq!(got, want, "payload order diverged");
+                    assert_eq!(when.as_secs().to_bits(), key.0, "time order diverged");
+                    reference.remove(&key);
+                    now = when.as_secs();
+                }
+            }
+            while let Some((when, got)) = q.pop() {
+                let (&key, &want) = reference.iter().next().expect("reference nonempty");
+                assert_eq!(got, want);
+                assert_eq!(when.as_secs().to_bits(), key.0);
+                reference.remove(&key);
+                let _ = when;
+            }
+            assert!(reference.is_empty());
+        }
     }
 }

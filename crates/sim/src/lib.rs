@@ -44,5 +44,5 @@ mod time;
 
 pub use clock::HardwareClock;
 pub use drift::{DriftModel, DriftSchedule, RateChange};
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::EventQueue;
 pub use time::{SimDuration, SimTime};

@@ -27,10 +27,22 @@ USAGE:
         file in <dir>; exits nonzero on the first problem.
     gcs-scenarios run <name|file.scn|all> [--seeds N] [--scale S] [--out DIR]
         Run a campaign (scenario x seed fan-out) and write the
-        results/campaign_*.json artifact.
+        results/campaign_*.json artifact. `all` sweeps the campaign set
+        (every built-in except the bench-class engine-scale scenarios,
+        which run by name or via `bench`).
         --seeds N   seeds 0..N          (default 4)
         --scale S   tiny|default|full   (default default)
         --out DIR   artifact directory  (default results)
+    gcs-scenarios bench [name|all] [--seeds N] [--scale S] [--out FILE]
+        Engine-throughput benchmark: drive scenarios end to end
+        (sequentially, no observation sampling) and write the
+        gcs-engine-bench/v1 artifact with wall-clock and events/sec per
+        scenario x seed. `all` (the default) sweeps the whole registry,
+        bench-class scenarios included.
+        --seeds N   seeds 0..N            (default 1)
+        --repeat R  keep the fastest of R runs per entry (default 1)
+        --scale S   tiny|default|full     (default default)
+        --out FILE  artifact path         (default results/BENCH_engine.json)
     gcs-scenarios export <dir>
         Write every built-in scenario to <dir>/<name>.scn.
     gcs-scenarios baseline <campaign.json> [--out FILE]
@@ -54,6 +66,7 @@ fn main() -> ExitCode {
         Some("show") => cmd_show(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("baseline") => cmd_baseline(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
@@ -159,6 +172,29 @@ fn validate_file(path: &Path) -> Result<ScenarioSpec, String> {
     Ok(spec)
 }
 
+/// Parses the value of a positive-integer flag (`--seeds N`, `--repeat R`).
+fn positive_flag(args: &[String], i: usize, flag: &str) -> Result<u64, String> {
+    args.get(i + 1)
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("{flag} needs a positive integer"))
+}
+
+/// Parses the value of a `--scale` flag.
+fn scale_flag(args: &[String], i: usize) -> Result<Scale, String> {
+    args.get(i + 1)
+        .and_then(|v| Scale::parse(v))
+        .ok_or_else(|| "--scale needs tiny|default|full".to_string())
+}
+
+/// Parses the value of a `--out` flag.
+fn out_flag(args: &[String], i: usize, what: &str) -> Result<PathBuf, String> {
+    Ok(PathBuf::from(
+        args.get(i + 1)
+            .ok_or_else(|| format!("--out needs a {what}"))?,
+    ))
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let target = args
         .first()
@@ -170,29 +206,29 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     while i < args.len() {
         match args[i].as_str() {
             "--seeds" => {
-                seeds_n = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n > 0)
-                    .ok_or("--seeds needs a positive integer")?;
+                seeds_n = positive_flag(args, i, "--seeds")?;
                 i += 2;
             }
             "--scale" => {
-                scale = args
-                    .get(i + 1)
-                    .and_then(|v| Scale::parse(v))
-                    .ok_or("--scale needs tiny|default|full")?;
+                scale = scale_flag(args, i)?;
                 i += 2;
             }
             "--out" => {
-                out_dir = PathBuf::from(args.get(i + 1).ok_or("--out needs a directory")?);
+                out_dir = out_flag(args, i, "directory")?;
                 i += 2;
             }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
 
-    let (title, specs) = resolve_specs(target)?;
+    // `run all` sweeps the campaign set: the bench-class engine-scale
+    // scenarios would dwarf the statistics runs and are not pinned by the
+    // baseline (they run by name or via `bench`).
+    let (title, specs) = if target == "all" {
+        ("all".to_string(), registry::campaign())
+    } else {
+        resolve_specs(target)?
+    };
     let specs: Vec<ScenarioSpec> = specs.iter().map(|s| s.scaled(scale)).collect();
     let seeds: Vec<u64> = (0..seeds_n).collect();
     println!(
@@ -236,8 +272,78 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Resolves a `run` target into a campaign title and spec list: the whole
-/// registry (`all`), a `.scn` file on disk, or a built-in by name.
+/// Runs the engine-throughput benchmark and writes `BENCH_engine.json`.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let mut target = "all".to_string();
+    let mut seeds_n = 1u64;
+    let mut repeat = 1u32;
+    let mut scale = Scale::Default;
+    let mut out = PathBuf::from("results/BENCH_engine.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--repeat" => {
+                repeat = u32::try_from(positive_flag(args, i, "--repeat")?)
+                    .map_err(|_| "--repeat is out of range".to_string())?;
+                i += 2;
+            }
+            "--seeds" => {
+                seeds_n = positive_flag(args, i, "--seeds")?;
+                i += 2;
+            }
+            "--scale" => {
+                scale = scale_flag(args, i)?;
+                i += 2;
+            }
+            "--out" => {
+                out = out_flag(args, i, "file")?;
+                i += 2;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
+            other => {
+                target = other.to_string();
+                i += 1;
+            }
+        }
+    }
+    let (title, specs) = resolve_specs(&target)?;
+    let specs: Vec<ScenarioSpec> = specs.iter().map(|s| s.scaled(scale)).collect();
+    let seeds: Vec<u64> = (0..seeds_n).collect();
+    println!(
+        "engine bench {title:?}: {} scenario(s) x {} seed(s), scale {} (sequential)",
+        specs.len(),
+        seeds.len(),
+        scale.name()
+    );
+    let entries =
+        gcs_scenarios::bench::run_suite(&specs, &seeds, repeat).map_err(|e| e.to_string())?;
+    println!(
+        "\n{:<18} {:>6} {:>5} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "scenario", "nodes", "seed", "wall s", "events", "events/sec", "ticks", "evals"
+    );
+    for e in &entries {
+        println!(
+            "{:<18} {:>6} {:>5} {:>10.3} {:>12} {:>12.0} {:>10} {:>10}",
+            e.scenario,
+            e.nodes,
+            e.seed,
+            e.wall_secs,
+            e.events,
+            e.events_per_sec,
+            e.ticks,
+            e.mode_evaluations
+        );
+    }
+    gcs_scenarios::bench::write_bench(&out, scale, &seeds, &entries)
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!("\nwrote {}", out.display());
+    Ok(())
+}
+
+/// Resolves a `run`/`bench` target into a title and spec list: `all`
+/// (campaign set for `run`, whole registry for `bench` — both routes pass
+/// through here with `all` meaning "everything the command sweeps"), a
+/// `.scn` file on disk, or a built-in by name.
 fn resolve_specs(target: &str) -> Result<(String, Vec<ScenarioSpec>), String> {
     if target == "all" {
         return Ok(("all".to_string(), registry::all()));

@@ -1,0 +1,172 @@
+//! Bit-identity properties of the incremental engine.
+//!
+//! The hot-path overhaul rests on two claims:
+//!
+//! 1. **Dirty-set mode evaluation is invisible.** Re-deciding only
+//!    dirty/horizon-expired nodes produces decisions — and therefore
+//!    clocks, messages, and statistics — bit-identical to the reference
+//!    pass that re-decides every node at every tick
+//!    ([`Simulation::set_full_reevaluation`]).
+//! 2. **Lazy advancement is invisible.** Advancing nodes only when events
+//!    touch them yields `ClockSnapshot`s bit-identical to eagerly advancing
+//!    every node after every event
+//!    ([`Simulation::set_eager_advancement`]), at every observation
+//!    instant.
+//!
+//! Both are exercised across registry scenarios spanning oracle and
+//! message estimates, static and churning topologies, drift flips, and
+//! scripted clock corruptions — times several seeds. (Debug builds
+//! additionally cross-check every skipped node against the reference
+//! decision on every tick, so the whole test suite hammers claim 1.)
+
+use gradient_clock_sync::core::{ClockSnapshot, SimStats, Simulation};
+use gradient_clock_sync::scenarios::{registry, FaultSpec, Scale, ScenarioSpec};
+
+/// The scenario grid: ≥ 4 registry scenarios covering the engine's
+/// distinct input regimes.
+fn grid() -> Vec<ScenarioSpec> {
+    [
+        "ring-steady",    // static ring, oracle estimates, alternating drift
+        "line-worstcase", // the two-block worst case
+        "torus-messages", // message-borne estimates (dead reckoning)
+        "churn-storm",    // edge churn: handshakes, drops, removals
+        "drift-flip",     // scheduled rate changes + adversarial hiding
+        "self-heal",      // scripted clock corruption mid-run
+    ]
+    .iter()
+    .map(|n| registry::find(n).expect("built-in").scaled(Scale::Tiny))
+    .collect()
+}
+
+/// Drives one configured simulation over the scenario's observation grid
+/// (replaying scripted faults at their exact instants) and snapshots at
+/// every sample.
+fn drive(spec: &ScenarioSpec, seed: u64, configure: impl Fn(&mut Simulation)) -> Run {
+    let mut sim = spec.build(seed).expect("spec builds");
+    configure(&mut sim);
+    let mut faults = spec.faults.clone();
+    faults.sort_by(|a, b| a.at().total_cmp(&b.at()));
+    let mut next_fault = 0usize;
+    let end = spec.end_secs();
+    let mut snapshots = Vec::new();
+    let mut k = 0u64;
+    loop {
+        let t = (k as f64 * spec.sample).min(end);
+        while next_fault < faults.len() && faults[next_fault].at() <= t {
+            let FaultSpec::ClockOffset { at, node, amount } = faults[next_fault];
+            sim.run_until_secs(at);
+            sim.inject_clock_offset(gradient_clock_sync::net::NodeId::from(node), amount);
+            next_fault += 1;
+        }
+        sim.run_until_secs(t);
+        snapshots.push(sim.snapshot());
+        if t >= end - 1e-12 {
+            break;
+        }
+        k += 1;
+    }
+    Run {
+        snapshots,
+        stats: sim.stats(),
+    }
+}
+
+struct Run {
+    snapshots: Vec<ClockSnapshot>,
+    stats: SimStats,
+}
+
+/// Asserts two runs agree bit-for-bit at every observation instant.
+/// `mode_evaluations` is deliberately excluded — it *must* differ between
+/// the incremental and the reference engine; everything observable must
+/// not.
+fn assert_bit_identical(what: &str, spec: &ScenarioSpec, seed: u64, a: &Run, b: &Run) {
+    assert_eq!(a.snapshots.len(), b.snapshots.len());
+    for (i, (sa, sb)) in a.snapshots.iter().zip(&b.snapshots).enumerate() {
+        let ctx = |field: &str| {
+            format!(
+                "{what}: {} seed {seed}, sample {i} (t={}): {field} diverged",
+                spec.name, sa.time
+            )
+        };
+        let bits = |v: &[f64]| -> Vec<u64> { v.iter().map(|x| x.to_bits()).collect() };
+        assert_eq!(bits(&sa.logical), bits(&sb.logical), "{}", ctx("logical"));
+        assert_eq!(
+            bits(&sa.hardware),
+            bits(&sb.hardware),
+            "{}",
+            ctx("hardware")
+        );
+        assert_eq!(
+            bits(&sa.max_estimates),
+            bits(&sb.max_estimates),
+            "{}",
+            ctx("max_estimates")
+        );
+        assert_eq!(sa.modes, sb.modes, "{}", ctx("modes"));
+    }
+    let scrub = |s: &SimStats| {
+        let mut s = *s;
+        s.mode_evaluations = 0;
+        s
+    };
+    assert_eq!(
+        scrub(&a.stats),
+        scrub(&b.stats),
+        "{what}: {} seed {seed}: engine counters diverged",
+        spec.name
+    );
+}
+
+#[test]
+fn dirty_set_evaluation_matches_the_full_reference_pass() {
+    for spec in grid() {
+        for seed in 0..3u64 {
+            let incremental = drive(&spec, seed, |_| {});
+            let reference = drive(&spec, seed, |sim| sim.set_full_reevaluation(true));
+            assert_bit_identical(
+                "dirty-set vs full pass",
+                &spec,
+                seed,
+                &incremental,
+                &reference,
+            );
+            // The whole point: the incremental engine must actually skip.
+            assert!(
+                incremental.stats.mode_evaluations < reference.stats.mode_evaluations,
+                "{} seed {seed}: nothing was skipped ({} vs {})",
+                spec.name,
+                incremental.stats.mode_evaluations,
+                reference.stats.mode_evaluations,
+            );
+        }
+    }
+}
+
+#[test]
+fn lazy_advancement_matches_eager_advance_all() {
+    for spec in grid() {
+        for seed in 0..3u64 {
+            let lazy = drive(&spec, seed, |_| {});
+            let eager = drive(&spec, seed, |sim| sim.set_eager_advancement(true));
+            assert_bit_identical("lazy vs eager advancement", &spec, seed, &lazy, &eager);
+        }
+    }
+}
+
+#[test]
+fn eager_reference_engine_agrees_with_everything_at_once() {
+    // Both seams together: the maximally conservative engine (full pass +
+    // eager advancement) still reproduces the optimized engine bit for bit.
+    for name in ["ring-steady", "self-heal"] {
+        let spec = registry::find(name).expect("built-in").scaled(Scale::Tiny);
+        for seed in [0u64, 7] {
+            let fast = drive(&spec, seed, |_| {});
+            let slow = drive(&spec, seed, |sim| {
+                sim.set_full_reevaluation(true);
+                sim.set_eager_advancement(true);
+            });
+            assert_bit_identical("optimized vs conservative", &spec, seed, &fast, &slow);
+        }
+    }
+}
