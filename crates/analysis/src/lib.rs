@@ -10,6 +10,11 @@
 //! * [`legality`] — the (C, s)-legality checker (Definition 5.13) against
 //!   the stabilized gradient sequences of Theorem 5.22, plus the
 //!   closed-form gradient bound,
+//! * [`oracle`] — the conformance oracle: the global-skew envelope
+//!   (Theorem 5.6 with self-stabilization and partition allowances), the
+//!   pairwise Theorem 5.22 gradient bound per hop class, and the
+//!   weak-edge legality bound, checked per sampled snapshot against the
+//!   realized fault/insertion log,
 //! * [`report`] — plain-text tables and CSV output for the experiment
 //!   harness,
 //! * [`stats`] — small summary-statistics helpers,
@@ -22,6 +27,7 @@
 pub mod convergence;
 pub mod ensemble;
 pub mod legality;
+pub mod oracle;
 pub mod parallel;
 pub mod paths;
 pub mod potentials;
@@ -31,6 +37,7 @@ pub mod stats;
 
 pub use ensemble::EnsembleStats;
 pub use legality::{gradient_bound, GradientChecker, LegalityReport, LevelReport};
+pub use oracle::{BoundCheck, ConformanceChecker, ConformanceReport, HopClass, OracleConfig};
 pub use parallel::parallel_map;
 pub use report::Table;
 pub use skew::{

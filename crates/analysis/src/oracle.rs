@@ -1,0 +1,661 @@
+//! Paper-bound conformance oracles: the theorems of Kuhn–Lenzen–Locher–
+//! Oshman checked as machine oracles over a running simulation.
+//!
+//! Given the validated [`Params`] and the *realized* dynamic graph (the
+//! level sets, effective weights, and the fault/insertion
+//! [`change_log`](Simulation::change_log) of a live [`Simulation`]), a
+//! [`ConformanceChecker`] verifies every sampled snapshot against three
+//! bound families:
+//!
+//! 1. **Global-skew envelope** (Theorem 5.6): `G(t) ≤ Ĝ`, widened by a
+//!    *decaying* self-stabilization allowance after every injected clock
+//!    corruption (§5.2: excess skew drains at rate at least
+//!    `µ(1−ρ) − 2ρ` once the flood bounds have re-converged) and by a
+//!    *growing* `β − α` allowance while the realized graph is
+//!    disconnected (across an open cut the model bounds nothing: the
+//!    components' logical clocks can spread at the full rate envelope).
+//! 2. **Gradient (local-skew) bound** (Theorem 5.22 via Lemma 5.14 and
+//!    Corollary 7.10): for every pair connected in the *fully inserted*
+//!    graph `G_∞(t)`, `|L_u − L_v| ≤ (s(p) + 1)·κ_p` with
+//!    `s(p) = max{2 + ⌈log_σ(4Ĝ/κ_p)⌉, 1}` — the `O(log n)` gradient.
+//!    Checked pairwise and aggregated per hop-distance class.
+//! 3. **Weak-edge bound**: an edge still climbing the staged-insertion
+//!    levels (unlocked to some finite `s ≥ 1`, not yet fully inserted) is
+//!    only promised the level-`s` legality bound
+//!    `(s + ½)·κ_e + C_s/2` with `C_s = 2Ĝ/σ^{max(s−2,0)}`
+//!    (Definition 5.13 / Lemma 5.14) — for `s ≤ 2` that is ≈ `Ĝ`, which
+//!    is exactly why fresh edges must not be held to the strong gradient.
+//!
+//! The checker is deterministic and read-only: feeding it bit-identical
+//! snapshots produces bit-identical [`ConformanceReport`]s (the engine
+//! equivalence suite leans on this).
+
+use gcs_core::{ChangeRecord, Params, Simulation};
+use gcs_net::{EdgeKey, NodeId};
+
+use crate::legality::{gradient_bound, gradient_sequence};
+use crate::paths::WeightedGraph;
+
+/// Tuning of the conformance envelope. Everything is derived from the
+/// simulation's own parameters by [`OracleConfig::for_sim`]; the fields
+/// are public so tests can sharpen or (deliberately) mis-specify them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleConfig {
+    /// The global-skew anchor `Ĝ` every bound is expressed against
+    /// (normally the run's `G̃`, which Theorem 5.6 guarantees).
+    pub g_hat: f64,
+    /// Additive slack on every check: trigger discretization plus one
+    /// sampling period of relative clock movement.
+    pub slack: f64,
+    /// Credited drain rate of the post-corruption allowance, seconds of
+    /// skew per second. Half the guaranteed `µ(1−ρ) − 2ρ` by default —
+    /// the guarantee holds once the flood bounds have re-converged, and
+    /// halving it absorbs propagation hiccups.
+    pub recovery_rate: f64,
+    /// Seconds after a corruption before its allowance starts draining
+    /// (the gossip rounds the §5.2 re-convergence needs).
+    pub recovery_latency: f64,
+    /// Whether injected clock faults earn a decaying allowance. Disabling
+    /// this holds a corrupted run to the *undisturbed* envelope — the
+    /// knob negative-path tests use to prove violations are caught.
+    pub credit_faults: bool,
+}
+
+impl OracleConfig {
+    /// Derives the envelope configuration from a built simulation: `Ĝ`
+    /// from the run's `G̃`, slack from the trigger discretization plus
+    /// `sample_period` of relative drift, recovery from the paper's rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation carries no `G̃` (the builder always
+    /// derives one) or `sample_period` is negative.
+    #[must_use]
+    pub fn for_sim(sim: &Simulation, sample_period: f64) -> Self {
+        assert!(sample_period >= 0.0, "sample period must be non-negative");
+        let params = sim.params();
+        let g_hat = params
+            .g_tilde()
+            .expect("simulation builder always derives a G~");
+        let rate = params.mu() * (1.0 - params.rho()) - 2.0 * params.rho();
+        let gossip_hop = sim.refresh_interval() / params.alpha() + sim.tick_interval();
+        OracleConfig {
+            g_hat,
+            slack: params.discretization_slack(sim.tick_interval())
+                + sample_period * (params.beta() - params.alpha()),
+            recovery_rate: (0.5 * rate).max(0.0),
+            recovery_latency: sim.node_count() as f64 * gossip_hop,
+            credit_faults: true,
+        }
+    }
+}
+
+/// Aggregated outcome of one bound family across all observed samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundCheck {
+    /// Individual `(observed, allowed)` comparisons made.
+    pub checks: u64,
+    /// Comparisons where the observed value exceeded the allowed bound.
+    pub violations: u64,
+    /// Sample time of the first violation, if any.
+    pub first_violation: Option<f64>,
+    /// The tightest margin seen: `min(allowed − observed)`. Negative iff
+    /// a violation occurred; `INFINITY` if nothing was checked.
+    pub min_margin: f64,
+    /// The worst utilization seen: `max(observed / allowed)`.
+    pub worst_utilization: f64,
+}
+
+impl BoundCheck {
+    fn new() -> Self {
+        BoundCheck {
+            checks: 0,
+            violations: 0,
+            first_violation: None,
+            min_margin: f64::INFINITY,
+            worst_utilization: 0.0,
+        }
+    }
+
+    fn record(&mut self, t: f64, observed: f64, allowed: f64) {
+        self.checks += 1;
+        let margin = allowed - observed;
+        if margin < self.min_margin {
+            self.min_margin = margin;
+        }
+        let util = observed / allowed;
+        if util > self.worst_utilization {
+            self.worst_utilization = util;
+        }
+        if margin < 0.0 {
+            self.violations += 1;
+            if self.first_violation.is_none() {
+                self.first_violation = Some(t);
+            }
+        }
+    }
+
+    /// Whether every comparison stayed within its bound.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Worst case observed for one hop-distance class of the fully inserted
+/// graph — how the measured gradient compares against the Theorem 5.22
+/// bound at each distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopClass {
+    /// Hop distance `d ≥ 1` in `G_∞(t)`.
+    pub hops: u32,
+    /// Pair samples observed at this distance (across all instants).
+    pub pairs: u64,
+    /// Largest `|L_u − L_v|` seen at this distance.
+    pub worst_skew: f64,
+    /// Tightest margin (`allowed − observed`) seen at this distance.
+    pub min_margin: f64,
+    /// Worst `observed / allowed` at this distance.
+    pub worst_utilization: f64,
+}
+
+/// The per-run verdict of the conformance oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConformanceReport {
+    /// The anchor `Ĝ` the bounds were expressed against.
+    pub g_hat: f64,
+    /// Additive slack applied to every bound.
+    pub slack: f64,
+    /// Snapshots observed.
+    pub samples: u64,
+    /// Global-skew envelope results (Theorem 5.6 + §5.2 allowance).
+    pub global: BoundCheck,
+    /// Pairwise gradient results over `G_∞(t)` (Theorem 5.22).
+    pub gradient: BoundCheck,
+    /// Weak-edge results (level-`s` legality, Lemma 5.14).
+    pub weak_edges: BoundCheck,
+    /// Per-hop-distance worst cases of the gradient check, `d = 1` first.
+    pub per_hop: Vec<HopClass>,
+    /// Clock corruptions replayed from the realized change log.
+    pub faults_seen: u64,
+    /// Directed edge appearances replayed.
+    pub insertions_seen: u64,
+    /// Directed edge disappearances replayed.
+    pub removals_seen: u64,
+    /// Samples at which the realized graph was disconnected.
+    pub disconnected_samples: u64,
+}
+
+impl ConformanceReport {
+    /// Whether every check of every family passed.
+    #[must_use]
+    pub fn is_conformant(&self) -> bool {
+        self.global.passed() && self.gradient.passed() && self.weak_edges.passed()
+    }
+
+    /// The earliest violation instant across all families, if any.
+    #[must_use]
+    pub fn first_violation(&self) -> Option<f64> {
+        [&self.global, &self.gradient, &self.weak_edges]
+            .into_iter()
+            .filter_map(|c| c.first_violation)
+            .min_by(f64::total_cmp)
+    }
+
+    /// One human-readable line per violated bound family.
+    #[must_use]
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut push = |name: &str, c: &BoundCheck| {
+            if !c.passed() {
+                out.push(format!(
+                    "{name}: {}/{} checks violated (first at t={:.3}s, worst margin {:.6})",
+                    c.violations,
+                    c.checks,
+                    c.first_violation.unwrap_or(f64::NAN),
+                    c.min_margin,
+                ));
+            }
+        };
+        push("global-skew envelope (Thm 5.6)", &self.global);
+        push("gradient bound (Thm 5.22)", &self.gradient);
+        push("weak-edge bound (Lemma 5.14)", &self.weak_edges);
+        out
+    }
+
+    /// Renders the per-family and per-hop-class results as a printable
+    /// [`Table`](crate::Table).
+    #[must_use]
+    pub fn to_table(&self) -> crate::Table {
+        let mut t = crate::Table::new(
+            format!(
+                "conformance vs paper bounds (G^ = {:.4}, {} samples)",
+                self.g_hat, self.samples
+            ),
+            &[
+                "bound",
+                "checks",
+                "violations",
+                "first viol.",
+                "min margin",
+                "worst use",
+            ],
+        );
+        t.caption(
+            "global = Theorem 5.6 envelope (with self-stabilization and partition \
+             allowances); gradient = the Theorem 5.22 pairwise bound over the fully \
+             inserted graph, also broken out per hop distance; weak d=... rows cover \
+             edges still climbing the staged-insertion levels (Lemma 5.14).",
+        );
+        let fam = |t: &mut crate::Table, name: String, c: &BoundCheck| {
+            t.row([
+                name,
+                c.checks.to_string(),
+                c.violations.to_string(),
+                c.first_violation
+                    .map_or("-".to_string(), |v| format!("{v:.3}s")),
+                if c.checks == 0 {
+                    "-".to_string()
+                } else {
+                    crate::report::fmt_val(c.min_margin)
+                },
+                if c.checks == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}%", 100.0 * c.worst_utilization)
+                },
+            ]);
+        };
+        fam(&mut t, "global".to_string(), &self.global);
+        fam(&mut t, "gradient".to_string(), &self.gradient);
+        fam(&mut t, "weak edges".to_string(), &self.weak_edges);
+        for h in &self.per_hop {
+            t.row([
+                format!("gradient d={}", h.hops),
+                h.pairs.to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                crate::report::fmt_val(h.min_margin),
+                format!("{:.1}%", 100.0 * h.worst_utilization),
+            ]);
+        }
+        t
+    }
+}
+
+/// One still-draining corruption allowance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FaultAllowance {
+    at: f64,
+    magnitude: f64,
+}
+
+/// The incremental conformance oracle: feed it every sampled instant of a
+/// run via [`observe`](ConformanceChecker::observe), then
+/// [`finish`](ConformanceChecker::finish) it into a
+/// [`ConformanceReport`].
+#[derive(Debug, Clone)]
+pub struct ConformanceChecker {
+    cfg: OracleConfig,
+    params: Params,
+    last_t: Option<f64>,
+    change_cursor: usize,
+    faults: Vec<FaultAllowance>,
+    partition_slack: f64,
+    report: ConformanceReport,
+    // Scratch reused across samples (the sweep is per-source Dijkstra+BFS).
+    strong_edges: Vec<EdgeKey>,
+    level1_edges: Vec<EdgeKey>,
+    strong: WeightedGraph,
+    kdist: Vec<f64>,
+    hops: Vec<f64>,
+    queue: Vec<u32>,
+    logical: Vec<f64>,
+}
+
+impl ConformanceChecker {
+    /// Creates a checker for the given simulation (reads `Params` and the
+    /// derived envelope configuration; `sample_period` is the caller's
+    /// observation grid, used only to size the discretization slack).
+    #[must_use]
+    pub fn new(sim: &Simulation, sample_period: f64) -> Self {
+        Self::with_config(sim, OracleConfig::for_sim(sim, sample_period))
+    }
+
+    /// Creates a checker with an explicit configuration (tests use this to
+    /// sharpen or deliberately mis-specify the envelope).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g_hat` is not positive and finite.
+    #[must_use]
+    pub fn with_config(sim: &Simulation, cfg: OracleConfig) -> Self {
+        assert!(
+            cfg.g_hat > 0.0 && cfg.g_hat.is_finite(),
+            "g_hat must be positive and finite"
+        );
+        ConformanceChecker {
+            params: sim.params().clone(),
+            report: ConformanceReport {
+                g_hat: cfg.g_hat,
+                slack: cfg.slack,
+                samples: 0,
+                global: BoundCheck::new(),
+                gradient: BoundCheck::new(),
+                weak_edges: BoundCheck::new(),
+                per_hop: Vec::new(),
+                faults_seen: 0,
+                insertions_seen: 0,
+                removals_seen: 0,
+                disconnected_samples: 0,
+            },
+            cfg,
+            last_t: None,
+            change_cursor: 0,
+            faults: Vec::new(),
+            partition_slack: 0.0,
+            strong_edges: Vec::new(),
+            level1_edges: Vec::new(),
+            strong: WeightedGraph::new(0),
+            kdist: Vec::new(),
+            hops: Vec::new(),
+            queue: Vec::new(),
+            logical: Vec::new(),
+        }
+    }
+
+    /// The current decaying allowance earned by past corruptions.
+    fn fault_allowance(&self, t: f64) -> f64 {
+        if !self.cfg.credit_faults {
+            return 0.0;
+        }
+        self.faults
+            .iter()
+            .map(|f| {
+                let draining = (t - f.at - self.cfg.recovery_latency).max(0.0);
+                (f.magnitude - self.cfg.recovery_rate * draining).max(0.0)
+            })
+            .sum()
+    }
+
+    /// Checks the simulation's current instant against every bound
+    /// family. Must be called at (weakly) increasing times; typically once
+    /// per observation sample. Read-only on the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with time running backwards.
+    pub fn observe(&mut self, sim: &Simulation) {
+        let t = sim.now().as_secs();
+        let dt = match self.last_t {
+            Some(prev) => {
+                assert!(t >= prev, "conformance samples must move forward in time");
+                t - prev
+            }
+            None => 0.0,
+        };
+
+        // Replay the realized change log since the previous sample.
+        let log = sim.change_log();
+        for rec in &log[self.change_cursor..] {
+            match *rec {
+                ChangeRecord::ClockFault { at, amount, .. } => {
+                    self.report.faults_seen += 1;
+                    self.faults.push(FaultAllowance {
+                        at,
+                        magnitude: amount.abs(),
+                    });
+                }
+                ChangeRecord::EdgeUp { .. } => self.report.insertions_seen += 1,
+                ChangeRecord::EdgeDown { .. } => self.report.removals_seen += 1,
+            }
+        }
+        self.change_cursor = log.len();
+        // Drop fully drained allowances so long runs stay O(active faults).
+        let (rate, latency) = (self.cfg.recovery_rate, self.cfg.recovery_latency);
+        if rate > 0.0 {
+            self.faults
+                .retain(|f| f.magnitude - rate * (t - f.at - latency).max(0.0) > 0.0);
+        }
+
+        // Partition allowance: while the realized support is disconnected
+        // the model bounds nothing across the cut — the components can
+        // drift apart at the full logical-rate spread β − α (one side may
+        // be catching up internally at β while the other coasts at α; the
+        // steady-state 2ρ rate only holds once both transients settle), so
+        // the envelope widens at that worst-case rate. Once reconnected
+        // the excess drains like a corruption.
+        if sim.graph().is_support_connected() {
+            self.partition_slack = (self.partition_slack - rate * dt).max(0.0);
+        } else {
+            self.report.disconnected_samples += 1;
+            self.partition_slack += (self.params.beta() - self.params.alpha()) * dt;
+        }
+
+        let allowance = self.fault_allowance(t) + self.partition_slack;
+        let slack = self.cfg.slack;
+        let n = sim.node_count();
+
+        self.logical.clear();
+        self.logical
+            .extend((0..n).map(|u| sim.node(NodeId::from(u)).logical()));
+
+        // 1. Global-skew envelope.
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &l in &self.logical {
+            lo = lo.min(l);
+            hi = hi.max(l);
+        }
+        self.report
+            .global
+            .record(t, hi - lo, self.cfg.g_hat + allowance + slack);
+
+        // 2. Pairwise gradient bound over the fully inserted graph.
+        sim.level_edges_into(u32::MAX, &mut self.strong_edges);
+        debug_assert!(
+            self.strong_edges.windows(2).all(|w| w[0] < w[1]),
+            "level_edges_into yields strictly sorted edges (binary search below relies on it)"
+        );
+        self.strong.reset(n);
+        for &e in &self.strong_edges {
+            let kappa = sim
+                .effective_kappa(e)
+                .expect("fully inserted edge has both slots");
+            self.strong.add_edge(e, kappa);
+        }
+        for u in 0..n {
+            let lu = self.logical[u];
+            self.strong.distances_into(NodeId::from(u), &mut self.kdist);
+            self.strong
+                .hop_distances_into(NodeId::from(u), &mut self.hops, &mut self.queue);
+            for v in (u + 1)..n {
+                let h = self.hops[v];
+                if !h.is_finite() || h == 0.0 {
+                    continue;
+                }
+                let skew = (lu - self.logical[v]).abs();
+                let allowed =
+                    gradient_bound(&self.params, self.cfg.g_hat, self.kdist[v]) + allowance + slack;
+                self.report.gradient.record(t, skew, allowed);
+                let d = h as u32;
+                let idx = (d - 1) as usize;
+                if self.report.per_hop.len() <= idx {
+                    self.report.per_hop.resize(
+                        idx + 1,
+                        HopClass {
+                            hops: 0,
+                            pairs: 0,
+                            worst_skew: 0.0,
+                            min_margin: f64::INFINITY,
+                            worst_utilization: 0.0,
+                        },
+                    );
+                    for (i, class) in self.report.per_hop.iter_mut().enumerate() {
+                        class.hops = i as u32 + 1;
+                    }
+                }
+                let class = &mut self.report.per_hop[idx];
+                class.pairs += 1;
+                class.worst_skew = class.worst_skew.max(skew);
+                class.min_margin = class.min_margin.min(allowed - skew);
+                class.worst_utilization = class.worst_utilization.max(skew / allowed);
+            }
+        }
+
+        // 3. Weak edges: unlocked to a finite level, not yet fully
+        // inserted — only the level-s legality bound applies.
+        sim.level_edges_into(1, &mut self.level1_edges);
+        let sigma = self.params.sigma();
+        for &e in &self.level1_edges {
+            if self.strong_edges.binary_search(&e).is_ok() {
+                continue;
+            }
+            let Some(gcs_core::edge_state::Level::Finite(s)) = sim.level_between(e.lo(), e.hi())
+            else {
+                continue;
+            };
+            debug_assert!(s >= 1, "level_edges(1) only returns unlocked edges");
+            let Some(kappa) = sim.effective_kappa(e) else {
+                continue;
+            };
+            let skew = (self.logical[e.lo().index()] - self.logical[e.hi().index()]).abs();
+            let c_s = gradient_sequence(self.cfg.g_hat, sigma, s);
+            let allowed = (f64::from(s) + 0.5) * kappa + c_s / 2.0 + allowance + slack;
+            self.report.weak_edges.record(t, skew, allowed);
+        }
+
+        self.report.samples += 1;
+        self.last_t = Some(t);
+    }
+
+    /// Consumes the checker and returns the accumulated report.
+    #[must_use]
+    pub fn finish(self) -> ConformanceReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_core::SimBuilder;
+    use gcs_net::Topology;
+    use gcs_sim::DriftModel;
+
+    fn sim(n: usize, seed: u64) -> Simulation {
+        let params = Params::builder().rho(0.01).mu(0.1).build().unwrap();
+        SimBuilder::new(params)
+            .topology(Topology::line(n))
+            .drift(DriftModel::TwoBlock)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn drive(sim: &mut Simulation, checker: &mut ConformanceChecker, until: f64, every: f64) {
+        let mut t = sim.now().as_secs();
+        checker.observe(sim);
+        while t < until - 1e-12 {
+            t = (t + every).min(until);
+            sim.run_until_secs(t);
+            checker.observe(sim);
+        }
+    }
+
+    #[test]
+    fn stabilized_line_conforms() {
+        let mut s = sim(8, 1);
+        let mut c = ConformanceChecker::new(&s, 0.5);
+        drive(&mut s, &mut c, 20.0, 0.5);
+        let r = c.finish();
+        assert!(r.is_conformant(), "{:?}", r.violations());
+        assert!(r.samples > 30);
+        assert!(r.global.checks == r.samples);
+        assert!(r.gradient.checks > 0);
+        assert!(!r.per_hop.is_empty());
+        assert_eq!(r.per_hop[0].hops, 1);
+        // Margins are positive and utilization sane.
+        assert!(r.global.min_margin > 0.0);
+        assert!(r.global.worst_utilization < 1.0);
+        assert!(r.first_violation().is_none());
+    }
+
+    #[test]
+    fn corruption_is_forgiven_with_credit_and_caught_without() {
+        let run = |credit: bool| -> ConformanceReport {
+            let mut s = sim(6, 2);
+            let mut cfg = OracleConfig::for_sim(&s, 0.5);
+            cfg.credit_faults = credit;
+            let mut c = ConformanceChecker::with_config(&s, cfg);
+            drive(&mut s, &mut c, 5.0, 0.5);
+            s.inject_clock_offset(NodeId(0), 2.0 * s.params().g_tilde().unwrap());
+            drive(&mut s, &mut c, 15.0, 0.5);
+            c.finish()
+        };
+        let forgiven = run(true);
+        assert_eq!(forgiven.faults_seen, 1);
+        assert!(
+            forgiven.global.passed(),
+            "self-stabilization allowance must absorb the injected fault: {:?}",
+            forgiven.violations()
+        );
+        let strict = run(false);
+        assert!(!strict.is_conformant(), "uncredited fault must violate");
+        assert!(!strict.global.passed());
+        assert!(
+            strict.gradient.violations > 0,
+            "a 2G^ corruption must also break the pairwise gradient bound"
+        );
+        let first = strict.first_violation().expect("violation time recorded");
+        assert!((5.0..=6.0).contains(&first), "got {first}");
+        assert!(strict.global.min_margin < 0.0);
+        // The violation renders readably.
+        let lines = strict.violations();
+        assert!(!lines.is_empty());
+        assert!(lines[0].contains("Thm 5.6"), "{lines:?}");
+        let table = strict.to_table().to_string();
+        assert!(table.contains("conformance"));
+    }
+
+    #[test]
+    fn understated_anchor_trips_the_envelope() {
+        // An absurdly small G^ shrinks the global envelope below any real
+        // run (the gradient bound floors at 2 kappa_p, which honest runs
+        // respect, so the violation surfaces in the global family).
+        let mut s = sim(8, 3);
+        let mut cfg = OracleConfig::for_sim(&s, 0.5);
+        cfg.g_hat = 1e-7;
+        cfg.slack = 0.0;
+        let mut c = ConformanceChecker::with_config(&s, cfg);
+        drive(&mut s, &mut c, 10.0, 0.5);
+        let r = c.finish();
+        assert!(!r.is_conformant());
+        assert!(r.global.violations > 0);
+        assert!(r.first_violation().is_some());
+    }
+
+    #[test]
+    fn report_is_deterministic_for_identical_runs() {
+        let run = || -> ConformanceReport {
+            let mut s = sim(7, 9);
+            let mut c = ConformanceChecker::new(&s, 0.25);
+            drive(&mut s, &mut c, 8.0, 0.25);
+            c.finish()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn per_hop_classes_cover_the_diameter() {
+        let mut s = sim(6, 4);
+        let mut c = ConformanceChecker::new(&s, 0.5);
+        drive(&mut s, &mut c, 6.0, 0.5);
+        let r = c.finish();
+        assert_eq!(r.per_hop.len(), 5, "line(6) has hop classes 1..=5");
+        for (i, h) in r.per_hop.iter().enumerate() {
+            assert_eq!(h.hops as usize, i + 1);
+            assert!(h.pairs > 0);
+            assert!(h.min_margin > 0.0);
+        }
+    }
+}

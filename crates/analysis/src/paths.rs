@@ -94,6 +94,16 @@ impl WeightedGraph {
         self.n
     }
 
+    /// Clears every edge and resizes to `n` nodes, keeping the per-node
+    /// adjacency allocations — per-sample analysis loops (the conformance
+    /// oracle rebuilds the strong graph at every observation instant)
+    /// reuse one graph instead of reallocating `n` vectors each time.
+    pub fn reset(&mut self, n: usize) {
+        self.adj.iter_mut().for_each(Vec::clear);
+        self.adj.resize_with(n, Vec::new);
+        self.n = n;
+    }
+
     /// Breadth-first *hop* distances from one source (every edge counts 1),
     /// into a caller-provided buffer — the cheap companion to the weighted
     /// [`distances_from`](WeightedGraph::distances_from) when both metrics

@@ -54,6 +54,6 @@ pub use log::{EventLog, LogEntry};
 
 pub use estimate::{ErrorModel, EstimateMode};
 pub use params::{InsertionStrategy, Params, ParamsBuilder, ParamsError};
-pub use sim::{BuildError, EdgeInfo, SimBuilder, SimStats, Simulation};
+pub use sim::{BuildError, ChangeRecord, EdgeInfo, SimBuilder, SimStats, Simulation};
 pub use snapshot::{ClockSnapshot, Trace};
 pub use triggers::{AoptPolicy, Mode, ModePolicy, NeighborView, NodeView, StabilityCert};

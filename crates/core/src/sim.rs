@@ -152,6 +152,61 @@ pub struct SimStats {
     pub edge_removals: u64,
 }
 
+/// One realized out-of-model or topology change, in event order. The
+/// simulation records these unconditionally so that *a posteriori*
+/// verifiers such as the conformance oracle can reconstruct exactly when
+/// the theorems' preconditions were perturbed: a clock corruption starts
+/// a self-stabilization window (§5.2), an edge appearance starts a staged
+/// insertion (§6), and a disappearance may open a partition. The log is
+/// bounded: one entry per realized [`NetworkSchedule`] edge event (a
+/// script that is itself held in memory in full, so the log at most
+/// doubles what the scenario already allocates, and never grows past it)
+/// plus one per injected fault — nothing is recorded on the per-message
+/// or per-tick hot paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChangeRecord {
+    /// A directed edge appeared (the *from* node discovered *to*).
+    EdgeUp {
+        /// Event time in seconds.
+        at: f64,
+        /// The node whose neighbour set grew.
+        from: NodeId,
+        /// The discovered neighbour.
+        to: NodeId,
+    },
+    /// A directed edge vanished.
+    EdgeDown {
+        /// Event time in seconds.
+        at: f64,
+        /// The node whose neighbour set shrank.
+        from: NodeId,
+        /// The lost neighbour.
+        to: NodeId,
+    },
+    /// An out-of-model logical-clock corruption
+    /// ([`Simulation::inject_clock_offset`]).
+    ClockFault {
+        /// Injection time in seconds.
+        at: f64,
+        /// The corrupted node.
+        node: NodeId,
+        /// Offset added to the logical clock.
+        amount: f64,
+    },
+}
+
+impl ChangeRecord {
+    /// When the change was realized (seconds).
+    #[must_use]
+    pub fn at(&self) -> f64 {
+        match *self {
+            ChangeRecord::EdgeUp { at, .. }
+            | ChangeRecord::EdgeDown { at, .. }
+            | ChangeRecord::ClockFault { at, .. } => at,
+        }
+    }
+}
+
 /// Errors from [`SimBuilder::build`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum BuildError {
@@ -444,6 +499,7 @@ impl SimBuilder {
             log: (self.log_capacity > 0)
                 .then(|| crate::log::EventLog::with_capacity(self.log_capacity)),
             fault_injected: false,
+            changes: Vec::new(),
             stable_until: vec![f64::NEG_INFINITY; n],
             m_jump_sensitive: vec![true; n],
             certs_enabled,
@@ -522,6 +578,9 @@ pub struct Simulation {
     /// flood-bound invariants then only hold up to the self-stabilization
     /// slack (see [`Simulation::verify_invariants`]).
     fault_injected: bool,
+    /// Realized fault/edge changes, in event order
+    /// (see [`Simulation::change_log`]).
+    changes: Vec<ChangeRecord>,
     /// Per node: the instant (seconds) until which the last decision is
     /// certified stable against pure drift. `NEG_INFINITY` marks the node
     /// dirty (an event changed a decision input: a delivery that moved `M`
@@ -775,6 +834,11 @@ impl Simulation {
         let l = node.logical();
         node.corrupt_logical(l + offset);
         self.fault_injected = true;
+        self.changes.push(ChangeRecord::ClockFault {
+            at: t.as_secs(),
+            node: u,
+            amount: offset,
+        });
         // Oracle estimates read the corrupted clock directly, so every
         // node's decision inputs may have jumped: drop all certificates.
         for s in &mut self.stable_until {
@@ -787,6 +851,19 @@ impl Simulation {
     #[must_use]
     pub fn event_log(&self) -> Option<&crate::log::EventLog> {
         self.log.as_ref()
+    }
+
+    /// The realized fault/insertion log: every scripted edge transition
+    /// and injected clock corruption this run has executed so far, in
+    /// event order. Always recorded (the entries are rare and small) —
+    /// this is the ground truth a conformance oracle replays to know when
+    /// the paper's bounds must be widened (self-stabilization after a
+    /// [`ChangeRecord::ClockFault`], staged-insertion slack after a
+    /// [`ChangeRecord::EdgeUp`], possible partitions after a
+    /// [`ChangeRecord::EdgeDown`]).
+    #[must_use]
+    pub fn change_log(&self) -> &[ChangeRecord] {
+        &self.changes
     }
 
     /// Runs until `until` seconds, snapshotting every `every` seconds
@@ -1404,6 +1481,11 @@ impl Simulation {
             return; // Idempotent: scripted duplicate.
         }
         self.graph.insert_directed(from, to, t);
+        self.changes.push(ChangeRecord::EdgeUp {
+            at: t.as_secs(),
+            from,
+            to,
+        });
         self.nodes[from.index()].advance_to(t, &self.params);
         self.gen_counter += 1;
         let generation = self.gen_counter;
@@ -1445,6 +1527,11 @@ impl Simulation {
             return;
         }
         self.graph.remove_directed(from, to);
+        self.changes.push(ChangeRecord::EdgeDown {
+            at: t.as_secs(),
+            from,
+            to,
+        });
         self.nodes[from.index()].advance_to(t, &self.params);
         // Listing 1 lines 15-18: drop the neighbour from every N^s and
         // forget the insertion times.

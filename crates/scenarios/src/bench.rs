@@ -167,6 +167,194 @@ pub fn bench_json(scale: Scale, seeds: &[u64], entries: &[BenchEntry]) -> String
     out
 }
 
+/// A fully parsed `gcs-engine-bench/v1` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArtifact {
+    /// Scale token the suite ran at.
+    pub scale: String,
+    /// Seed list.
+    pub seeds: Vec<u64>,
+    /// Per-scenario × seed entries, in artifact order.
+    pub entries: Vec<BenchEntry>,
+}
+
+/// Parses a `gcs-engine-bench/v1` artifact back into its entries.
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON, a wrong `format` tag, or a
+/// missing/mistyped field.
+pub fn read_bench(text: &str) -> Result<BenchArtifact, String> {
+    use crate::json::{self, arr_field, f64_field, str_field, u64_field};
+    let doc = json::parse(text)?;
+    let format = str_field(&doc, "format", "bench artifact")?;
+    if format != BENCH_FORMAT {
+        return Err(format!("expected format {BENCH_FORMAT:?}, got {format:?}"));
+    }
+    let seeds = arr_field(&doc, "seeds", "bench artifact")?
+        .iter()
+        .map(|s| s.as_u64().ok_or_else(|| "non-integer seed".to_string()))
+        .collect::<Result<Vec<u64>, String>>()?;
+    let mut entries = Vec::new();
+    for e in arr_field(&doc, "entries", "bench artifact")? {
+        let scenario = str_field(e, "scenario", "bench entry")?;
+        let what = format!("bench entry {scenario:?}");
+        entries.push(BenchEntry {
+            nodes: usize::try_from(u64_field(e, "nodes", &what)?)
+                .map_err(|err| format!("{what}: {err}"))?,
+            seed: u64_field(e, "seed", &what)?,
+            sim_secs: f64_field(e, "sim_secs", &what)?,
+            build_secs: f64_field(e, "build_secs", &what)?,
+            wall_secs: f64_field(e, "wall_secs", &what)?,
+            events: u64_field(e, "events", &what)?,
+            events_per_sec: f64_field(e, "events_per_sec", &what)?,
+            ticks: u64_field(e, "ticks", &what)?,
+            mode_evaluations: u64_field(e, "mode_evaluations", &what)?,
+            messages_delivered: u64_field(e, "messages_delivered", &what)?,
+            scenario,
+        });
+    }
+    Ok(BenchArtifact {
+        scale: str_field(&doc, "scale", "bench artifact")?,
+        seeds,
+        entries,
+    })
+}
+
+/// One counter mismatch between two bench artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterFinding {
+    /// Scenario name.
+    pub scenario: String,
+    /// Run seed.
+    pub seed: u64,
+    /// Which counter diverged (or a structural problem: `missing entry`,
+    /// `new entry`, `nodes`).
+    pub counter: &'static str,
+    /// Baseline value (`u64::MAX` for structural findings).
+    pub baseline: u64,
+    /// Current value (`u64::MAX` for structural findings).
+    pub current: u64,
+}
+
+/// The outcome of an exact counter comparison: a printable table plus
+/// every mismatch.
+#[derive(Debug)]
+pub struct BenchCompareReport {
+    /// One row per baseline entry, counters side by side.
+    pub table: gcs_analysis::Table,
+    /// Mismatches (empty ⇒ gate passes).
+    pub findings: Vec<CounterFinding>,
+}
+
+impl BenchCompareReport {
+    /// Whether the gate passes.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Compares the *deterministic engine counters* of two bench artifacts
+/// **exactly** — `events`, `ticks`, `mode_evaluations`, and
+/// `messages_delivered` are pure functions of scenario + seed + code, so
+/// any divergence is a real behavioural change even where wall-clock is
+/// noise. Entries are matched by `(scenario, seed)`; wall-clock and
+/// throughput columns are reported but never gated.
+#[must_use]
+pub fn compare_counters(baseline: &BenchArtifact, current: &BenchArtifact) -> BenchCompareReport {
+    let mut findings = Vec::new();
+    let mut table = gcs_analysis::Table::new(
+        format!(
+            "engine counter gate — scale {} vs baseline scale {}",
+            current.scale, baseline.scale
+        ),
+        &[
+            "scenario", "seed", "counter", "baseline", "current", "status",
+        ],
+    );
+    table.caption(
+        "events/ticks/mode_evaluations/messages_delivered are deterministic per \
+         (scenario, seed): gated exactly. wall_secs is scheduler noise: reported \
+         in the artifact, never gated.",
+    );
+    for base in &baseline.entries {
+        let Some(cur) = current
+            .entries
+            .iter()
+            .find(|e| e.scenario == base.scenario && e.seed == base.seed)
+        else {
+            findings.push(CounterFinding {
+                scenario: base.scenario.clone(),
+                seed: base.seed,
+                counter: "missing entry",
+                baseline: u64::MAX,
+                current: u64::MAX,
+            });
+            table.row([
+                base.scenario.clone(),
+                base.seed.to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "MISSING".to_string(),
+            ]);
+            continue;
+        };
+        let pairs: [(&'static str, u64, u64); 5] = [
+            ("nodes", base.nodes as u64, cur.nodes as u64),
+            ("events", base.events, cur.events),
+            ("ticks", base.ticks, cur.ticks),
+            (
+                "mode_evaluations",
+                base.mode_evaluations,
+                cur.mode_evaluations,
+            ),
+            (
+                "messages_delivered",
+                base.messages_delivered,
+                cur.messages_delivered,
+            ),
+        ];
+        for (counter, b, c) in pairs {
+            let ok = b == c;
+            table.row([
+                base.scenario.clone(),
+                base.seed.to_string(),
+                counter.to_string(),
+                b.to_string(),
+                c.to_string(),
+                if ok { "ok" } else { "MISMATCH" }.to_string(),
+            ]);
+            if !ok {
+                findings.push(CounterFinding {
+                    scenario: base.scenario.clone(),
+                    seed: base.seed,
+                    counter,
+                    baseline: b,
+                    current: c,
+                });
+            }
+        }
+    }
+    for cur in &current.entries {
+        if !baseline
+            .entries
+            .iter()
+            .any(|e| e.scenario == cur.scenario && e.seed == cur.seed)
+        {
+            findings.push(CounterFinding {
+                scenario: cur.scenario.clone(),
+                seed: cur.seed,
+                counter: "new entry (refresh the baseline)",
+                baseline: u64::MAX,
+                current: u64::MAX,
+            });
+        }
+    }
+    BenchCompareReport { table, findings }
+}
+
 /// Writes the artifact to `path`, creating parent directories as needed.
 ///
 /// # Errors
@@ -214,6 +402,59 @@ mod tests {
         assert!(json.starts_with("{\"format\":\"gcs-engine-bench/v1\""));
         assert!(json.contains("\"events_per_sec\""));
         assert!(json.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn bench_reader_inverts_the_writer() {
+        let spec = registry::find("line-worstcase")
+            .expect("built-in")
+            .scaled(Scale::Tiny);
+        let entries = run_suite(std::slice::from_ref(&spec), &[0, 1], 1).unwrap();
+        let text = bench_json(Scale::Tiny, &[0, 1], &entries);
+        let artifact = read_bench(&text).unwrap();
+        assert_eq!(artifact.scale, "tiny");
+        assert_eq!(artifact.seeds, vec![0, 1]);
+        assert_eq!(
+            artifact.entries, entries,
+            "parsed entries must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn counter_gate_is_exact() {
+        let spec = registry::find("line-worstcase")
+            .expect("built-in")
+            .scaled(Scale::Tiny);
+        let entries = run_suite(std::slice::from_ref(&spec), &[0], 1).unwrap();
+        let artifact = read_bench(&bench_json(Scale::Tiny, &[0], &entries)).unwrap();
+        // Identical runs pass; wall-clock differences are ignored.
+        let mut rerun = artifact.clone();
+        rerun.entries[0].wall_secs *= 10.0;
+        rerun.entries[0].events_per_sec /= 10.0;
+        let report = compare_counters(&artifact, &rerun);
+        assert!(report.passed(), "{:?}", report.findings);
+        // A single off-by-one event count fails the gate exactly.
+        let mut drifted = artifact.clone();
+        drifted.entries[0].events += 1;
+        let report = compare_counters(&artifact, &drifted);
+        assert!(!report.passed());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].counter, "events");
+        assert!(report.table.to_string().contains("MISMATCH"));
+        // Entry-set mismatches are structural findings in both directions.
+        let empty = BenchArtifact {
+            scale: "tiny".to_string(),
+            seeds: vec![0],
+            entries: Vec::new(),
+        };
+        assert!(compare_counters(&artifact, &empty)
+            .findings
+            .iter()
+            .any(|f| f.counter == "missing entry"));
+        assert!(compare_counters(&empty, &artifact)
+            .findings
+            .iter()
+            .any(|f| f.counter.starts_with("new entry")));
     }
 
     #[test]

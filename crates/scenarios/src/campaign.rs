@@ -59,6 +59,43 @@ pub struct ScenarioOutcome {
     pub trajectory: Vec<(f64, f64)>,
 }
 
+/// Drives a built simulation over a scenario's observation grid: at every
+/// instant `k · sample` (with the exact `end` instant appended), any
+/// scripted fault due by then is injected at *its* exact instant first,
+/// then the simulation is advanced to the sample instant and `observe` is
+/// called. This is the one sampling/fault-replay loop shared by the
+/// campaign runner, the conformance runner, and the engine-equivalence
+/// suite — the subtle invariants (fault ordering by `total_cmp`, faults
+/// due *at* a sample firing before it, the `end − 1e-12` epsilon) live
+/// here and nowhere else.
+pub fn drive_sampled(
+    sim: &mut gcs_core::Simulation,
+    faults: &[FaultSpec],
+    sample: f64,
+    end: f64,
+    mut observe: impl FnMut(f64, &gcs_core::Simulation),
+) {
+    let mut faults = faults.to_vec();
+    faults.sort_by(|a, b| a.at().total_cmp(&b.at()));
+    let mut next_fault = 0usize;
+    let mut k = 0u64;
+    loop {
+        let t = (k as f64 * sample).min(end);
+        while next_fault < faults.len() && faults[next_fault].at() <= t {
+            let FaultSpec::ClockOffset { at, node, amount } = faults[next_fault];
+            sim.run_until_secs(at);
+            sim.inject_clock_offset(gcs_net::NodeId::from(node), amount);
+            next_fault += 1;
+        }
+        sim.run_until_secs(t);
+        observe(t, sim);
+        if t >= end - 1e-12 {
+            break;
+        }
+        k += 1;
+    }
+}
+
 /// Runs one scenario once: builds the simulation, replays scripted faults
 /// at their exact instants, samples on the observation grid, and returns
 /// the outcome.
@@ -68,10 +105,6 @@ pub struct ScenarioOutcome {
 /// Returns [`ScenarioError`] if the spec fails to validate or build.
 pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<ScenarioOutcome, ScenarioError> {
     let mut sim = spec.build(seed)?;
-    let end = spec.end_secs();
-    let mut faults = spec.faults.clone();
-    faults.sort_by(|a, b| a.at().total_cmp(&b.at()));
-    let mut next_fault = 0usize;
 
     let mut trajectory = Vec::new();
     let mut max_global_skew = 0.0f64;
@@ -81,31 +114,23 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<ScenarioOutcome, S
     // samples would otherwise allocate a fresh vector per instant).
     let mut edges = Vec::new();
 
-    let mut k = 0u64;
-    loop {
-        // Sample grid k * sample, with the exact end instant appended.
-        let t = (k as f64 * spec.sample).min(end);
-        while next_fault < faults.len() && faults[next_fault].at() <= t {
-            let FaultSpec::ClockOffset { at, node, amount } = faults[next_fault];
-            sim.run_until_secs(at);
-            sim.inject_clock_offset(gcs_net::NodeId::from(node), amount);
-            next_fault += 1;
-        }
-        sim.run_until_secs(t);
-        let g = sim.snapshot().global_skew();
-        trajectory.push((t, g));
-        if t >= spec.warmup - 1e-9 {
-            max_global_skew = max_global_skew.max(g);
-            max_local_skew = max_local_skew.max(local_skew_with(&sim, &mut edges));
-            if !sim.verify_invariants().is_empty() {
-                invariant_violations += 1;
+    drive_sampled(
+        &mut sim,
+        &spec.faults,
+        spec.sample,
+        spec.end_secs(),
+        |t, sim| {
+            let g = sim.snapshot().global_skew();
+            trajectory.push((t, g));
+            if t >= spec.warmup - 1e-9 {
+                max_global_skew = max_global_skew.max(g);
+                max_local_skew = max_local_skew.max(local_skew_with(sim, &mut edges));
+                if !sim.verify_invariants().is_empty() {
+                    invariant_violations += 1;
+                }
             }
-        }
-        if t >= end - 1e-12 {
-            break;
-        }
-        k += 1;
-    }
+        },
+    );
 
     let final_global_skew = trajectory.last().map_or(0.0, |&(_, g)| g);
     let stats = sim.stats();

@@ -1,0 +1,191 @@
+//! The conformance campaign: every registry scenario × seed driven
+//! through the paper-bound oracles of [`gcs_analysis::oracle`].
+//!
+//! Where [`campaign`](crate::campaign) measures *what* a run did (skew
+//! statistics, trajectories), conformance checks *that it was allowed to*:
+//! each sampled snapshot is verified against the Theorem 5.6 global-skew
+//! envelope, the Theorem 5.22 gradient bound, and the weak-edge legality
+//! bound, with the realized fault/insertion log widening the envelope
+//! exactly where the theorems permit. `gcs-scenarios conformance` sweeps
+//! the whole registry and exits non-zero on any bound violation — the
+//! theorem-level CI gate next to the statistical `compare` gate.
+
+use gcs_analysis::oracle::{ConformanceChecker, ConformanceReport};
+use gcs_analysis::{parallel_map, Table};
+
+use crate::error::ScenarioError;
+use crate::spec::ScenarioSpec;
+
+/// One scenario × seed conformance verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConformanceRow {
+    /// Scenario name.
+    pub name: String,
+    /// Node count after scaling.
+    pub nodes: usize,
+    /// Run seed.
+    pub seed: u64,
+    /// The oracle's verdict for this run.
+    pub report: ConformanceReport,
+}
+
+/// Drives one seeded scenario over its observation grid — replaying
+/// scripted faults at their exact instants, exactly like the campaign
+/// runner — and checks every sampled snapshot against the paper bounds.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError`] if the spec fails to validate or build.
+pub fn run_scenario_conformance(
+    spec: &ScenarioSpec,
+    seed: u64,
+) -> Result<ConformanceReport, ScenarioError> {
+    let mut sim = spec.build(seed)?;
+    let mut checker = ConformanceChecker::new(&sim, spec.sample);
+    crate::campaign::drive_sampled(
+        &mut sim,
+        &spec.faults,
+        spec.sample,
+        spec.end_secs(),
+        |_, sim| checker.observe(sim),
+    );
+    Ok(checker.finish())
+}
+
+/// Runs every scenario × seed combination in parallel (same executor as
+/// the campaign runner, input order preserved).
+///
+/// # Errors
+///
+/// Returns the first [`ScenarioError`] any run produced.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+pub fn run_conformance(
+    specs: &[ScenarioSpec],
+    seeds: &[u64],
+) -> Result<Vec<ConformanceRow>, ScenarioError> {
+    assert!(!seeds.is_empty(), "conformance needs at least one seed");
+    let jobs: Vec<(usize, u64)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| seeds.iter().map(move |&s| (i, s)))
+        .collect();
+    let results = parallel_map(jobs.clone(), |(i, seed)| {
+        run_scenario_conformance(&specs[i], seed)
+    });
+    let mut rows = Vec::with_capacity(jobs.len());
+    for ((i, seed), report) in jobs.into_iter().zip(results) {
+        rows.push(ConformanceRow {
+            name: specs[i].name.clone(),
+            nodes: specs[i].topology.node_count(),
+            seed,
+            report: report?,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders a conformance sweep as one row per scenario × seed.
+#[must_use]
+pub fn conformance_table(rows: &[ConformanceRow]) -> Table {
+    let mut t = Table::new(
+        format!("conformance sweep — {} run(s)", rows.len()),
+        &[
+            "scenario",
+            "seed",
+            "samples",
+            "global use",
+            "gradient use",
+            "weak use",
+            "faults",
+            "verdict",
+        ],
+    );
+    t.caption(
+        "use = worst observed/allowed ratio of each bound family (global-skew \
+         envelope, pairwise gradient, weak-edge legality); > 100% is a violation. \
+         faults = corruptions replayed from the realized change log.",
+    );
+    let pct = |c: &gcs_analysis::BoundCheck| {
+        if c.checks == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * c.worst_utilization)
+        }
+    };
+    for r in rows {
+        t.row([
+            r.name.clone(),
+            r.seed.to_string(),
+            r.report.samples.to_string(),
+            pct(&r.report.global),
+            pct(&r.report.gradient),
+            pct(&r.report.weak_edges),
+            r.report.faults_seen.to_string(),
+            if r.report.is_conformant() {
+                "ok".to_string()
+            } else {
+                "VIOLATION".to_string()
+            },
+        ]);
+    }
+    t
+}
+
+/// The violating runs of a sweep, with their violation descriptions.
+#[must_use]
+pub fn violations(rows: &[ConformanceRow]) -> Vec<(String, u64, Vec<String>)> {
+    rows.iter()
+        .filter(|r| !r.report.is_conformant())
+        .map(|r| (r.name.clone(), r.seed, r.report.violations()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+    use crate::spec::Scale;
+
+    #[test]
+    fn steady_and_fault_scenarios_conform() {
+        for name in ["ring-steady", "self-heal"] {
+            let spec = registry::find(name).expect("built-in").scaled(Scale::Tiny);
+            let report = run_scenario_conformance(&spec, 1).unwrap();
+            assert!(report.is_conformant(), "{name}: {:?}", report.violations());
+            assert!(report.samples > 0);
+            if name == "self-heal" {
+                assert_eq!(report.faults_seen, 1, "the scripted fault must be replayed");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_runs_in_parallel_and_tabulates() {
+        let specs = vec![
+            registry::find("line-worstcase")
+                .unwrap()
+                .scaled(Scale::Tiny),
+            registry::find("churn-burst").unwrap().scaled(Scale::Tiny),
+        ];
+        let rows = run_conformance(&specs, &[0, 1]).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].name, "line-worstcase");
+        assert_eq!(rows[0].seed, 0);
+        assert!(violations(&rows).is_empty(), "{:?}", violations(&rows));
+        let table = conformance_table(&rows).to_string();
+        assert!(table.contains("conformance sweep"));
+        assert!(table.contains("churn-burst"));
+    }
+
+    #[test]
+    fn conformance_is_deterministic() {
+        let spec = registry::find("byzantine-est").unwrap().scaled(Scale::Tiny);
+        let a = run_scenario_conformance(&spec, 5).unwrap();
+        let b = run_scenario_conformance(&spec, 5).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.faults_seen, 3, "all three scripted corruptions replay");
+    }
+}

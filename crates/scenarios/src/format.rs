@@ -98,6 +98,9 @@ fn dynamics_line(d: &DynamicsSpec) -> String {
             format!("insertion t={at} count={count} skew={skew}")
         }
         DynamicsSpec::Shortcut { at, skew } => format!("shortcut t={at} skew={skew}"),
+        DynamicsSpec::ChurnBurst { period, down, skew } => {
+            format!("churn-burst period={period} down={down} skew={skew}")
+        }
         DynamicsSpec::Churn {
             mean_up,
             mean_down,
@@ -551,6 +554,14 @@ fn parse_dynamics(ctx: &LineCtx, rest: &str) -> Result<DynamicsSpec, ScenarioErr
             let map = ctx.kv(args, &["t", "skew"])?;
             Ok(DynamicsSpec::Shortcut {
                 at: ctx.kv_f64(&map, "t")?,
+                skew: ctx.kv_f64(&map, "skew")?,
+            })
+        }
+        "churn-burst" => {
+            let map = ctx.kv(args, &["period", "down", "skew"])?;
+            Ok(DynamicsSpec::ChurnBurst {
+                period: ctx.kv_f64(&map, "period")?,
+                down: ctx.kv_f64(&map, "down")?,
                 skew: ctx.kv_f64(&map, "skew")?,
             })
         }

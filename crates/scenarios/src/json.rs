@@ -158,6 +158,61 @@ impl JsonValue {
     }
 }
 
+/// Looks up a required object field, naming `what` in the error.
+///
+/// # Errors
+///
+/// Returns a message when the field is absent.
+pub fn field<'a>(v: &'a JsonValue, key: &str, what: &str) -> Result<&'a JsonValue, String> {
+    v.get(key)
+        .ok_or_else(|| format!("{what}: missing field {key:?}"))
+}
+
+/// A required string field.
+///
+/// # Errors
+///
+/// Returns a message when the field is absent or not a string.
+pub fn str_field(v: &JsonValue, key: &str, what: &str) -> Result<String, String> {
+    field(v, key, what)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{what}: field {key:?} is not a string"))
+}
+
+/// A required numeric field.
+///
+/// # Errors
+///
+/// Returns a message when the field is absent or not a number.
+pub fn f64_field(v: &JsonValue, key: &str, what: &str) -> Result<f64, String> {
+    field(v, key, what)?
+        .as_f64()
+        .ok_or_else(|| format!("{what}: field {key:?} is not a number"))
+}
+
+/// A required exact-unsigned-integer field.
+///
+/// # Errors
+///
+/// Returns a message when the field is absent or not an unsigned integer.
+pub fn u64_field(v: &JsonValue, key: &str, what: &str) -> Result<u64, String> {
+    field(v, key, what)?
+        .as_u64()
+        .ok_or_else(|| format!("{what}: field {key:?} is not an unsigned integer"))
+}
+
+/// A required array field.
+///
+/// # Errors
+///
+/// Returns a message when the field is absent or not an array.
+pub fn arr_field<'a>(v: &'a JsonValue, key: &str, what: &str) -> Result<&'a [JsonValue], String> {
+    field(v, key, what)?
+        .as_arr()
+        .ok_or_else(|| format!("{what}: field {key:?} is not an array"))
+}
+
 /// Parses a JSON document (full value, trailing whitespace only).
 ///
 /// # Errors

@@ -12,22 +12,29 @@
 //! * [`format`] — the line-oriented `.scn` text format (hand-rolled parser
 //!   and canonical writer with exact round-trip; grammar in
 //!   `scenarios/README.md`);
-//! * [`registry`] — ≥ 18 named built-in scenarios spanning
+//! * [`registry`] — ≥ 20 named built-in scenarios spanning
 //!   ring/line/grid/torus/geometric/small-world/scale-free/hypercube
-//!   topologies and churn-storm / flash-join / partition-heal /
-//!   mobile-swarm / drift-flip dynamics, including the `bench`-class
-//!   engine-scale entries (`ring-1k`, `geometric-4k`) that the default
-//!   campaigns exclude;
+//!   topologies and churn-storm / churn-burst / byzantine-est /
+//!   flash-join / partition-heal / mobile-swarm / drift-flip dynamics,
+//!   including the `bench`-class engine-scale entries (`ring-1k`,
+//!   `geometric-4k`) that the default campaigns exclude;
 //! * [`presets`] — parametric families shared with the experiment harness;
 //! * [`campaign`] — the parallel scenario × seed runner and the
 //!   `results/campaign_*.json` trajectory artifact;
-//! * [`trend`] — the artifact reader, `gcs-baseline/v1` summaries, and
-//!   the tolerance-gated baseline comparison CI runs;
+//! * [`trend`] — the artifact reader, `gcs-baseline/v2` summaries
+//!   (scalar stats + trajectory envelopes + per-scenario tolerances;
+//!   legacy v1 files still parse), and the tolerance-gated baseline
+//!   comparison CI runs;
+//! * [`conformance`] — the paper-bound gate: every scenario × seed driven
+//!   through the [`gcs_analysis::oracle`] conformance oracles, exiting
+//!   non-zero on any Theorem 5.6 / 5.22 bound violation;
 //! * [`bench`] — the sequential engine-throughput harness behind
 //!   `gcs-scenarios bench` and the `BENCH_engine.json`
-//!   (`gcs-engine-bench/v1`) artifact;
+//!   (`gcs-engine-bench/v1`) artifact, plus the exact deterministic
+//!   counter gate behind `gcs-scenarios bench-compare`;
 //! * the `gcs-scenarios` CLI (`list | validate <dir> | run <name|file> |
-//!   bench | export <dir> | show <name>`).
+//!   bench | bench-compare | conformance | baseline | compare |
+//!   export <dir> | show <name>`).
 //!
 //! # Example
 //!
@@ -45,6 +52,7 @@
 
 pub mod bench;
 pub mod campaign;
+pub mod conformance;
 pub mod error;
 pub mod format;
 pub mod json;
@@ -53,10 +61,13 @@ pub mod registry;
 pub mod spec;
 pub mod trend;
 
-pub use bench::BenchEntry;
+pub use bench::{BenchArtifact, BenchCompareReport, BenchEntry};
 pub use campaign::{run_campaign, run_scenario, CampaignRow, ScenarioOutcome};
+pub use conformance::{run_conformance, ConformanceRow};
 pub use error::ScenarioError;
 pub use spec::{
     DriftSpec, DynamicsSpec, EstimateSpec, FaultSpec, Metric, Scale, ScenarioSpec, TopologySpec,
 };
-pub use trend::{CampaignArtifact, CompareReport, TrendRow, TrendSummary};
+pub use trend::{
+    CampaignArtifact, CompareReport, EnvelopeStats, TrajectoryEnvelope, TrendRow, TrendSummary,
+};

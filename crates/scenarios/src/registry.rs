@@ -24,6 +24,8 @@ pub fn all() -> Vec<ScenarioSpec> {
         scale_free_hubs(),
         hypercube_log(),
         churn_storm(),
+        churn_burst(),
+        byzantine_est(),
         flash_join(),
         ring_chord(),
         line_shortcut(),
@@ -149,6 +151,18 @@ fn churn_storm() -> ScenarioSpec {
     s
 }
 
+fn churn_burst() -> ScenarioSpec {
+    let mut s = presets::churn_burst("churn-burst", TopologySpec::Grid { w: 4, h: 4 }, 8.0, 1.5);
+    s.description = "Correlated churn bursts: every non-backbone grid edge drops at once, \
+                     every 8 s (mass staged re-insertion)"
+        .to_string();
+    s
+}
+
+fn byzantine_est() -> ScenarioSpec {
+    presets::byzantine_est(12, 12.0, 0.4)
+}
+
 fn flash_join() -> ScenarioSpec {
     let mut s = presets::base("flash-join", TopologySpec::Ring { n: 12 });
     s.description =
@@ -248,10 +262,13 @@ mod tests {
         assert_eq!(campaign.len() + bench.len(), specs.len());
         assert!(campaign.iter().all(|s| !s.bench));
         assert!(bench.iter().all(|s| s.bench));
-        // The campaign set is the historical 16: the CI baseline pins it.
+        // The campaign set is pinned by the checked-in baseline: growing
+        // it requires refreshing scenarios/baseline-tiny.json in the same
+        // change (PR 5 grew it 16 -> 18 with churn-burst/byzantine-est
+        // and regenerated the baseline as gcs-baseline/v2).
         assert_eq!(
             campaign.len(),
-            16,
+            18,
             "growing the campaign set invalidates the baseline"
         );
         let names: Vec<&str> = bench.iter().map(|s| s.name.as_str()).collect();
@@ -281,8 +298,8 @@ mod tests {
     fn registry_is_large_diverse_and_valid() {
         let specs = all();
         assert!(
-            specs.len() >= 18,
-            "need >= 18 built-ins, got {}",
+            specs.len() >= 20,
+            "need >= 20 built-ins, got {}",
             specs.len()
         );
         let mut names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
@@ -299,7 +316,14 @@ mod tests {
         families.dedup();
         assert!(families.len() >= 7, "families: {families:?}");
         // Dynamics diversity: every generator appears.
-        for kind in ["static", "insertion", "churn", "mobility", "partition"] {
+        for kind in [
+            "static",
+            "insertion",
+            "churn",
+            "churn-burst",
+            "mobility",
+            "partition",
+        ] {
             assert!(
                 specs.iter().any(|s| s.dynamics.kind() == kind),
                 "no scenario exercises {kind} dynamics"

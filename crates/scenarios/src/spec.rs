@@ -387,6 +387,20 @@ pub enum DynamicsSpec {
         /// Offset between the two directions of the appearance.
         skew: f64,
     },
+    /// Correlated churn bursts: a spanning tree stays up forever; every
+    /// `period` seconds *all* other edges go down simultaneously for
+    /// `down` seconds. Unlike [`DynamicsSpec::Churn`]'s independent
+    /// exponential phases, the bursts are perfectly correlated — the
+    /// worst case for the staged-insertion machinery, which must
+    /// re-insert the whole non-backbone edge set at once, every time.
+    ChurnBurst {
+        /// Seconds between burst starts (the first burst is at `period`).
+        period: f64,
+        /// Burst duration: how long the non-backbone edges stay down.
+        down: f64,
+        /// Maximum direction-detection offset.
+        skew: f64,
+    },
     /// Connectivity-preserving churn: a spanning tree stays up, every
     /// other edge flaps with exponential phases until the scenario ends.
     Churn {
@@ -435,6 +449,7 @@ impl DynamicsSpec {
             DynamicsSpec::Static => "static",
             DynamicsSpec::Insertion { .. } => "insertion",
             DynamicsSpec::Shortcut { .. } => "shortcut",
+            DynamicsSpec::ChurnBurst { .. } => "churn-burst",
             DynamicsSpec::Churn { .. } => "churn",
             DynamicsSpec::Mobility { .. } => "mobility",
             DynamicsSpec::Partition { .. } => "partition",
@@ -454,6 +469,18 @@ impl DynamicsSpec {
             DynamicsSpec::Shortcut { at, skew } => DynamicsSpec::Shortcut {
                 at: at * factor,
                 skew,
+            },
+            // The burst schedule is scripted instants (unlike the
+            // exponential churn phases, which are physical constants), so
+            // it scales with the run — *including* the direction skew:
+            // its validity constraint (2·skew < down < period − 2·skew)
+            // couples it to the scripted spans, so scaling all three by
+            // the same factor is what keeps a valid spec valid at every
+            // scale.
+            DynamicsSpec::ChurnBurst { period, down, skew } => DynamicsSpec::ChurnBurst {
+                period: period * factor,
+                down: down * factor,
+                skew: skew * factor,
             },
             DynamicsSpec::Partition { split, merge, skew } => DynamicsSpec::Partition {
                 split: split * factor,
@@ -708,6 +735,20 @@ impl ScenarioSpec {
                     return fail("shortcut needs at least 3 nodes".to_string());
                 }
             }
+            DynamicsSpec::ChurnBurst { period, down, skew } => {
+                if period <= 0.0 || down <= 0.0 || skew < 0.0 {
+                    return fail("churn-burst needs period > 0, down > 0, skew >= 0".to_string());
+                }
+                // The mirrored Up of one burst must not overtake the
+                // mirrored Down of the next (same clamp as the churn
+                // generator's minimum phase).
+                if down + 2.0 * skew >= period || down <= 2.0 * skew {
+                    return fail(format!(
+                        "churn-burst needs 2*skew < down < period - 2*skew \
+                         (got period={period}, down={down}, skew={skew})"
+                    ));
+                }
+            }
             DynamicsSpec::Churn {
                 mean_up,
                 mean_down,
@@ -879,6 +920,25 @@ impl ScenarioSpec {
                     vec![(e, SimTime::from_secs(at))]
                 };
                 NetworkSchedule::with_edge_insertion(&topo, &chords, skew)
+            }
+            DynamicsSpec::ChurnBurst { period, down, skew } => {
+                let mut s = NetworkSchedule::empty(topo.node_count());
+                for &e in topo.edges() {
+                    s.add_initial_undirected(e);
+                }
+                let backbone: BTreeSet<EdgeKey> = topo.spanning_tree().into_iter().collect();
+                let mut t = period;
+                while t < end {
+                    for &e in topo.edges() {
+                        if backbone.contains(&e) {
+                            continue;
+                        }
+                        s.add_undirected_down(e, SimTime::from_secs(t), skew);
+                        s.add_undirected_up(e, SimTime::from_secs(t + down), skew);
+                    }
+                    t += period;
+                }
+                s
             }
             DynamicsSpec::Churn {
                 mean_up,
@@ -1058,6 +1118,27 @@ mod tests {
         assert!(step > 0.0);
         for w in amounts.windows(2) {
             assert!((w[0] - w[1] - step).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn churn_burst_scaling_preserves_validity() {
+        // The burst geometry constraint couples skew to period/down, so
+        // all three must scale together — a spec valid at default must
+        // stay valid (same relative geometry) at every scale, even with
+        // tight margins.
+        let mut spec = base();
+        spec.topology = TopologySpec::Ring { n: 8 };
+        spec.dynamics = DynamicsSpec::ChurnBurst {
+            period: 1.0,
+            down: 0.05,
+            skew: 0.02,
+        };
+        spec.validate().unwrap();
+        for scale in [Scale::Tiny, Scale::Default, Scale::Full] {
+            spec.scaled(scale)
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", scale.name()));
         }
     }
 

@@ -1,24 +1,31 @@
 //! Campaign trend tracking: read `gcs-campaign/v1` artifacts back in,
-//! distill them into compact `gcs-baseline/v1` summaries, and compare a
-//! fresh campaign against a checked-in baseline with a tolerance — the
+//! distill them into compact `gcs-baseline/v2` summaries — scalar
+//! ensemble stats *plus* per-trajectory envelopes (growth/recovery
+//! slopes, peak time, settling time) and a per-scenario tolerance table —
+//! and compare a fresh campaign against a checked-in baseline: the
 //! regression gate CI hangs off (`gcs-scenarios baseline` / `compare`).
 //!
 //! The reader is hand-rolled like the writer (no serde) and inverts
 //! [`campaign_json`](crate::campaign::campaign_json) exactly: floats are
 //! written in shortest round-trip notation and re-parsed with correct
 //! rounding, so a parsed artifact is bit-identical to the
-//! [`CampaignRow`]s that produced it (property-tested).
+//! [`CampaignRow`]s that produced it (property-tested). Legacy
+//! `gcs-baseline/v1` files still parse (their rows simply carry no
+//! envelope, so only the scalar columns gate).
 
 use gcs_analysis::{EnsembleStats, Table};
 
 use crate::campaign::{CampaignRow, ScenarioOutcome};
-use crate::json::{self, Json, JsonValue};
-use crate::spec::{Metric, Scale};
+use crate::json::{self, arr_field, f64_field, field, str_field, u64_field, Json, JsonValue};
+use crate::spec::{DriftSpec, DynamicsSpec, Metric, Scale, ScenarioSpec, TopologySpec};
 
 /// The artifact format tag the campaign writer emits.
 pub const CAMPAIGN_FORMAT: &str = "gcs-campaign/v1";
-/// The format tag of the distilled baseline summaries.
-pub const BASELINE_FORMAT: &str = "gcs-baseline/v1";
+/// The legacy scalar-only baseline format (still readable).
+pub const BASELINE_FORMAT_V1: &str = "gcs-baseline/v1";
+/// The baseline format the writer emits: scalars + trajectory envelopes
+/// + per-scenario tolerances.
+pub const BASELINE_FORMAT: &str = "gcs-baseline/v2";
 
 /// Near-zero metrics (a skew of `1e-12` vs `2e-12`) must not trip the
 /// relative gate; drifts below this many seconds are never significant.
@@ -40,36 +47,6 @@ pub struct CampaignArtifact {
     pub seeds: Vec<u64>,
     /// Per-scenario rows, in artifact order.
     pub rows: Vec<CampaignRow>,
-}
-
-fn field<'a>(v: &'a JsonValue, key: &str, what: &str) -> Result<&'a JsonValue, String> {
-    v.get(key)
-        .ok_or_else(|| format!("{what}: missing field {key:?}"))
-}
-
-fn str_field(v: &JsonValue, key: &str, what: &str) -> Result<String, String> {
-    field(v, key, what)?
-        .as_str()
-        .map(str::to_string)
-        .ok_or_else(|| format!("{what}: field {key:?} is not a string"))
-}
-
-fn f64_field(v: &JsonValue, key: &str, what: &str) -> Result<f64, String> {
-    field(v, key, what)?
-        .as_f64()
-        .ok_or_else(|| format!("{what}: field {key:?} is not a number"))
-}
-
-fn u64_field(v: &JsonValue, key: &str, what: &str) -> Result<u64, String> {
-    field(v, key, what)?
-        .as_u64()
-        .ok_or_else(|| format!("{what}: field {key:?} is not an unsigned integer"))
-}
-
-fn arr_field<'a>(v: &'a JsonValue, key: &str, what: &str) -> Result<&'a [JsonValue], String> {
-    field(v, key, what)?
-        .as_arr()
-        .ok_or_else(|| format!("{what}: field {key:?} is not an array"))
 }
 
 fn read_stats(v: &JsonValue, what: &str) -> Result<EnsembleStats, String> {
@@ -167,9 +144,91 @@ fn campaign_from_doc(doc: &JsonValue) -> Result<CampaignArtifact, String> {
 // Distilling: per-scenario trend rows
 // ---------------------------------------------------------------------
 
+/// The trajectory-*shape* statistics of one run, distilled from its
+/// sampled `(t, global skew)` series. This is what lets the gate see a
+/// regression that scalar stats miss — a recovery that takes twice as
+/// long at the same mean skew shows up as a halved
+/// [`recovery_slope`](TrajectoryEnvelope::recovery_slope).
+///
+/// Distillation is invariant to sample order and exact-duplicate samples
+/// (the points are canonicalized first; property-tested), so envelope
+/// values only move when the trajectory *shape* moves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryEnvelope {
+    /// The trajectory's maximum skew.
+    pub peak: f64,
+    /// Earliest sampled instant attaining the peak.
+    pub peak_time: f64,
+    /// Average climb rate from the first sample to the peak
+    /// (`(peak − g₀)/(t_peak − t₀)`; 0 when the peak is the first sample).
+    pub growth_slope: f64,
+    /// Average drain rate from the peak to the final sample
+    /// (`(peak − g_end)/(t_end − t_peak)`; 0 when the peak is last).
+    pub recovery_slope: f64,
+    /// When the trajectory settles (see [`stabilization_time`]).
+    pub settling_time: f64,
+}
+
+/// Distills a trajectory into its [`TrajectoryEnvelope`]. The input is
+/// canonicalized (sorted by `(t, skew)`, exact duplicates removed) so the
+/// result is invariant to sample order and duplication. Returns an
+/// all-zero envelope for an empty trajectory.
+#[must_use]
+pub fn envelope(trajectory: &[(f64, f64)]) -> TrajectoryEnvelope {
+    let mut pts: Vec<(f64, f64)> = trajectory.to_vec();
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    pts.dedup();
+    let (Some(&(t0, g0)), Some(&(t_end, g_end))) = (pts.first(), pts.last()) else {
+        return TrajectoryEnvelope {
+            peak: 0.0,
+            peak_time: 0.0,
+            growth_slope: 0.0,
+            recovery_slope: 0.0,
+            settling_time: 0.0,
+        };
+    };
+    let (mut peak, mut peak_time) = (f64::NEG_INFINITY, t0);
+    for &(t, g) in &pts {
+        if g > peak {
+            peak = g;
+            peak_time = t;
+        }
+    }
+    let growth_slope = if peak_time > t0 {
+        (peak - g0) / (peak_time - t0)
+    } else {
+        0.0
+    };
+    let recovery_slope = if t_end > peak_time {
+        (peak - g_end) / (t_end - peak_time)
+    } else {
+        0.0
+    };
+    TrajectoryEnvelope {
+        peak,
+        peak_time,
+        growth_slope,
+        recovery_slope,
+        settling_time: stabilization_time(&pts),
+    }
+}
+
+/// Ensemble means of the per-run [`TrajectoryEnvelope`]s — the extra
+/// columns a `gcs-baseline/v2` row pins beyond the scalar stats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvelopeStats {
+    /// Mean earliest-peak instant across seeds.
+    pub mean_peak_time: f64,
+    /// Mean climb rate to the peak.
+    pub mean_growth_slope: f64,
+    /// Mean drain rate from the peak.
+    pub mean_recovery_slope: f64,
+}
+
 /// The compact per-scenario statistics a baseline pins: ensemble mean and
-/// p90 of the primary metric and of both skew maxima, plus the mean
-/// stabilization time derived from the trajectories.
+/// p90 of the primary metric and of both skew maxima, the mean
+/// stabilization time derived from the trajectories, and (since
+/// `gcs-baseline/v2`) the trajectory-envelope means.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrendRow {
     /// Scenario name.
@@ -194,13 +253,18 @@ pub struct TrendRow {
     pub p90_local: f64,
     /// Mean stabilization time (see [`stabilization_time`]).
     pub mean_stabilization: f64,
+    /// Trajectory-envelope means. `None` only for rows read back from a
+    /// legacy `gcs-baseline/v1` file, whose envelope columns then simply
+    /// do not gate.
+    pub envelope: Option<EnvelopeStats>,
 }
 
 impl TrendRow {
-    /// The compared columns, as `(label, value)` pairs.
+    /// The compared columns, as `(label, value)` pairs: seven scalar
+    /// columns, plus the three envelope columns when present.
     #[must_use]
-    pub fn columns(&self) -> [(&'static str, f64); 7] {
-        [
+    pub fn columns(&self) -> Vec<(&'static str, f64)> {
+        let mut cols = vec![
             ("primary mean", self.mean_primary),
             ("primary p90", self.p90_primary),
             ("global mean", self.mean_global),
@@ -208,7 +272,13 @@ impl TrendRow {
             ("local mean", self.mean_local),
             ("local p90", self.p90_local),
             ("stabilization", self.mean_stabilization),
-        ]
+        ];
+        if let Some(env) = self.envelope {
+            cols.push(("peak time", env.mean_peak_time));
+            cols.push(("growth slope", env.mean_growth_slope));
+            cols.push(("recovery slope", env.mean_recovery_slope));
+        }
+        cols
     }
 }
 
@@ -252,11 +322,12 @@ pub fn summarize(rows: &[CampaignRow]) -> Vec<TrendRow> {
                 |f: fn(&ScenarioOutcome) -> f64| -> Vec<f64> { r.outcomes.iter().map(f).collect() };
             let globals = EnsembleStats::from_values(&collect(|o| o.max_global_skew));
             let locals = EnsembleStats::from_values(&collect(|o| o.max_local_skew));
-            let stab: Vec<f64> = r
-                .outcomes
-                .iter()
-                .map(|o| stabilization_time(&o.trajectory))
-                .collect();
+            let envelopes: Vec<TrajectoryEnvelope> =
+                r.outcomes.iter().map(|o| envelope(&o.trajectory)).collect();
+            let env_mean = |f: fn(&TrajectoryEnvelope) -> f64| -> f64 {
+                let vals: Vec<f64> = envelopes.iter().map(f).collect();
+                gcs_analysis::stats::mean(&vals)
+            };
             TrendRow {
                 name: r.name.clone(),
                 nodes: r.nodes as u64,
@@ -268,7 +339,15 @@ pub fn summarize(rows: &[CampaignRow]) -> Vec<TrendRow> {
                 p90_global: globals.p90,
                 mean_local: locals.mean,
                 p90_local: locals.p90,
-                mean_stabilization: gcs_analysis::stats::mean(&stab),
+                // The envelope's settling time IS stabilization_time (its
+                // canonicalization is a no-op on real, time-sorted
+                // trajectories), computed once per outcome above.
+                mean_stabilization: env_mean(|e| e.settling_time),
+                envelope: Some(EnvelopeStats {
+                    mean_peak_time: env_mean(|e| e.peak_time),
+                    mean_growth_slope: env_mean(|e| e.growth_slope),
+                    mean_recovery_slope: env_mean(|e| e.recovery_slope),
+                }),
             }
         })
         .collect()
@@ -290,6 +369,13 @@ pub struct TrendSummary {
     pub seeds: Vec<u64>,
     /// Per-scenario rows.
     pub rows: Vec<TrendRow>,
+    /// Per-scenario relative-tolerance overrides (fractions: `0.25` =
+    /// ±25 %), sorted by scenario name. A baseline carries these so the
+    /// gate can be tight for deterministic topologies and loose for
+    /// seed-realized random families; [`compare`] consults the *baseline*
+    /// side. Empty in summaries distilled straight from a campaign —
+    /// populate with [`default_tolerances`] (or hand-edit the file).
+    pub tolerances: Vec<(String, f64)>,
 }
 
 impl TrendSummary {
@@ -301,6 +387,7 @@ impl TrendSummary {
             scale: artifact.scale.clone(),
             seeds: artifact.seeds.clone(),
             rows: summarize(&artifact.rows),
+            tolerances: Vec::new(),
         }
     }
 
@@ -313,16 +400,74 @@ impl TrendSummary {
             scale: scale.name().to_string(),
             seeds: seeds.to_vec(),
             rows: summarize(rows),
+            tolerances: Vec::new(),
         }
+    }
+
+    /// The effective relative tolerance for one scenario: its override if
+    /// the summary carries one, else `default_tol`.
+    #[must_use]
+    pub fn tolerance_for(&self, scenario: &str, default_tol: f64) -> f64 {
+        self.tolerances
+            .iter()
+            .find(|(name, _)| name == scenario)
+            .map_or(default_tol, |&(_, t)| t)
     }
 }
 
-/// Serializes a summary as a `gcs-baseline/v1` document (one scenario per
-/// line, so checked-in baselines diff cleanly).
+/// Whether a scenario's outcome depends on the run seed structurally —
+/// a seed-realized random topology, stochastic dynamics, or randomized
+/// drift — rather than only through message-delay noise.
+fn seed_sensitive(spec: &ScenarioSpec) -> bool {
+    matches!(
+        spec.topology,
+        TopologySpec::Gnp { .. }
+            | TopologySpec::Geometric { .. }
+            | TopologySpec::SmallWorld { .. }
+            | TopologySpec::ScaleFree { .. }
+    ) || matches!(
+        spec.dynamics,
+        DynamicsSpec::Churn { .. } | DynamicsSpec::Mobility { .. }
+    ) || matches!(
+        spec.drift,
+        DriftSpec::RandomConstant | DriftSpec::RandomWalk { .. }
+    )
+}
+
+/// Tight tolerance for scenarios whose realization is deterministic.
+pub const TOL_TIGHT: f64 = 0.25;
+/// Loose tolerance for seed-realized random families.
+pub const TOL_LOOSE: f64 = 0.60;
+
+/// The default per-scenario tolerance table for a summary: [`TOL_TIGHT`]
+/// for deterministic topologies/dynamics, [`TOL_LOOSE`] for seed-realized
+/// random families (looked up in the registry; unknown scenarios are
+/// treated as random). `gcs-scenarios baseline` embeds this table when
+/// pinning a fresh baseline; hand-tune the file afterwards if a scenario
+/// needs special treatment.
+#[must_use]
+pub fn default_tolerances(summary: &TrendSummary) -> Vec<(String, f64)> {
+    let mut tols: Vec<(String, f64)> = summary
+        .rows
+        .iter()
+        .map(|r| {
+            let loose = crate::registry::find(&r.name).is_none_or(|s| seed_sensitive(&s));
+            (r.name.clone(), if loose { TOL_LOOSE } else { TOL_TIGHT })
+        })
+        .collect();
+    tols.sort_by(|a, b| a.0.cmp(&b.0));
+    tols
+}
+
+/// Serializes a summary as a `gcs-baseline/v2` document (one scenario per
+/// line, so checked-in baselines diff cleanly). Rows without envelope
+/// stats (read back from a v1 file) keep omitting the envelope fields;
+/// the tolerance table is embedded as relative fractions (`0.25` =
+/// ±25 %), exactly as held in memory, so the file round-trips bit-exactly.
 #[must_use]
 pub fn baseline_json(summary: &TrendSummary) -> String {
     let row_json = |r: &TrendRow| {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("name", Json::Str(r.name.clone())),
             ("nodes", Json::Int(r.nodes)),
             ("metric", Json::Str(r.metric.clone())),
@@ -334,7 +479,13 @@ pub fn baseline_json(summary: &TrendSummary) -> String {
             ("mean_local_skew", Json::Num(r.mean_local)),
             ("p90_local_skew", Json::Num(r.p90_local)),
             ("mean_stabilization", Json::Num(r.mean_stabilization)),
-        ])
+        ];
+        if let Some(env) = r.envelope {
+            fields.push(("mean_peak_time", Json::Num(env.mean_peak_time)));
+            fields.push(("mean_growth_slope", Json::Num(env.mean_growth_slope)));
+            fields.push(("mean_recovery_slope", Json::Num(env.mean_recovery_slope)));
+        }
+        Json::Obj(fields)
     };
     let head = Json::Obj(vec![
         ("format", Json::Str(BASELINE_FORMAT.to_string())),
@@ -345,11 +496,20 @@ pub fn baseline_json(summary: &TrendSummary) -> String {
             Json::Arr(summary.seeds.iter().map(|&s| Json::Int(s)).collect()),
         ),
     ]);
-    // Splice the scenarios in by hand so each row sits on its own line.
+    // Splice the dynamic-keyed parts in by hand (the writer's object type
+    // carries static keys only): the tolerance table, then one scenario
+    // per line.
     let head = head.to_string();
     let mut out = String::new();
     out.push_str(&head[..head.len() - 1]);
-    out.push_str(",\"scenarios\":[\n");
+    out.push_str(",\"tolerances\":{");
+    for (i, (name, tol)) in summary.tolerances.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", Json::Str(name.clone()), Json::Num(*tol)));
+    }
+    out.push_str("},\"scenarios\":[\n");
     for (i, r) in summary.rows.iter().enumerate() {
         out.push_str(&row_json(r).to_string());
         if i + 1 < summary.rows.len() {
@@ -361,7 +521,9 @@ pub fn baseline_json(summary: &TrendSummary) -> String {
     out
 }
 
-/// Reads a `gcs-baseline/v1` document.
+/// Reads a baseline document — `gcs-baseline/v2` or a legacy
+/// `gcs-baseline/v1` (whose rows then carry no envelope and whose
+/// tolerance table is empty).
 ///
 /// # Errors
 ///
@@ -373,9 +535,10 @@ pub fn read_baseline(text: &str) -> Result<TrendSummary, String> {
 
 fn baseline_from_doc(doc: &JsonValue) -> Result<TrendSummary, String> {
     let format = str_field(doc, "format", "baseline")?;
-    if format != BASELINE_FORMAT {
+    if format != BASELINE_FORMAT && format != BASELINE_FORMAT_V1 {
         return Err(format!(
-            "expected format {BASELINE_FORMAT:?}, got {format:?}"
+            "expected format {BASELINE_FORMAT:?} (or legacy {BASELINE_FORMAT_V1:?}), \
+             got {format:?}"
         ));
     }
     let seeds = arr_field(doc, "seeds", "baseline")?
@@ -386,6 +549,19 @@ fn baseline_from_doc(doc: &JsonValue) -> Result<TrendSummary, String> {
     for sc in arr_field(doc, "scenarios", "baseline")? {
         let name = str_field(sc, "name", "baseline scenario")?;
         let what = format!("baseline scenario {name:?}");
+        // A v1 row never carries the envelope; a v2 row normally does,
+        // but a v2 file re-serialized from a v1 source keeps that row's
+        // envelope absent — tolerated on read, exactly like on write, so
+        // `baseline` never emits a document it cannot read back.
+        let envelope = if sc.get("mean_peak_time").is_some() {
+            Some(EnvelopeStats {
+                mean_peak_time: f64_field(sc, "mean_peak_time", &what)?,
+                mean_growth_slope: f64_field(sc, "mean_growth_slope", &what)?,
+                mean_recovery_slope: f64_field(sc, "mean_recovery_slope", &what)?,
+            })
+        } else {
+            None
+        };
         rows.push(TrendRow {
             nodes: u64_field(sc, "nodes", &what)?,
             metric: str_field(sc, "metric", &what)?,
@@ -398,13 +574,31 @@ fn baseline_from_doc(doc: &JsonValue) -> Result<TrendSummary, String> {
             p90_local: f64_field(sc, "p90_local_skew", &what)?,
             mean_stabilization: f64_field(sc, "mean_stabilization", &what)?,
             name,
+            envelope,
         });
+    }
+    let mut tolerances = Vec::new();
+    if let Some(tols) = doc.get("tolerances") {
+        let JsonValue::Obj(fields) = tols else {
+            return Err("baseline: field \"tolerances\" is not an object".to_string());
+        };
+        for (name, v) in fields {
+            let tol = v
+                .as_f64()
+                .filter(|t| t.is_finite() && *t >= 0.0)
+                .ok_or_else(|| {
+                    format!("baseline: tolerance for {name:?} is not a non-negative number")
+                })?;
+            tolerances.push((name.clone(), tol));
+        }
+        tolerances.sort_by(|a, b| a.0.cmp(&b.0));
     }
     Ok(TrendSummary {
         campaign: str_field(doc, "campaign", "baseline")?,
         scale: str_field(doc, "scale", "baseline")?,
         seeds,
         rows,
+        tolerances,
     })
 }
 
@@ -418,7 +612,7 @@ fn baseline_from_doc(doc: &JsonValue) -> Result<TrendSummary, String> {
 pub fn read_summary(text: &str) -> Result<TrendSummary, String> {
     let doc = json::parse(text)?;
     match str_field(&doc, "format", "artifact")?.as_str() {
-        BASELINE_FORMAT => baseline_from_doc(&doc),
+        BASELINE_FORMAT | BASELINE_FORMAT_V1 => baseline_from_doc(&doc),
         CAMPAIGN_FORMAT => Ok(TrendSummary::from_campaign(&campaign_from_doc(&doc)?)),
         other => Err(format!("unknown artifact format {other:?}")),
     }
@@ -478,8 +672,13 @@ impl CompareReport {
     }
 }
 
-/// Diffs `current` against `baseline` with relative tolerance `tol`
-/// (`0.25` = ±25 %; drifts under an absolute floor of 1 µs never count).
+/// Diffs `current` against `baseline` with default relative tolerance
+/// `tol` (`0.25` = ±25 %; drifts under an absolute floor of 1 µs never
+/// count). A per-scenario override in the *baseline*'s tolerance table
+/// takes precedence over `tol` — tight for deterministic topologies,
+/// loose for seed-realized random families. Envelope columns (peak time,
+/// growth/recovery slope) gate whenever both sides carry them, so a
+/// doubled recovery slope fails even when every mean stays flat.
 /// Scenario-set mismatches and changed seed counts are findings too —
 /// the baseline must be refreshed deliberately, not silently outgrown.
 #[must_use]
@@ -487,7 +686,7 @@ pub fn compare(baseline: &TrendSummary, current: &TrendSummary, tol: f64) -> Com
     let mut findings = Vec::new();
     let mut table = Table::new(
         format!(
-            "campaign trend — {} ({} seeds, scale {}) vs baseline, tol ±{:.0}%",
+            "campaign trend — {} ({} seeds, scale {}) vs baseline, default tol ±{:.0}%",
             current.campaign,
             current.seeds.len(),
             current.scale,
@@ -495,23 +694,31 @@ pub fn compare(baseline: &TrendSummary, current: &TrendSummary, tol: f64) -> Com
         ),
         &[
             "scenario",
+            "tol",
             "primary (base)",
             "primary (cur)",
             "global p90 (base)",
             "global p90 (cur)",
-            "stabilize (base)",
-            "stabilize (cur)",
+            "recovery (base)",
+            "recovery (cur)",
             "worst drift",
             "status",
         ],
     );
     table.caption(
-        "primary = each scenario's own metric (mean across seeds). A drift beyond the \
-         tolerance in any tracked column (primary/global/local mean+p90, stabilization) \
-         fails the gate; refresh the baseline deliberately when a change is intended.",
+        "primary = each scenario's own metric (mean across seeds); recovery = mean \
+         trajectory recovery slope. A drift beyond the scenario's tolerance in any \
+         tracked column (primary/global/local mean+p90, stabilization, peak time, \
+         growth/recovery slope) fails the gate; refresh the baseline deliberately \
+         when a change is intended.",
     );
+    let recovery_cell = |r: &TrendRow| {
+        r.envelope
+            .map_or("-".to_string(), |e| fmt(e.mean_recovery_slope))
+    };
 
     for base_row in &baseline.rows {
+        let row_tol = baseline.tolerance_for(&base_row.name, tol);
         let Some(cur_row) = current.rows.iter().find(|r| r.name == base_row.name) else {
             findings.push(DriftFinding {
                 scenario: base_row.name.clone(),
@@ -521,11 +728,12 @@ pub fn compare(baseline: &TrendSummary, current: &TrendSummary, tol: f64) -> Com
             });
             table.row([
                 base_row.name.clone(),
+                format!("±{:.0}%", row_tol * 100.0),
                 fmt(base_row.mean_primary),
                 "-".to_string(),
                 fmt(base_row.p90_global),
                 "-".to_string(),
-                fmt(base_row.mean_stabilization),
+                recovery_cell(base_row),
                 "-".to_string(),
                 "-".to_string(),
                 "MISSING".to_string(),
@@ -542,6 +750,8 @@ pub fn compare(baseline: &TrendSummary, current: &TrendSummary, tol: f64) -> Com
             });
         }
         let mut worst: Option<DriftFinding> = None;
+        // zip() stops at the shorter column list, so a legacy v1 side
+        // simply leaves the envelope columns ungated.
         for ((label, base), (_, cur)) in base_row.columns().iter().zip(cur_row.columns().iter()) {
             let finding = DriftFinding {
                 scenario: base_row.name.clone(),
@@ -549,7 +759,7 @@ pub fn compare(baseline: &TrendSummary, current: &TrendSummary, tol: f64) -> Com
                 baseline: *base,
                 current: *cur,
             };
-            let out_of_tol = (cur - base).abs() > tol * base.abs() + ABSOLUTE_FLOOR;
+            let out_of_tol = (cur - base).abs() > row_tol * base.abs() + ABSOLUTE_FLOOR;
             if worst
                 .as_ref()
                 .is_none_or(|w| finding.relative().abs() > w.relative().abs())
@@ -570,12 +780,13 @@ pub fn compare(baseline: &TrendSummary, current: &TrendSummary, tol: f64) -> Com
         });
         table.row([
             base_row.name.clone(),
+            format!("±{:.0}%", row_tol * 100.0),
             fmt(base_row.mean_primary),
             fmt(cur_row.mean_primary),
             fmt(base_row.p90_global),
             fmt(cur_row.p90_global),
-            fmt(base_row.mean_stabilization),
-            fmt(cur_row.mean_stabilization),
+            recovery_cell(base_row),
+            recovery_cell(cur_row),
             worst_cell,
             status,
         ]);
@@ -592,11 +803,12 @@ pub fn compare(baseline: &TrendSummary, current: &TrendSummary, tol: f64) -> Com
             table.row([
                 cur_row.name.clone(),
                 "-".to_string(),
+                "-".to_string(),
                 fmt(cur_row.mean_primary),
                 "-".to_string(),
                 fmt(cur_row.p90_global),
                 "-".to_string(),
-                fmt(cur_row.mean_stabilization),
+                recovery_cell(cur_row),
                 "-".to_string(),
                 "NEW".to_string(),
             ]);
@@ -641,15 +853,158 @@ mod tests {
     #[test]
     fn baseline_round_trips() {
         let (seeds, rows) = tiny_rows();
-        let summary = TrendSummary::from_rows("smoke", Scale::Tiny, &seeds, &rows);
+        let mut summary = TrendSummary::from_rows("smoke", Scale::Tiny, &seeds, &rows);
+        summary.tolerances = default_tolerances(&summary);
         let text = baseline_json(&summary);
-        assert!(text.starts_with("{\"format\":\"gcs-baseline/v1\""));
+        assert!(text.starts_with("{\"format\":\"gcs-baseline/v2\""));
+        assert!(text.contains("\"tolerances\":{"));
+        assert!(text.contains("\"mean_recovery_slope\""));
         let back = read_baseline(&text).unwrap();
         assert_eq!(back, summary);
-        // And the format-sniffing reader agrees on both flavours.
+        // And the format-sniffing reader agrees on both flavours (the raw
+        // campaign artifact distills with an empty tolerance table).
         assert_eq!(read_summary(&text).unwrap(), summary);
         let campaign_text = campaign_json("smoke", Scale::Tiny, &seeds, &rows);
-        assert_eq!(read_summary(&campaign_text).unwrap(), summary);
+        let mut from_campaign = summary.clone();
+        from_campaign.tolerances = Vec::new();
+        assert_eq!(read_summary(&campaign_text).unwrap(), from_campaign);
+    }
+
+    #[test]
+    fn legacy_v1_baselines_still_parse() {
+        // A v1 document as PR 3's writer emitted it: no envelope fields,
+        // no tolerance table.
+        let text = "{\"format\":\"gcs-baseline/v1\",\"campaign\":\"old\",\"scale\":\"tiny\",\
+                    \"seeds\":[0,1],\"scenarios\":[\n\
+                    {\"name\":\"ring-steady\",\"nodes\":4,\"metric\":\"global-skew\",\"runs\":2,\
+                    \"mean_primary\":0.01,\"p90_primary\":0.012,\"mean_global_skew\":0.01,\
+                    \"p90_global_skew\":0.012,\"mean_local_skew\":0.005,\"p90_local_skew\":0.006,\
+                    \"mean_stabilization\":1.5}\n]}\n";
+        let summary = read_baseline(text).unwrap();
+        assert_eq!(summary.rows.len(), 1);
+        assert_eq!(summary.rows[0].envelope, None);
+        assert!(summary.tolerances.is_empty());
+        assert_eq!(read_summary(text).unwrap(), summary);
+        // Comparing a v1 baseline against a v2 current gates the scalar
+        // columns only (the envelope columns have no baseline).
+        let mut current = summary.clone();
+        current.rows[0].envelope = Some(EnvelopeStats {
+            mean_peak_time: 3.0,
+            mean_growth_slope: 0.01,
+            mean_recovery_slope: 0.02,
+        });
+        assert!(compare(&summary, &current, 0.05).passed());
+    }
+
+    #[test]
+    fn v2_reserialization_of_a_v1_baseline_reads_back() {
+        // `gcs-scenarios baseline` accepts a legacy v1 baseline as input
+        // and re-emits it as v2; the envelope-less rows must survive the
+        // round trip rather than poison the new file.
+        let v1 = "{\"format\":\"gcs-baseline/v1\",\"campaign\":\"old\",\"scale\":\"tiny\",\
+                  \"seeds\":[0],\"scenarios\":[\n\
+                  {\"name\":\"ring-steady\",\"nodes\":4,\"metric\":\"global-skew\",\"runs\":1,\
+                  \"mean_primary\":0.01,\"p90_primary\":0.01,\"mean_global_skew\":0.01,\
+                  \"p90_global_skew\":0.01,\"mean_local_skew\":0.005,\"p90_local_skew\":0.005,\
+                  \"mean_stabilization\":1.5}\n]}\n";
+        let mut summary = read_baseline(v1).unwrap();
+        summary.tolerances = default_tolerances(&summary);
+        let v2_text = baseline_json(&summary);
+        assert!(v2_text.starts_with("{\"format\":\"gcs-baseline/v2\""));
+        let back = read_baseline(&v2_text).expect("v2 file with v1-sourced rows must parse");
+        assert_eq!(back, summary);
+        assert_eq!(back.rows[0].envelope, None);
+    }
+
+    #[test]
+    fn envelope_is_invariant_to_order_and_duplication() {
+        let traj: Vec<(f64, f64)> = (0..=20)
+            .map(|k| {
+                let t = k as f64 * 0.5;
+                (
+                    t,
+                    if t < 5.0 {
+                        0.02 * t
+                    } else {
+                        (0.3 - 0.05 * (t - 5.0)).max(0.01)
+                    },
+                )
+            })
+            .collect();
+        let base = envelope(&traj);
+        assert!(base.peak > 0.0 && base.peak_time > 0.0);
+        assert!(base.growth_slope > 0.0 && base.recovery_slope > 0.0);
+        let mut shuffled = traj.clone();
+        shuffled.reverse();
+        shuffled.swap(3, 11);
+        assert_eq!(envelope(&shuffled), base, "order must not matter");
+        let mut duplicated = traj.clone();
+        duplicated.extend_from_slice(&traj[5..15]);
+        duplicated.push(traj[0]);
+        assert_eq!(envelope(&duplicated), base, "duplication must not matter");
+        assert_eq!(envelope(&[]).peak, 0.0);
+    }
+
+    #[test]
+    fn per_scenario_tolerances_override_the_default() {
+        let (seeds, rows) = tiny_rows();
+        let mut base = TrendSummary::from_rows("smoke", Scale::Tiny, &seeds, &rows);
+        let mut cur = base.clone();
+        cur.rows[0].mean_global *= 1.4; // +40 %
+                                        // Default tol 50 %: passes.
+        assert!(compare(&base, &cur, 0.50).passed());
+        // A tight per-scenario override on that scenario: fails.
+        base.tolerances = vec![(base.rows[0].name.clone(), 0.10)];
+        let report = compare(&base, &cur, 0.50);
+        assert!(!report.passed());
+        assert!(report
+            .findings
+            .iter()
+            .all(|f| f.scenario == base.rows[0].name));
+        // A loose override on the drifting scenario forgives it even when
+        // the default is tight (the other scenarios have zero drift, so
+        // the tight default cannot trip them).
+        base.tolerances = vec![(base.rows[0].name.clone(), 0.60)];
+        assert!(compare(&base, &cur, 0.01).passed());
+    }
+
+    #[test]
+    fn default_tolerances_are_tight_for_deterministic_scenarios() {
+        let (seeds, rows) = tiny_rows();
+        let summary = TrendSummary::from_rows("smoke", Scale::Tiny, &seeds, &rows);
+        let tols = default_tolerances(&summary);
+        assert_eq!(tols.len(), summary.rows.len());
+        // line-worstcase is fully deterministic; self-heal too (line +
+        // two-block + scripted fault).
+        for (name, tol) in &tols {
+            assert_eq!(*tol, TOL_TIGHT, "{name} should be tight");
+        }
+        // A random-family scenario gets the loose tolerance.
+        let specs = vec![registry::find("geometric-dense")
+            .unwrap()
+            .scaled(Scale::Tiny)];
+        let rows = run_campaign(&specs, &[0]).unwrap();
+        let summary = TrendSummary::from_rows("r", Scale::Tiny, &[0], &rows);
+        assert_eq!(default_tolerances(&summary)[0].1, TOL_LOOSE);
+    }
+
+    #[test]
+    fn perturbed_recovery_slope_fails_the_envelope_gate() {
+        // The regression the scalar gate cannot see: recovery takes a
+        // different slope while the scalar stats barely move. A +40 %
+        // recovery-slope drift must fail at the tight tolerance.
+        let (seeds, rows) = tiny_rows();
+        let base = TrendSummary::from_rows("smoke", Scale::Tiny, &seeds, &rows);
+        let mut cur = base.clone();
+        for row in &mut cur.rows {
+            let env = row.envelope.as_mut().unwrap();
+            env.mean_recovery_slope *= 1.4;
+        }
+        let report = compare(&base, &cur, TOL_TIGHT);
+        assert!(!report.passed(), "slope drift must gate");
+        assert!(report.findings.iter().all(|f| f.column == "recovery slope"));
+        // The very same artifacts pass when the envelope is unperturbed.
+        assert!(compare(&base, &base, TOL_TIGHT).passed());
     }
 
     #[test]

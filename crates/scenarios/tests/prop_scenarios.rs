@@ -162,4 +162,114 @@ proptest! {
         prop_assert_eq!(&artifact.seeds, &seeds);
         prop_assert_eq!(&artifact.rows, &rows);
     }
+
+    /// Envelope distillation is invariant to trajectory sample order and
+    /// duplication: any permutation with any subset duplicated gives the
+    /// bit-identical envelope.
+    #[test]
+    fn envelope_invariant_to_order_and_duplication(
+        bits in proptest::collection::vec(any::<u64>(), 2..24),
+        perm_seed in any::<u64>(),
+        dup_mask in any::<u32>(),
+    ) {
+        let traj: Vec<(f64, f64)> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i as f64 * 0.5, finite(b).abs().min(1e100)))
+            .collect();
+        let base = trend::envelope(&traj);
+        // Deterministic pseudo-shuffle + duplication.
+        let mut mangled = traj.clone();
+        let mut state = perm_seed | 1;
+        for i in (1..mangled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            mangled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        for (i, &p) in traj.iter().enumerate() {
+            if dup_mask & (1 << (i % 32)) != 0 {
+                mangled.push(p);
+            }
+        }
+        let got = trend::envelope(&mangled);
+        prop_assert_eq!(got, base);
+        prop_assert_eq!(got.peak.to_bits(), base.peak.to_bits(), "peak must be bit-identical");
+        prop_assert_eq!(got.recovery_slope.to_bits(), base.recovery_slope.to_bits());
+    }
+
+    /// `gcs-baseline/v2` documents round-trip bit-exactly for arbitrary
+    /// finite stats, envelope values, and tolerance fractions.
+    #[test]
+    fn baseline_v2_json_round_trips_bit_exactly(
+        bits in proptest::collection::vec(any::<u64>(), 10),
+        tol_bits in any::<u64>(),
+        runs in 1u64..16,
+    ) {
+        let v = |i: usize| finite(bits[i % bits.len()]);
+        let summary = trend::TrendSummary {
+            campaign: "prop".to_string(),
+            scale: "tiny".to_string(),
+            seeds: vec![0, 1],
+            rows: vec![trend::TrendRow {
+                name: "prop-row".to_string(),
+                nodes: 8,
+                metric: "global-skew".to_string(),
+                runs,
+                mean_primary: v(0),
+                p90_primary: v(1),
+                mean_global: v(2),
+                p90_global: v(3),
+                mean_local: v(4),
+                p90_local: v(5),
+                mean_stabilization: v(6),
+                envelope: Some(trend::EnvelopeStats {
+                    mean_peak_time: v(7),
+                    mean_growth_slope: v(8),
+                    mean_recovery_slope: v(9),
+                }),
+            }],
+            tolerances: vec![("prop-row".to_string(), finite(tol_bits).abs().min(1e100))],
+        };
+        let text = trend::baseline_json(&summary);
+        let back = trend::read_baseline(&text).unwrap();
+        prop_assert_eq!(&back, &summary, "value round-trip");
+        prop_assert_eq!(trend::baseline_json(&back), text, "byte round-trip");
+    }
+}
+
+/// The exact v1 document PR 3's writer would emit for a tiny two-scenario
+/// campaign still parses — and gates — against a fresh v2 summary.
+#[test]
+fn legacy_v1_baseline_gates_a_fresh_campaign() {
+    let specs = vec![registry::find("line-worstcase")
+        .unwrap()
+        .scaled(Scale::Tiny)];
+    let seeds = [0u64, 1];
+    let rows = campaign::run_campaign(&specs, &seeds).unwrap();
+    let current = trend::TrendSummary::from_rows("all", Scale::Tiny, &seeds, &rows);
+    // Hand-build the v1 text from the current values (what a PR 3 file
+    // would hold had behaviour not changed).
+    let r = &current.rows[0];
+    let v1 = format!(
+        "{{\"format\":\"gcs-baseline/v1\",\"campaign\":\"all\",\"scale\":\"tiny\",\
+         \"seeds\":[0,1],\"scenarios\":[\n\
+         {{\"name\":\"{}\",\"nodes\":{},\"metric\":\"{}\",\"runs\":{},\
+         \"mean_primary\":{},\"p90_primary\":{},\"mean_global_skew\":{},\
+         \"p90_global_skew\":{},\"mean_local_skew\":{},\"p90_local_skew\":{},\
+         \"mean_stabilization\":{}}}\n]}}\n",
+        r.name,
+        r.nodes,
+        r.metric,
+        r.runs,
+        r.mean_primary,
+        r.p90_primary,
+        r.mean_global,
+        r.p90_global,
+        r.mean_local,
+        r.p90_local,
+        r.mean_stabilization,
+    );
+    let baseline = trend::read_baseline(&v1).expect("v1 parses");
+    assert!(baseline.rows[0].envelope.is_none());
+    let report = trend::compare(&baseline, &current, 0.05);
+    assert!(report.passed(), "{:?}", report.findings);
 }

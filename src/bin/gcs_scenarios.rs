@@ -43,20 +43,40 @@ USAGE:
         --repeat R  keep the fastest of R runs per entry (default 1)
         --scale S   tiny|default|full     (default default)
         --out FILE  artifact path         (default results/BENCH_engine.json)
+    gcs-scenarios conformance [name|file.scn|all] [--seeds N] [--scale S]
+        Drive the whole registry (bench-class scenarios included; or one
+        scenario by name / .scn file) through the paper-bound conformance
+        oracles: the Theorem 5.6 global-skew
+        envelope, the Theorem 5.22 gradient bound per hop class, and the
+        weak-edge legality bound, with self-stabilization and partition
+        allowances replayed from each run's realized fault/insertion log.
+        Exits non-zero on any bound violation. The theorem-level CI gate.
+        --seeds N   seeds 0..N          (default 2)
+        --scale S   tiny|default|full   (default tiny)
+    gcs-scenarios bench-compare <baseline.json> <current.json>
+        Gate the deterministic engine counters (events, ticks,
+        mode_evaluations, messages_delivered) of a fresh
+        gcs-engine-bench/v1 artifact EXACTLY against a checked-in one,
+        matched by (scenario, seed). Wall-clock is never gated. Exits
+        non-zero on any counter mismatch or entry-set change.
     gcs-scenarios export <dir>
         Write every built-in scenario to <dir>/<name>.scn.
     gcs-scenarios baseline <campaign.json> [--out FILE]
-        Distill a gcs-campaign/v1 artifact into a compact gcs-baseline/v1
-        summary (per-scenario mean/p90 skews + stabilization time) and
-        write it to FILE (default: stdout). Check the summary in to pin
-        the current behaviour.
+        Distill a gcs-campaign/v1 artifact into a compact gcs-baseline/v2
+        summary (per-scenario mean/p90 skews, stabilization time, and
+        trajectory envelopes: peak time + growth/recovery slopes), embed
+        the default per-scenario tolerance table (tight for deterministic
+        topologies, loose for seed-realized random families), and write
+        it to FILE (default: stdout). Check the summary in to pin the
+        current behaviour; hand-tune tolerances in the file if needed.
     gcs-scenarios compare <baseline> <campaign.json>... [--tol PCT]
-        Diff a fresh campaign against a baseline (either file may be a
-        gcs-baseline/v1 summary or a raw gcs-campaign/v1 artifact) and
-        exit non-zero on any per-scenario drift beyond PCT percent
-        (default 20). With several campaign files (e.g. an unexpanded
-        results/campaign_*.json glob) the newest is compared. The CI
-        regression gate.
+        Diff a fresh campaign against a baseline (gcs-baseline/v2, legacy
+        v1, or a raw gcs-campaign/v1 artifact) and exit non-zero on any
+        per-scenario drift beyond the scenario's tolerance — its override
+        from the baseline's tolerance table when present, else PCT
+        percent (default 20). With several campaign files (e.g. an
+        unexpanded results/campaign_*.json glob) the newest is compared.
+        The CI regression gate.
 ";
 
 fn main() -> ExitCode {
@@ -67,6 +87,8 @@ fn main() -> ExitCode {
         Some("validate") => cmd_validate(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("bench-compare") => cmd_bench_compare(&args[1..]),
+        Some("conformance") => cmd_conformance(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("baseline") => cmd_baseline(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
@@ -340,6 +362,112 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Gates the deterministic engine counters of two bench artifacts.
+fn cmd_bench_compare(args: &[String]) -> Result<(), String> {
+    let [baseline_path, current_path] = args else {
+        return Err("bench-compare needs exactly <baseline.json> <current.json>".to_string());
+    };
+    let read = |path: &str| -> Result<gcs_scenarios::BenchArtifact, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        gcs_scenarios::bench::read_bench(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let baseline = read(baseline_path)?;
+    let current = read(current_path)?;
+    let report = gcs_scenarios::bench::compare_counters(&baseline, &current);
+    println!("{}", report.table);
+    if report.passed() {
+        println!(
+            "ok: {} entr(ies) counter-identical to {baseline_path}",
+            baseline.entries.len()
+        );
+        Ok(())
+    } else {
+        for f in &report.findings {
+            if f.baseline == u64::MAX {
+                eprintln!("MISMATCH {} seed {}: {}", f.scenario, f.seed, f.counter);
+            } else {
+                eprintln!(
+                    "MISMATCH {} seed {}: {} {} -> {}",
+                    f.scenario, f.seed, f.counter, f.baseline, f.current
+                );
+            }
+        }
+        Err(format!(
+            "{} counter mismatch(es) — the engine's deterministic behaviour changed; \
+             refresh the checked-in BENCH artifact if this is intentional",
+            report.findings.len()
+        ))
+    }
+}
+
+/// Runs the conformance oracles over the whole registry.
+fn cmd_conformance(args: &[String]) -> Result<(), String> {
+    let mut target = "all".to_string();
+    let mut seeds_n = 2u64;
+    let mut scale = Scale::Tiny;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                seeds_n = positive_flag(args, i, "--seeds")?;
+                i += 2;
+            }
+            "--scale" => {
+                scale = scale_flag(args, i)?;
+                i += 2;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
+            other => {
+                target = other.to_string();
+                i += 1;
+            }
+        }
+    }
+    let (title, specs) = resolve_specs(&target)?;
+    let specs: Vec<ScenarioSpec> = specs.iter().map(|s| s.scaled(scale)).collect();
+    let seeds: Vec<u64> = (0..seeds_n).collect();
+    println!(
+        "conformance {title:?}: {} scenario(s) x {} seed(s), scale {} — checking every \
+         sampled snapshot against the Theorem 5.6 / 5.22 bounds",
+        specs.len(),
+        seeds.len(),
+        scale.name()
+    );
+    let started = std::time::Instant::now();
+    let rows =
+        gcs_scenarios::conformance::run_conformance(&specs, &seeds).map_err(|e| e.to_string())?;
+    println!("\n{}", gcs_scenarios::conformance::conformance_table(&rows));
+    let violations = gcs_scenarios::conformance::violations(&rows);
+    println!(
+        "{} run(s) in {:.1}s",
+        rows.len(),
+        started.elapsed().as_secs_f64()
+    );
+    if violations.is_empty() {
+        println!("ok: every run conforms to the paper bounds");
+        Ok(())
+    } else {
+        for (name, seed, lines) in &violations {
+            for line in lines {
+                eprintln!("VIOLATION {name} seed {seed}: {line}");
+            }
+        }
+        // The full per-run breakdown helps localize the failure.
+        for row in rows.iter().filter(|r| !r.report.is_conformant()) {
+            eprintln!(
+                "\n{} seed {}:\n{}",
+                row.name,
+                row.seed,
+                row.report.to_table()
+            );
+        }
+        Err(format!(
+            "{} run(s) violated a paper bound",
+            violations.len()
+        ))
+    }
+}
+
 /// Resolves a `run`/`bench` target into a title and spec list: `all`
 /// (campaign set for `run`, whole registry for `bench` — both routes pass
 /// through here with `all` meaning "everything the command sweeps"), a
@@ -376,7 +504,13 @@ fn cmd_baseline(args: &[String]) -> Result<(), String> {
         }
     }
     let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
-    let summary = trend::read_summary(&text).map_err(|e| format!("{input}: {e}"))?;
+    let mut summary = trend::read_summary(&text).map_err(|e| format!("{input}: {e}"))?;
+    if summary.tolerances.is_empty() {
+        // Pin the default per-scenario tolerance table alongside the
+        // stats: tight for deterministic scenarios, loose for
+        // seed-realized random families. Hand-tune the file if needed.
+        summary.tolerances = trend::default_tolerances(&summary);
+    }
     let baseline = trend::baseline_json(&summary);
     match out {
         None => print!("{baseline}"),

@@ -10,9 +10,11 @@
 //! * [`net`] — dynamic estimate graphs, topologies, churn schedules, transport
 //! * [`core`] — the `A_OPT` algorithm, its parameters, and the simulation driver
 //! * [`baselines`] — comparison policies (max-flood, single-level blocking)
-//! * [`analysis`] — skew metrics, gradient-legality checking, reporting
+//! * [`analysis`] — skew metrics, gradient-legality checking, the
+//!   paper-bound conformance oracles, reporting
 //! * [`scenarios`] — declarative scenarios: the `.scn` format, the named
-//!   registry, and the campaign runner (see also the `gcs-scenarios` CLI)
+//!   registry, the campaign runner, and the conformance/trend/bench gates
+//!   (see also the `gcs-scenarios` CLI)
 //!
 //! # Quickstart
 //!
@@ -45,7 +47,8 @@ pub use gcs_sim as sim;
 pub mod prelude {
     pub use gcs_analysis::{
         gradient_bound, kappa_diameter, local_skew, skew_profile, weighted_skew_profile,
-        GradientChecker, LegalityReport, Table,
+        ConformanceChecker, ConformanceReport, GradientChecker, LegalityReport, OracleConfig,
+        Table,
     };
     pub use gcs_baselines::{MaxOnlyPolicy, SingleLevelPolicy};
     pub use gcs_core::{

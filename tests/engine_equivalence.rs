@@ -19,17 +19,21 @@
 //! additionally cross-check every skipped node against the reference
 //! decision on every tick, so the whole test suite hammers claim 1.)
 
+use gradient_clock_sync::analysis::oracle::ConformanceChecker;
 use gradient_clock_sync::core::{ClockSnapshot, SimStats, Simulation};
-use gradient_clock_sync::scenarios::{registry, FaultSpec, Scale, ScenarioSpec};
+use gradient_clock_sync::scenarios::campaign::drive_sampled;
+use gradient_clock_sync::scenarios::{registry, Scale, ScenarioSpec};
 
-/// The scenario grid: ≥ 4 registry scenarios covering the engine's
-/// distinct input regimes.
+/// The scenario grid: registry scenarios covering the engine's distinct
+/// input regimes.
 fn grid() -> Vec<ScenarioSpec> {
     [
         "ring-steady",    // static ring, oracle estimates, alternating drift
         "line-worstcase", // the two-block worst case
         "torus-messages", // message-borne estimates (dead reckoning)
         "churn-storm",    // edge churn: handshakes, drops, removals
+        "churn-burst",    // correlated bursts: mass simultaneous re-insertion
+        "byzantine-est",  // adversarial hiding estimates + corruption script
         "drift-flip",     // scheduled rate changes + adversarial hiding
         "self-heal",      // scripted clock corruption mid-run
     ]
@@ -39,32 +43,22 @@ fn grid() -> Vec<ScenarioSpec> {
 }
 
 /// Drives one configured simulation over the scenario's observation grid
-/// (replaying scripted faults at their exact instants) and snapshots at
-/// every sample.
+/// (replaying scripted faults at their exact instants, via the same
+/// [`drive_sampled`] loop the campaign and conformance runners use) and
+/// snapshots at every sample.
 fn drive(spec: &ScenarioSpec, seed: u64, configure: impl Fn(&mut Simulation)) -> Run {
     let mut sim = spec.build(seed).expect("spec builds");
     configure(&mut sim);
-    let mut faults = spec.faults.clone();
-    faults.sort_by(|a, b| a.at().total_cmp(&b.at()));
-    let mut next_fault = 0usize;
-    let end = spec.end_secs();
     let mut snapshots = Vec::new();
-    let mut k = 0u64;
-    loop {
-        let t = (k as f64 * spec.sample).min(end);
-        while next_fault < faults.len() && faults[next_fault].at() <= t {
-            let FaultSpec::ClockOffset { at, node, amount } = faults[next_fault];
-            sim.run_until_secs(at);
-            sim.inject_clock_offset(gradient_clock_sync::net::NodeId::from(node), amount);
-            next_fault += 1;
-        }
-        sim.run_until_secs(t);
-        snapshots.push(sim.snapshot());
-        if t >= end - 1e-12 {
-            break;
-        }
-        k += 1;
-    }
+    drive_sampled(
+        &mut sim,
+        &spec.faults,
+        spec.sample,
+        spec.end_secs(),
+        |_, sim| {
+            snapshots.push(sim.snapshot());
+        },
+    );
     Run {
         snapshots,
         stats: sim.stats(),
@@ -150,6 +144,68 @@ fn lazy_advancement_matches_eager_advance_all() {
             let lazy = drive(&spec, seed, |_| {});
             let eager = drive(&spec, seed, |sim| sim.set_eager_advancement(true));
             assert_bit_identical("lazy vs eager advancement", &spec, seed, &lazy, &eager);
+        }
+    }
+}
+
+/// Drives one configured simulation with a [`ConformanceChecker`]
+/// observing every sample, returning the finished report.
+fn drive_conformance(
+    spec: &ScenarioSpec,
+    seed: u64,
+    configure: impl Fn(&mut Simulation),
+) -> gradient_clock_sync::analysis::ConformanceReport {
+    let mut sim = spec.build(seed).expect("spec builds");
+    configure(&mut sim);
+    let mut checker = ConformanceChecker::new(&sim, spec.sample);
+    drive_sampled(
+        &mut sim,
+        &spec.faults,
+        spec.sample,
+        spec.end_secs(),
+        |_, sim| {
+            checker.observe(sim);
+        },
+    );
+    checker.finish()
+}
+
+#[test]
+fn conformance_reports_are_bit_identical_across_engines() {
+    // The conformance oracle reads clocks, levels, effective weights, and
+    // the realized change log — every one of which the incremental engine
+    // claims to reproduce bit-for-bit. So the *whole report* (margins,
+    // utilizations, per-hop classes, fault replay counts) must come out
+    // identical between the dirty-set engine and the full reference pass,
+    // on the two new fault-heavy scenarios in particular.
+    for name in ["churn-burst", "byzantine-est"] {
+        let spec = registry::find(name).expect("built-in").scaled(Scale::Tiny);
+        for seed in 0..3u64 {
+            let incremental = drive_conformance(&spec, seed, |_| {});
+            let reference = drive_conformance(&spec, seed, |sim| {
+                sim.set_full_reevaluation(true);
+                sim.set_eager_advancement(true);
+            });
+            assert_eq!(
+                incremental, reference,
+                "{name} seed {seed}: conformance report diverged between engines"
+            );
+            assert!(
+                incremental.is_conformant(),
+                "{name} seed {seed}: {:?}",
+                incremental.violations()
+            );
+            if name == "byzantine-est" {
+                assert_eq!(
+                    incremental.faults_seen, 3,
+                    "{name}: corruption script replayed"
+                );
+            } else {
+                assert!(
+                    incremental.insertions_seen > 0 && incremental.removals_seen > 0,
+                    "{name}: bursts must appear in the realized change log"
+                );
+            }
         }
     }
 }
