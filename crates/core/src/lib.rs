@@ -44,7 +44,9 @@ pub mod edge_state;
 mod estimate;
 pub mod log;
 pub mod node;
+mod parallel;
 mod params;
+mod shard;
 mod sim;
 mod snapshot;
 pub mod triggers;
@@ -53,6 +55,7 @@ pub use diameter::DiameterTracker;
 pub use log::{EventLog, LogEntry};
 
 pub use estimate::{ErrorModel, EstimateMode};
+pub use parallel::{Engine, ParallelBuildError, ParallelSimBuilder, ParallelSimulation, Partition};
 pub use params::{InsertionStrategy, Params, ParamsBuilder, ParamsError};
 pub use sim::{BuildError, ChangeRecord, EdgeInfo, SimBuilder, SimStats, Simulation};
 pub use snapshot::{ClockSnapshot, Trace};

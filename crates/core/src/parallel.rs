@@ -1,0 +1,652 @@
+//! The parallel sharded engine: conservative lookahead simulation that is
+//! bit-identical to the sequential [`Simulation`].
+//!
+//! # Model-derived lookahead
+//!
+//! The paper's network model (§3.1) guarantees every message spends at
+//! least the edge's minimum transit latency in flight. The smallest
+//! `delay_min` over the scenario's edge universe is therefore a *lookahead
+//! bound*: an event executed at time `s` cannot affect another shard
+//! before `s + lookahead`. That is exactly the window width a conservative
+//! parallel discrete-event simulator needs — no optimism, no rollback.
+//!
+//! # Architecture
+//!
+//! Nodes are partitioned into contiguous-ID shards ([`Partition`]). Each
+//! shard owns a calendar [`EventQueue`] holding every node-local event
+//! (floods, deliveries, rate changes, handshake timers) of its nodes, a
+//! namespaced sequence counter, and private scratch. The master
+//! [`Simulation`] keeps only the cross-shard-state events — ticks and
+//! scripted edge transitions — plus all shared read-only state.
+//!
+//! [`ParallelSimulation::run_until`] advances in segments bounded by
+//! `cut = min(target, next master event, earliest shard event + window)`.
+//! Within a segment, worker threads drain their shard's events `≤ cut`
+//! (clean `split_at_mut` borrows of the node array and hot columns — no
+//! locks, no `unsafe`), exchanging cross-shard deliveries through
+//! mailboxes at round barriers; then the master executes its events at
+//! `cut` sequentially (mode re-evaluation sweeps, edge up/down), routing
+//! any node-local events they spawn back to the owning shard.
+//!
+//! # Why the merged order is the sequential order
+//!
+//! - Routed events keep their original `(time, seq)` keys, and all
+//!   shard-spawned events draw keys from per-shard counters namespaced
+//!   above every build-time key, so the merged key order is a pure
+//!   function of the simulation — never of thread scheduling.
+//! - Capping `cut` at the next master event time means master events only
+//!   ever execute at `time == cut`, after every shard event `≤ cut`: the
+//!   sequential engine interleaves them the same way because build-time
+//!   keys order scripted events before the tick chain, and dynamic shard
+//!   events collide with master times only on a measure-zero set.
+//! - Cross-shard deliveries land at `≥ cut` by the lookahead bound, so no
+//!   shard ever receives an event earlier than something it already ran.
+//! - Same-instant deliveries to one node (a flood fan-out over
+//!   equal-latency edges) commute: bound merges are max/min operations and
+//!   per-sender estimate slots are disjoint.
+//!
+//! The equivalence test grid (scenarios × shard counts × partitioners)
+//! enforces all of this bit-for-bit, counters included.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+
+use gcs_net::{DynamicGraph, EdgeKey, EdgeParams, NodeId};
+use gcs_sim::{EventQueue, SimTime};
+
+use crate::node::NodeState;
+use crate::params::Params;
+use crate::shard::{balanced_ranges, contiguous_ranges, owner, owning_node, LocalCtx, ShardSink};
+use crate::sim::{BuildError, EdgeInfo, Event, SimBuilder, SimStats, Simulation};
+
+/// Shard-spawned events take sequence keys from per-shard counters
+/// namespaced above this bit, keeping them disjoint from build-time keys
+/// (small integers) and from every other shard.
+const SEQ_NAMESPACE_SHIFT: u32 = 48;
+
+/// How the node set is split into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Partition {
+    /// Contiguous ID blocks of (nearly) equal node count.
+    #[default]
+    Contiguous,
+    /// Contiguous ID blocks balanced by node degree in the scenario's
+    /// edge universe — better load balance when degree is skewed (the
+    /// per-node event rate is roughly proportional to degree).
+    DegreeBalanced,
+}
+
+/// Why [`ParallelSimBuilder::build`] refused to construct an engine.
+#[derive(Debug)]
+pub enum ParallelBuildError {
+    /// The underlying sequential build failed.
+    Build(BuildError),
+    /// Diameter tracking observes every delivery globally and is only
+    /// supported on the sequential engine.
+    DiameterTrackingUnsupported,
+    /// The structured event log requires a globally ordered append stream
+    /// and is only supported on the sequential engine.
+    EventLogUnsupported,
+    /// The scenario's minimum transit latency is zero (or there are no
+    /// edges with positive `delay_min`), so no conservative window exists
+    /// for more than one shard.
+    NoLookahead,
+    /// A window override exceeded the model-derived lookahead bound.
+    ///
+    /// A window wider than the minimum transit latency would let a
+    /// cross-shard message land inside an already-drained window —
+    /// conservative synchronization is unsound past that bound, so the
+    /// builder rejects it at construction.
+    WindowTooWide {
+        /// The requested window (seconds).
+        requested: f64,
+        /// The largest sound window: the scenario's minimum `delay_min`.
+        max: f64,
+    },
+}
+
+impl std::fmt::Display for ParallelBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelBuildError::Build(e) => write!(f, "{e}"),
+            ParallelBuildError::DiameterTrackingUnsupported => {
+                f.write_str("diameter tracking is only supported on the sequential engine")
+            }
+            ParallelBuildError::EventLogUnsupported => {
+                f.write_str("the structured event log is only supported on the sequential engine")
+            }
+            ParallelBuildError::NoLookahead => f.write_str(
+                "scenario has no positive minimum transit latency: no conservative window exists",
+            ),
+            ParallelBuildError::WindowTooWide { requested, max } => write!(
+                f,
+                "window {requested} exceeds the lookahead bound {max} (minimum transit latency)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParallelBuildError {}
+
+impl From<BuildError> for ParallelBuildError {
+    fn from(e: BuildError) -> Self {
+        ParallelBuildError::Build(e)
+    }
+}
+
+/// Builder for [`ParallelSimulation`]: wraps a fully configured
+/// [`SimBuilder`] and adds the sharding knobs.
+#[derive(Debug)]
+pub struct ParallelSimBuilder {
+    inner: SimBuilder,
+    shards: usize,
+    partition: Partition,
+    window_override: Option<f64>,
+}
+
+impl ParallelSimBuilder {
+    /// Wraps a configured sequential builder. Defaults: 1 shard,
+    /// contiguous partition, model-derived window.
+    #[must_use]
+    pub fn new(inner: SimBuilder) -> Self {
+        ParallelSimBuilder {
+            inner,
+            shards: 1,
+            partition: Partition::Contiguous,
+            window_override: None,
+        }
+    }
+
+    /// Number of shards (worker parallelism). Clamped to the node count
+    /// at build time.
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Partitioning strategy.
+    #[must_use]
+    pub fn partition(mut self, p: Partition) -> Self {
+        self.partition = p;
+        self
+    }
+
+    /// Overrides the synchronization window width (seconds).
+    ///
+    /// Only narrowing is allowed: build fails with
+    /// [`ParallelBuildError::WindowTooWide`] if the override exceeds the
+    /// scenario's minimum transit latency, because a wider window is not
+    /// a conservative lookahead and would break determinism.
+    #[must_use]
+    pub fn lookahead_override(mut self, window: f64) -> Self {
+        self.window_override = Some(window);
+        self
+    }
+
+    /// Builds the sharded engine.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SimBuilder::build`] rejects, plus the parallel-only
+    /// conditions documented on [`ParallelBuildError`].
+    pub fn build(self) -> Result<ParallelSimulation, ParallelBuildError> {
+        if self.inner.track_diameter {
+            return Err(ParallelBuildError::DiameterTrackingUnsupported);
+        }
+        if self.inner.log_capacity > 0 {
+            return Err(ParallelBuildError::EventLogUnsupported);
+        }
+        let mut sim = self.inner.build()?;
+        let n = sim.nodes.len();
+        let shards = self.shards.min(n);
+
+        // Model-derived lookahead: the smallest minimum transit latency
+        // over the scenario's whole edge universe (§3.1 lower bound).
+        let lookahead = sim
+            .edge_info
+            .values()
+            .map(|info| info.params.delay_min)
+            .fold(f64::INFINITY, f64::min);
+        let window = match self.window_override {
+            Some(w) if w > lookahead => {
+                return Err(ParallelBuildError::WindowTooWide {
+                    requested: w,
+                    max: lookahead,
+                });
+            }
+            Some(w) => w,
+            None => lookahead,
+        };
+        let window = if shards == 1 { f64::INFINITY } else { window };
+        if window.is_nan() || window <= 0.0 {
+            return Err(ParallelBuildError::NoLookahead);
+        }
+
+        let ranges = match self.partition {
+            Partition::Contiguous => contiguous_ranges(n, shards),
+            Partition::DegreeBalanced => {
+                let mut degree = vec![0u64; n];
+                for key in sim.edge_info.keys() {
+                    degree[key.lo().index()] += 1;
+                    degree[key.hi().index()] += 1;
+                }
+                balanced_ranges(&degree, shards)
+            }
+        };
+        let starts: Vec<usize> = ranges.iter().map(|r| r.start).collect();
+        let mut shard_states: Vec<Shard> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, range)| Shard {
+                index: i,
+                range,
+                queue: EventQueue::new(),
+                seq: (i as u64 + 1) << SEQ_NAMESPACE_SHIFT,
+                stats: SimStats::default(),
+                flood_buf: Vec::new(),
+                outbox: Vec::new(),
+            })
+            .collect();
+
+        // Deal the build-time events out by owner, preserving their
+        // original (time, seq) keys: the master keeps ticks and scripted
+        // edge transitions; each shard gets its nodes' local events.
+        let mut master: EventQueue<Event> = EventQueue::new();
+        let mut built = std::mem::replace(&mut sim.queue, EventQueue::new());
+        while let Some((t, seq, ev)) = built.pop_keyed() {
+            match owning_node(&ev) {
+                None => master.schedule_keyed(t, seq, ev),
+                Some(u) => shard_states[owner(&starts, u)]
+                    .queue
+                    .schedule_keyed(t, seq, ev),
+            }
+        }
+        sim.queue = master;
+        // Arm the redirect seam: node-local events spawned by master-side
+        // handlers now surface in `sim.redirect` for routing.
+        sim.redirect = Some(Vec::new());
+
+        Ok(ParallelSimulation {
+            sim,
+            shards: shard_states,
+            starts,
+            window,
+        })
+    }
+}
+
+/// One shard: a contiguous node range, its event queue, its namespaced
+/// sequence counter, and private scratch.
+#[derive(Debug)]
+struct Shard {
+    index: usize,
+    range: Range<usize>,
+    queue: EventQueue<Event>,
+    seq: u64,
+    stats: SimStats,
+    flood_buf: Vec<(NodeId, EdgeParams)>,
+    outbox: Vec<(usize, SimTime, u64, Event)>,
+}
+
+/// Read-only state shared by all workers during a drain round.
+struct SharedCtx<'a> {
+    params: &'a Params,
+    message_mode: bool,
+    edge_info: &'a HashMap<EdgeKey, EdgeInfo>,
+    graph: &'a DynamicGraph,
+    refresh: f64,
+    starts: &'a [usize],
+}
+
+/// One worker's disjoint mutable state for a drain round: its shard plus
+/// the matching slices of the node array and hot columns.
+struct Work<'a> {
+    shard: &'a mut Shard,
+    nodes: &'a mut [NodeState],
+    stable_until: &'a mut [f64],
+    m_jump_sensitive: &'a mut [bool],
+    delay_rng: &'a mut [StdRng],
+}
+
+/// Splits one column into per-shard `&mut` slices along `ranges`
+/// (contiguous, ascending, starting at 0).
+fn split_ranges<'a, T>(mut rest: &'a mut [T], ranges: &[Range<usize>]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut offset = 0;
+    for r in ranges {
+        let (head, tail) = rest.split_at_mut(r.end - offset);
+        out.push(head);
+        rest = tail;
+        offset = r.end;
+    }
+    out
+}
+
+/// Drains every event `≤ cut` from one shard, running the shared
+/// node-local handlers with a [`ShardSink`]. Runs on a worker thread.
+fn drain_one(work: Work<'_>, shared: &SharedCtx<'_>, cut: SimTime) {
+    let Work {
+        shard,
+        nodes,
+        stable_until,
+        m_jump_sensitive,
+        delay_rng,
+    } = work;
+    let Shard {
+        index,
+        range,
+        queue,
+        seq,
+        stats,
+        flood_buf,
+        outbox,
+    } = shard;
+    loop {
+        match queue.next_time() {
+            Some(t) if t <= cut => {}
+            _ => break,
+        }
+        let (t, _seq, ev) = queue.pop_keyed().expect("peeked");
+        stats.events += 1;
+        let mut sink = ShardSink {
+            queue: &mut *queue,
+            starts: shared.starts,
+            shard: *index,
+            seq: &mut *seq,
+            outbox: &mut *outbox,
+        };
+        let mut ctx = LocalCtx {
+            range: range.clone(),
+            nodes: &mut *nodes,
+            stable_until: &mut *stable_until,
+            m_jump_sensitive: &mut *m_jump_sensitive,
+            delay_rng: &mut *delay_rng,
+            stats: &mut *stats,
+            sink: &mut sink,
+            flood_buf: &mut *flood_buf,
+            params: shared.params,
+            message_mode: shared.message_mode,
+            edge_info: shared.edge_info,
+            graph: shared.graph,
+            diameter: None,
+            log: None,
+            refresh: shared.refresh,
+        };
+        ctx.handle(t, ev);
+    }
+}
+
+/// The sharded engine. Observation goes through `Deref<Target =
+/// Simulation>`: snapshots, change log, stats, and node accessors all
+/// read the master state, which is fully synchronized whenever no
+/// `run_until` call is in progress.
+#[derive(Debug)]
+pub struct ParallelSimulation {
+    sim: Simulation,
+    shards: Vec<Shard>,
+    starts: Vec<usize>,
+    window: f64,
+}
+
+impl std::ops::Deref for ParallelSimulation {
+    type Target = Simulation;
+
+    fn deref(&self) -> &Simulation {
+        &self.sim
+    }
+}
+
+impl ParallelSimulation {
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The synchronization window width in seconds (`INFINITY` for a
+    /// single shard, which needs no cross-shard rendezvous).
+    #[must_use]
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// Runs until simulated time `t` (inclusive), bit-identically to
+    /// [`Simulation::run_until`] on the same configuration and seed.
+    pub fn run_until(&mut self, target: SimTime) {
+        assert!(target >= self.sim.now, "cannot run backwards to {target:?}");
+        loop {
+            // Conservative segment bound: nothing at or before `cut` can
+            // still be affected by an unexecuted event elsewhere.
+            let master_next = self.sim.queue.next_time();
+            let earliest = self
+                .shards
+                .iter_mut()
+                .filter_map(|s| s.queue.next_time())
+                .fold(None, |acc: Option<SimTime>, t| {
+                    Some(acc.map_or(t, |a| a.min(t)))
+                });
+            let mut cut = target;
+            if let Some(m) = master_next {
+                cut = cut.min(m);
+            }
+            if self.window.is_finite() {
+                if let Some(e) = earliest {
+                    cut = cut.min(SimTime::from_secs(e.as_secs() + self.window));
+                }
+            }
+
+            // 1. Shard events ≤ cut, in parallel.
+            self.drain_shards(cut);
+            // 2. Master events at cut (cut is capped at the next master
+            //    event, so everything it pops is exactly at cut), after
+            //    every shard event ≤ cut — matching the sequential key
+            //    order (see module docs).
+            loop {
+                match self.sim.queue.next_time() {
+                    Some(t) if t <= cut => {}
+                    _ => break,
+                }
+                let (when, ev) = self.sim.queue.pop().expect("peeked");
+                self.sim.now = when;
+                self.sim.stats.events += 1;
+                self.sim.handle(when, ev);
+            }
+            // 3. Node-local events the master spawned (leader checks from
+            //    edge-ups) go to their owners; drain again if any landed
+            //    inside this segment.
+            if self.route_redirects(cut) {
+                self.drain_shards(cut);
+            }
+            if cut >= target {
+                break;
+            }
+            self.sim.now = cut;
+        }
+        self.sim.now = target;
+        self.merge_stats();
+        self.sim.advance_all(target);
+    }
+
+    /// [`run_until`](ParallelSimulation::run_until) with a plain seconds
+    /// argument.
+    pub fn run_until_secs(&mut self, secs: f64) {
+        self.run_until(SimTime::from_secs(secs));
+    }
+
+    /// Injects a clock fault (see [`Simulation::inject_clock_offset`]).
+    /// Shards are quiescent between `run_until` calls, so the master may
+    /// mutate node state directly.
+    pub fn inject_clock_offset(&mut self, u: NodeId, offset: f64) {
+        self.sim.inject_clock_offset(u, offset);
+    }
+
+    /// Runs drain rounds until every shard's next event is after `cut`:
+    /// each round drains all shards in parallel, then exchanges mailbox
+    /// deliveries at the barrier; only an exchanged event landing `≤ cut`
+    /// (possible exactly at the lookahead bound on zero-jitter edges)
+    /// forces another round.
+    fn drain_shards(&mut self, cut: SimTime) {
+        loop {
+            let active: Vec<bool> = self
+                .shards
+                .iter_mut()
+                .map(|s| matches!(s.queue.next_time(), Some(t) if t <= cut))
+                .collect();
+            if !active.iter().any(|&a| a) {
+                return;
+            }
+            self.drain_round(&active, cut);
+            // Barrier: exchange cross-shard deliveries.
+            let mut moved: Vec<(usize, SimTime, u64, Event)> = Vec::new();
+            for s in &mut self.shards {
+                moved.append(&mut s.outbox);
+            }
+            let mut exchanged_in_window = false;
+            for (dest, t, seq, ev) in moved {
+                exchanged_in_window |= t <= cut;
+                self.shards[dest].queue.schedule_keyed(t, seq, ev);
+            }
+            if !exchanged_in_window {
+                return;
+            }
+        }
+    }
+
+    /// One parallel round: every active shard drains on its own thread
+    /// (the first active one on the calling thread), with disjoint
+    /// `split_at_mut` borrows of the node array and hot columns.
+    fn drain_round(&mut self, active: &[bool], cut: SimTime) {
+        let sim = &mut self.sim;
+        let shared = SharedCtx {
+            params: &sim.params,
+            message_mode: matches!(sim.mode, crate::EstimateMode::Messages),
+            edge_info: &sim.edge_info,
+            graph: &sim.graph,
+            refresh: sim.refresh,
+            starts: &self.starts,
+        };
+        let ranges: Vec<Range<usize>> = self.shards.iter().map(|s| s.range.clone()).collect();
+        let node_cols = split_ranges(&mut sim.nodes, &ranges);
+        let su_cols = split_ranges(&mut sim.hot.stable_until, &ranges);
+        let mj_cols = split_ranges(&mut sim.hot.m_jump_sensitive, &ranges);
+        let dr_cols = split_ranges(&mut sim.hot.delay_rng, &ranges);
+        let mut works: Vec<Option<Work<'_>>> = Vec::with_capacity(self.shards.len());
+        for ((((shard, nodes), stable_until), m_jump_sensitive), delay_rng) in self
+            .shards
+            .iter_mut()
+            .zip(node_cols)
+            .zip(su_cols)
+            .zip(mj_cols)
+            .zip(dr_cols)
+        {
+            let is_active = active[shard.index];
+            let w = Work {
+                shard,
+                nodes,
+                stable_until,
+                m_jump_sensitive,
+                delay_rng,
+            };
+            works.push(is_active.then_some(w));
+        }
+        let mut iter = works.into_iter().flatten();
+        let first = iter.next().expect("at least one active shard");
+        let rest: Vec<Work<'_>> = iter.collect();
+        if rest.is_empty() {
+            drain_one(first, &shared, cut);
+        } else {
+            let shared = &shared;
+            std::thread::scope(|scope| {
+                for w in rest {
+                    scope.spawn(move || drain_one(w, shared, cut));
+                }
+                drain_one(first, shared, cut);
+            });
+        }
+    }
+
+    /// Routes master-spawned node-local events to their owning shards
+    /// with owner-namespaced keys, in spawn order. Returns whether any
+    /// landed at or before `cut`.
+    fn route_redirects(&mut self, cut: SimTime) -> bool {
+        let buf = self
+            .sim
+            .redirect
+            .as_mut()
+            .expect("parallel engine always arms the redirect seam");
+        if buf.is_empty() {
+            return false;
+        }
+        let drained: Vec<(SimTime, Event)> = std::mem::take(buf);
+        let mut in_window = false;
+        for (t, ev) in drained {
+            let u = owning_node(&ev).expect("redirected events are node-local");
+            let shard = &mut self.shards[owner(&self.starts, u)];
+            let seq = shard.seq;
+            shard.seq += 1;
+            shard.queue.schedule_keyed(t, seq, ev);
+            in_window |= t <= cut;
+        }
+        in_window
+    }
+
+    /// Folds every shard's counters into the master stats (shard
+    /// accumulators reset to zero), so the `Deref`'d
+    /// [`Simulation::stats`] is exact at every observation point.
+    fn merge_stats(&mut self) {
+        for s in &mut self.shards {
+            let st = std::mem::take(&mut s.stats);
+            let total = &mut self.sim.stats;
+            total.messages_sent += st.messages_sent;
+            total.messages_delivered += st.messages_delivered;
+            total.messages_dropped += st.messages_dropped;
+            total.ticks += st.ticks;
+            total.events += st.events;
+            total.mode_evaluations += st.mode_evaluations;
+            total.handshakes_offered += st.handshakes_offered;
+            total.insertions_scheduled += st.insertions_scheduled;
+        }
+    }
+}
+
+/// A uniform driving interface over the sequential and sharded engines,
+/// so campaign/bench/conformance code is generic in which one it runs.
+pub trait Engine {
+    /// Runs until `secs` simulated seconds (inclusive).
+    fn run_until_secs(&mut self, secs: f64);
+    /// Injects a clock fault at the current instant.
+    fn inject_clock_offset(&mut self, u: NodeId, offset: f64);
+    /// The master simulation state, for observation.
+    fn as_sim(&self) -> &Simulation;
+}
+
+impl Engine for Simulation {
+    fn run_until_secs(&mut self, secs: f64) {
+        Simulation::run_until_secs(self, secs);
+    }
+
+    fn inject_clock_offset(&mut self, u: NodeId, offset: f64) {
+        Simulation::inject_clock_offset(self, u, offset);
+    }
+
+    fn as_sim(&self) -> &Simulation {
+        self
+    }
+}
+
+impl Engine for ParallelSimulation {
+    fn run_until_secs(&mut self, secs: f64) {
+        ParallelSimulation::run_until_secs(self, secs);
+    }
+
+    fn inject_clock_offset(&mut self, u: NodeId, offset: f64) {
+        ParallelSimulation::inject_clock_offset(self, u, offset);
+    }
+
+    fn as_sim(&self) -> &Simulation {
+        self
+    }
+}

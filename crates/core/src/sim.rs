@@ -44,11 +44,12 @@ use gcs_net::{
 };
 use gcs_sim::{rng, DriftModel, EventQueue, SimDuration, SimTime};
 
-use crate::edge_state::{align_t0, EdgeSlot, EstimateEntry, InsertState, Level};
+use crate::edge_state::{EdgeSlot, InsertState, Level};
 use crate::estimate::EstimateMode;
 use crate::node::{NeighborEntry, NodeState};
 use crate::params::InsertionStrategy;
 use crate::params::Params;
+use crate::shard::LocalCtx;
 use crate::snapshot::ClockSnapshot;
 use crate::triggers::{
     fast_trigger, slow_trigger, AoptPolicy, Mode, ModePolicy, NeighborView, NodeView,
@@ -69,7 +70,7 @@ pub struct EdgeInfo {
 
 /// Message bodies exchanged by nodes.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Payload {
+pub(crate) enum Payload {
     /// Periodic flood: clock sample plus the three network-wide bounds.
     Flood {
         logical: f64,
@@ -82,8 +83,12 @@ enum Payload {
 }
 
 /// Engine events.
+///
+/// Crate-visible because the sharded engine
+/// ([`ParallelSimulation`](crate::ParallelSimulation)) routes these
+/// between per-shard queues; the variants stay out of the public API.
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     Tick,
     Flood {
         node: NodeId,
@@ -258,8 +263,10 @@ pub struct SimBuilder {
     policy: Option<Box<dyn ModePolicy>>,
     seed: u64,
     horizon: f64,
-    track_diameter: bool,
-    log_capacity: usize,
+    // Crate-visible so the parallel builder can reject configurations the
+    // sharded engine does not support before building.
+    pub(crate) track_diameter: bool,
+    pub(crate) log_capacity: usize,
 }
 
 impl SimBuilder {
@@ -489,7 +496,6 @@ impl SimBuilder {
             tick,
             refresh,
             now: SimTime::ZERO,
-            delay_rng: rng::stream(self.seed, "delay", 0),
             bias_rng: rng::stream(self.seed, "oracle-bias", 1),
             gen_counter: 0,
             stats: SimStats::default(),
@@ -500,12 +506,18 @@ impl SimBuilder {
                 .then(|| crate::log::EventLog::with_capacity(self.log_capacity)),
             fault_injected: false,
             changes: Vec::new(),
-            stable_until: vec![f64::NEG_INFINITY; n],
-            m_jump_sensitive: vec![true; n],
+            hot: HotColumns {
+                stable_until: vec![f64::NEG_INFINITY; n],
+                m_jump_sensitive: vec![true; n],
+                delay_rng: (0..n)
+                    .map(|i| rng::stream(self.seed, "delay", i as u64))
+                    .collect(),
+            },
             certs_enabled,
             full_reevaluation: false,
             eager_advance: false,
             scratch: Scratch::default(),
+            redirect: None,
         };
         for &(u, v) in &initial {
             graph.insert_directed(u, v, SimTime::ZERO);
@@ -558,20 +570,19 @@ impl SimBuilder {
 /// [`node`]: Simulation::node
 #[derive(Debug)]
 pub struct Simulation {
-    params: Params,
+    pub(crate) params: Params,
     policy: Box<dyn ModePolicy>,
-    mode: EstimateMode,
-    graph: DynamicGraph,
-    nodes: Vec<NodeState>,
-    queue: EventQueue<Event>,
-    edge_info: HashMap<EdgeKey, EdgeInfo>,
+    pub(crate) mode: EstimateMode,
+    pub(crate) graph: DynamicGraph,
+    pub(crate) nodes: Vec<NodeState>,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) edge_info: HashMap<EdgeKey, EdgeInfo>,
     tick: f64,
-    refresh: f64,
-    now: SimTime,
-    delay_rng: StdRng,
+    pub(crate) refresh: f64,
+    pub(crate) now: SimTime,
     bias_rng: StdRng,
     gen_counter: u64,
-    stats: SimStats,
+    pub(crate) stats: SimStats,
     diameter: Option<crate::diameter::DiameterTracker>,
     log: Option<crate::log::EventLog>,
     /// Set once [`Simulation::inject_clock_offset`] has been used: the
@@ -581,17 +592,9 @@ pub struct Simulation {
     /// Realized fault/edge changes, in event order
     /// (see [`Simulation::change_log`]).
     changes: Vec<ChangeRecord>,
-    /// Per node: the instant (seconds) until which the last decision is
-    /// certified stable against pure drift. `NEG_INFINITY` marks the node
-    /// dirty (an event changed a decision input: a delivery that moved `M`
-    /// while sensitive, an estimate update in message mode, a slot change,
-    /// a rate change, a corruption); `INFINITY` means "until the next
-    /// event". One array doubles as dirty set and horizon table, so the
-    /// per-tick selection scan reads a single cache stream.
-    stable_until: Vec<f64>,
-    /// Per node: whether an upward jump of `M_u` (flood merge) can change
-    /// the decision (see `StabilityCert::m_jump_sensitive`).
-    m_jump_sensitive: Vec<bool>,
+    /// Struct-of-arrays layout of the per-node hot state the event path
+    /// touches on every message and tick (see [`HotColumns`]).
+    pub(crate) hot: HotColumns,
     /// Stability certificates apply (staged insertion only).
     certs_enabled: bool,
     /// Verification seam: evaluate every node at every tick.
@@ -599,6 +602,39 @@ pub struct Simulation {
     /// Verification seam: advance every node after every event.
     eager_advance: bool,
     scratch: Scratch,
+    /// Sharding seam: when set, node-local events spawned by
+    /// *master-side* handlers (the leader check an edge-up schedules) are
+    /// diverted here instead of the master queue, so the parallel engine
+    /// can route them to the owning shard. `None` in the sequential
+    /// engine — the plain queue path stays bit-identical.
+    pub(crate) redirect: Option<Vec<(SimTime, Event)>>,
+}
+
+/// Per-node hot state in struct-of-arrays layout, indexed by node id.
+///
+/// These are the columns the per-event and per-tick hot paths touch for
+/// *many* nodes in one sweep: splitting them out of [`NodeState`] keeps
+/// each sweep cache-linear, and (crucially for the sharded engine) each
+/// column splits into disjoint contiguous per-shard `&mut` slices, so
+/// worker threads borrow exactly their shard's rows with no locking.
+#[derive(Debug)]
+pub(crate) struct HotColumns {
+    /// Per node: the instant (seconds) until which the last decision is
+    /// certified stable against pure drift. `NEG_INFINITY` marks the node
+    /// dirty (an event changed a decision input: a delivery that moved `M`
+    /// while sensitive, an estimate update in message mode, a slot change,
+    /// a rate change, a corruption); `INFINITY` means "until the next
+    /// event". One array doubles as dirty set and horizon table, so the
+    /// per-tick selection scan reads a single cache stream.
+    pub stable_until: Vec<f64>,
+    /// Per node: whether an upward jump of `M_u` (flood merge) can change
+    /// the decision (see `StabilityCert::m_jump_sensitive`).
+    pub m_jump_sensitive: Vec<bool>,
+    /// Per node: the transport-delay stream for messages *sent* by this
+    /// node. Per-node streams (rather than one engine-global stream) make
+    /// the draw order a function of the sender's own event order, which
+    /// is identical under sequential and sharded execution.
+    pub delay_rng: Vec<StdRng>,
 }
 
 /// Reusable buffers for the per-tick hot path — the engine allocates
@@ -841,7 +877,7 @@ impl Simulation {
         });
         // Oracle estimates read the corrupted clock directly, so every
         // node's decision inputs may have jumped: drop all certificates.
-        for s in &mut self.stable_until {
+        for s in &mut self.hot.stable_until {
             *s = f64::NEG_INFINITY;
         }
     }
@@ -1049,7 +1085,12 @@ impl Simulation {
     // Event handling
     // ------------------------------------------------------------------
 
-    fn handle(&mut self, t: SimTime, event: Event) {
+    /// Executes one event. Crate-visible: the parallel engine calls this
+    /// for the cross-shard-state events (`Tick`, `EdgeUp`, `EdgeDown`) it
+    /// executes sequentially at rendezvous points; node-local events are
+    /// dispatched through the same [`LocalCtx`] handlers the shard
+    /// workers run, so both engines execute literally identical code.
+    pub(crate) fn handle(&mut self, t: SimTime, event: Event) {
         match event {
             Event::Tick => {
                 self.stats.ticks += 1;
@@ -1057,36 +1098,35 @@ impl Simulation {
                 self.queue
                     .schedule(t + SimDuration::from_secs(self.tick), Event::Tick);
             }
-            Event::Flood { node } => self.on_flood(t, node),
-            Event::Deliver {
-                src,
-                dst,
-                sent_at,
-                payload,
-            } => self.on_deliver(t, src, dst, sent_at, payload),
             Event::EdgeUp { from, to } => self.on_edge_up(t, from, to),
             Event::EdgeDown { from, to } => self.on_edge_down(t, from, to),
-            Event::RateChange { node, rate } => {
-                self.nodes[node].advance_to(t, &self.params);
-                self.nodes[node].set_hw_rate(rate);
-                self.stable_until[node] = f64::NEG_INFINITY;
-            }
-            Event::LeaderCheck {
-                u,
-                v,
-                generation,
-                target_logical,
-            } => self.on_leader_check(t, u, v, generation, target_logical),
-            Event::FollowerApply {
-                u,
-                v,
-                generation,
-                target_logical,
-            } => self.on_follower_apply(t, u, v, generation, target_logical),
+            local => self.local_ctx().handle(t, local),
         }
     }
 
-    fn advance_all(&mut self, t: SimTime) {
+    /// The node-local handler context of the sequential engine: the whole
+    /// node range, with the master queue as the event sink.
+    fn local_ctx(&mut self) -> LocalCtx<'_, EventQueue<Event>> {
+        LocalCtx {
+            range: 0..self.nodes.len(),
+            nodes: &mut self.nodes,
+            stable_until: &mut self.hot.stable_until,
+            m_jump_sensitive: &mut self.hot.m_jump_sensitive,
+            delay_rng: &mut self.hot.delay_rng,
+            stats: &mut self.stats,
+            sink: &mut self.queue,
+            flood_buf: &mut self.scratch.flood,
+            params: &self.params,
+            message_mode: matches!(self.mode, EstimateMode::Messages),
+            edge_info: &self.edge_info,
+            graph: &self.graph,
+            diameter: self.diameter.as_mut(),
+            log: self.log.as_mut(),
+            refresh: self.refresh,
+        }
+    }
+
+    pub(crate) fn advance_all(&mut self, t: SimTime) {
         let Simulation { nodes, params, .. } = self;
         for node in nodes.iter_mut() {
             node.advance_to(t, params);
@@ -1207,7 +1247,7 @@ impl Simulation {
         let mut eval = std::mem::take(&mut self.scratch.eval);
         eval.clear();
         for u in 0..self.nodes.len() {
-            if self.full_reevaluation || ts >= self.stable_until[u] {
+            if self.full_reevaluation || ts >= self.hot.stable_until[u] {
                 eval.push(u as u32);
             }
         }
@@ -1271,8 +1311,8 @@ impl Simulation {
                 }
             }
             node.set_mode(d.mode);
-            self.stable_until[u] = d.stable_until;
-            self.m_jump_sensitive[u] = d.m_jump_sensitive;
+            self.hot.stable_until[u] = d.stable_until;
+            self.hot.m_jump_sensitive[u] = d.m_jump_sensitive;
         }
 
         #[cfg(debug_assertions)]
@@ -1309,173 +1349,6 @@ impl Simulation {
         }
     }
 
-    fn on_flood(&mut self, t: SimTime, u: NodeId) {
-        self.nodes[u.index()].advance_to(t, &self.params);
-        let node = &self.nodes[u.index()];
-        let payload = Payload::Flood {
-            logical: node.logical(),
-            max_est: node.max_estimate(),
-            min_lb: node.min_lower_bound(),
-            max_ub: node.max_upper_bound(),
-        };
-        // The neighbour table mirrors the graph adjacency (same ids, same
-        // ascending order) and already carries each edge's parameters.
-        let mut flood = std::mem::take(&mut self.scratch.flood);
-        flood.clear();
-        flood.extend(node.slots.iter().map(|e| (e.id, e.info.params)));
-        for &(v, edge) in &flood {
-            self.send(t, u, v, edge, payload);
-        }
-        self.scratch.flood = flood;
-        // Next flood after `refresh` *hardware* seconds: converting with the
-        // current rate keeps the real period within [P/(1+rho), P/(1-rho)].
-        let dt = self.refresh / self.nodes[u.index()].hw_rate();
-        self.queue
-            .schedule(t + SimDuration::from_secs(dt), Event::Flood { node: u });
-    }
-
-    fn send(&mut self, t: SimTime, u: NodeId, v: NodeId, edge: EdgeParams, payload: Payload) {
-        let delay = transport::sample_delay(&mut self.delay_rng, edge);
-        self.stats.messages_sent += 1;
-        self.queue.schedule(
-            t + SimDuration::from_secs(delay),
-            Event::Deliver {
-                src: u,
-                dst: v,
-                sent_at: t,
-                payload,
-            },
-        );
-    }
-
-    fn on_deliver(
-        &mut self,
-        t: SimTime,
-        src: NodeId,
-        dst: NodeId,
-        sent_at: SimTime,
-        payload: Payload,
-    ) {
-        // §3.1 delivery rule: `(dst, src)` continuously present since the
-        // send. [`transport::deliverable`] is the documented reference
-        // implementation of the rule; this inlined check answers the same
-        // query from the receiver's slot table, which mirrors the graph
-        // adjacency (both are written at exactly the edge-up/edge-down
-        // sites with the same timestamps) — one lookup then serves the
-        // rule, the edge constants, and the estimate write. Debug builds
-        // assert the two implementations agree on every message.
-        let info = match self.nodes[dst.index()].slots.entry(src) {
-            Some(entry) if entry.slot.discovered_at <= sent_at => Some(entry.info),
-            _ => None,
-        };
-        #[cfg(debug_assertions)]
-        {
-            let reference = transport::deliverable(
-                &self.graph,
-                &transport::Envelope {
-                    src,
-                    dst,
-                    sent_at,
-                    deliver_at: t,
-                    payload: (),
-                },
-            );
-            debug_assert_eq!(
-                info.is_some(),
-                reference,
-                "slot mirror diverged from the §3.1 delivery rule on ({src}, {dst})"
-            );
-        }
-        let Some(info) = info else {
-            self.stats.messages_dropped += 1;
-            return;
-        };
-        self.stats.messages_delivered += 1;
-        self.nodes[dst.index()].advance_to(t, &self.params);
-        let rho = self.params.rho();
-        let beta = self.params.beta();
-        let is_message_mode = matches!(self.mode, EstimateMode::Messages);
-        match payload {
-            Payload::Flood {
-                logical,
-                max_est,
-                min_lb,
-                max_ub,
-            } => {
-                if let Some(tracker) = &mut self.diameter {
-                    tracker.on_delivery(
-                        src.index(),
-                        dst.index(),
-                        sent_at,
-                        t,
-                        info.params.delay_uncertainty(),
-                    );
-                }
-                let credit = transport::min_transit_credit(info.params, rho);
-                let node = &mut self.nodes[dst.index()];
-                let m_moved = node.merge_flood_bounds(
-                    max_est + credit,
-                    min_lb,
-                    max_ub + beta * info.params.delay_bound(),
-                );
-                let hw_now = node.hardware();
-                if let Some(slot) = node.slots.get_mut(src) {
-                    slot.estimate = Some(EstimateEntry {
-                        value: logical + credit,
-                        hw_at_recv: hw_now,
-                    });
-                    // In message mode the stored sample *is* a decision
-                    // input; in oracle mode the views never read it.
-                    if is_message_mode {
-                        self.stable_until[dst.index()] = f64::NEG_INFINITY;
-                    }
-                }
-                // An upward M jump flips a slow-decided node only once the
-                // lifted gap reaches iota (below that it lands in the
-                // hysteresis band, which keeps the slow decision). The
-                // comparison must be the *same float expression* as the
-                // policy's fast branch (`L <= M - iota`) — an algebraically
-                // equivalent rearrangement could disagree with it by an ulp
-                // right at the boundary and skip a node the reference pass
-                // would flip. (Between now and the next tick, m only
-                // drifts down, which can make this conservative but never
-                // unsound.)
-                if m_moved && self.m_jump_sensitive[dst.index()] {
-                    let node = &self.nodes[dst.index()];
-                    if node.logical() <= node.max_estimate() - self.params.iota() {
-                        self.stable_until[dst.index()] = f64::NEG_INFINITY;
-                    }
-                }
-            }
-            Payload::InsertEdge { l_ins, g_tilde } => {
-                let l_now = self.nodes[dst.index()].logical();
-                let wait = beta * (info.params.delay_bound() + info.params.tau);
-                let Some(slot) = self.nodes[dst.index()].slots.get_mut(src) else {
-                    return; // Edge vanished at the receiver: offer ignored.
-                };
-                // Only accept an offer for a fresh, unscheduled incarnation.
-                if !matches!(slot.insert, InsertState::Pending) {
-                    return;
-                }
-                slot.insert = InsertState::FollowerWait {
-                    l_ins,
-                    g_tilde,
-                    l_at_receive: l_now,
-                };
-                let generation = slot.generation;
-                self.stable_until[dst.index()] = f64::NEG_INFINITY;
-                self.schedule_logical_event(dst, l_now + wait, |target_logical| {
-                    Event::FollowerApply {
-                        u: dst,
-                        v: src,
-                        generation,
-                        target_logical,
-                    }
-                });
-            }
-        }
-    }
-
     fn on_edge_up(&mut self, t: SimTime, from: NodeId, to: NodeId) {
         if self.graph.contains(from, to) {
             return; // Idempotent: scripted duplicate.
@@ -1509,7 +1382,7 @@ impl Simulation {
         }
         let staged = matches!(slot.insert, InsertState::Pending);
         self.nodes[from.index()].slots.insert(to, info, slot);
-        self.stable_until[from.index()] = f64::NEG_INFINITY;
+        self.hot.stable_until[from.index()] = f64::NEG_INFINITY;
         if let Some(log) = &mut self.log {
             log.push(crate::log::LogEntry::EdgeDiscovered {
                 time: t,
@@ -1536,7 +1409,7 @@ impl Simulation {
         // Listing 1 lines 15-18: drop the neighbour from every N^s and
         // forget the insertion times.
         self.nodes[from.index()].slots.remove(to);
-        self.stable_until[from.index()] = f64::NEG_INFINITY;
+        self.hot.stable_until[from.index()] = f64::NEG_INFINITY;
         self.stats.edge_removals += 1;
         if let Some(log) = &mut self.log {
             log.push(crate::log::LogEntry::EdgeLost {
@@ -1569,6 +1442,12 @@ impl Simulation {
     /// reschedule if the clock has not reached the target yet (rates may
     /// have changed in between); reaching a logical target is always a
     /// *lower* bound on elapsed real time, which is what Listing 1 needs.
+    ///
+    /// Master-side only (build and edge-up); the shard-side twin lives on
+    /// [`LocalCtx`] and computes the *same float expression*. When the
+    /// redirect seam is active (parallel engine) the spawned node-local
+    /// event is buffered for routing to its owner shard instead of being
+    /// enqueued here.
     fn schedule_logical_event(
         &mut self,
         u: NodeId,
@@ -1578,125 +1457,11 @@ impl Simulation {
         let node = &self.nodes[u.index()];
         let rate = node.mode().multiplier(self.params.mu()) * node.hw_rate();
         let dt = ((target - node.logical()) / rate).max(0.0);
-        self.queue
-            .schedule(self.now + SimDuration::from_secs(dt), make_event(target));
-    }
-
-    fn on_leader_check(
-        &mut self,
-        t: SimTime,
-        u: NodeId,
-        v: NodeId,
-        generation: u64,
-        target_logical: f64,
-    ) {
-        self.nodes[u.index()].advance_to(t, &self.params);
-        let Some(slot) = self.nodes[u.index()].slots.get(v) else {
-            return; // Edge went down; a rediscovery starts a new handshake.
-        };
-        if slot.generation != generation || !matches!(slot.insert, InsertState::Pending) {
-            return;
-        }
-        if self.nodes[u.index()].logical() < target_logical - 1e-12 {
-            // Rates changed during the wait; try again when we get there.
-            self.schedule_logical_event(u, target_logical, |target_logical| Event::LeaderCheck {
-                u,
-                v,
-                generation,
-                target_logical,
-            });
-            return;
-        }
-        // Continuity (Listing 1 line 6) holds by construction: the slot has
-        // existed since `discovered_l` and L has advanced by beta * Delta.
-        let info = self.edge_info[&EdgeKey::new(u, v)];
-        let g_tilde = if self.params.dynamic_estimates() {
-            // The iota margin absorbs the bracket's tick-level optimism.
-            self.nodes[u.index()].g_estimate() + self.params.iota()
-        } else {
-            self.params.g_tilde().expect("static G~ filled at build")
-        };
-        let l_now = self.nodes[u.index()].logical();
-        let l_ins = l_now + g_tilde + self.params.beta() * info.params.delay_bound();
-        let i = self.params.insertion_duration(info.params, g_tilde);
-        let t0 = align_t0(l_ins, i);
-        if let Some(slot) = self.nodes[u.index()].slots.get_mut(v) {
-            slot.insert = InsertState::Scheduled { t0, i };
-        }
-        self.stable_until[u.index()] = f64::NEG_INFINITY;
-        self.stats.handshakes_offered += 1;
-        self.stats.insertions_scheduled += 1;
-        if let Some(log) = &mut self.log {
-            log.push(crate::log::LogEntry::InsertOffered {
-                time: t,
-                leader: u,
-                follower: v,
-                g_tilde,
-            });
-            log.push(crate::log::LogEntry::InsertScheduled {
-                time: t,
-                node: u,
-                neighbor: v,
-                t0,
-                i,
-            });
-        }
-        self.send(t, u, v, info.params, Payload::InsertEdge { l_ins, g_tilde });
-    }
-
-    fn on_follower_apply(
-        &mut self,
-        t: SimTime,
-        u: NodeId,
-        v: NodeId,
-        generation: u64,
-        target_logical: f64,
-    ) {
-        self.nodes[u.index()].advance_to(t, &self.params);
-        let Some(slot) = self.nodes[u.index()].slots.get(v) else {
-            return;
-        };
-        if slot.generation != generation {
-            return;
-        }
-        let InsertState::FollowerWait {
-            l_ins,
-            g_tilde,
-            l_at_receive,
-        } = slot.insert
-        else {
-            return;
-        };
-        if self.nodes[u.index()].logical() < target_logical - 1e-12 {
-            self.schedule_logical_event(u, target_logical, |target_logical| Event::FollowerApply {
-                u,
-                v,
-                generation,
-                target_logical,
-            });
-            return;
-        }
-        // Listing 1 line 13: the edge must have been present throughout the
-        // logical window reaching back to the receive instant.
-        if slot.discovered_l > l_at_receive {
-            return;
-        }
-        let info = self.edge_info[&EdgeKey::new(u, v)];
-        let i = self.params.insertion_duration(info.params, g_tilde);
-        let t0 = align_t0(l_ins, i);
-        if let Some(slot) = self.nodes[u.index()].slots.get_mut(v) {
-            slot.insert = InsertState::Scheduled { t0, i };
-        }
-        self.stable_until[u.index()] = f64::NEG_INFINITY;
-        self.stats.insertions_scheduled += 1;
-        if let Some(log) = &mut self.log {
-            log.push(crate::log::LogEntry::InsertScheduled {
-                time: t,
-                node: u,
-                neighbor: v,
-                t0,
-                i,
-            });
+        let at = self.now + SimDuration::from_secs(dt);
+        let event = make_event(target);
+        match &mut self.redirect {
+            Some(buf) => buf.push((at, event)),
+            None => self.queue.schedule(at, event),
         }
     }
 }

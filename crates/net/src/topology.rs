@@ -9,7 +9,7 @@
 //! network to remain connected over time for the global-skew bound to hold),
 //! and every generator is deterministic in its seed.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 use rand::Rng;
 
@@ -225,12 +225,40 @@ impl Topology {
         assert!(radius > 0.0, "radius must be positive");
         let mut r = rng::stream(seed, "topology-geo", 0);
         let pts: Vec<(f64, f64)> = (0..n).map(|_| (r.gen::<f64>(), r.gen::<f64>())).collect();
+        // Spatial hash with cell size = radius: candidate pairs only come
+        // from the 3×3 cell neighbourhood, taking edge discovery from
+        // O(n²) to O(n + m) for the sparse radii actually used. The same
+        // distance test on the same points yields the exact edge set the
+        // all-pairs scan produced (`from_edges` sorts, so emit order is
+        // irrelevant).
+        let cells = ((1.0 / radius).floor() as usize).clamp(1, 1 << 14);
+        let cell_of = |p: (f64, f64)| {
+            let cx = ((p.0 * cells as f64) as usize).min(cells - 1);
+            let cy = ((p.1 * cells as f64) as usize).min(cells - 1);
+            (cx, cy)
+        };
+        let mut buckets: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        for (i, &p) in pts.iter().enumerate() {
+            buckets.entry(cell_of(p)).or_default().push(i);
+        }
         let mut edges = Vec::new();
-        for i in 0..n {
-            for j in i + 1..n {
-                let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
-                if (dx * dx + dy * dy).sqrt() <= radius {
-                    edges.push(EdgeKey::new(NodeId::from(i), NodeId::from(j)));
+        for (&(cx, cy), members) in &buckets {
+            for &i in members {
+                for nx in cx.saturating_sub(1)..=(cx + 1).min(cells - 1) {
+                    for ny in cy.saturating_sub(1)..=(cy + 1).min(cells - 1) {
+                        let Some(neighbours) = buckets.get(&(nx, ny)) else {
+                            continue;
+                        };
+                        for &j in neighbours {
+                            if j <= i {
+                                continue;
+                            }
+                            let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+                            if (dx * dx + dy * dy).sqrt() <= radius {
+                                edges.push(EdgeKey::new(NodeId::from(i), NodeId::from(j)));
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -608,6 +636,43 @@ mod tests {
     fn geometric_is_connected() {
         let t = Topology::random_geometric(25, 0.05, 11);
         assert!(t.is_connected());
+    }
+
+    #[test]
+    fn geometric_bucketing_matches_the_all_pairs_scan() {
+        // The spatial hash must reproduce the edge set of the original
+        // O(n²) scan exactly: same point stream, same distance test.
+        for (n, radius, seed) in [(40usize, 0.2, 3u64), (300, 0.08, 9), (120, 1.5, 4)] {
+            let mut r = rng::stream(seed, "topology-geo", 0);
+            let pts: Vec<(f64, f64)> = (0..n).map(|_| (r.gen::<f64>(), r.gen::<f64>())).collect();
+            let mut brute = BTreeSet::new();
+            for i in 0..n {
+                for j in i + 1..n {
+                    let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+                    if (dx * dx + dy * dy).sqrt() <= radius {
+                        brute.insert(EdgeKey::new(NodeId::from(i), NodeId::from(j)));
+                    }
+                }
+            }
+            // Undo connectivity repair: only compare against the raw
+            // geometric edges, which are a subset of the final topology.
+            let t = Topology::random_geometric(n, radius, seed);
+            let built: BTreeSet<EdgeKey> = t.edges().iter().copied().collect();
+            assert!(
+                built.is_superset(&brute),
+                "n={n} r={radius}: bucketed scan missed edges"
+            );
+            let extras: Vec<_> = built.difference(&brute).collect();
+            // Any extras must come from the connectivity repair (a chain
+            // over components), bounded by the component count.
+            assert!(
+                extras.len() < n,
+                "n={n} r={radius}: unexpected extra edges {extras:?}"
+            );
+            if brute.len() == built.len() {
+                assert_eq!(brute, built);
+            }
+        }
     }
 
     #[test]

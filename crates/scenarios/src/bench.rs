@@ -30,6 +30,9 @@ pub struct BenchEntry {
     pub nodes: usize,
     /// Run seed.
     pub seed: u64,
+    /// Worker thread count: 1 = the sequential reference engine, >1 = the
+    /// parallel sharded engine with that many shards.
+    pub threads: usize,
     /// Simulated seconds driven (`warmup + duration`).
     pub sim_secs: f64,
     /// Wall-clock seconds to build the simulation.
@@ -55,22 +58,52 @@ pub struct BenchEntry {
 /// # Errors
 ///
 /// Returns [`ScenarioError`] if the spec fails to validate or build.
-pub fn run_one(spec: &ScenarioSpec, seed: u64) -> Result<BenchEntry, ScenarioError> {
+pub fn run_one(
+    spec: &ScenarioSpec,
+    seed: u64,
+    threads: usize,
+) -> Result<BenchEntry, ScenarioError> {
     let built = Instant::now();
-    let mut sim = spec.build(seed)?;
+    enum Built {
+        Sequential(gcs_core::Simulation),
+        Sharded(gcs_core::ParallelSimulation),
+    }
+    let mut sim = if threads <= 1 {
+        Built::Sequential(spec.build(seed)?)
+    } else {
+        let engine = gcs_core::ParallelSimBuilder::new(spec.builder(seed)?)
+            .shards(threads)
+            .build()
+            .map_err(|e| ScenarioError::Invalid(format!("{}: {e}", spec.name)))?;
+        Built::Sharded(engine)
+    };
     let build_secs = built.elapsed().as_secs_f64();
 
     let end = spec.end_secs();
     let started = Instant::now();
-    crate::campaign::apply_faults(&mut sim, &spec.faults);
-    sim.run_until_secs(end);
+    let stats = match &mut sim {
+        Built::Sequential(sim) => {
+            crate::campaign::apply_faults(sim, &spec.faults);
+            sim.run_until_secs(end);
+            sim.stats()
+        }
+        Built::Sharded(sim) => {
+            crate::campaign::apply_faults(sim, &spec.faults);
+            sim.run_until_secs(end);
+            sim.stats()
+        }
+    };
     let wall_secs = started.elapsed().as_secs_f64();
 
-    let stats = sim.stats();
+    let nodes = match &sim {
+        Built::Sequential(sim) => sim.node_count(),
+        Built::Sharded(sim) => sim.node_count(),
+    };
     Ok(BenchEntry {
         scenario: spec.name.clone(),
-        nodes: sim.node_count(),
+        nodes,
         seed,
+        threads: threads.max(1),
         sim_secs: end,
         build_secs,
         wall_secs,
@@ -100,26 +133,49 @@ pub fn run_one(spec: &ScenarioSpec, seed: u64) -> Result<BenchEntry, ScenarioErr
 pub fn run_suite(
     specs: &[ScenarioSpec],
     seeds: &[u64],
+    threads: &[usize],
     repeat: u32,
 ) -> Result<Vec<BenchEntry>, ScenarioError> {
     assert!(repeat > 0, "need at least one repetition");
-    let mut entries = Vec::with_capacity(specs.len() * seeds.len());
+    assert!(!threads.is_empty(), "need at least one thread count");
+    let mut entries = Vec::with_capacity(specs.len() * seeds.len() * threads.len());
     for spec in specs {
         for &seed in seeds {
-            let mut best = run_one(spec, seed)?;
-            for _ in 1..repeat {
-                let again = run_one(spec, seed)?;
-                assert_eq!(
-                    (again.events, again.ticks, again.mode_evaluations),
-                    (best.events, best.ticks, best.mode_evaluations),
-                    "{} seed {seed}: engine counters diverged across repetitions",
-                    spec.name
-                );
-                if again.wall_secs < best.wall_secs {
-                    best = again;
+            let mut per_thread: Vec<BenchEntry> = Vec::with_capacity(threads.len());
+            for &t in threads {
+                let mut best = run_one(spec, seed, t)?;
+                for _ in 1..repeat {
+                    let again = run_one(spec, seed, t)?;
+                    assert_eq!(
+                        (again.events, again.ticks, again.mode_evaluations),
+                        (best.events, best.ticks, best.mode_evaluations),
+                        "{} seed {seed} threads {t}: engine counters diverged across repetitions",
+                        spec.name
+                    );
+                    if again.wall_secs < best.wall_secs {
+                        best = again;
+                    }
                 }
+                per_thread.push(best);
             }
-            entries.push(best);
+            // Cross-engine determinism for free: every thread count must
+            // agree on every deterministic counter.
+            for e in &per_thread[1..] {
+                assert_eq!(
+                    (e.events, e.ticks, e.mode_evaluations, e.messages_delivered),
+                    (
+                        per_thread[0].events,
+                        per_thread[0].ticks,
+                        per_thread[0].mode_evaluations,
+                        per_thread[0].messages_delivered
+                    ),
+                    "{} seed {seed}: counters diverged between {} and {} threads",
+                    spec.name,
+                    per_thread[0].threads,
+                    e.threads
+                );
+            }
+            entries.append(&mut per_thread);
         }
     }
     Ok(entries)
@@ -133,6 +189,7 @@ pub fn bench_json(scale: Scale, seeds: &[u64], entries: &[BenchEntry]) -> String
             ("scenario", Json::Str(e.scenario.clone())),
             ("nodes", Json::Int(e.nodes as u64)),
             ("seed", Json::Int(e.seed)),
+            ("threads", Json::Int(e.threads as u64)),
             ("sim_secs", Json::Num(e.sim_secs)),
             ("build_secs", Json::Num(e.build_secs)),
             ("wall_secs", Json::Num(e.wall_secs)),
@@ -203,6 +260,15 @@ pub fn read_bench(text: &str) -> Result<BenchArtifact, String> {
             nodes: usize::try_from(u64_field(e, "nodes", &what)?)
                 .map_err(|err| format!("{what}: {err}"))?,
             seed: u64_field(e, "seed", &what)?,
+            // Absent in pre-threads artifacts: those rows ran the
+            // sequential engine.
+            threads: e
+                .get("threads")
+                .map_or(Ok(1u64), |v| {
+                    v.as_u64()
+                        .ok_or_else(|| format!("{what}: non-integer threads"))
+                })
+                .and_then(|v| usize::try_from(v).map_err(|err| format!("{what}: {err}")))?,
             sim_secs: f64_field(e, "sim_secs", &what)?,
             build_secs: f64_field(e, "build_secs", &what)?,
             wall_secs: f64_field(e, "wall_secs", &what)?,
@@ -228,6 +294,8 @@ pub struct CounterFinding {
     pub scenario: String,
     /// Run seed.
     pub seed: u64,
+    /// Worker thread count of the run.
+    pub threads: usize,
     /// Which counter diverged (or a structural problem: `missing entry`,
     /// `new entry`, `nodes`).
     pub counter: &'static str,
@@ -259,18 +327,33 @@ impl BenchCompareReport {
 /// **exactly** — `events`, `ticks`, `mode_evaluations`, and
 /// `messages_delivered` are pure functions of scenario + seed + code, so
 /// any divergence is a real behavioural change even where wall-clock is
-/// noise. Entries are matched by `(scenario, seed)`; wall-clock and
-/// throughput columns are reported but never gated.
+/// noise. Entries are matched by `(scenario, seed, threads)`; wall-clock
+/// and throughput columns are reported but never gated.
+///
+/// With `subset` the gate only requires the *baseline entries that the
+/// current artifact also ran* to match — entries the current run skipped
+/// are reported but not failed. This is for partial reruns (e.g. a CI
+/// smoke that benches a single thread count against the full checked-in
+/// artifact). Current-only entries are still findings in both modes, and
+/// an empty intersection always fails: a gate that compared nothing has
+/// not verified anything.
 #[must_use]
-pub fn compare_counters(baseline: &BenchArtifact, current: &BenchArtifact) -> BenchCompareReport {
+pub fn compare_counters(
+    baseline: &BenchArtifact,
+    current: &BenchArtifact,
+    subset: bool,
+) -> BenchCompareReport {
     let mut findings = Vec::new();
+    let mut matched = 0usize;
     let mut table = gcs_analysis::Table::new(
         format!(
-            "engine counter gate — scale {} vs baseline scale {}",
-            current.scale, baseline.scale
+            "engine counter gate — scale {} vs baseline scale {}{}",
+            current.scale,
+            baseline.scale,
+            if subset { " (subset)" } else { "" }
         ),
         &[
-            "scenario", "seed", "counter", "baseline", "current", "status",
+            "scenario", "seed", "thr", "counter", "baseline", "current", "status",
         ],
     );
     table.caption(
@@ -279,28 +362,31 @@ pub fn compare_counters(baseline: &BenchArtifact, current: &BenchArtifact) -> Be
          in the artifact, never gated.",
     );
     for base in &baseline.entries {
-        let Some(cur) = current
-            .entries
-            .iter()
-            .find(|e| e.scenario == base.scenario && e.seed == base.seed)
-        else {
-            findings.push(CounterFinding {
-                scenario: base.scenario.clone(),
-                seed: base.seed,
-                counter: "missing entry",
-                baseline: u64::MAX,
-                current: u64::MAX,
-            });
+        let Some(cur) = current.entries.iter().find(|e| {
+            e.scenario == base.scenario && e.seed == base.seed && e.threads == base.threads
+        }) else {
+            if !subset {
+                findings.push(CounterFinding {
+                    scenario: base.scenario.clone(),
+                    seed: base.seed,
+                    threads: base.threads,
+                    counter: "missing entry",
+                    baseline: u64::MAX,
+                    current: u64::MAX,
+                });
+            }
             table.row([
                 base.scenario.clone(),
                 base.seed.to_string(),
+                base.threads.to_string(),
                 "-".to_string(),
                 "-".to_string(),
                 "-".to_string(),
-                "MISSING".to_string(),
+                if subset { "skipped" } else { "MISSING" }.to_string(),
             ]);
             continue;
         };
+        matched += 1;
         let pairs: [(&'static str, u64, u64); 5] = [
             ("nodes", base.nodes as u64, cur.nodes as u64),
             ("events", base.events, cur.events),
@@ -321,6 +407,7 @@ pub fn compare_counters(baseline: &BenchArtifact, current: &BenchArtifact) -> Be
             table.row([
                 base.scenario.clone(),
                 base.seed.to_string(),
+                base.threads.to_string(),
                 counter.to_string(),
                 b.to_string(),
                 c.to_string(),
@@ -330,6 +417,7 @@ pub fn compare_counters(baseline: &BenchArtifact, current: &BenchArtifact) -> Be
                 findings.push(CounterFinding {
                     scenario: base.scenario.clone(),
                     seed: base.seed,
+                    threads: base.threads,
                     counter,
                     baseline: b,
                     current: c,
@@ -341,16 +429,27 @@ pub fn compare_counters(baseline: &BenchArtifact, current: &BenchArtifact) -> Be
         if !baseline
             .entries
             .iter()
-            .any(|e| e.scenario == cur.scenario && e.seed == cur.seed)
+            .any(|e| e.scenario == cur.scenario && e.seed == cur.seed && e.threads == cur.threads)
         {
             findings.push(CounterFinding {
                 scenario: cur.scenario.clone(),
                 seed: cur.seed,
+                threads: cur.threads,
                 counter: "new entry (refresh the baseline)",
                 baseline: u64::MAX,
                 current: u64::MAX,
             });
         }
+    }
+    if matched == 0 {
+        findings.push(CounterFinding {
+            scenario: "(whole artifact)".to_string(),
+            seed: 0,
+            threads: 0,
+            counter: "no overlapping entries: gate compared nothing",
+            baseline: u64::MAX,
+            current: u64::MAX,
+        });
     }
     BenchCompareReport { table, findings }
 }
@@ -385,8 +484,8 @@ mod tests {
         let spec = registry::find("ring-steady")
             .expect("built-in")
             .scaled(Scale::Tiny);
-        let entries = run_suite(std::slice::from_ref(&spec), &[0, 1], 2).unwrap();
-        assert_eq!(entries.len(), 2);
+        let entries = run_suite(std::slice::from_ref(&spec), &[0, 1], &[1, 2], 2).unwrap();
+        assert_eq!(entries.len(), 4, "one row per (seed, threads)");
         for e in &entries {
             assert_eq!(e.scenario, "ring-steady");
             assert!(e.events > 0);
@@ -394,13 +493,23 @@ mod tests {
             assert!(e.ticks > 0);
             assert!(e.mode_evaluations > 0);
         }
+        // run_suite itself asserts counters match across thread counts;
+        // double-check the rows landed as (seed 0, t1), (seed 0, t2), ...
+        assert_eq!(
+            entries
+                .iter()
+                .map(|e| (e.seed, e.threads))
+                .collect::<Vec<_>>(),
+            vec![(0, 1), (0, 2), (1, 1), (1, 2)]
+        );
         // Same seed twice: identical engine counters (timings differ).
-        let again = run_one(&spec, 0).unwrap();
+        let again = run_one(&spec, 0, 1).unwrap();
         assert_eq!(again.events, entries[0].events);
         assert_eq!(again.mode_evaluations, entries[0].mode_evaluations);
         let json = bench_json(Scale::Tiny, &[0, 1], &entries);
         assert!(json.starts_with("{\"format\":\"gcs-engine-bench/v1\""));
         assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"threads\":2"));
         assert!(json.ends_with("]}\n"));
     }
 
@@ -409,7 +518,7 @@ mod tests {
         let spec = registry::find("line-worstcase")
             .expect("built-in")
             .scaled(Scale::Tiny);
-        let entries = run_suite(std::slice::from_ref(&spec), &[0, 1], 1).unwrap();
+        let entries = run_suite(std::slice::from_ref(&spec), &[0, 1], &[1, 2], 1).unwrap();
         let text = bench_json(Scale::Tiny, &[0, 1], &entries);
         let artifact = read_bench(&text).unwrap();
         assert_eq!(artifact.scale, "tiny");
@@ -418,6 +527,13 @@ mod tests {
             artifact.entries, entries,
             "parsed entries must be bit-identical"
         );
+        // Pre-threads artifacts (no "threads" key) parse as sequential rows.
+        let legacy = text
+            .replace(",\"threads\":1", "")
+            .replace(",\"threads\":2", "");
+        assert!(!legacy.contains("\"threads\""));
+        let parsed = read_bench(&legacy).unwrap();
+        assert!(parsed.entries.iter().all(|e| e.threads == 1));
     }
 
     #[test]
@@ -425,18 +541,18 @@ mod tests {
         let spec = registry::find("line-worstcase")
             .expect("built-in")
             .scaled(Scale::Tiny);
-        let entries = run_suite(std::slice::from_ref(&spec), &[0], 1).unwrap();
+        let entries = run_suite(std::slice::from_ref(&spec), &[0], &[1], 1).unwrap();
         let artifact = read_bench(&bench_json(Scale::Tiny, &[0], &entries)).unwrap();
         // Identical runs pass; wall-clock differences are ignored.
         let mut rerun = artifact.clone();
         rerun.entries[0].wall_secs *= 10.0;
         rerun.entries[0].events_per_sec /= 10.0;
-        let report = compare_counters(&artifact, &rerun);
+        let report = compare_counters(&artifact, &rerun, false);
         assert!(report.passed(), "{:?}", report.findings);
         // A single off-by-one event count fails the gate exactly.
         let mut drifted = artifact.clone();
         drifted.entries[0].events += 1;
-        let report = compare_counters(&artifact, &drifted);
+        let report = compare_counters(&artifact, &drifted, false);
         assert!(!report.passed());
         assert_eq!(report.findings.len(), 1);
         assert_eq!(report.findings[0].counter, "events");
@@ -447,14 +563,51 @@ mod tests {
             seeds: vec![0],
             entries: Vec::new(),
         };
-        assert!(compare_counters(&artifact, &empty)
+        assert!(compare_counters(&artifact, &empty, false)
             .findings
             .iter()
             .any(|f| f.counter == "missing entry"));
-        assert!(compare_counters(&empty, &artifact)
+        assert!(compare_counters(&empty, &artifact, false)
             .findings
             .iter()
             .any(|f| f.counter.starts_with("new entry")));
+    }
+
+    #[test]
+    fn subset_gate_skips_missing_rows_but_never_passes_on_nothing() {
+        let spec = registry::find("line-worstcase")
+            .expect("built-in")
+            .scaled(Scale::Tiny);
+        let full = run_suite(std::slice::from_ref(&spec), &[0], &[1, 2], 1).unwrap();
+        let baseline = read_bench(&bench_json(Scale::Tiny, &[0], &full)).unwrap();
+        // A partial rerun covering only the 2-thread row.
+        let partial = BenchArtifact {
+            scale: "tiny".to_string(),
+            seeds: vec![0],
+            entries: vec![full[1].clone()],
+        };
+        assert!(!compare_counters(&baseline, &partial, false).passed());
+        let report = compare_counters(&baseline, &partial, true);
+        assert!(report.passed(), "{:?}", report.findings);
+        assert!(report.table.to_string().contains("skipped"));
+        // Subset rows that DID run are still gated exactly.
+        let mut drifted = partial.clone();
+        drifted.entries[0].messages_delivered += 1;
+        let report = compare_counters(&baseline, &drifted, true);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].counter, "messages_delivered");
+        // An empty intersection is a failure even in subset mode.
+        let unrelated = BenchArtifact {
+            scale: "tiny".to_string(),
+            seeds: vec![9],
+            entries: Vec::new(),
+        };
+        let report = compare_counters(&baseline, &unrelated, true);
+        assert!(!report.passed());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.counter.contains("compared nothing")));
     }
 
     #[test]
@@ -464,7 +617,7 @@ mod tests {
         let spec = registry::find("self-heal")
             .expect("built-in")
             .scaled(Scale::Tiny);
-        let e = run_one(&spec, 3).unwrap();
+        let e = run_one(&spec, 3, 1).unwrap();
         assert!((e.sim_secs - spec.end_secs()).abs() < 1e-12);
         assert!(e.events > 0);
     }

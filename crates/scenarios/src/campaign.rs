@@ -20,7 +20,7 @@ use crate::spec::{FaultSpec, Metric, Scale, ScenarioSpec};
 /// offset. The campaign runner interleaves faults with its sampling grid
 /// itself; this is the seam for experiment harnesses that drive their
 /// own observation loop but still source injections from the spec.
-pub fn apply_faults(sim: &mut gcs_core::Simulation, faults: &[FaultSpec]) {
+pub fn apply_faults<E: gcs_core::Engine>(sim: &mut E, faults: &[FaultSpec]) {
     let mut faults = faults.to_vec();
     faults.sort_by(|a, b| a.at().total_cmp(&b.at()));
     for f in faults {
@@ -68,12 +68,12 @@ pub struct ScenarioOutcome {
 /// suite — the subtle invariants (fault ordering by `total_cmp`, faults
 /// due *at* a sample firing before it, the `end − 1e-12` epsilon) live
 /// here and nowhere else.
-pub fn drive_sampled(
-    sim: &mut gcs_core::Simulation,
+pub fn drive_sampled<E: gcs_core::Engine>(
+    sim: &mut E,
     faults: &[FaultSpec],
     sample: f64,
     end: f64,
-    mut observe: impl FnMut(f64, &gcs_core::Simulation),
+    mut observe: impl FnMut(f64, &E),
 ) {
     let mut faults = faults.to_vec();
     faults.sort_by(|a, b| a.at().total_cmp(&b.at()));

@@ -35,6 +35,8 @@ pub fn all() -> Vec<ScenarioSpec> {
         self_heal(),
         ring_1k(),
         geometric_4k(),
+        ring_100k(),
+        geometric_100k(),
     ];
     specs.sort_by(|a, b| a.name.cmp(&b.name));
     specs
@@ -250,6 +252,41 @@ fn geometric_4k() -> ScenarioSpec {
     s
 }
 
+fn ring_100k() -> ScenarioSpec {
+    let mut s = presets::base("ring-100k", TopologySpec::Ring { n: 100_000 });
+    s.description = "Parallel-engine-scale benchmark: a 100,000-node ring under alternating \
+                     worst-case drift (the sharded tick-loop workload)"
+        .to_string();
+    s.drift = DriftSpec::Alternating;
+    s.bench = true;
+    s.tiny_nodes = Some(64);
+    s.warmup = 0.5;
+    s.duration = 1.0;
+    s.sample = 0.25;
+    s
+}
+
+fn geometric_100k() -> ScenarioSpec {
+    let mut s = presets::base(
+        "geometric-100k",
+        TopologySpec::Geometric {
+            n: 100_000,
+            radius: 0.007,
+        },
+    );
+    s.description = "Parallel-engine-scale benchmark: a 100,000-node random geometric graph \
+                     (average degree ~15) with independent constant drift (the sharded \
+                     message-path workload)"
+        .to_string();
+    s.drift = DriftSpec::RandomConstant;
+    s.bench = true;
+    s.tiny_nodes = Some(64);
+    s.warmup = 0.1;
+    s.duration = 0.2;
+    s.sample = 0.05;
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,7 +309,10 @@ mod tests {
             "growing the campaign set invalidates the baseline"
         );
         let names: Vec<&str> = bench.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, ["geometric-4k", "ring-1k"]);
+        assert_eq!(
+            names,
+            ["geometric-100k", "geometric-4k", "ring-100k", "ring-1k"]
+        );
     }
 
     #[test]

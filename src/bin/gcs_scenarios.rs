@@ -39,10 +39,13 @@ USAGE:
         gcs-engine-bench/v1 artifact with wall-clock and events/sec per
         scenario x seed. `all` (the default) sweeps the whole registry,
         bench-class scenarios included.
-        --seeds N   seeds 0..N            (default 1)
-        --repeat R  keep the fastest of R runs per entry (default 1)
-        --scale S   tiny|default|full     (default default)
-        --out FILE  artifact path         (default results/BENCH_engine.json)
+        --seeds N     seeds 0..N          (default 1)
+        --repeat R    keep the fastest of R runs per entry (default 1)
+        --scale S     tiny|default|full   (default default)
+        --threads LST comma list of worker counts, one row each; 1 = the
+                      sequential reference, >1 = the sharded engine
+                      (default 1)
+        --out FILE    artifact path       (default results/BENCH_engine.json)
     gcs-scenarios conformance [name|file.scn|all] [--seeds N] [--scale S]
         Drive the whole registry (bench-class scenarios included; or one
         scenario by name / .scn file) through the paper-bound conformance
@@ -53,12 +56,14 @@ USAGE:
         Exits non-zero on any bound violation. The theorem-level CI gate.
         --seeds N   seeds 0..N          (default 2)
         --scale S   tiny|default|full   (default tiny)
-    gcs-scenarios bench-compare <baseline.json> <current.json>
+    gcs-scenarios bench-compare [--subset] <baseline.json> <current.json>
         Gate the deterministic engine counters (events, ticks,
         mode_evaluations, messages_delivered) of a fresh
         gcs-engine-bench/v1 artifact EXACTLY against a checked-in one,
-        matched by (scenario, seed). Wall-clock is never gated. Exits
-        non-zero on any counter mismatch or entry-set change.
+        matched by (scenario, seed, threads). Wall-clock is never gated.
+        Exits non-zero on any counter mismatch or entry-set change.
+        --subset  only gate baseline rows the current artifact also ran
+                  (for partial CI reruns); fails if nothing overlaps.
     gcs-scenarios export <dir>
         Write every built-in scenario to <dir>/<name>.scn.
     gcs-scenarios baseline <campaign.json> [--out FILE]
@@ -300,10 +305,24 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut seeds_n = 1u64;
     let mut repeat = 1u32;
     let mut scale = Scale::Default;
+    let mut threads: Vec<usize> = vec![1];
     let mut out = PathBuf::from("results/BENCH_engine.json");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--threads" => {
+                let raw = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--threads needs a comma list, e.g. 1,2,4".to_string())?;
+                threads = raw
+                    .split(',')
+                    .map(|p| match p.trim().parse::<usize>() {
+                        Ok(t) if t > 0 => Ok(t),
+                        _ => Err(format!("--threads: {p:?} is not a positive integer")),
+                    })
+                    .collect::<Result<_, _>>()?;
+                i += 2;
+            }
             "--repeat" => {
                 repeat = u32::try_from(positive_flag(args, i, "--repeat")?)
                     .map_err(|_| "--repeat is out of range".to_string())?;
@@ -332,23 +351,25 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let specs: Vec<ScenarioSpec> = specs.iter().map(|s| s.scaled(scale)).collect();
     let seeds: Vec<u64> = (0..seeds_n).collect();
     println!(
-        "engine bench {title:?}: {} scenario(s) x {} seed(s), scale {} (sequential)",
+        "engine bench {title:?}: {} scenario(s) x {} seed(s) x threads {:?}, scale {}",
         specs.len(),
         seeds.len(),
+        threads,
         scale.name()
     );
-    let entries =
-        gcs_scenarios::bench::run_suite(&specs, &seeds, repeat).map_err(|e| e.to_string())?;
+    let entries = gcs_scenarios::bench::run_suite(&specs, &seeds, &threads, repeat)
+        .map_err(|e| e.to_string())?;
     println!(
-        "\n{:<18} {:>6} {:>5} {:>10} {:>12} {:>12} {:>10} {:>10}",
-        "scenario", "nodes", "seed", "wall s", "events", "events/sec", "ticks", "evals"
+        "\n{:<18} {:>6} {:>5} {:>4} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "scenario", "nodes", "seed", "thr", "wall s", "events", "events/sec", "ticks", "evals"
     );
     for e in &entries {
         println!(
-            "{:<18} {:>6} {:>5} {:>10.3} {:>12} {:>12.0} {:>10} {:>10}",
+            "{:<18} {:>6} {:>5} {:>4} {:>10.3} {:>12} {:>12.0} {:>10} {:>10}",
             e.scenario,
             e.nodes,
             e.seed,
+            e.threads,
             e.wall_secs,
             e.events,
             e.events_per_sec,
@@ -364,8 +385,21 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 
 /// Gates the deterministic engine counters of two bench artifacts.
 fn cmd_bench_compare(args: &[String]) -> Result<(), String> {
-    let [baseline_path, current_path] = args else {
-        return Err("bench-compare needs exactly <baseline.json> <current.json>".to_string());
+    let mut subset = false;
+    let mut paths: Vec<&String> = Vec::new();
+    for a in args {
+        if a == "--subset" {
+            subset = true;
+        } else if a.starts_with("--") {
+            return Err(format!("unknown option {a:?}"));
+        } else {
+            paths.push(a);
+        }
+    }
+    let [baseline_path, current_path] = paths[..] else {
+        return Err(
+            "bench-compare needs exactly [--subset] <baseline.json> <current.json>".to_string(),
+        );
     };
     let read = |path: &str| -> Result<gcs_scenarios::BenchArtifact, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -373,22 +407,26 @@ fn cmd_bench_compare(args: &[String]) -> Result<(), String> {
     };
     let baseline = read(baseline_path)?;
     let current = read(current_path)?;
-    let report = gcs_scenarios::bench::compare_counters(&baseline, &current);
+    let report = gcs_scenarios::bench::compare_counters(&baseline, &current, subset);
     println!("{}", report.table);
     if report.passed() {
         println!(
-            "ok: {} entr(ies) counter-identical to {baseline_path}",
-            baseline.entries.len()
+            "ok: {} entr(ies) counter-identical to {baseline_path}{}",
+            current.entries.len(),
+            if subset { " (subset gate)" } else { "" }
         );
         Ok(())
     } else {
         for f in &report.findings {
             if f.baseline == u64::MAX {
-                eprintln!("MISMATCH {} seed {}: {}", f.scenario, f.seed, f.counter);
+                eprintln!(
+                    "MISMATCH {} seed {} threads {}: {}",
+                    f.scenario, f.seed, f.threads, f.counter
+                );
             } else {
                 eprintln!(
-                    "MISMATCH {} seed {}: {} {} -> {}",
-                    f.scenario, f.seed, f.counter, f.baseline, f.current
+                    "MISMATCH {} seed {} threads {}: {} {} -> {}",
+                    f.scenario, f.seed, f.threads, f.counter, f.baseline, f.current
                 );
             }
         }

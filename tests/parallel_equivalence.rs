@@ -1,0 +1,253 @@
+//! Bit-identity of the parallel sharded engine.
+//!
+//! The sharded engine's contract is stronger than "statistically the
+//! same": at every shard count, under both partitioners, it must
+//! reproduce the sequential reference **bit for bit** — every clock,
+//! every mode, every realized change-log entry, and every deterministic
+//! counter, *including* `mode_evaluations` (the tick sweeps run
+//! sequentially on the master, so even the dirty-set bookkeeping is
+//! shared). This is the whole-system check of the merge-order argument
+//! in the `gcs-core` parallel module: original `(time, seq)` keys +
+//! namespaced shard counters + the conservative lookahead window.
+
+use gradient_clock_sync::analysis::oracle::ConformanceChecker;
+use gradient_clock_sync::core::{
+    ClockSnapshot, Engine, ParallelBuildError, ParallelSimBuilder, Partition, SimStats,
+};
+use gradient_clock_sync::scenarios::campaign::drive_sampled;
+use gradient_clock_sync::scenarios::{registry, Scale, ScenarioSpec};
+
+/// The same scenario grid as the sequential `engine_equivalence` suite:
+/// oracle and message estimates, static and churning topologies, drift
+/// flips, scripted corruptions.
+fn grid() -> Vec<ScenarioSpec> {
+    [
+        "ring-steady",
+        "line-worstcase",
+        "torus-messages",
+        "churn-storm",
+        "churn-burst",
+        "byzantine-est",
+        "drift-flip",
+        "self-heal",
+    ]
+    .iter()
+    .map(|n| registry::find(n).expect("built-in").scaled(Scale::Tiny))
+    .collect()
+}
+
+struct Run {
+    snapshots: Vec<ClockSnapshot>,
+    changes: Vec<String>,
+    stats: SimStats,
+}
+
+/// Drives either engine over the scenario's observation grid via the one
+/// shared sampling/fault-replay loop, snapshotting at every sample.
+fn drive<E: Engine>(spec: &ScenarioSpec, mut sim: E) -> Run {
+    let mut snapshots = Vec::new();
+    drive_sampled(
+        &mut sim,
+        &spec.faults,
+        spec.sample,
+        spec.end_secs(),
+        |_, sim| {
+            snapshots.push(sim.as_sim().snapshot());
+        },
+    );
+    Run {
+        snapshots,
+        changes: sim
+            .as_sim()
+            .change_log()
+            .iter()
+            .map(|c| format!("{c:?}"))
+            .collect(),
+        stats: sim.as_sim().stats(),
+    }
+}
+
+fn sequential(spec: &ScenarioSpec, seed: u64) -> Run {
+    drive(spec, spec.build(seed).expect("spec builds"))
+}
+
+fn sharded(spec: &ScenarioSpec, seed: u64, shards: usize, partition: Partition) -> Run {
+    let sim = ParallelSimBuilder::new(spec.builder(seed).expect("spec builds"))
+        .shards(shards)
+        .partition(partition)
+        .build()
+        .expect("parallel build");
+    drive(spec, sim)
+}
+
+/// Full bit-identity: snapshots, change log, and *all* counters — no
+/// scrubbing, unlike the sequential suite's full-reevaluation comparison.
+fn assert_identical(ctx: &str, reference: &Run, candidate: &Run) {
+    assert_eq!(
+        reference.snapshots.len(),
+        candidate.snapshots.len(),
+        "{ctx}: sample count diverged"
+    );
+    let bits = |v: &[f64]| -> Vec<u64> { v.iter().map(|x| x.to_bits()).collect() };
+    for (i, (a, b)) in reference
+        .snapshots
+        .iter()
+        .zip(&candidate.snapshots)
+        .enumerate()
+    {
+        let at = |field: &str| format!("{ctx}: sample {i} (t={}): {field} diverged", a.time);
+        assert_eq!(bits(&a.logical), bits(&b.logical), "{}", at("logical"));
+        assert_eq!(bits(&a.hardware), bits(&b.hardware), "{}", at("hardware"));
+        assert_eq!(
+            bits(&a.max_estimates),
+            bits(&b.max_estimates),
+            "{}",
+            at("max_estimates")
+        );
+        assert_eq!(a.modes, b.modes, "{}", at("modes"));
+    }
+    assert_eq!(
+        reference.changes, candidate.changes,
+        "{ctx}: change log diverged"
+    );
+    assert_eq!(
+        reference.stats, candidate.stats,
+        "{ctx}: counters diverged (events/ticks/mode_evaluations/messages must all match)"
+    );
+}
+
+#[test]
+fn sharded_engine_is_bit_identical_across_the_grid() {
+    for spec in grid() {
+        for seed in 0..2u64 {
+            let reference = sequential(&spec, seed);
+            for shards in [1usize, 2, 3, 7] {
+                for partition in [Partition::Contiguous, Partition::DegreeBalanced] {
+                    let candidate = sharded(&spec, seed, shards, partition);
+                    assert_identical(
+                        &format!("{} seed {seed}, {shards} shards, {partition:?}", spec.name),
+                        &reference,
+                        &candidate,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn conformance_reports_match_the_sequential_engine() {
+    // The conformance oracle reads clocks, levels, weights, counters, and
+    // the realized change log through the same observation surface — the
+    // whole report must come out identical on the sharded engine.
+    for name in ["churn-burst", "byzantine-est"] {
+        let spec = registry::find(name).expect("built-in").scaled(Scale::Tiny);
+        for seed in 0..2u64 {
+            let reports: Vec<_> = [1usize, 3]
+                .iter()
+                .map(|&shards| {
+                    let mut sim = ParallelSimBuilder::new(spec.builder(seed).expect("builds"))
+                        .shards(shards)
+                        .build()
+                        .expect("parallel build");
+                    let mut checker = ConformanceChecker::new(&sim, spec.sample);
+                    drive_sampled(
+                        &mut sim,
+                        &spec.faults,
+                        spec.sample,
+                        spec.end_secs(),
+                        |_, sim| {
+                            checker.observe(sim);
+                        },
+                    );
+                    checker.finish()
+                })
+                .collect();
+            let mut sim = spec.build(seed).expect("builds");
+            let mut checker = ConformanceChecker::new(&sim, spec.sample);
+            drive_sampled(
+                &mut sim,
+                &spec.faults,
+                spec.sample,
+                spec.end_secs(),
+                |_, sim| {
+                    checker.observe(sim);
+                },
+            );
+            let sequential = checker.finish();
+            for (i, report) in reports.iter().enumerate() {
+                assert_eq!(
+                    report, &sequential,
+                    "{name} seed {seed}, variant {i}: conformance report diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_lookahead_window_is_rejected_at_construction() {
+    // A window wider than the scenario's minimum transit latency is not a
+    // conservative lookahead: a cross-shard message could land inside an
+    // already-drained window. The builder must refuse it outright rather
+    // than silently produce a nondeterministic engine.
+    let spec = registry::find("ring-steady")
+        .expect("built-in")
+        .scaled(Scale::Tiny);
+    let probe = ParallelSimBuilder::new(spec.builder(0).expect("builds"))
+        .shards(2)
+        .build()
+        .expect("model-derived window builds");
+    let max = probe.window();
+    assert!(
+        max.is_finite() && max > 0.0,
+        "scenario has a real lookahead"
+    );
+
+    let err = ParallelSimBuilder::new(spec.builder(0).expect("builds"))
+        .shards(2)
+        .lookahead_override(max * 2.0)
+        .build()
+        .map(|_| ())
+        .expect_err("over-wide window must be rejected");
+    match err {
+        ParallelBuildError::WindowTooWide { requested, max: m } => {
+            assert_eq!(requested, max * 2.0);
+            assert_eq!(m, max);
+        }
+        other => panic!("expected WindowTooWide, got {other:?}"),
+    }
+
+    // Narrowing is allowed (merely slower), and still bit-identical.
+    let narrowed = ParallelSimBuilder::new(spec.builder(0).expect("builds"))
+        .shards(2)
+        .lookahead_override(max / 2.0)
+        .build()
+        .expect("narrower window is conservative");
+    assert_eq!(narrowed.window(), max / 2.0);
+    let candidate = drive(&spec, narrowed);
+    let reference = sequential(&spec, 0);
+    assert_identical("ring-steady narrowed window", &reference, &candidate);
+}
+
+#[test]
+fn diameter_tracking_and_event_log_are_rejected() {
+    let spec = registry::find("ring-steady")
+        .expect("built-in")
+        .scaled(Scale::Tiny);
+    let err = ParallelSimBuilder::new(spec.builder(0).expect("builds").track_diameter(true))
+        .shards(2)
+        .build()
+        .map(|_| ())
+        .expect_err("diameter tracking is sequential-only");
+    assert!(matches!(
+        err,
+        ParallelBuildError::DiameterTrackingUnsupported
+    ));
+    let err = ParallelSimBuilder::new(spec.builder(0).expect("builds").log_events(64))
+        .shards(2)
+        .build()
+        .map(|_| ())
+        .expect_err("event log is sequential-only");
+    assert!(matches!(err, ParallelBuildError::EventLogUnsupported));
+}
