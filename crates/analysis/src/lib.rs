@@ -38,7 +38,7 @@ pub mod stats;
 pub use ensemble::EnsembleStats;
 pub use legality::{gradient_bound, GradientChecker, LegalityReport, LevelReport};
 pub use oracle::{BoundCheck, ConformanceChecker, ConformanceReport, HopClass, OracleConfig};
-pub use parallel::parallel_map;
+pub use parallel::{parallel_map, parallel_map_progress};
 pub use report::Table;
 pub use skew::{
     kappa_diameter, local_skew, local_skew_with, skew_profile, skew_profiles,

@@ -528,6 +528,15 @@ impl ConformanceChecker {
         self.last_t = Some(t);
     }
 
+    /// The report accumulated so far ([`observe`](Self::observe) updates
+    /// it incrementally) — telemetry reads the running envelope
+    /// utilization from here at every observation instant without
+    /// consuming the checker.
+    #[must_use]
+    pub fn report_so_far(&self) -> &ConformanceReport {
+        &self.report
+    }
+
     /// Consumes the checker and returns the accumulated report.
     #[must_use]
     pub fn finish(self) -> ConformanceReport {

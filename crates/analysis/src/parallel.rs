@@ -89,6 +89,91 @@ where
         .collect()
 }
 
+/// [`parallel_map`] plus a completion callback invoked **in input order**:
+/// `on_done(i, &result)` fires for job `i` only after jobs `0..i` have all
+/// fired, as soon as the contiguous done-prefix reaches it. The pool still
+/// completes jobs in whatever order the workers get to them — a reorder
+/// buffer (the result slots themselves) canonicalizes the reporting, so
+/// progress output (e.g. one CI log line per finished scenario × seed) is
+/// deterministic even though scheduling is not.
+///
+/// # Panics
+///
+/// Propagates the first panic of any job or of the callback.
+pub fn parallel_map_progress<T, R, F, P>(items: Vec<T>, f: F, on_done: P) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+    P: Fn(usize, &R) + Sync,
+{
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map_or(4, std::num::NonZeroUsize::get)
+        .min(MAX_WORKERS)
+        .min(n);
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let r = f(t);
+                on_done(i, &r);
+                r
+            })
+            .collect();
+    }
+    let chunk = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    // Next index to report; the holder of this lock flushes the contiguous
+    // prefix of finished results. Lock order is cursor → result slot, and
+    // storing a result never holds another lock, so there is no cycle.
+    let cursor = Mutex::new(0usize);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + chunk).min(n) {
+                    let item = jobs[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("job index claimed twice");
+                    let r = f(item);
+                    *results[i].lock().expect("result slot poisoned") = Some(r);
+                    let mut at = cursor.lock().expect("cursor poisoned");
+                    while *at < n {
+                        let slot = results[*at].lock().expect("result slot poisoned");
+                        match slot.as_ref() {
+                            Some(done) => {
+                                on_done(*at, done);
+                                *at += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("parallel job dropped")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +219,43 @@ mod tests {
     #[test]
     fn parallel_map_handles_single_item() {
         assert_eq!(parallel_map(vec![7u64], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_progress_reports_in_input_order() {
+        let seen = Mutex::new(Vec::new());
+        let ys = parallel_map_progress(
+            (0..257u64).collect(),
+            |x| x * 3,
+            |i, r| {
+                seen.lock().unwrap().push((i, *r));
+            },
+        );
+        assert_eq!(ys, (0..257).map(|x| x * 3).collect::<Vec<_>>());
+        let seen = seen.into_inner().unwrap();
+        // Every job reported exactly once, in canonical input order,
+        // regardless of completion order.
+        assert_eq!(
+            seen,
+            (0..257).map(|i| (i as usize, i * 3)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn parallel_map_progress_handles_empty_and_single() {
+        let ys: Vec<u64> = parallel_map_progress(Vec::new(), |x| x, |_, _| {});
+        assert!(ys.is_empty());
+        let count = AtomicUsize::new(0);
+        let ys = parallel_map_progress(
+            vec![9u64],
+            |x| x,
+            |i, r| {
+                assert_eq!((i, *r), (0, 9));
+                count.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(ys, vec![9]);
+        assert_eq!(count.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -59,4 +59,6 @@ pub use parallel::{Engine, ParallelBuildError, ParallelSimBuilder, ParallelSimul
 pub use params::{InsertionStrategy, Params, ParamsBuilder, ParamsError};
 pub use sim::{BuildError, ChangeRecord, EdgeInfo, SimBuilder, SimStats, Simulation};
 pub use snapshot::{ClockSnapshot, Trace};
+// The instrumentation seam types the `Engine` telemetry methods speak.
+pub use gcs_telemetry::{LocalCounters, NoopSink, TelemetrySink};
 pub use triggers::{AoptPolicy, Mode, ModePolicy, NeighborView, NodeView, StabilityCert};

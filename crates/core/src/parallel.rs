@@ -55,6 +55,7 @@ use rand::rngs::StdRng;
 
 use gcs_net::{DynamicGraph, EdgeKey, EdgeParams, NodeId};
 use gcs_sim::{EventQueue, SimTime};
+use gcs_telemetry::{LocalCounters, TelemetrySink};
 
 use crate::node::NodeState;
 use crate::params::Params;
@@ -248,6 +249,7 @@ impl ParallelSimBuilder {
                 stats: SimStats::default(),
                 flood_buf: Vec::new(),
                 outbox: Vec::new(),
+                tel: LocalCounters::default(),
             })
             .collect();
 
@@ -289,6 +291,9 @@ struct Shard {
     stats: SimStats,
     flood_buf: Vec<(NodeId, EdgeParams)>,
     outbox: Vec<(usize, SimTime, u64, Event)>,
+    /// Telemetry counter block this shard accumulates into (when enabled);
+    /// folded into the master sink by `merge_stats`, like `stats`.
+    tel: LocalCounters,
 }
 
 /// Read-only state shared by all workers during a drain round.
@@ -299,6 +304,9 @@ struct SharedCtx<'a> {
     graph: &'a DynamicGraph,
     refresh: f64,
     starts: &'a [usize],
+    /// Whether a telemetry sink is installed (workers can't touch the
+    /// sink itself — they count into their shard's block instead).
+    telemetry: bool,
 }
 
 /// One worker's disjoint mutable state for a drain round: its shard plus
@@ -343,6 +351,7 @@ fn drain_one(work: Work<'_>, shared: &SharedCtx<'_>, cut: SimTime) {
         stats,
         flood_buf,
         outbox,
+        tel,
     } = shard;
     loop {
         match queue.next_time() {
@@ -374,6 +383,11 @@ fn drain_one(work: Work<'_>, shared: &SharedCtx<'_>, cut: SimTime) {
             diameter: None,
             log: None,
             refresh: shared.refresh,
+            tel: if shared.telemetry {
+                Some(&mut *tel)
+            } else {
+                None
+            },
         };
         ctx.handle(t, ev);
     }
@@ -437,6 +451,9 @@ impl ParallelSimulation {
                     cut = cut.min(SimTime::from_secs(e.as_secs() + self.window));
                 }
             }
+            if let Some(sink) = self.sim.telemetry.as_deref_mut() {
+                sink.on_segment_cut(cut.as_secs());
+            }
 
             // 1. Shard events ≤ cut, in parallel.
             self.drain_shards(cut);
@@ -483,6 +500,27 @@ impl ParallelSimulation {
         self.sim.inject_clock_offset(u, offset);
     }
 
+    /// Installs a telemetry sink (see [`Simulation::set_telemetry`]).
+    /// Master-side hooks report through it directly; shard workers count
+    /// into per-shard blocks that are folded in at stats merges.
+    pub fn set_telemetry(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.sim.set_telemetry(sink);
+    }
+
+    /// Removes the telemetry sink (shard counter blocks were already
+    /// flushed by the stats merge at the end of the last `run_until`).
+    pub fn take_telemetry(&mut self) -> Option<Box<dyn TelemetrySink>> {
+        self.sim.take_telemetry()
+    }
+
+    /// Pending events across the master queue and every shard queue. At
+    /// quiescence (between `run_until` calls) the pending multiset is
+    /// engine-invariant, so this gauge matches the sequential engine's.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.sim.queue.len() + self.shards.iter().map(|s| s.queue.len()).sum::<usize>()
+    }
+
     /// Runs drain rounds until every shard's next event is after `cut`:
     /// each round drains all shards in parallel, then exchanges mailbox
     /// deliveries at the barrier; only an exchanged event landing `≤ cut`
@@ -495,14 +533,23 @@ impl ParallelSimulation {
                 .iter_mut()
                 .map(|s| matches!(s.queue.next_time(), Some(t) if t <= cut))
                 .collect();
-            if !active.iter().any(|&a| a) {
+            let busy = active.iter().filter(|&&a| a).count();
+            if busy == 0 {
                 return;
             }
             self.drain_round(&active, cut);
+            if let Some(sink) = self.sim.telemetry.as_deref_mut() {
+                sink.on_barrier_round(busy, active.len() - busy);
+            }
             // Barrier: exchange cross-shard deliveries.
             let mut moved: Vec<(usize, SimTime, u64, Event)> = Vec::new();
             for s in &mut self.shards {
                 moved.append(&mut s.outbox);
+            }
+            if !moved.is_empty() {
+                if let Some(sink) = self.sim.telemetry.as_deref_mut() {
+                    sink.on_mailbox(moved.len());
+                }
             }
             let mut exchanged_in_window = false;
             for (dest, t, seq, ev) in moved {
@@ -527,6 +574,7 @@ impl ParallelSimulation {
             graph: &sim.graph,
             refresh: sim.refresh,
             starts: &self.starts,
+            telemetry: sim.telemetry.is_some(),
         };
         let ranges: Vec<Range<usize>> = self.shards.iter().map(|s| s.range.clone()).collect();
         let node_cols = split_ranges(&mut sim.nodes, &ranges);
@@ -599,6 +647,11 @@ impl ParallelSimulation {
     fn merge_stats(&mut self) {
         for s in &mut self.shards {
             let st = std::mem::take(&mut s.stats);
+            if let Some(sink) = self.sim.telemetry.as_deref_mut() {
+                let tel = std::mem::take(&mut s.tel);
+                sink.on_local(s.index, &tel);
+                sink.on_shard_drained(s.index, st.events);
+            }
             let total = &mut self.sim.stats;
             total.messages_sent += st.messages_sent;
             total.messages_delivered += st.messages_delivered;
@@ -621,6 +674,13 @@ pub trait Engine {
     fn inject_clock_offset(&mut self, u: NodeId, offset: f64);
     /// The master simulation state, for observation.
     fn as_sim(&self) -> &Simulation;
+    /// Installs a telemetry sink (post-build, either engine).
+    fn set_telemetry(&mut self, sink: Box<dyn TelemetrySink>);
+    /// Removes the telemetry sink, flushing pending counters into it.
+    fn take_telemetry(&mut self) -> Option<Box<dyn TelemetrySink>>;
+    /// Pending events across every queue this engine owns (an
+    /// engine-invariant gauge at quiescent instants).
+    fn pending_events(&self) -> usize;
 }
 
 impl Engine for Simulation {
@@ -635,6 +695,18 @@ impl Engine for Simulation {
     fn as_sim(&self) -> &Simulation {
         self
     }
+
+    fn set_telemetry(&mut self, sink: Box<dyn TelemetrySink>) {
+        Simulation::set_telemetry(self, sink);
+    }
+
+    fn take_telemetry(&mut self) -> Option<Box<dyn TelemetrySink>> {
+        Simulation::take_telemetry(self)
+    }
+
+    fn pending_events(&self) -> usize {
+        Simulation::pending_events(self)
+    }
 }
 
 impl Engine for ParallelSimulation {
@@ -648,5 +720,17 @@ impl Engine for ParallelSimulation {
 
     fn as_sim(&self) -> &Simulation {
         self
+    }
+
+    fn set_telemetry(&mut self, sink: Box<dyn TelemetrySink>) {
+        ParallelSimulation::set_telemetry(self, sink);
+    }
+
+    fn take_telemetry(&mut self) -> Option<Box<dyn TelemetrySink>> {
+        ParallelSimulation::take_telemetry(self)
+    }
+
+    fn pending_events(&self) -> usize {
+        ParallelSimulation::pending_events(self)
     }
 }

@@ -29,6 +29,7 @@ use rand::rngs::StdRng;
 use gcs_net::transport;
 use gcs_net::{DynamicGraph, EdgeKey, EdgeParams, NodeId};
 use gcs_sim::{EventQueue, SimDuration, SimTime};
+use gcs_telemetry::LocalCounters;
 
 use crate::edge_state::{align_t0, EstimateEntry, InsertState};
 use crate::node::NodeState;
@@ -191,6 +192,11 @@ pub(crate) struct LocalCtx<'a, S: EventSink> {
     pub log: Option<&'a mut crate::log::EventLog>,
     /// Flood refresh period (hardware seconds).
     pub refresh: f64,
+    /// Telemetry counter block (the engine's under sequential execution,
+    /// the shard's own under sharding); `None` when telemetry is off, so
+    /// the counting costs one branch per event. Per-kind totals are
+    /// order-free, hence engine-invariant after merging.
+    pub tel: Option<&'a mut LocalCounters>,
 }
 
 impl<S: EventSink> LocalCtx<'_, S> {
@@ -201,6 +207,16 @@ impl<S: EventSink> LocalCtx<'_, S> {
     /// Panics on the cross-shard-state events (`Tick`, `EdgeUp`,
     /// `EdgeDown`) — those execute on the master at rendezvous points.
     pub fn handle(&mut self, t: SimTime, event: Event) {
+        if let Some(tel) = self.tel.as_deref_mut() {
+            match &event {
+                Event::Flood { .. } => tel.floods += 1,
+                Event::Deliver { .. } => tel.deliveries += 1,
+                Event::RateChange { .. } => tel.rate_changes += 1,
+                Event::LeaderCheck { .. } => tel.leader_checks += 1,
+                Event::FollowerApply { .. } => tel.follower_applies += 1,
+                _ => {}
+            }
+        }
         match event {
             Event::Flood { node } => self.on_flood(t, node),
             Event::Deliver {
@@ -408,6 +424,12 @@ impl<S: EventSink> LocalCtx<'_, S> {
                     let node = self.node(dst.index());
                     if node.logical() <= node.max_estimate() - self.params.iota() {
                         self.mark_dirty(dst.index());
+                    }
+                }
+                if let Some(tel) = self.tel.as_deref_mut() {
+                    tel.flood_merges += 1;
+                    if m_moved {
+                        tel.m_jumps += 1;
                     }
                 }
             }

@@ -43,6 +43,7 @@ use gcs_net::{
     Topology,
 };
 use gcs_sim::{rng, DriftModel, EventQueue, SimDuration, SimTime};
+use gcs_telemetry::{LocalCounters, TelemetrySink};
 
 use crate::edge_state::{EdgeSlot, InsertState, Level};
 use crate::estimate::EstimateMode;
@@ -518,6 +519,8 @@ impl SimBuilder {
             eager_advance: false,
             scratch: Scratch::default(),
             redirect: None,
+            telemetry: None,
+            tel_local: LocalCounters::default(),
         };
         for &(u, v) in &initial {
             graph.insert_directed(u, v, SimTime::ZERO);
@@ -608,6 +611,17 @@ pub struct Simulation {
     /// can route them to the owning shard. `None` in the sequential
     /// engine — the plain queue path stays bit-identical.
     pub(crate) redirect: Option<Vec<(SimTime, Event)>>,
+    /// Observability seam: when set, master-side dispatch reports ticks,
+    /// mode switches, edge transitions, and fault injections to the sink
+    /// (see [`gcs_telemetry::TelemetrySink`] for the determinism
+    /// contract). `None` costs one branch per hook site — no allocation,
+    /// no formatting, no drift in any counter.
+    pub(crate) telemetry: Option<Box<dyn TelemetrySink>>,
+    /// Node-local counter block the sequential engine's [`LocalCtx`]
+    /// accumulates into when telemetry is enabled; flushed to the sink at
+    /// the end of every [`Simulation::run_until`]. (The parallel engine
+    /// keeps one such block per shard instead.)
+    pub(crate) tel_local: LocalCounters,
 }
 
 /// Per-node hot state in struct-of-arrays layout, indexed by node id.
@@ -758,6 +772,7 @@ impl Simulation {
         }
         self.now = t;
         self.advance_all(t);
+        self.flush_local_telemetry();
     }
 
     /// Verification seam: when enabled, *every* node is re-decided at
@@ -875,10 +890,50 @@ impl Simulation {
             node: u,
             amount: offset,
         });
+        if let Some(sink) = self.telemetry.as_deref_mut() {
+            sink.on_fault(t.as_secs(), u.index(), offset);
+        }
         // Oracle estimates read the corrupted clock directly, so every
         // node's decision inputs may have jumped: drop all certificates.
         for s in &mut self.hot.stable_until {
             *s = f64::NEG_INFINITY;
+        }
+    }
+
+    /// Installs a telemetry sink (post-build — works identically under
+    /// both engines, so the parallel builder needs no special case).
+    /// Replaces any previously installed sink.
+    pub fn set_telemetry(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.telemetry = Some(sink);
+    }
+
+    /// Removes the telemetry sink, flushing any pending node-local
+    /// counters into it first. `None` if no sink was installed.
+    pub fn take_telemetry(&mut self) -> Option<Box<dyn TelemetrySink>> {
+        self.flush_local_telemetry();
+        self.telemetry.take()
+    }
+
+    /// Number of events pending in this engine's queue.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Size of the current dirty set: nodes whose stability horizon has
+    /// expired at the current instant, i.e. exactly the nodes the next
+    /// tick sweep would re-evaluate.
+    #[must_use]
+    pub fn dirty_nodes(&self) -> usize {
+        let ts = self.now.as_secs();
+        self.hot.stable_until.iter().filter(|&&s| ts >= s).count()
+    }
+
+    /// Reports the node-local counters accumulated since the last flush.
+    fn flush_local_telemetry(&mut self) {
+        if let Some(sink) = self.telemetry.as_deref_mut() {
+            let counters = std::mem::take(&mut self.tel_local);
+            sink.on_local(0, &counters);
         }
     }
 
@@ -1095,6 +1150,10 @@ impl Simulation {
             Event::Tick => {
                 self.stats.ticks += 1;
                 self.reevaluate_modes(t);
+                if let Some(sink) = self.telemetry.as_deref_mut() {
+                    // `scratch.eval` still holds this sweep's selection.
+                    sink.on_tick(t.as_secs(), self.scratch.eval.len());
+                }
                 self.queue
                     .schedule(t + SimDuration::from_secs(self.tick), Event::Tick);
             }
@@ -1123,6 +1182,11 @@ impl Simulation {
             diameter: self.diameter.as_mut(),
             log: self.log.as_mut(),
             refresh: self.refresh,
+            tel: if self.telemetry.is_some() {
+                Some(&mut self.tel_local)
+            } else {
+                None
+            },
         }
     }
 
@@ -1309,6 +1373,9 @@ impl Simulation {
                         mode: d.mode,
                     });
                 }
+                if let Some(sink) = self.telemetry.as_deref_mut() {
+                    sink.on_mode_switch(ts, u, d.mode == Mode::Fast);
+                }
             }
             node.set_mode(d.mode);
             self.hot.stable_until[u] = d.stable_until;
@@ -1359,6 +1426,9 @@ impl Simulation {
             from,
             to,
         });
+        if let Some(sink) = self.telemetry.as_deref_mut() {
+            sink.on_edge(t.as_secs(), from.index(), to.index(), true);
+        }
         self.nodes[from.index()].advance_to(t, &self.params);
         self.gen_counter += 1;
         let generation = self.gen_counter;
@@ -1405,6 +1475,9 @@ impl Simulation {
             from,
             to,
         });
+        if let Some(sink) = self.telemetry.as_deref_mut() {
+            sink.on_edge(t.as_secs(), from.index(), to.index(), false);
+        }
         self.nodes[from.index()].advance_to(t, &self.params);
         // Listing 1 lines 15-18: drop the neighbour from every N^s and
         // forget the insertion times.

@@ -9,7 +9,7 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use gcs_analysis::{local_skew_with, parallel_map, EnsembleStats};
+use gcs_analysis::{local_skew_with, parallel_map_progress, EnsembleStats};
 
 use crate::error::ScenarioError;
 use crate::json::Json;
@@ -54,6 +54,13 @@ pub struct ScenarioOutcome {
     pub messages_delivered: u64,
     /// Messages dropped by the continuity rule.
     pub messages_dropped: u64,
+    /// Total events the engine processed.
+    pub events: u64,
+    /// Tick sweeps executed.
+    pub ticks: u64,
+    /// Nodes actually re-evaluated across all tick sweeps (the dirty-set
+    /// engine's work, vs `nodes × ticks` for a full per-tick pass).
+    pub mode_evaluations: u64,
     /// `(t, global skew)` at every sampled instant of the whole run —
     /// the trajectory other tooling plots or regression-checks.
     pub trajectory: Vec<(f64, f64)>,
@@ -148,6 +155,9 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<ScenarioOutcome, S
         messages_sent: stats.messages_sent,
         messages_delivered: stats.messages_delivered,
         messages_dropped: stats.messages_dropped,
+        events: stats.events,
+        ticks: stats.ticks,
+        mode_evaluations: stats.mode_evaluations,
         trajectory,
     })
 }
@@ -177,13 +187,37 @@ pub fn run_campaign(
     specs: &[ScenarioSpec],
     seeds: &[u64],
 ) -> Result<Vec<CampaignRow>, ScenarioError> {
+    run_campaign_progress(specs, seeds, |_, _, _| {})
+}
+
+/// [`run_campaign`] with a completion callback: `on_done(spec, seed,
+/// result)` fires once per scenario × seed, **in job order** (scenario-
+/// major, then seed) regardless of which worker finished first — so
+/// progress output is deterministic and CI logs diff cleanly.
+///
+/// # Errors
+///
+/// Returns the first [`ScenarioError`] any run produced (after every job
+/// has been reported).
+pub fn run_campaign_progress(
+    specs: &[ScenarioSpec],
+    seeds: &[u64],
+    on_done: impl Fn(&ScenarioSpec, u64, &Result<ScenarioOutcome, ScenarioError>) + Sync,
+) -> Result<Vec<CampaignRow>, ScenarioError> {
     assert!(!seeds.is_empty(), "a campaign needs at least one seed");
     let jobs: Vec<(usize, u64)> = specs
         .iter()
         .enumerate()
         .flat_map(|(i, _)| seeds.iter().map(move |&s| (i, s)))
         .collect();
-    let results = parallel_map(jobs, |(i, seed)| run_scenario(&specs[i], seed));
+    let results = parallel_map_progress(
+        jobs,
+        |(i, seed)| run_scenario(&specs[i], seed),
+        |idx, result| {
+            let spec = &specs[idx / seeds.len()];
+            on_done(spec, seeds[idx % seeds.len()], result);
+        },
+    );
 
     let mut rows = Vec::with_capacity(specs.len());
     let mut it = results.into_iter();
@@ -231,6 +265,9 @@ pub fn campaign_json(title: &str, scale: Scale, seeds: &[u64], rows: &[CampaignR
             ("messages_sent", Json::Int(o.messages_sent)),
             ("messages_delivered", Json::Int(o.messages_delivered)),
             ("messages_dropped", Json::Int(o.messages_dropped)),
+            ("events", Json::Int(o.events)),
+            ("ticks", Json::Int(o.ticks)),
+            ("mode_evaluations", Json::Int(o.mode_evaluations)),
             (
                 "trajectory",
                 Json::Arr(
@@ -346,6 +383,41 @@ mod tests {
         assert!(json.contains("\"stddev\""));
         assert!(json.contains("\"p90\""));
         assert!(json.contains("\"trajectory\":[["));
+        assert!(json.contains("\"events\":"));
+        assert!(json.contains("\"ticks\":"));
+        assert!(json.contains("\"mode_evaluations\":"));
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn campaign_progress_reports_every_job_in_canonical_order() {
+        use std::sync::Mutex;
+        let specs = vec![tiny("line-worstcase"), tiny("ring-steady")];
+        let seeds = [1, 2, 3];
+        let seen = Mutex::new(Vec::new());
+        let rows = run_campaign_progress(&specs, &seeds, |spec, seed, result| {
+            assert!(result.is_ok());
+            seen.lock().unwrap().push((spec.name.clone(), seed));
+        })
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        let seen = seen.into_inner().unwrap();
+        // Scenario-major then seed order, independent of completion order.
+        let expected: Vec<(String, u64)> = specs
+            .iter()
+            .flat_map(|s| seeds.iter().map(|&x| (s.name.clone(), x)))
+            .collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn outcome_surfaces_engine_counters() {
+        let out = run_scenario(&tiny("ring-steady"), 0).unwrap();
+        assert!(out.events > 0);
+        assert!(out.ticks > 0);
+        assert!(out.mode_evaluations > 0);
+        // The dirty-set engine evaluates strictly less than nodes × ticks
+        // on a steady scenario (that headroom is what the counter shows).
+        assert!(out.events > out.ticks);
     }
 }

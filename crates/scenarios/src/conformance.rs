@@ -11,7 +11,7 @@
 //! theorem-level CI gate next to the statistical `compare` gate.
 
 use gcs_analysis::oracle::{ConformanceChecker, ConformanceReport};
-use gcs_analysis::{parallel_map, Table};
+use gcs_analysis::{parallel_map_progress, Table};
 
 use crate::error::ScenarioError;
 use crate::spec::ScenarioSpec;
@@ -66,15 +66,40 @@ pub fn run_conformance(
     specs: &[ScenarioSpec],
     seeds: &[u64],
 ) -> Result<Vec<ConformanceRow>, ScenarioError> {
+    run_conformance_progress(specs, seeds, |_, _, _| {})
+}
+
+/// [`run_conformance`] with a completion callback: `on_done(spec, seed,
+/// result)` fires once per scenario × seed in job order (scenario-major,
+/// then seed) regardless of worker scheduling, so progress output is
+/// deterministic.
+///
+/// # Errors
+///
+/// Returns the first [`ScenarioError`] any run produced.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+pub fn run_conformance_progress(
+    specs: &[ScenarioSpec],
+    seeds: &[u64],
+    on_done: impl Fn(&ScenarioSpec, u64, &Result<ConformanceReport, ScenarioError>) + Sync,
+) -> Result<Vec<ConformanceRow>, ScenarioError> {
     assert!(!seeds.is_empty(), "conformance needs at least one seed");
     let jobs: Vec<(usize, u64)> = specs
         .iter()
         .enumerate()
         .flat_map(|(i, _)| seeds.iter().map(move |&s| (i, s)))
         .collect();
-    let results = parallel_map(jobs.clone(), |(i, seed)| {
-        run_scenario_conformance(&specs[i], seed)
-    });
+    let results = parallel_map_progress(
+        jobs.clone(),
+        |(i, seed)| run_scenario_conformance(&specs[i], seed),
+        |idx, result| {
+            let spec = &specs[idx / seeds.len()];
+            on_done(spec, seeds[idx % seeds.len()], result);
+        },
+    );
     let mut rows = Vec::with_capacity(jobs.len());
     for ((i, seed), report) in jobs.into_iter().zip(results) {
         rows.push(ConformanceRow {

@@ -32,9 +32,14 @@
 //!   `gcs-scenarios bench` and the `BENCH_engine.json`
 //!   (`gcs-engine-bench/v1`) artifact, plus the exact deterministic
 //!   counter gate behind `gcs-scenarios bench-compare`;
+//! * [`telemetry`] — instrumented runs: both engines driven with a
+//!   [`gcs_telemetry`] sink attached, the engine-invariant
+//!   `gcs-trace/v1` run log behind `gcs-scenarios trace`/`trace-diff`,
+//!   and the `gcs-telemetry/v1` metrics artifact behind the
+//!   `--telemetry` flag of `run`/`bench`/`conformance`;
 //! * the `gcs-scenarios` CLI (`list | validate <dir> | run <name|file> |
-//!   bench | bench-compare | conformance | baseline | compare |
-//!   export <dir> | show <name>`).
+//!   bench | bench-compare | trace | trace-diff | conformance |
+//!   baseline | compare | export <dir> | show <name>`).
 //!
 //! # Example
 //!
@@ -59,6 +64,7 @@ pub mod json;
 pub mod presets;
 pub mod registry;
 pub mod spec;
+pub mod telemetry;
 pub mod trend;
 
 pub use bench::{BenchArtifact, BenchCompareReport, BenchEntry};
@@ -68,6 +74,7 @@ pub use error::ScenarioError;
 pub use spec::{
     DriftSpec, DynamicsSpec, EstimateSpec, FaultSpec, Metric, Scale, ScenarioSpec, TopologySpec,
 };
+pub use telemetry::{bench_instrumented, run_instrumented, TelemetryRun, TELEMETRY_FORMAT};
 pub use trend::{
     CampaignArtifact, CompareReport, EnvelopeStats, TrajectoryEnvelope, TrendRow, TrendSummary,
 };

@@ -1,0 +1,499 @@
+//! Instrumented scenario runs: the glue between the registry/campaign
+//! driver and the [`gcs_telemetry`] observability crate.
+//!
+//! Three jobs live here:
+//!
+//! * [`run_instrumented`] — drive one scenario × seed on either engine
+//!   with a [`SharedRecorder`] attached, sampling engine-invariant gauges
+//!   (global skew, pending events, dirty nodes) at every observation
+//!   instant, optionally with the conformance oracle riding along so the
+//!   artifact carries a margin-utilization time series;
+//! * [`bench_instrumented`] — the same attachment over the *bench* drive
+//!   loop (fault replay + one `run_until`, no sampling grid), so the CLI
+//!   can assert instrumentation drift is exactly zero against a timed
+//!   [`bench::run_one`](crate::bench::run_one) pass;
+//! * the `gcs-telemetry/v1` artifact writer ([`telemetry_json`] /
+//!   [`write_telemetry`]) and the raw trace writer ([`write_trace`]) —
+//!   the machine-readable run log that sits next to `BENCH_engine.json`.
+//!
+//! The trace byte-identity contract (same scenario + seed ⇒ the same
+//! JSONL bytes and FNV-1a hash from the sequential and the sharded engine
+//! at every shard count) is enforced by `tests/parallel_equivalence.rs`;
+//! this module only has to *feed* both engines identically, which it does
+//! by sampling exclusively at quiescent instants through the
+//! engine-agnostic [`Engine`] seam.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use gcs_analysis::oracle::ConformanceChecker;
+use gcs_core::{Engine, SimStats};
+use gcs_telemetry::{Histogram, RunTelemetry, Sample, SharedRecorder, TraceOutput};
+
+use crate::error::ScenarioError;
+use crate::json::Json;
+use crate::spec::{Scale, ScenarioSpec};
+
+/// The artifact format tag.
+pub const TELEMETRY_FORMAT: &str = "gcs-telemetry/v1";
+
+/// One fully instrumented scenario × seed run.
+#[derive(Debug)]
+pub struct TelemetryRun {
+    /// Scenario name.
+    pub scenario: String,
+    /// Run seed.
+    pub seed: u64,
+    /// Worker thread count: 1 = sequential reference, >1 = sharded.
+    pub threads: usize,
+    /// Which engine ran (`"sequential"` / `"sharded"`). Deliberately NOT
+    /// part of the trace itself — the trace is engine-invariant.
+    pub engine: &'static str,
+    /// Node count after scaling.
+    pub nodes: usize,
+    /// Wall-clock seconds for the drive (excludes build).
+    pub wall_secs: f64,
+    /// Everything the recorder accumulated (counters, histograms,
+    /// samples, and the sealed trace when requested).
+    pub telemetry: RunTelemetry,
+    /// The engine's own deterministic counters at the end instant.
+    pub stats: SimStats,
+    /// `(t, global utilization, gradient utilization)` per sample instant
+    /// when the conformance oracle rode along; empty otherwise.
+    pub oracle_series: Vec<(f64, f64, f64)>,
+}
+
+fn build_parallel(
+    spec: &ScenarioSpec,
+    seed: u64,
+    threads: usize,
+) -> Result<gcs_core::ParallelSimulation, ScenarioError> {
+    gcs_core::ParallelSimBuilder::new(spec.builder(seed)?)
+        .shards(threads)
+        .build()
+        .map_err(|e| ScenarioError::Invalid(format!("{}: {e}", spec.name)))
+}
+
+/// The shared drive: attach a recorder, run the scenario (sampled or
+/// bench-style), detach, and package the results.
+fn instrument<E: Engine>(
+    sim: &mut E,
+    spec: &ScenarioSpec,
+    seed: u64,
+    threads: usize,
+    trace: bool,
+    conformance: bool,
+    sampled: bool,
+) -> TelemetryRun {
+    let engine = if threads <= 1 {
+        "sequential"
+    } else {
+        "sharded"
+    };
+    let nodes = sim.as_sim().node_count();
+    let shared = SharedRecorder::new(trace);
+    shared.begin_run(&spec.name, seed, nodes);
+    sim.set_telemetry(shared.sink());
+
+    let mut checker = conformance.then(|| ConformanceChecker::new(sim.as_sim(), spec.sample));
+    let mut oracle_series = Vec::new();
+
+    let started = Instant::now();
+    if sampled {
+        crate::campaign::drive_sampled(sim, &spec.faults, spec.sample, spec.end_secs(), |t, s| {
+            let master = s.as_sim();
+            // Every gauge here is engine-invariant at a quiescent
+            // instant, so sample records hash identically across
+            // engines.
+            shared.on_sample(Sample {
+                t,
+                global_skew: master.snapshot().global_skew(),
+                queue_depth: s.pending_events(),
+                dirty_nodes: master.dirty_nodes(),
+                events: master.stats().events,
+            });
+            if let Some(c) = checker.as_mut() {
+                c.observe(master);
+                let r = c.report_so_far();
+                oracle_series.push((t, r.global.worst_utilization, r.gradient.worst_utilization));
+            }
+        });
+    } else {
+        // Exactly the bench drive: fault replay, then one run to the end
+        // instant — so counters can be compared to a timed bench pass.
+        crate::campaign::apply_faults(sim, &spec.faults);
+        sim.run_until_secs(spec.end_secs());
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    // Detach (flushes pending local counters), then unwrap the recorder.
+    drop(sim.take_telemetry());
+    let telemetry = shared.finish();
+
+    TelemetryRun {
+        scenario: spec.name.clone(),
+        seed,
+        threads: threads.max(1),
+        engine,
+        nodes,
+        wall_secs,
+        telemetry,
+        stats: sim.as_sim().stats(),
+        oracle_series,
+    }
+}
+
+/// Runs one scenario × seed with full instrumentation over the normal
+/// observation grid (the campaign drive loop).
+///
+/// `threads <= 1` runs the sequential reference engine; larger values run
+/// the sharded engine with that many shards. With `trace` the result
+/// carries the sealed `gcs-trace/v1` JSONL log; with `conformance` the
+/// paper oracle observes every sample and the result carries the margin
+/// utilization series.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError`] if the spec fails to validate or build.
+pub fn run_instrumented(
+    spec: &ScenarioSpec,
+    seed: u64,
+    threads: usize,
+    trace: bool,
+    conformance: bool,
+) -> Result<TelemetryRun, ScenarioError> {
+    if threads <= 1 {
+        let mut sim = spec.build(seed)?;
+        Ok(instrument(
+            &mut sim,
+            spec,
+            seed,
+            threads,
+            trace,
+            conformance,
+            true,
+        ))
+    } else {
+        let mut sim = build_parallel(spec, seed, threads)?;
+        Ok(instrument(
+            &mut sim,
+            spec,
+            seed,
+            threads,
+            trace,
+            conformance,
+            true,
+        ))
+    }
+}
+
+/// Runs one scenario × seed with instrumentation over the *bench* drive
+/// loop (no sampling grid, no trace): the run whose counters must match a
+/// timed [`bench::run_one`](crate::bench::run_one) pass exactly, proving
+/// the sink sees the run without changing it.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError`] if the spec fails to validate or build.
+pub fn bench_instrumented(
+    spec: &ScenarioSpec,
+    seed: u64,
+    threads: usize,
+) -> Result<TelemetryRun, ScenarioError> {
+    if threads <= 1 {
+        let mut sim = spec.build(seed)?;
+        Ok(instrument(
+            &mut sim, spec, seed, threads, false, false, false,
+        ))
+    } else {
+        let mut sim = build_parallel(spec, seed, threads)?;
+        Ok(instrument(
+            &mut sim, spec, seed, threads, false, false, false,
+        ))
+    }
+}
+
+fn hist_json(h: &Histogram) -> Json {
+    Json::Obj(vec![
+        (
+            "buckets",
+            Json::Arr(
+                h.counts()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(i, &c)| {
+                        Json::Arr(vec![Json::Int(Histogram::bucket_lo(i)), Json::Int(c)])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("total", Json::Int(h.total())),
+        ("sum", Json::Int(h.sum())),
+        ("max", Json::Int(h.max())),
+    ])
+}
+
+fn entry_json(r: &TelemetryRun) -> Json {
+    let tel = &r.telemetry;
+    let mut fields = vec![
+        ("scenario", Json::Str(r.scenario.clone())),
+        ("seed", Json::Int(r.seed)),
+        ("threads", Json::Int(r.threads as u64)),
+        ("engine", Json::Str(r.engine.to_string())),
+        ("nodes", Json::Int(r.nodes as u64)),
+        ("wall_secs", Json::Num(r.wall_secs)),
+        (
+            "counters",
+            Json::Obj(vec![
+                ("events", Json::Int(r.stats.events)),
+                ("ticks", Json::Int(r.stats.ticks)),
+                ("mode_evaluations", Json::Int(r.stats.mode_evaluations)),
+                ("messages_sent", Json::Int(r.stats.messages_sent)),
+                ("messages_delivered", Json::Int(r.stats.messages_delivered)),
+                ("messages_dropped", Json::Int(r.stats.messages_dropped)),
+                ("floods", Json::Int(tel.local.floods)),
+                ("deliveries", Json::Int(tel.local.deliveries)),
+                ("rate_changes", Json::Int(tel.local.rate_changes)),
+                ("leader_checks", Json::Int(tel.local.leader_checks)),
+                ("follower_applies", Json::Int(tel.local.follower_applies)),
+                ("flood_merges", Json::Int(tel.local.flood_merges)),
+                ("m_jumps", Json::Int(tel.local.m_jumps)),
+                ("mode_switches", Json::Int(tel.mode_switches)),
+                ("edge_events", Json::Int(tel.edge_events)),
+                ("faults", Json::Int(tel.faults)),
+            ]),
+        ),
+        (
+            "parallel",
+            Json::Obj(vec![
+                ("segments", Json::Int(tel.segments)),
+                ("barrier_rounds", Json::Int(tel.barrier_rounds)),
+                ("stalled_shard_rounds", Json::Int(tel.stalled_shard_rounds)),
+                ("mailbox_events", Json::Int(tel.mailbox_events)),
+                (
+                    "per_shard_drained",
+                    Json::Arr(
+                        tel.per_shard_drained
+                            .iter()
+                            .map(|&v| Json::Int(v))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "hist",
+            Json::Obj(vec![
+                ("eval_per_tick", hist_json(&tel.eval_hist)),
+                ("queue_depth", hist_json(&tel.queue_hist)),
+            ]),
+        ),
+        (
+            "series",
+            Json::Arr(
+                tel.samples
+                    .iter()
+                    .map(|s| {
+                        Json::Arr(vec![
+                            Json::Num(s.t),
+                            Json::Num(s.global_skew),
+                            Json::Int(s.queue_depth as u64),
+                            Json::Int(s.dirty_nodes as u64),
+                            Json::Int(s.events),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    if !r.oracle_series.is_empty() {
+        fields.push((
+            "oracle_series",
+            Json::Arr(
+                r.oracle_series
+                    .iter()
+                    .map(|&(t, g, l)| Json::Arr(vec![Json::Num(t), Json::Num(g), Json::Num(l)]))
+                    .collect(),
+            ),
+        ));
+    }
+    if let Some(trace) = &tel.trace {
+        fields.push((
+            "trace",
+            Json::Obj(vec![
+                ("records", Json::Int(trace.records)),
+                ("hash", Json::Str(trace.hash_hex())),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+/// Serializes instrumented runs to the `gcs-telemetry/v1` JSON artifact
+/// (one entry per line, like the bench artifact, so checked-in files diff
+/// cleanly).
+#[must_use]
+pub fn telemetry_json(scale: Scale, entries: &[TelemetryRun]) -> String {
+    let head = Json::Obj(vec![
+        ("format", Json::Str(TELEMETRY_FORMAT.to_string())),
+        ("scale", Json::Str(scale.name().to_string())),
+    ])
+    .to_string();
+    let mut out = String::new();
+    out.push_str(&head[..head.len() - 1]);
+    out.push_str(",\"entries\":[\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&entry_json(e).to_string());
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Writes the telemetry artifact to `path`, creating parent directories
+/// as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_telemetry(path: &Path, scale: Scale, entries: &[TelemetryRun]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(telemetry_json(scale, entries).as_bytes())
+}
+
+/// Writes a sealed trace's raw JSONL bytes to `path`, creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_trace(path: &Path, trace: &TraceOutput) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(trace.text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn instrumented_run_collects_counters_and_trace() {
+        let spec = registry::find("ring-steady")
+            .expect("built-in")
+            .scaled(Scale::Tiny);
+        let run = run_instrumented(&spec, 0, 1, true, false).unwrap();
+        assert_eq!(run.engine, "sequential");
+        assert!(run.stats.events > 0);
+        assert_eq!(run.telemetry.ticks, run.stats.ticks);
+        assert!(run.telemetry.local.deliveries > 0, "flood traffic flows");
+        assert!(run.telemetry.local.flood_merges > 0);
+        assert!(!run.telemetry.samples.is_empty());
+        assert!(run.telemetry.eval_hist.total() > 0);
+        let trace = run.telemetry.trace.as_ref().expect("trace requested");
+        assert!(trace.text.starts_with("{\"rec\":\"run\""));
+        gcs_telemetry::verify_trace(&trace.text).expect("sealed trace verifies");
+        // Sequential runs report exactly one local-counter block origin
+        // and no parallel-only activity.
+        assert_eq!(run.telemetry.segments, 0);
+        assert!(run.telemetry.per_shard_drained.is_empty());
+    }
+
+    #[test]
+    fn traces_are_byte_identical_across_engines() {
+        let spec = registry::find("churn-burst")
+            .expect("built-in")
+            .scaled(Scale::Tiny);
+        let seq = run_instrumented(&spec, 3, 1, true, false).unwrap();
+        let par = run_instrumented(&spec, 3, 2, true, false).unwrap();
+        let (a, b) = (
+            seq.telemetry.trace.as_ref().unwrap(),
+            par.telemetry.trace.as_ref().unwrap(),
+        );
+        assert_eq!(a.text, b.text, "trace bytes must not depend on the engine");
+        assert_eq!(a.hash, b.hash);
+        // The order-free counter channel must agree too.
+        assert_eq!(seq.telemetry.local, par.telemetry.local);
+        // ... while the parallel-only metrics exist only on the shard run.
+        assert!(par.telemetry.segments > 0);
+        assert_eq!(par.telemetry.per_shard_drained.len(), 2);
+    }
+
+    #[test]
+    fn bench_instrumented_matches_timed_bench_counters_exactly() {
+        let spec = registry::find("ring-steady")
+            .expect("built-in")
+            .scaled(Scale::Tiny);
+        for threads in [1usize, 2] {
+            let timed = crate::bench::run_one(&spec, 0, threads).unwrap();
+            let inst = bench_instrumented(&spec, 0, threads).unwrap();
+            assert_eq!(
+                (
+                    inst.stats.events,
+                    inst.stats.ticks,
+                    inst.stats.mode_evaluations,
+                    inst.stats.messages_delivered
+                ),
+                (
+                    timed.events,
+                    timed.ticks,
+                    timed.mode_evaluations,
+                    timed.messages_delivered
+                ),
+                "threads {threads}: instrumentation must not change the run"
+            );
+        }
+    }
+
+    #[test]
+    fn conformance_ride_along_produces_oracle_series() {
+        let spec = registry::find("self-heal")
+            .expect("built-in")
+            .scaled(Scale::Tiny);
+        let run = run_instrumented(&spec, 1, 1, false, true).unwrap();
+        assert_eq!(run.oracle_series.len(), run.telemetry.samples.len());
+        assert!(run
+            .oracle_series
+            .iter()
+            .all(|&(_, g, l)| (0.0..=1.0).contains(&g) && (0.0..=1.0).contains(&l)));
+        assert_eq!(run.telemetry.faults, 1, "the scripted fault is traced");
+    }
+
+    #[test]
+    fn artifact_serializes_with_format_tag() {
+        let spec = registry::find("ring-steady")
+            .expect("built-in")
+            .scaled(Scale::Tiny);
+        let runs = vec![
+            run_instrumented(&spec, 0, 1, true, false).unwrap(),
+            run_instrumented(&spec, 0, 2, true, false).unwrap(),
+        ];
+        let json = telemetry_json(Scale::Tiny, &runs);
+        assert!(json.starts_with("{\"format\":\"gcs-telemetry/v1\""));
+        assert!(json.contains("\"flood_merges\""));
+        assert!(json.contains("\"per_shard_drained\":["));
+        assert!(json.contains("\"eval_per_tick\""));
+        assert!(json.contains("\"engine\":\"sequential\""));
+        assert!(json.contains("\"engine\":\"sharded\""));
+        assert!(json.contains("\"trace\":{\"records\":"));
+        assert!(json.ends_with("]}\n"));
+        // Both engines embed the same trace hash.
+        let hash = runs[0].telemetry.trace.as_ref().unwrap().hash_hex();
+        assert_eq!(json.matches(&hash).count(), 2);
+    }
+}

@@ -62,6 +62,15 @@ fn read_stats(v: &JsonValue, what: &str) -> Result<EnsembleStats, String> {
     })
 }
 
+/// Engine counters were added to outcomes after the first artifacts
+/// shipped; older files simply lack the field, which reads as 0.
+fn legacy_u64_field(v: &JsonValue, name: &str) -> u64 {
+    field(v, name, "")
+        .ok()
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0)
+}
+
 fn read_outcome(v: &JsonValue, what: &str) -> Result<ScenarioOutcome, String> {
     let mut trajectory = Vec::new();
     for (i, pt) in arr_field(v, "trajectory", what)?.iter().enumerate() {
@@ -87,6 +96,9 @@ fn read_outcome(v: &JsonValue, what: &str) -> Result<ScenarioOutcome, String> {
         messages_sent: u64_field(v, "messages_sent", what)?,
         messages_delivered: u64_field(v, "messages_delivered", what)?,
         messages_dropped: u64_field(v, "messages_dropped", what)?,
+        events: legacy_u64_field(v, "events"),
+        ticks: legacy_u64_field(v, "ticks"),
+        mode_evaluations: legacy_u64_field(v, "mode_evaluations"),
         trajectory,
     })
 }

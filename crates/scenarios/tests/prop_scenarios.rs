@@ -146,6 +146,9 @@ proptest! {
                 messages_sent: counts[(k + 1) % counts.len()],
                 messages_delivered: counts[(k + 2) % counts.len()],
                 messages_dropped: counts[(k + 3) % counts.len()],
+                events: counts[(k + 4) % counts.len()],
+                ticks: counts[(k + 5) % counts.len()],
+                mode_evaluations: counts[(k + 6) % counts.len()],
                 trajectory: (0..3).map(|j| (j as f64 * 0.5, v(k + j))).collect(),
             })
             .collect();

@@ -1,0 +1,819 @@
+//! Deterministic tracing and metrics for the gradient clock sync engines.
+//!
+//! This crate is the *instrumentation seam*: a [`TelemetrySink`] trait the
+//! engines call at interesting moments (ticks, mode switches, edge
+//! transitions, fault injections, shard drains, barrier rounds), plus a
+//! concrete [`Recorder`] that turns those calls into
+//!
+//! 1. a **deterministic JSONL trace** with a running FNV-1a content hash —
+//!    the replayable run log. Trace records are restricted to events whose
+//!    order is identical in the sequential and parallel engines (master-side
+//!    dispatch plus driver-side samples), so the same `(scenario, seed)`
+//!    produces a **byte-identical** trace at every shard count; and
+//! 2. a **metrics layer** of counters and power-of-two histograms
+//!    (events per shard, barrier stalls, queue depth, evaluations per
+//!    tick), summarized into a [`RunTelemetry`] value.
+//!
+//! Everything here is dependency-free and engine-agnostic: the engines see
+//! only the trait. When no sink is installed the hooks cost one branch on a
+//! `None` option — zero allocation, zero formatting.
+//!
+//! The crate also ships the reader half of the contract: [`trace_diff`]
+//! finds the first divergent record between two traces, and
+//! [`verify_trace`] recomputes the content hash of a trace file and checks
+//! it against the hash recorded in the terminating `end` record.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Node-local event counters, accumulated wherever node events are drained
+/// (the sequential event loop, or each shard's calendar queue).
+///
+/// These are *order-free*: per-kind totals are identical across engines and
+/// shard counts even though node-local execution order is not, so they are
+/// folded into the run totals at merge points rather than traced per event.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LocalCounters {
+    /// `Flood` events drained (periodic + triggered re-floods).
+    pub floods: u64,
+    /// `Deliver` events drained (message arrivals, before the §3.1 gate).
+    pub deliveries: u64,
+    /// `RateChange` events drained (hardware drift schedule points).
+    pub rate_changes: u64,
+    /// `LeaderCheck` events drained (baseline handshake probes).
+    pub leader_checks: u64,
+    /// `FollowerApply` events drained (baseline handshake applies).
+    pub follower_applies: u64,
+    /// Accepted flood payloads merged into receiver estimate bounds.
+    pub flood_merges: u64,
+    /// Flood merges that moved the receiver's max-estimate (`M`-jumps in
+    /// the paper's terms: the fast-condition input actually changed).
+    pub m_jumps: u64,
+}
+
+impl LocalCounters {
+    /// Fold another counter block into this one.
+    pub fn merge(&mut self, other: &LocalCounters) {
+        self.floods += other.floods;
+        self.deliveries += other.deliveries;
+        self.rate_changes += other.rate_changes;
+        self.leader_checks += other.leader_checks;
+        self.follower_applies += other.follower_applies;
+        self.flood_merges += other.flood_merges;
+        self.m_jumps += other.m_jumps;
+    }
+
+    /// True when every counter is zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == LocalCounters::default()
+    }
+}
+
+/// The instrumentation seam. Engines hold an optional boxed sink and call
+/// these hooks at well-defined sites; every method has an empty default so
+/// a sink implements only what it cares about.
+///
+/// **Determinism contract**: the first four hooks (`on_tick`,
+/// `on_mode_switch`, `on_edge`, `on_fault`) fire from master-side dispatch
+/// in an order that is identical between the sequential and parallel
+/// engines — sinks may emit trace records from them. The remaining hooks
+/// fire at engine-dependent times (per `run_until` call, per segment, per
+/// barrier round) and must only feed order-insensitive aggregates.
+pub trait TelemetrySink: std::fmt::Debug {
+    /// A tick sweep completed at time `t`, re-evaluating `evaluated` nodes.
+    fn on_tick(&mut self, t: f64, evaluated: usize) {
+        let _ = (t, evaluated);
+    }
+    /// Node `node` switched mode at time `t` (`fast` = entered fast mode).
+    fn on_mode_switch(&mut self, t: f64, node: usize, fast: bool) {
+        let _ = (t, node, fast);
+    }
+    /// Edge `from`–`to` appeared (`up`) or disappeared at time `t`.
+    fn on_edge(&mut self, t: f64, from: usize, to: usize, up: bool) {
+        let _ = (t, from, to, up);
+    }
+    /// A clock-offset fault of `amount` was injected into `node` at `t`.
+    fn on_fault(&mut self, t: f64, node: usize, amount: f64) {
+        let _ = (t, node, amount);
+    }
+    /// Node-local counters accumulated by `shard` since the last flush.
+    fn on_local(&mut self, shard: usize, counters: &LocalCounters) {
+        let _ = (shard, counters);
+    }
+    /// `events` events were drained by `shard` since the last stats merge.
+    fn on_shard_drained(&mut self, shard: usize, events: u64) {
+        let _ = (shard, events);
+    }
+    /// The parallel engine opened a segment ending at `cut`.
+    fn on_segment_cut(&mut self, cut: f64) {
+        let _ = cut;
+    }
+    /// A barrier round ran with `active` busy shards and `stalled` shards
+    /// that had no work below the cut this round.
+    fn on_barrier_round(&mut self, active: usize, stalled: usize) {
+        let _ = (active, stalled);
+    }
+    /// A barrier exchange moved `moved` cross-shard events between
+    /// mailboxes.
+    fn on_mailbox(&mut self, moved: usize) {
+        let _ = moved;
+    }
+}
+
+/// A sink that ignores everything — the explicit spelling of "disabled".
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {}
+
+// ---------------------------------------------------------------------------
+// Content hashing
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher. Chosen because it is trivially
+/// portable, dependency-free, and byte-order independent — the trace hash
+/// is a determinism fingerprint, not a cryptographic commitment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// Fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Current digest.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte slice.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.digest()
+}
+
+/// Render a digest in the `fnv1a64:%016x` form used by trace end records.
+#[must_use]
+pub fn hash_hex(digest: u64) -> String {
+    format!("fnv1a64:{digest:016x}")
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// Deterministic power-of-two histogram: bucket 0 holds zeros, bucket `i`
+/// (for `i ≥ 1`) holds values in `[2^(i-1), 2^i)`. Counts are exact and
+/// independent of observation order, so histograms are engine-invariant
+/// wherever the observed multiset is.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Bucket index for a value.
+    #[must_use]
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive lower bound of a bucket.
+    #[must_use]
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Record one value.
+    pub fn observe(&mut self, v: u64) {
+        let b = Self::bucket_of(v);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Per-bucket counts (trailing zero buckets trimmed by construction).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of observed values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Maximum observed value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------------
+
+/// One driver-side observation instant: gauges read at a quiescent point
+/// (all events at-or-before `t` fully processed in either engine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Observation time in seconds.
+    pub t: f64,
+    /// Global skew (max−min logical clock) at `t`.
+    pub global_skew: f64,
+    /// Pending events across all queues (master + shards).
+    pub queue_depth: usize,
+    /// Nodes whose tick-sweep staleness bound has expired ("dirty set").
+    pub dirty_nodes: usize,
+    /// Cumulative events processed so far.
+    pub events: u64,
+}
+
+#[derive(Debug, Default)]
+struct TraceBuffer {
+    text: String,
+    records: u64,
+    hash: Fnv1a,
+}
+
+impl TraceBuffer {
+    fn push(&mut self, line: &str) {
+        self.hash.update(line.as_bytes());
+        self.hash.update(b"\n");
+        self.text.push_str(line);
+        self.text.push('\n');
+        self.records += 1;
+    }
+}
+
+/// A finished deterministic trace: full JSONL text (including the `end`
+/// record), the record count, and the content hash the `end` record
+/// carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceOutput {
+    /// Complete JSONL text, one record per line, `end` record last.
+    pub text: String,
+    /// Number of records hashed (everything before the `end` record).
+    pub records: u64,
+    /// FNV-1a 64 digest over the hashed records (bytes including the
+    /// trailing newline of each line).
+    pub hash: u64,
+}
+
+impl TraceOutput {
+    /// The digest in `fnv1a64:%016x` form.
+    #[must_use]
+    pub fn hash_hex(&self) -> String {
+        hash_hex(self.hash)
+    }
+}
+
+/// Everything a [`Recorder`] learned about one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTelemetry {
+    /// Node-local event counters, folded across shards.
+    pub local: LocalCounters,
+    /// Events drained per shard (empty for the sequential engine).
+    pub per_shard_drained: Vec<u64>,
+    /// Tick sweeps observed.
+    pub ticks: u64,
+    /// Mode switches observed.
+    pub mode_switches: u64,
+    /// Edge up/down transitions observed.
+    pub edge_events: u64,
+    /// Clock faults injected.
+    pub faults: u64,
+    /// Parallel segments opened (0 for the sequential engine).
+    pub segments: u64,
+    /// Barrier rounds run (0 for the sequential engine).
+    pub barrier_rounds: u64,
+    /// Shard-rounds spent stalled at a barrier while peers drained.
+    pub stalled_shard_rounds: u64,
+    /// Cross-shard events moved through mailboxes at barriers.
+    pub mailbox_events: u64,
+    /// Nodes re-evaluated per tick sweep.
+    pub eval_hist: Histogram,
+    /// Pending-queue depth at each sample instant.
+    pub queue_hist: Histogram,
+    /// Driver-side observation series.
+    pub samples: Vec<Sample>,
+    /// The deterministic trace, when tracing was enabled.
+    pub trace: Option<TraceOutput>,
+}
+
+/// The concrete sink: accumulates metrics always, and builds the
+/// deterministic JSONL trace when constructed with [`Recorder::with_trace`].
+#[derive(Debug, Default)]
+pub struct Recorder {
+    trace: Option<TraceBuffer>,
+    local: LocalCounters,
+    per_shard_drained: Vec<u64>,
+    ticks: u64,
+    mode_switches: u64,
+    edge_events: u64,
+    faults: u64,
+    segments: u64,
+    barrier_rounds: u64,
+    stalled_shard_rounds: u64,
+    mailbox_events: u64,
+    eval_hist: Histogram,
+    queue_hist: Histogram,
+    samples: Vec<Sample>,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl Recorder {
+    /// Metrics-only recorder (no trace text is built).
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Recorder that additionally builds the JSONL trace.
+    #[must_use]
+    pub fn with_trace() -> Self {
+        Recorder {
+            trace: Some(TraceBuffer::default()),
+            ..Recorder::default()
+        }
+    }
+
+    /// Emit the run header record. Deliberately excludes engine identity
+    /// (engine kind, thread/shard count): the trace must be byte-identical
+    /// across engines, so anything engine-specific belongs in the metrics
+    /// artifact, never in the trace.
+    pub fn begin_run(&mut self, scenario: &str, seed: u64, nodes: usize) {
+        if self.trace.is_some() {
+            let mut line =
+                String::from("{\"rec\":\"run\",\"format\":\"gcs-trace/v1\",\"scenario\":\"");
+            escape_into(&mut line, scenario);
+            let _ = write!(line, "\",\"seed\":{seed},\"nodes\":{nodes}}}");
+            if let Some(t) = &mut self.trace {
+                t.push(&line);
+            }
+        }
+    }
+
+    /// Record a driver-side observation instant. This is called by the
+    /// scenario driver (not through the trait): samples are taken at
+    /// quiescent instants, so their position in the trace is deterministic.
+    pub fn on_sample(&mut self, s: Sample) {
+        self.queue_hist.observe(s.queue_depth as u64);
+        self.samples.push(s);
+        if let Some(t) = &mut self.trace {
+            t.push(&format!(
+                "{{\"rec\":\"sample\",\"t\":{},\"skew\":{},\"queue\":{},\"dirty\":{},\"events\":{}}}",
+                s.t, s.global_skew, s.queue_depth, s.dirty_nodes, s.events
+            ));
+        }
+    }
+
+    /// Finish: seal the trace with its `end` record and return the
+    /// collected metrics.
+    #[must_use]
+    pub fn finish(self) -> RunTelemetry {
+        let trace = self.trace.map(|t| {
+            let digest = t.hash.digest();
+            let mut text = t.text;
+            let _ = writeln!(
+                text,
+                "{{\"rec\":\"end\",\"records\":{},\"hash\":\"{}\"}}",
+                t.records,
+                hash_hex(digest)
+            );
+            TraceOutput {
+                text,
+                records: t.records,
+                hash: digest,
+            }
+        });
+        RunTelemetry {
+            local: self.local,
+            per_shard_drained: self.per_shard_drained,
+            ticks: self.ticks,
+            mode_switches: self.mode_switches,
+            edge_events: self.edge_events,
+            faults: self.faults,
+            segments: self.segments,
+            barrier_rounds: self.barrier_rounds,
+            stalled_shard_rounds: self.stalled_shard_rounds,
+            mailbox_events: self.mailbox_events,
+            eval_hist: self.eval_hist,
+            queue_hist: self.queue_hist,
+            samples: self.samples,
+            trace,
+        }
+    }
+}
+
+impl TelemetrySink for Recorder {
+    fn on_tick(&mut self, t: f64, evaluated: usize) {
+        self.ticks += 1;
+        self.eval_hist.observe(evaluated as u64);
+        // Quiet ticks (nothing re-evaluated) are histogrammed but not
+        // traced: they dominate long steady-state runs and carry no
+        // information beyond the tick period.
+        if evaluated > 0 {
+            if let Some(tr) = &mut self.trace {
+                tr.push(&format!(
+                    "{{\"rec\":\"tick\",\"t\":{t},\"eval\":{evaluated}}}"
+                ));
+            }
+        }
+    }
+
+    fn on_mode_switch(&mut self, t: f64, node: usize, fast: bool) {
+        self.mode_switches += 1;
+        if let Some(tr) = &mut self.trace {
+            let mode = if fast { "fast" } else { "slow" };
+            tr.push(&format!(
+                "{{\"rec\":\"mode\",\"t\":{t},\"node\":{node},\"mode\":\"{mode}\"}}"
+            ));
+        }
+    }
+
+    fn on_edge(&mut self, t: f64, from: usize, to: usize, up: bool) {
+        self.edge_events += 1;
+        if let Some(tr) = &mut self.trace {
+            let op = if up { "up" } else { "down" };
+            tr.push(&format!(
+                "{{\"rec\":\"edge\",\"t\":{t},\"from\":{from},\"to\":{to},\"op\":\"{op}\"}}"
+            ));
+        }
+    }
+
+    fn on_fault(&mut self, t: f64, node: usize, amount: f64) {
+        self.faults += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.push(&format!(
+                "{{\"rec\":\"fault\",\"t\":{t},\"node\":{node},\"amount\":{amount}}}"
+            ));
+        }
+    }
+
+    fn on_local(&mut self, _shard: usize, counters: &LocalCounters) {
+        self.local.merge(counters);
+    }
+
+    fn on_shard_drained(&mut self, shard: usize, events: u64) {
+        if self.per_shard_drained.len() <= shard {
+            self.per_shard_drained.resize(shard + 1, 0);
+        }
+        self.per_shard_drained[shard] += events;
+    }
+
+    fn on_segment_cut(&mut self, _cut: f64) {
+        self.segments += 1;
+    }
+
+    fn on_barrier_round(&mut self, _active: usize, stalled: usize) {
+        self.barrier_rounds += 1;
+        self.stalled_shard_rounds += stalled as u64;
+    }
+
+    fn on_mailbox(&mut self, moved: usize) {
+        self.mailbox_events += moved as u64;
+    }
+}
+
+/// A cloneable handle to a shared [`Recorder`], so the engine's boxed sink
+/// and the scenario driver can feed the same recorder. The engine half is
+/// handed out via [`SharedRecorder::sink`]; the driver half calls
+/// [`SharedRecorder::on_sample`] from its observation loop.
+#[derive(Debug, Clone)]
+pub struct SharedRecorder(Rc<RefCell<Recorder>>);
+
+impl SharedRecorder {
+    /// New shared recorder; `trace` enables JSONL trace building.
+    #[must_use]
+    pub fn new(trace: bool) -> Self {
+        let rec = if trace {
+            Recorder::with_trace()
+        } else {
+            Recorder::new()
+        };
+        SharedRecorder(Rc::new(RefCell::new(rec)))
+    }
+
+    /// A boxed sink handle suitable for `Engine::set_telemetry`.
+    #[must_use]
+    pub fn sink(&self) -> Box<dyn TelemetrySink> {
+        Box::new(self.clone())
+    }
+
+    /// Emit the run header (see [`Recorder::begin_run`]).
+    pub fn begin_run(&self, scenario: &str, seed: u64, nodes: usize) {
+        self.0.borrow_mut().begin_run(scenario, seed, nodes);
+    }
+
+    /// Record a driver-side observation instant.
+    pub fn on_sample(&self, s: Sample) {
+        self.0.borrow_mut().on_sample(s);
+    }
+
+    /// Unwrap and finish. Panics if an engine sink handle is still alive —
+    /// call `Engine::take_telemetry` (and drop the result) first.
+    #[must_use]
+    pub fn finish(self) -> RunTelemetry {
+        Rc::try_unwrap(self.0)
+            .expect("finish() requires all sink handles dropped (take_telemetry first)")
+            .into_inner()
+            .finish()
+    }
+}
+
+impl TelemetrySink for SharedRecorder {
+    fn on_tick(&mut self, t: f64, evaluated: usize) {
+        self.0.borrow_mut().on_tick(t, evaluated);
+    }
+    fn on_mode_switch(&mut self, t: f64, node: usize, fast: bool) {
+        self.0.borrow_mut().on_mode_switch(t, node, fast);
+    }
+    fn on_edge(&mut self, t: f64, from: usize, to: usize, up: bool) {
+        self.0.borrow_mut().on_edge(t, from, to, up);
+    }
+    fn on_fault(&mut self, t: f64, node: usize, amount: f64) {
+        self.0.borrow_mut().on_fault(t, node, amount);
+    }
+    fn on_local(&mut self, shard: usize, counters: &LocalCounters) {
+        self.0.borrow_mut().on_local(shard, counters);
+    }
+    fn on_shard_drained(&mut self, shard: usize, events: u64) {
+        self.0.borrow_mut().on_shard_drained(shard, events);
+    }
+    fn on_segment_cut(&mut self, cut: f64) {
+        self.0.borrow_mut().on_segment_cut(cut);
+    }
+    fn on_barrier_round(&mut self, active: usize, stalled: usize) {
+        self.0.borrow_mut().on_barrier_round(active, stalled);
+    }
+    fn on_mailbox(&mut self, moved: usize) {
+        self.0.borrow_mut().on_mailbox(moved);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace reading: diff and verification
+// ---------------------------------------------------------------------------
+
+/// First divergence between two traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDiff {
+    /// 1-based line number of the first divergent record.
+    pub line: usize,
+    /// The line in the first trace (`None` if it ended early).
+    pub a: Option<String>,
+    /// The line in the second trace (`None` if it ended early).
+    pub b: Option<String>,
+}
+
+/// Compare two traces line by line; `None` means byte-identical.
+#[must_use]
+pub fn trace_diff(a: &str, b: &str) -> Option<TraceDiff> {
+    let mut la = a.lines();
+    let mut lb = b.lines();
+    let mut n = 0usize;
+    loop {
+        n += 1;
+        match (la.next(), lb.next()) {
+            (None, None) => return None,
+            (x, y) if x == y => {}
+            (x, y) => {
+                return Some(TraceDiff {
+                    line: n,
+                    a: x.map(str::to_owned),
+                    b: y.map(str::to_owned),
+                })
+            }
+        }
+    }
+}
+
+/// Verify a trace's `end` record: recompute the FNV-1a digest over every
+/// line before it and check both the record count and the recorded hash.
+/// Returns `(records, hash_hex)` on success.
+///
+/// # Errors
+/// Returns a description of the mismatch (missing/malformed end record,
+/// record count mismatch, or content hash mismatch).
+pub fn verify_trace(text: &str) -> Result<(u64, String), String> {
+    let mut hasher = Fnv1a::new();
+    let mut records = 0u64;
+    let mut end: Option<&str> = None;
+    for line in text.lines() {
+        if let Some(prev) = end {
+            return Err(format!("trailing data after end record {prev:?}: {line:?}"));
+        }
+        if line.starts_with("{\"rec\":\"end\"") {
+            end = Some(line);
+        } else {
+            hasher.update(line.as_bytes());
+            hasher.update(b"\n");
+            records += 1;
+        }
+    }
+    let end = end.ok_or_else(|| "no end record found".to_owned())?;
+    let want_records = format!("\"records\":{records}");
+    if !end.contains(&want_records) {
+        return Err(format!(
+            "end record count mismatch: counted {records}, end record is {end}"
+        ));
+    }
+    let digest = hash_hex(hasher.digest());
+    if !end.contains(&format!("\"hash\":\"{digest}\"")) {
+        return Err(format!(
+            "content hash mismatch: recomputed {digest}, end record is {end}"
+        ));
+    }
+    Ok((records, digest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Reference vectors from the FNV specification.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_lo(0), 0);
+        assert_eq!(Histogram::bucket_lo(1), 1);
+        assert_eq!(Histogram::bucket_lo(4), 8);
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 7, 8] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[1, 1, 2, 1, 1]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.sum(), 21);
+        assert_eq!(h.max(), 8);
+    }
+
+    #[test]
+    fn recorder_builds_a_sealed_trace() {
+        let mut r = Recorder::with_trace();
+        r.begin_run("toy", 7, 3);
+        r.on_tick(0.5, 0); // quiet tick: histogrammed, not traced
+        r.on_tick(1.0, 2);
+        r.on_mode_switch(1.0, 1, true);
+        r.on_edge(2.0, 0, 2, false);
+        r.on_fault(2.5, 0, 0.25);
+        r.on_sample(Sample {
+            t: 3.0,
+            global_skew: 0.125,
+            queue_depth: 9,
+            dirty_nodes: 1,
+            events: 42,
+        });
+        let out = r.finish();
+        assert_eq!(out.ticks, 2);
+        assert_eq!(out.eval_hist.total(), 2);
+        let trace = out.trace.expect("trace enabled");
+        // run + tick + mode + edge + fault + sample = 6 hashed records.
+        assert_eq!(trace.records, 6);
+        assert!(trace.text.ends_with('\n'));
+        verify_trace(&trace.text).expect("end record verifies");
+        assert!(trace.text.contains("\"rec\":\"mode\""));
+        assert!(trace.text.contains("\"mode\":\"fast\""));
+        assert!(!trace.text.contains("engine"));
+    }
+
+    #[test]
+    fn shared_recorder_feeds_one_trace_from_both_halves() {
+        let shared = SharedRecorder::new(true);
+        shared.begin_run("toy", 0, 2);
+        let mut sink = shared.sink();
+        sink.on_tick(1.0, 1);
+        shared.on_sample(Sample {
+            t: 1.0,
+            global_skew: 0.0,
+            queue_depth: 0,
+            dirty_nodes: 0,
+            events: 1,
+        });
+        drop(sink);
+        let out = shared.finish();
+        let trace = out.trace.expect("trace enabled");
+        assert_eq!(trace.records, 3);
+    }
+
+    #[test]
+    fn trace_diff_finds_first_divergence_and_length_mismatch() {
+        let a = "x\ny\nz\n";
+        assert_eq!(trace_diff(a, a), None);
+        let d = trace_diff(a, "x\nQ\nz\n").expect("diverges");
+        assert_eq!(d.line, 2);
+        assert_eq!(d.a.as_deref(), Some("y"));
+        assert_eq!(d.b.as_deref(), Some("Q"));
+        let d = trace_diff(a, "x\ny\n").expect("short");
+        assert_eq!(d.line, 3);
+        assert_eq!(d.b, None);
+    }
+
+    #[test]
+    fn verify_trace_catches_tampering() {
+        let mut r = Recorder::with_trace();
+        r.begin_run("toy", 1, 1);
+        r.on_tick(1.0, 1);
+        let trace = r.finish().trace.expect("trace");
+        verify_trace(&trace.text).expect("clean trace verifies");
+        let tampered = trace.text.replace("\"eval\":1", "\"eval\":2");
+        assert!(verify_trace(&tampered).is_err());
+        assert!(verify_trace("just a line\n").is_err());
+    }
+
+    #[test]
+    fn local_counters_merge() {
+        let mut a = LocalCounters {
+            floods: 1,
+            deliveries: 2,
+            ..LocalCounters::default()
+        };
+        let b = LocalCounters {
+            floods: 10,
+            m_jumps: 3,
+            ..LocalCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.floods, 11);
+        assert_eq!(a.deliveries, 2);
+        assert_eq!(a.m_jumps, 3);
+        assert!(!a.is_empty());
+        assert!(LocalCounters::default().is_empty());
+    }
+}

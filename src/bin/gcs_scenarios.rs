@@ -12,7 +12,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use gcs_scenarios::{campaign, format, registry, trend, Scale, ScenarioSpec};
+use gcs_scenarios::{campaign, format, registry, telemetry, trend, Scale, ScenarioSpec};
 
 const USAGE: &str = "\
 gcs-scenarios — declarative dynamic-network scenarios
@@ -29,10 +29,17 @@ USAGE:
         Run a campaign (scenario x seed fan-out) and write the
         results/campaign_*.json artifact. `all` sweeps the campaign set
         (every built-in except the bench-class engine-scale scenarios,
-        which run by name or via `bench`).
+        which run by name or via `bench`). The per-scenario summary
+        includes the engine's deterministic counters (events, ticks,
+        mode evaluations, deliveries) summed across seeds.
         --seeds N   seeds 0..N          (default 4)
         --scale S   tiny|default|full   (default default)
         --out DIR   artifact directory  (default results)
+        --progress  print one line per completed scenario x seed, in
+                    canonical (scenario-major) order
+        --telemetry FILE  also drive every scenario x seed instrumented
+                    (sequential engine) and write the gcs-telemetry/v1
+                    artifact to FILE
     gcs-scenarios bench [name|all] [--seeds N] [--scale S] [--out FILE]
         Engine-throughput benchmark: drive scenarios end to end
         (sequentially, no observation sampling) and write the
@@ -46,6 +53,26 @@ USAGE:
                       sequential reference, >1 = the sharded engine
                       (default 1)
         --out FILE    artifact path       (default results/BENCH_engine.json)
+        --telemetry FILE  re-drive every timed entry with the telemetry
+                      sink attached, assert the deterministic counters
+                      are IDENTICAL to the timed pass (zero
+                      instrumentation drift), and write the
+                      gcs-telemetry/v1 artifact to FILE
+    gcs-scenarios trace <name|file.scn> [--seed N] [--threads T] [--scale S]
+                        [--out FILE]
+        Run one scenario instrumented and emit the deterministic
+        gcs-trace/v1 JSONL run log (sealed with a running FNV-1a content
+        hash). The bytes are engine-invariant: the same (scenario, seed)
+        produces the identical trace from the sequential engine and the
+        sharded engine at every shard count.
+        --seed N     run seed            (default 0)
+        --threads T  1 = sequential, >1 = sharded with T shards (default 1)
+        --scale S    tiny|default|full   (default tiny)
+        --out FILE   write the trace here instead of stdout
+    gcs-scenarios trace-diff <a.jsonl> <b.jsonl>
+        Verify both traces' content hashes, then compare them
+        byte-for-byte; prints the first divergent record (1-based line)
+        and exits non-zero if they differ. The replay/equivalence gate.
     gcs-scenarios conformance [name|file.scn|all] [--seeds N] [--scale S]
         Drive the whole registry (bench-class scenarios included; or one
         scenario by name / .scn file) through the paper-bound conformance
@@ -56,6 +83,12 @@ USAGE:
         Exits non-zero on any bound violation. The theorem-level CI gate.
         --seeds N   seeds 0..N          (default 2)
         --scale S   tiny|default|full   (default tiny)
+        --progress  print one line per completed scenario x seed, in
+                    canonical (scenario-major) order
+        --telemetry FILE  also drive every scenario x seed instrumented
+                    with the oracle riding along and write the
+                    gcs-telemetry/v1 artifact (including the bound-margin
+                    utilization time series) to FILE
     gcs-scenarios bench-compare [--subset] <baseline.json> <current.json>
         Gate the deterministic engine counters (events, ticks,
         mode_evaluations, messages_delivered) of a fresh
@@ -93,6 +126,8 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("bench-compare") => cmd_bench_compare(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("trace-diff") => cmd_trace_diff(&args[1..]),
         Some("conformance") => cmd_conformance(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("baseline") => cmd_baseline(&args[1..]),
@@ -229,6 +264,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut seeds_n = 4u64;
     let mut scale = Scale::Default;
     let mut out_dir = PathBuf::from("results");
+    let mut progress = false;
+    let mut telemetry_out: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -242,6 +279,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             }
             "--out" => {
                 out_dir = out_flag(args, i, "directory")?;
+                i += 2;
+            }
+            "--progress" => {
+                progress = true;
+                i += 1;
+            }
+            "--telemetry" => {
+                telemetry_out = Some(
+                    args.get(i + 1)
+                        .map(PathBuf::from)
+                        .ok_or("--telemetry needs a file")?,
+                );
                 i += 2;
             }
             other => return Err(format!("unknown option {other:?}")),
@@ -266,14 +315,42 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     );
 
     let started = std::time::Instant::now();
-    let rows = campaign::run_campaign(&specs, &seeds).map_err(|e| e.to_string())?;
+    let rows = if progress {
+        campaign::run_campaign_progress(&specs, &seeds, |spec, seed, result| match result {
+            Ok(o) => println!(
+                "done {:<18} seed {:>3}: {} {:.6} ({} events)",
+                spec.name,
+                seed,
+                spec.metric.token(),
+                o.primary,
+                o.events
+            ),
+            Err(e) => println!("FAIL {:<18} seed {:>3}: {e}", spec.name, seed),
+        })
+    } else {
+        campaign::run_campaign(&specs, &seeds)
+    }
+    .map_err(|e| e.to_string())?;
     println!(
-        "\n{:<18} {:>5} {:<17} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}",
-        "scenario", "nodes", "metric", "mean", "stddev", "p10", "p90", "max", "viol"
+        "\n{:<18} {:>5} {:<17} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6} {:>11} {:>8} {:>11} {:>11}",
+        "scenario",
+        "nodes",
+        "metric",
+        "mean",
+        "stddev",
+        "p10",
+        "p90",
+        "max",
+        "viol",
+        "events",
+        "ticks",
+        "evals",
+        "delivered"
     );
     for r in &rows {
+        let sum = |f: fn(&campaign::ScenarioOutcome) -> u64| r.outcomes.iter().map(f).sum::<u64>();
         println!(
-            "{:<18} {:>5} {:<17} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>6}",
+            "{:<18} {:>5} {:<17} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>6} {:>11} {:>8} {:>11} {:>11}",
             r.name,
             r.nodes,
             r.metric.token(),
@@ -282,10 +359,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             r.stats.p10,
             r.stats.p90,
             r.stats.max,
-            r.outcomes
-                .iter()
-                .map(|o| o.invariant_violations)
-                .sum::<u64>()
+            sum(|o| o.invariant_violations),
+            sum(|o| o.events),
+            sum(|o| o.ticks),
+            sum(|o| o.mode_evaluations),
+            sum(|o| o.messages_delivered)
         );
     }
     let path = campaign::write_campaign(&out_dir, &title, scale, &seeds, &rows)
@@ -295,6 +373,39 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         rows.len() * seeds.len(),
         started.elapsed().as_secs_f64(),
         path.display()
+    );
+    if let Some(tpath) = telemetry_out {
+        write_instrumented(&tpath, &specs, &seeds, scale, false)?;
+    }
+    Ok(())
+}
+
+/// Drives every scenario × seed instrumented on the sequential engine and
+/// writes the `gcs-telemetry/v1` artifact (shared by `run --telemetry`
+/// and `conformance --telemetry`; the latter sets `conformance` so the
+/// oracle rides along and the artifact carries the margin series).
+fn write_instrumented(
+    path: &Path,
+    specs: &[ScenarioSpec],
+    seeds: &[u64],
+    scale: Scale,
+    conformance: bool,
+) -> Result<(), String> {
+    let mut runs = Vec::with_capacity(specs.len() * seeds.len());
+    for spec in specs {
+        for &seed in seeds {
+            runs.push(
+                telemetry::run_instrumented(spec, seed, 1, false, conformance)
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+    }
+    telemetry::write_telemetry(path, scale, &runs)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!(
+        "wrote {} ({} instrumented run(s))",
+        path.display(),
+        runs.len()
     );
     Ok(())
 }
@@ -307,6 +418,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut scale = Scale::Default;
     let mut threads: Vec<usize> = vec![1];
     let mut out = PathBuf::from("results/BENCH_engine.json");
+    let mut telemetry_out: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -338,6 +450,14 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             }
             "--out" => {
                 out = out_flag(args, i, "file")?;
+                i += 2;
+            }
+            "--telemetry" => {
+                telemetry_out = Some(
+                    args.get(i + 1)
+                        .map(PathBuf::from)
+                        .ok_or("--telemetry needs a file")?,
+                );
                 i += 2;
             }
             other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
@@ -380,6 +500,41 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     gcs_scenarios::bench::write_bench(&out, scale, &seeds, &entries)
         .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     println!("\nwrote {}", out.display());
+    if let Some(tpath) = telemetry_out {
+        // Re-drive every timed entry with the sink attached. The
+        // instrumented counters must be IDENTICAL to the timed pass:
+        // telemetry observes the run, it must never change it.
+        let mut runs = Vec::with_capacity(entries.len());
+        for e in &entries {
+            let spec = specs
+                .iter()
+                .find(|s| s.name == e.scenario)
+                .expect("entry came from these specs");
+            let inst = telemetry::bench_instrumented(spec, e.seed, e.threads)
+                .map_err(|x| x.to_string())?;
+            if (
+                inst.stats.events,
+                inst.stats.ticks,
+                inst.stats.mode_evaluations,
+                inst.stats.messages_delivered,
+            ) != (e.events, e.ticks, e.mode_evaluations, e.messages_delivered)
+            {
+                return Err(format!(
+                    "instrumentation drift: {} seed {} threads {}: the instrumented run's \
+                     deterministic counters diverged from the timed run",
+                    e.scenario, e.seed, e.threads
+                ));
+            }
+            runs.push(inst);
+        }
+        telemetry::write_telemetry(&tpath, scale, &runs)
+            .map_err(|e| format!("cannot write {}: {e}", tpath.display()))?;
+        println!(
+            "wrote {} ({} instrumented run(s), zero counter drift vs the timed suite)",
+            tpath.display(),
+            runs.len()
+        );
+    }
     Ok(())
 }
 
@@ -438,11 +593,107 @@ fn cmd_bench_compare(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Emits the deterministic `gcs-trace/v1` run log for one scenario.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let target = args
+        .first()
+        .ok_or("trace needs a scenario name or .scn file")?;
+    let mut seed = 0u64;
+    let mut threads = 1usize;
+    let mut scale = Scale::Tiny;
+    let mut out: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a non-negative integer")?;
+                i += 2;
+            }
+            "--threads" => {
+                threads = usize::try_from(positive_flag(args, i, "--threads")?)
+                    .map_err(|_| "--threads is out of range".to_string())?;
+                i += 2;
+            }
+            "--scale" => {
+                scale = scale_flag(args, i)?;
+                i += 2;
+            }
+            "--out" => {
+                out = Some(out_flag(args, i, "file")?);
+                i += 2;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if target == "all" {
+        return Err("trace runs exactly one scenario (a name or a .scn file)".to_string());
+    }
+    let (_, specs) = resolve_specs(target)?;
+    let spec = specs[0].scaled(scale);
+    let run = telemetry::run_instrumented(&spec, seed, threads, true, false)
+        .map_err(|e| e.to_string())?;
+    let trace = run.telemetry.trace.as_ref().expect("trace requested");
+    match out {
+        Some(path) => {
+            telemetry::write_trace(&path, trace)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!(
+                "wrote {} ({} record(s), {}, engine {})",
+                path.display(),
+                trace.records,
+                trace.hash_hex(),
+                run.engine
+            );
+        }
+        None => {
+            // Trace to stdout, summary to stderr, so the JSONL pipes clean.
+            print!("{}", trace.text);
+            eprintln!(
+                "{} record(s), {}, engine {}",
+                trace.records,
+                trace.hash_hex(),
+                run.engine
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Verifies and byte-compares two sealed traces.
+fn cmd_trace_diff(args: &[String]) -> Result<(), String> {
+    let [a_path, b_path] = args else {
+        return Err("trace-diff needs exactly <a.jsonl> <b.jsonl>".to_string());
+    };
+    let read = |p: &String| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let a = read(a_path)?;
+    let b = read(b_path)?;
+    // Verify both seals first: a diff of tampered traces proves nothing.
+    let (records, hash) = gcs_telemetry::verify_trace(&a).map_err(|e| format!("{a_path}: {e}"))?;
+    gcs_telemetry::verify_trace(&b).map_err(|e| format!("{b_path}: {e}"))?;
+    match gcs_telemetry::trace_diff(&a, &b) {
+        None => {
+            println!("identical: {records} record(s), {hash}");
+            Ok(())
+        }
+        Some(d) => {
+            eprintln!("first divergence at line {}:", d.line);
+            eprintln!("  a: {}", d.a.as_deref().unwrap_or("<trace ended>"));
+            eprintln!("  b: {}", d.b.as_deref().unwrap_or("<trace ended>"));
+            Err(format!("traces diverge at line {}", d.line))
+        }
+    }
+}
+
 /// Runs the conformance oracles over the whole registry.
 fn cmd_conformance(args: &[String]) -> Result<(), String> {
     let mut target = "all".to_string();
     let mut seeds_n = 2u64;
     let mut scale = Scale::Tiny;
+    let mut progress = false;
+    let mut telemetry_out: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -452,6 +703,18 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
             }
             "--scale" => {
                 scale = scale_flag(args, i)?;
+                i += 2;
+            }
+            "--progress" => {
+                progress = true;
+                i += 1;
+            }
+            "--telemetry" => {
+                telemetry_out = Some(
+                    args.get(i + 1)
+                        .map(PathBuf::from)
+                        .ok_or("--telemetry needs a file")?,
+                );
                 i += 2;
             }
             other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
@@ -472,8 +735,22 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
         scale.name()
     );
     let started = std::time::Instant::now();
-    let rows =
-        gcs_scenarios::conformance::run_conformance(&specs, &seeds).map_err(|e| e.to_string())?;
+    let rows = if progress {
+        gcs_scenarios::conformance::run_conformance_progress(&specs, &seeds, {
+            |spec: &ScenarioSpec, seed, result: &Result<_, _>| match result {
+                Ok(r) => println!(
+                    "done {:<18} seed {:>3}: {}",
+                    spec.name,
+                    seed,
+                    if r.is_conformant() { "ok" } else { "VIOLATION" }
+                ),
+                Err(e) => println!("FAIL {:<18} seed {:>3}: {e}", spec.name, seed),
+            }
+        })
+    } else {
+        gcs_scenarios::conformance::run_conformance(&specs, &seeds)
+    }
+    .map_err(|e| e.to_string())?;
     println!("\n{}", gcs_scenarios::conformance::conformance_table(&rows));
     let violations = gcs_scenarios::conformance::violations(&rows);
     println!(
@@ -481,6 +758,9 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
         rows.len(),
         started.elapsed().as_secs_f64()
     );
+    if let Some(tpath) = telemetry_out {
+        write_instrumented(&tpath, &specs, &seeds, scale, true)?;
+    }
     if violations.is_empty() {
         println!("ok: every run conforms to the paper bounds");
         Ok(())

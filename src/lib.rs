@@ -15,6 +15,12 @@
 //! * [`scenarios`] — declarative scenarios: the `.scn` format, the named
 //!   registry, the campaign runner, and the conformance/trend/bench gates
 //!   (see also the `gcs-scenarios` CLI)
+//! * [`telemetry`] — the observability seam: the [`TelemetrySink`]
+//!   trait both engines report into, deterministic `gcs-trace/v1` run
+//!   logs sealed with a running FNV-1a content hash, and the
+//!   counter/histogram metrics behind the `gcs-telemetry/v1` artifact
+//!
+//! [`TelemetrySink`]: gcs_telemetry::TelemetrySink
 //!
 //! # Quickstart
 //!
@@ -42,6 +48,7 @@ pub use gcs_core as core;
 pub use gcs_net as net;
 pub use gcs_scenarios as scenarios;
 pub use gcs_sim as sim;
+pub use gcs_telemetry as telemetry;
 
 /// One-stop imports for the most common types.
 pub mod prelude {

@@ -231,6 +231,85 @@ fn oversized_lookahead_window_is_rejected_at_construction() {
 }
 
 #[test]
+fn trace_bytes_are_identical_across_engines_and_shard_counts() {
+    // The telemetry trace is the replayable run log: for the same
+    // (scenario, seed) the sequential engine and the sharded engine at
+    // EVERY shard count must emit the identical JSONL bytes — and the
+    // same sealed FNV-1a content hash. This is the acceptance contract
+    // of the observability layer: a trace that depended on the engine
+    // would be useless as a cross-engine equivalence witness.
+    use gradient_clock_sync::scenarios::telemetry::run_instrumented;
+    for spec in grid() {
+        for seed in 0..2u64 {
+            let reference = run_instrumented(&spec, seed, 1, true, false).expect("runs");
+            let ref_trace = reference.telemetry.trace.as_ref().expect("trace on");
+            gradient_clock_sync::telemetry::verify_trace(&ref_trace.text)
+                .expect("sequential trace seals");
+            for shards in [2usize, 7] {
+                let candidate = run_instrumented(&spec, seed, shards, true, false).expect("runs");
+                let cand_trace = candidate.telemetry.trace.as_ref().expect("trace on");
+                assert_eq!(
+                    ref_trace.text, cand_trace.text,
+                    "{} seed {seed}, {shards} shards: trace bytes diverged",
+                    spec.name
+                );
+                assert_eq!(
+                    ref_trace.hash, cand_trace.hash,
+                    "{} seed {seed}, {shards} shards: trace hash diverged",
+                    spec.name
+                );
+                // The order-free local-counter channel agrees too, even
+                // though its increments happen in a different order.
+                assert_eq!(
+                    reference.telemetry.local, candidate.telemetry.local,
+                    "{} seed {seed}, {shards} shards: local counters diverged",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_diff_pinpoints_the_first_divergent_record() {
+    // Negative control: perturb a run (one extra scripted clock fault)
+    // and the diff must land exactly on the injected fault record, not
+    // merely report "something differs".
+    use gradient_clock_sync::scenarios::telemetry::run_instrumented;
+    use gradient_clock_sync::scenarios::FaultSpec;
+    use gradient_clock_sync::telemetry::trace_diff;
+
+    let spec = registry::find("ring-steady")
+        .expect("built-in")
+        .scaled(Scale::Tiny);
+    let mut perturbed = spec.clone();
+    perturbed.faults.push(FaultSpec::ClockOffset {
+        at: spec.end_secs() / 2.0,
+        node: 0,
+        amount: 0.25,
+    });
+
+    let base = run_instrumented(&spec, 0, 1, true, false).expect("runs");
+    let pert = run_instrumented(&perturbed, 0, 2, true, false).expect("runs");
+    let a = base.telemetry.trace.as_ref().expect("trace on");
+    let b = pert.telemetry.trace.as_ref().expect("trace on");
+    assert_ne!(a.hash, b.hash, "the perturbation must change the hash");
+
+    let d = trace_diff(&a.text, &b.text).expect("traces must diverge");
+    assert!(d.line > 1, "prefix before the fault instant is shared");
+    let diverging =
+        d.b.as_deref()
+            .expect("perturbed trace has the extra record");
+    assert!(
+        diverging.contains("\"rec\":\"fault\""),
+        "the first divergent record is the injected fault, got {diverging:?}"
+    );
+    // Everything before the divergence is byte-identical.
+    let prefix = |t: &str| t.lines().take(d.line - 1).collect::<Vec<_>>().join("\n");
+    assert_eq!(prefix(&a.text), prefix(&b.text));
+}
+
+#[test]
 fn diameter_tracking_and_event_log_are_rejected() {
     let spec = registry::find("ring-steady")
         .expect("built-in")
