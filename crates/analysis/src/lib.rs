@@ -37,7 +37,9 @@ pub mod stats;
 
 pub use ensemble::EnsembleStats;
 pub use legality::{gradient_bound, GradientChecker, LegalityReport, LevelReport};
-pub use oracle::{BoundCheck, ConformanceChecker, ConformanceReport, HopClass, OracleConfig};
+pub use oracle::{
+    BoundCheck, ConformanceChecker, ConformanceReport, HopClass, OracleConfig, OracleSampling,
+};
 pub use parallel::{parallel_map, parallel_map_progress};
 pub use report::Table;
 pub use skew::{

@@ -32,9 +32,102 @@
 
 use gcs_core::{ChangeRecord, Params, Simulation};
 use gcs_net::{EdgeKey, NodeId};
+use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
 
 use crate::legality::{gradient_bound, gradient_sequence};
 use crate::paths::WeightedGraph;
+
+/// Stratified pair-sampling mode for the gradient sweep — the
+/// `--oracle-sample` knob that makes conformance practical at 10⁴–10⁵
+/// nodes.
+///
+/// The exact gradient pass is all-pairs: one Dijkstra+BFS sweep per
+/// source plus an `O(n)` pair loop, `O(n·(m log n + n))` per snapshot.
+/// Sampled mode draws `K = max(min_sources, ⌈rate · n⌉)` *source* nodes
+/// per snapshot from a seeded, deterministic RNG (a fresh draw at every
+/// snapshot) and runs the identical sweep from only those sources,
+/// against **every** target. Because one sweep touches every hop class
+/// reachable from its source, each sampled source stratifies the checks
+/// across the full hop-class range — no class is silently skipped, which
+/// is what makes per-class worst-skew statistics meaningful under
+/// sampling.
+///
+/// **Detection bound.** A fixed violating pair `(u, v)` is checked
+/// whenever `u` or `v` is drawn. Drawing `K` of `n` sources without
+/// replacement, the chance the pair escapes one snapshot is
+/// `C(n−2, K)/C(n, K) = (n−K)(n−K−1)/(n(n−1)) ≤ (1 − rate)²`, and the
+/// draws are independent across snapshots, so a violation persisting for
+/// `S` sampled snapshots escapes the whole run with probability at most
+/// `(1 − rate)^{2S}` (≈ `e^{−2·rate·S}`). [`escape_probability`]
+/// evaluates the exact per-snapshot bound.
+///
+/// **Conservatism.** Every check sampled mode performs is one the exact
+/// sweep also performs, with bit-identical arithmetic — so the sampled
+/// report's worst case can only be *weaker*: per family and per hop
+/// class, `worst_skew` and `worst_utilization` lower-bound the exact
+/// sweep's and `min_margin` upper-bounds it, and sampled mode never
+/// reports a violation the exact oracle would not. (Property-tested in
+/// `tests/oracle_sampling.rs`.)
+///
+/// The draw depends only on `(seed, snapshot index, n)` — never on the
+/// engine — so sampled reports are bit-identical across shard counts.
+///
+/// [`escape_probability`]: OracleSampling::escape_probability
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleSampling {
+    /// Target fraction of sources swept per snapshot, in `(0, 1]`.
+    pub rate: f64,
+    /// Seed of the deterministic sampling RNG (mixed with the snapshot
+    /// index so consecutive snapshots draw different strata).
+    pub seed: u64,
+    /// Coverage floor: at least this many sources per snapshot, so tiny
+    /// graphs under an aggressive `rate` still get a meaningful sweep.
+    pub min_sources: usize,
+}
+
+impl OracleSampling {
+    /// Sampling at fraction `rate` with the default coverage floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rate ≤ 1`.
+    #[must_use]
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "oracle sample rate must be in (0, 1], got {rate}"
+        );
+        OracleSampling {
+            rate,
+            seed,
+            min_sources: 8,
+        }
+    }
+
+    /// Sources drawn per snapshot on an `n`-node graph:
+    /// `min(n, max(min_sources, ⌈rate · n⌉))`.
+    #[must_use]
+    pub fn sources_for(&self, n: usize) -> usize {
+        let k = (self.rate * n as f64).ceil() as usize;
+        k.max(self.min_sources).min(n)
+    }
+
+    /// The documented detection-probability knob: the exact probability
+    /// that one fixed violating pair is missed by a single snapshot's
+    /// draw, `(n−K)(n−K−1) / (n(n−1))` with `K =`
+    /// [`sources_for`](Self::sources_for)`(n)` — at most `(1 − rate)²`.
+    /// Independent draws per snapshot compound this exponentially for
+    /// persistent violations.
+    #[must_use]
+    pub fn escape_probability(&self, n: usize) -> f64 {
+        if n < 2 {
+            return 0.0;
+        }
+        let k = self.sources_for(n) as f64;
+        let n = n as f64;
+        ((n - k) * (n - k - 1.0) / (n * (n - 1.0))).max(0.0)
+    }
+}
 
 /// Tuning of the conformance envelope. Everything is derived from the
 /// simulation's own parameters by [`OracleConfig::for_sim`]; the fields
@@ -59,6 +152,9 @@ pub struct OracleConfig {
     /// this holds a corrupted run to the *undisturbed* envelope — the
     /// knob negative-path tests use to prove violations are caught.
     pub credit_faults: bool,
+    /// Stratified pair sampling for the gradient sweep; `None` (the
+    /// default) is the exact all-pairs pass. See [`OracleSampling`].
+    pub sampling: Option<OracleSampling>,
 }
 
 impl OracleConfig {
@@ -86,6 +182,7 @@ impl OracleConfig {
             recovery_rate: (0.5 * rate).max(0.0),
             recovery_latency: sim.node_count() as f64 * gossip_hop,
             credit_faults: true,
+            sampling: None,
         }
     }
 }
@@ -176,6 +273,9 @@ pub struct ConformanceReport {
     pub weak_edges: BoundCheck,
     /// Per-hop-distance worst cases of the gradient check, `d = 1` first.
     pub per_hop: Vec<HopClass>,
+    /// Total gradient sources swept under [`OracleSampling`], across all
+    /// snapshots; `0` when the exact all-pairs mode ran.
+    pub sampled_sources: u64,
     /// Clock corruptions replayed from the realized change log.
     pub faults_seen: u64,
     /// Directed edge appearances replayed.
@@ -311,6 +411,22 @@ pub struct ConformanceChecker {
     hops: Vec<f64>,
     queue: Vec<u32>,
     logical: Vec<f64>,
+    // Source-draw scratch for sampled mode (partial Fisher–Yates pool).
+    pool: Vec<u32>,
+    // Per-snapshot gradient-bound cache for weight-uniform strong graphs:
+    // every hop-d node sits at the identical weighted distance, so the
+    // bound is a pure function of d and the per-source Dijkstra is
+    // skipped. `level_sums[d]` is the d-fold running sum of the common
+    // weight; `allowed_by_hop[d]` the finished bound (NaN = not yet
+    // computed). Both reset every observation instant.
+    level_sums: Vec<f64>,
+    allowed_by_hop: Vec<f64>,
+    // Per-snapshot, per-hop-class sweep accumulators for weight-uniform
+    // snapshots (indexed by d − 1): pair count and worst skew, all the
+    // fused BFS sweep touches per pair. `fold_uniform_gradient` turns
+    // them into `BoundCheck`/`HopClass` updates once per snapshot.
+    class_pairs: Vec<u64>,
+    class_skew: Vec<f64>,
 }
 
 impl ConformanceChecker {
@@ -344,6 +460,7 @@ impl ConformanceChecker {
                 gradient: BoundCheck::new(),
                 weak_edges: BoundCheck::new(),
                 per_hop: Vec::new(),
+                sampled_sources: 0,
                 faults_seen: 0,
                 insertions_seen: 0,
                 removals_seen: 0,
@@ -361,7 +478,34 @@ impl ConformanceChecker {
             hops: Vec::new(),
             queue: Vec::new(),
             logical: Vec::new(),
+            pool: Vec::new(),
+            level_sums: Vec::new(),
+            allowed_by_hop: Vec::new(),
+            class_pairs: Vec::new(),
+            class_skew: Vec::new(),
         }
+    }
+
+    /// Draws this snapshot's source set into `self.pool[..K]` via a
+    /// partial Fisher–Yates shuffle of the identity permutation, seeded
+    /// from `(sampling.seed, snapshot index)` only — the draw is
+    /// independent of the engine and of everything previously observed,
+    /// so sampled reports are bit-identical across shard counts and a
+    /// fresh stratum is swept at every snapshot.
+    fn draw_sources(&mut self, n: usize) -> usize {
+        let sampling = self.cfg.sampling.as_ref().expect("sampled mode");
+        let k = sampling.sources_for(n);
+        let snapshot_seed = sampling
+            .seed
+            .wrapping_add((self.report.samples + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(snapshot_seed);
+        self.pool.clear();
+        self.pool.extend(0..n as u32);
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            self.pool.swap(i, j);
+        }
+        k
     }
 
     /// The current decaying allowance earned by past corruptions.
@@ -463,43 +607,31 @@ impl ConformanceChecker {
                 .expect("fully inserted edge has both slots");
             self.strong.add_edge(e, kappa);
         }
-        for u in 0..n {
-            let lu = self.logical[u];
-            self.strong.distances_into(NodeId::from(u), &mut self.kdist);
-            self.strong
-                .hop_distances_into(NodeId::from(u), &mut self.hops, &mut self.queue);
-            for v in (u + 1)..n {
-                let h = self.hops[v];
-                if !h.is_finite() || h == 0.0 {
-                    continue;
-                }
-                let skew = (lu - self.logical[v]).abs();
-                let allowed =
-                    gradient_bound(&self.params, self.cfg.g_hat, self.kdist[v]) + allowance + slack;
-                self.report.gradient.record(t, skew, allowed);
-                let d = h as u32;
-                let idx = (d - 1) as usize;
-                if self.report.per_hop.len() <= idx {
-                    self.report.per_hop.resize(
-                        idx + 1,
-                        HopClass {
-                            hops: 0,
-                            pairs: 0,
-                            worst_skew: 0.0,
-                            min_margin: f64::INFINITY,
-                            worst_utilization: 0.0,
-                        },
-                    );
-                    for (i, class) in self.report.per_hop.iter_mut().enumerate() {
-                        class.hops = i as u32 + 1;
-                    }
-                }
-                let class = &mut self.report.per_hop[idx];
-                class.pairs += 1;
-                class.worst_skew = class.worst_skew.max(skew);
-                class.min_margin = class.min_margin.min(allowed - skew);
-                class.worst_utilization = class.worst_utilization.max(skew / allowed);
+        // The hop-class bound cache is per snapshot: the allowance, the
+        // slack, and the realized weights all move between instants.
+        self.level_sums.clear();
+        self.allowed_by_hop.clear();
+        self.class_pairs.clear();
+        self.class_skew.clear();
+        if self.cfg.sampling.is_some() {
+            // Sampled mode: sweep only this snapshot's drawn sources, but
+            // against every target (`v ≠ u`), so each sweep stratifies
+            // the checks across the source's full hop-class range. Every
+            // check is one the exact pass also makes, with identical
+            // arithmetic — the sampled report is a conservative
+            // projection of the exact one.
+            let k = self.draw_sources(n);
+            self.report.sampled_sources += k as u64;
+            for i in 0..k {
+                let u = self.pool[i] as usize;
+                self.sweep_gradient_source(u, 0, t, allowance, slack);
             }
+            self.fold_uniform_gradient(t, allowance, slack, Some(k));
+        } else {
+            for u in 0..n {
+                self.sweep_gradient_source(u, u + 1, t, allowance, slack);
+            }
+            self.fold_uniform_gradient(t, allowance, slack, None);
         }
 
         // 3. Weak edges: unlocked to a finite level, not yet fully
@@ -526,6 +658,227 @@ impl ConformanceChecker {
 
         self.report.samples += 1;
         self.last_t = Some(t);
+    }
+
+    /// One source's slice of the pairwise gradient check: Dijkstra + BFS
+    /// from `u` over the current strong graph (reusing the shared
+    /// scratch), then the Theorem 5.22 bound for every target `v` in
+    /// `v_lo..n`, `v ≠ u`. The exact pass calls this with `v_lo = u + 1`
+    /// (each unordered pair once); sampled mode with `v_lo = 0` (a drawn
+    /// source checks all its pairs — a pair whose both endpoints are
+    /// drawn is recorded twice, which leaves every worst-case statistic
+    /// unchanged because skew and bound are symmetric in `u, v`).
+    fn sweep_gradient_source(&mut self, u: usize, v_lo: usize, t: f64, allowance: f64, slack: f64) {
+        let lu = self.logical[u];
+        // Weight-uniform strong graphs (every fully-inserted edge at the
+        // identical κ — the common case away from decaying insertions)
+        // skip the Dijkstra: the weighted distance to a hop-d target is
+        // the d-fold running sum of the common weight, so the bound is a
+        // pure function of the hop class. The sweep then only accumulates
+        // each class's pair count and worst skew (BFS order, reading the
+        // reached nodes straight off the BFS queue); the per-class bound
+        // comparison, utilization, and margin are folded into the report
+        // once per snapshot by [`fold_uniform_gradient`]. Bit-identical
+        // to the general path: Dijkstra settles a hop-d node via a
+        // hop-(d−1) predecessor at exactly the running sum, division by a
+        // (positive) bound and subtraction from it are monotone in the
+        // skew, and running min/max are order-invariant. This is what
+        // keeps the sampled oracle at 10⁵-node scale inside the CI smoke
+        // budget: the hot loop is two loads, a subtract, and a compare
+        // per pair.
+        if self.strong.uniform_weight().is_some() {
+            self.strong
+                .hop_distances_into(NodeId::from(u), &mut self.hops, &mut self.queue);
+            let queue = std::mem::take(&mut self.queue);
+            for &vq in &queue {
+                let v = vq as usize;
+                if v < v_lo {
+                    continue;
+                }
+                let h = self.hops[v];
+                if h == 0.0 {
+                    continue;
+                }
+                let idx = h as usize - 1;
+                if idx >= self.class_pairs.len() {
+                    self.class_pairs.resize(idx + 1, 0);
+                    self.class_skew.resize(idx + 1, 0.0);
+                }
+                self.class_pairs[idx] += 1;
+                let skew = (lu - self.logical[v]).abs();
+                if skew > self.class_skew[idx] {
+                    self.class_skew[idx] = skew;
+                }
+            }
+            self.queue = queue;
+            return;
+        }
+        self.strong.distances_into(NodeId::from(u), &mut self.kdist);
+        self.strong
+            .hop_distances_into(NodeId::from(u), &mut self.hops, &mut self.queue);
+        for v in v_lo..self.logical.len() {
+            let h = self.hops[v];
+            if !h.is_finite() || h == 0.0 {
+                continue;
+            }
+            let skew = (lu - self.logical[v]).abs();
+            let d = h as u32;
+            let allowed =
+                gradient_bound(&self.params, self.cfg.g_hat, self.kdist[v]) + allowance + slack;
+            self.report.gradient.record(t, skew, allowed);
+            let idx = (d - 1) as usize;
+            self.grow_per_hop(idx);
+            let class = &mut self.report.per_hop[idx];
+            class.pairs += 1;
+            class.worst_skew = class.worst_skew.max(skew);
+            class.min_margin = class.min_margin.min(allowed - skew);
+            class.worst_utilization = class.worst_utilization.max(skew / allowed);
+        }
+    }
+
+    /// Ensures `report.per_hop` covers class index `idx`, keeping the
+    /// `hops` labels dense.
+    fn grow_per_hop(&mut self, idx: usize) {
+        if self.report.per_hop.len() <= idx {
+            self.report.per_hop.resize(
+                idx + 1,
+                HopClass {
+                    hops: 0,
+                    pairs: 0,
+                    worst_skew: 0.0,
+                    min_margin: f64::INFINITY,
+                    worst_utilization: 0.0,
+                },
+            );
+            for (i, class) in self.report.per_hop.iter_mut().enumerate() {
+                class.hops = i as u32 + 1;
+            }
+        }
+    }
+
+    /// Folds the per-class `(pairs, worst skew)` accumulators of a
+    /// weight-uniform snapshot into the report — the per-class equivalent
+    /// of calling [`BoundCheck::record`] for every pair, exploiting that
+    /// all pairs of a class share one bound. Violation *counts* need the
+    /// individual skews, so a snapshot whose worst class skew breaches its
+    /// bound takes a second sweep over the same sources to tally them —
+    /// the rare path, only ever paid by non-conformant runs.
+    ///
+    /// No-op on non-uniform snapshots (the general sweep records inline).
+    fn fold_uniform_gradient(
+        &mut self,
+        t: f64,
+        allowance: f64,
+        slack: f64,
+        sampled_k: Option<usize>,
+    ) {
+        let Some(w) = self.strong.uniform_weight() else {
+            return;
+        };
+        let mut violating = false;
+        for idx in 0..self.class_pairs.len() {
+            let pairs = self.class_pairs[idx];
+            if pairs == 0 {
+                continue;
+            }
+            let maxskew = self.class_skew[idx];
+            let allowed = self.allowed_at_hop(idx as u32 + 1, w, allowance, slack);
+            debug_assert!(allowed > 0.0, "gradient bounds are strictly positive");
+            let margin = allowed - maxskew;
+            let util = maxskew / allowed;
+            let gradient = &mut self.report.gradient;
+            gradient.checks += pairs;
+            if margin < gradient.min_margin {
+                gradient.min_margin = margin;
+            }
+            if util > gradient.worst_utilization {
+                gradient.worst_utilization = util;
+            }
+            if margin < 0.0 {
+                violating = true;
+            }
+            self.grow_per_hop(idx);
+            let class = &mut self.report.per_hop[idx];
+            class.pairs += pairs;
+            class.worst_skew = class.worst_skew.max(maxskew);
+            class.min_margin = class.min_margin.min(margin);
+            class.worst_utilization = class.worst_utilization.max(util);
+        }
+        if violating {
+            let mut viol = 0u64;
+            match sampled_k {
+                Some(k) => {
+                    for i in 0..k {
+                        let u = self.pool[i] as usize;
+                        viol += self.count_uniform_violations(u, 0);
+                    }
+                }
+                None => {
+                    for u in 0..self.logical.len() {
+                        viol += self.count_uniform_violations(u, u + 1);
+                    }
+                }
+            }
+            debug_assert!(viol > 0, "a breached class implies a breached pair");
+            self.report.gradient.violations += viol;
+            if self.report.gradient.first_violation.is_none() {
+                self.report.gradient.first_violation = Some(t);
+            }
+        }
+    }
+
+    /// Re-sweeps one source of a weight-uniform snapshot and counts pairs
+    /// whose skew breaches the (already cached) hop-class bound — the slow
+    /// half of [`fold_uniform_gradient`]'s violation tally.
+    fn count_uniform_violations(&mut self, u: usize, v_lo: usize) -> u64 {
+        self.strong
+            .hop_distances_into(NodeId::from(u), &mut self.hops, &mut self.queue);
+        let lu = self.logical[u];
+        let queue = std::mem::take(&mut self.queue);
+        let mut viol = 0u64;
+        for &vq in &queue {
+            let v = vq as usize;
+            if v < v_lo {
+                continue;
+            }
+            let h = self.hops[v];
+            if h == 0.0 {
+                continue;
+            }
+            let skew = (lu - self.logical[v]).abs();
+            if self.allowed_by_hop[h as usize] - skew < 0.0 {
+                viol += 1;
+            }
+        }
+        self.queue = queue;
+        viol
+    }
+
+    /// The cached gradient bound for a hop-`d` target on a weight-uniform
+    /// strong graph. `level_sums[d]` accumulates the common weight by
+    /// repeated addition — the exact floating-point value Dijkstra
+    /// produces along a shortest `d`-hop path — and `allowed_by_hop[d]`
+    /// memoizes the finished bound (the bound itself is finite, so NaN is
+    /// a free "not yet computed" sentinel).
+    fn allowed_at_hop(&mut self, d: u32, w: f64, allowance: f64, slack: f64) -> f64 {
+        let idx = d as usize;
+        if self.level_sums.is_empty() {
+            self.level_sums.push(0.0);
+        }
+        while self.level_sums.len() <= idx {
+            let last = self.level_sums[self.level_sums.len() - 1];
+            self.level_sums.push(last + w);
+        }
+        while self.allowed_by_hop.len() <= idx {
+            self.allowed_by_hop.push(f64::NAN);
+        }
+        if self.allowed_by_hop[idx].is_nan() {
+            self.allowed_by_hop[idx] =
+                gradient_bound(&self.params, self.cfg.g_hat, self.level_sums[idx])
+                    + allowance
+                    + slack;
+        }
+        self.allowed_by_hop[idx]
     }
 
     /// The report accumulated so far ([`observe`](Self::observe) updates
@@ -652,6 +1005,105 @@ mod tests {
             c.finish()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sampled_mode_is_a_conservative_projection_of_exact() {
+        // The same run observed by an exact and a sampled checker: every
+        // sampled statistic must be a conservative projection (sampled
+        // worst case ≤ exact worst case, sampled margin ≥ exact margin).
+        let run = |sampling: Option<OracleSampling>| -> ConformanceReport {
+            let mut s = sim(24, 11);
+            let mut cfg = OracleConfig::for_sim(&s, 0.5);
+            cfg.sampling = sampling;
+            let mut c = ConformanceChecker::with_config(&s, cfg);
+            drive(&mut s, &mut c, 10.0, 0.5);
+            c.finish()
+        };
+        let exact = run(None);
+        let sampled = run(Some(OracleSampling::new(0.25, 7)));
+        assert_eq!(exact.sampled_sources, 0);
+        assert!(sampled.sampled_sources > 0);
+        assert!(sampled.gradient.checks > 0);
+        assert!(sampled.gradient.checks < exact.gradient.checks);
+        assert!(sampled.gradient.worst_utilization <= exact.gradient.worst_utilization);
+        assert!(sampled.gradient.min_margin >= exact.gradient.min_margin);
+        assert!(sampled.per_hop.len() <= exact.per_hop.len());
+        for (s_class, e_class) in sampled.per_hop.iter().zip(&exact.per_hop) {
+            assert_eq!(s_class.hops, e_class.hops);
+            assert!(s_class.worst_skew <= e_class.worst_skew);
+            assert!(s_class.min_margin >= e_class.min_margin);
+        }
+        // Non-gradient families are untouched by sampling.
+        assert_eq!(sampled.global, exact.global);
+        assert_eq!(sampled.weak_edges, exact.weak_edges);
+    }
+
+    #[test]
+    fn sampled_mode_is_deterministic_and_seed_dependent() {
+        let run = |oracle_seed: u64| -> ConformanceReport {
+            let mut s = sim(20, 3);
+            let mut cfg = OracleConfig::for_sim(&s, 0.5);
+            cfg.sampling = Some(OracleSampling::new(0.3, oracle_seed));
+            let mut c = ConformanceChecker::with_config(&s, cfg);
+            drive(&mut s, &mut c, 6.0, 0.5);
+            c.finish()
+        };
+        assert_eq!(run(42), run(42), "same sampling seed, same report");
+        let (a, b) = (run(1), run(2));
+        assert_eq!(a.sampled_sources, b.sampled_sources);
+        // Different sampling seeds draw different source positions, which
+        // shows up in the per-hop-class coverage counts (on a line, how
+        // many targets a source has at distance d depends on where the
+        // source sits).
+        let coverage =
+            |r: &ConformanceReport| r.per_hop.iter().map(|h| h.pairs).collect::<Vec<_>>();
+        assert_ne!(
+            coverage(&a),
+            coverage(&b),
+            "different sampling seeds must draw different strata"
+        );
+    }
+
+    #[test]
+    fn sampling_knobs_have_documented_shapes() {
+        let s = OracleSampling::new(0.01, 0);
+        assert_eq!(s.sources_for(100_000), 1000);
+        assert_eq!(s.sources_for(4), 4, "floor clamps to n on tiny graphs");
+        assert_eq!(s.sources_for(500), 8, "min_sources floor applies");
+        // The per-snapshot escape bound is ≤ (1 − rate)² once past the
+        // floor, and exactly (n−K)(n−K−1)/(n(n−1)).
+        let p = s.escape_probability(100_000);
+        assert!(p < (1.0 - 0.01f64).powi(2) + 1e-12, "{p}");
+        assert!(p > 0.97, "{p}");
+        assert_eq!(s.escape_probability(4), 0.0, "full sweep misses nothing");
+        // A full-rate sampler is exhaustive.
+        assert_eq!(OracleSampling::new(1.0, 0).sources_for(33), 33);
+        assert_eq!(OracleSampling::new(1.0, 0).escape_probability(33), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle sample rate")]
+    fn rejects_out_of_range_rate() {
+        let _ = OracleSampling::new(0.0, 1);
+    }
+
+    #[test]
+    fn sampled_mode_still_catches_a_global_scale_violation() {
+        // An uncredited 2Ĝ corruption breaks neighbouring pairs badly
+        // enough that even a thin sample sees it: the corrupted node is
+        // a target of every drawn source.
+        let mut s = sim(16, 5);
+        let mut cfg = OracleConfig::for_sim(&s, 0.5);
+        cfg.credit_faults = false;
+        cfg.sampling = Some(OracleSampling::new(0.2, 9));
+        let mut c = ConformanceChecker::with_config(&s, cfg);
+        drive(&mut s, &mut c, 5.0, 0.5);
+        s.inject_clock_offset(NodeId(0), 2.0 * s.params().g_tilde().unwrap());
+        drive(&mut s, &mut c, 12.0, 0.5);
+        let r = c.finish();
+        assert!(!r.is_conformant());
+        assert!(r.gradient.violations > 0);
     }
 
     #[test]

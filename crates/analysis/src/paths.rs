@@ -60,6 +60,11 @@ impl DistanceMatrix {
 pub struct WeightedGraph {
     n: usize,
     adj: Vec<Vec<(usize, f64)>>,
+    // Weight-uniformity tracking: `Some(w)` while every edge added since
+    // the last reset carries the bitwise-identical weight `w`; `None`
+    // before the first edge and forever after weights diverge.
+    uniform: Option<f64>,
+    mixed: bool,
 }
 
 impl WeightedGraph {
@@ -69,6 +74,8 @@ impl WeightedGraph {
         WeightedGraph {
             n,
             adj: vec![Vec::new(); n],
+            uniform: None,
+            mixed: false,
         }
     }
 
@@ -84,8 +91,29 @@ impl WeightedGraph {
             "edge weight must be positive, got {weight}"
         );
         assert!(e.hi().index() < self.n, "edge {e} out of range");
+        match self.uniform {
+            None if !self.mixed => self.uniform = Some(weight),
+            Some(w) if w.to_bits() == weight.to_bits() => {}
+            Some(_) => {
+                self.uniform = None;
+                self.mixed = true;
+            }
+            None => {}
+        }
         self.adj[e.lo().index()].push((e.hi().index(), weight));
         self.adj[e.hi().index()].push((e.lo().index(), weight));
+    }
+
+    /// The common weight of every edge, if the graph is *weight-uniform*:
+    /// at least one edge, and every weight bitwise-identical. On such a
+    /// graph [`distances_into`](Self::distances_into) degenerates to hop
+    /// counting — the shortest weighted path to a hop-`d` node is the
+    /// `d`-fold left-to-right sum of the common weight — which analysis
+    /// sweeps exploit to skip the per-source Dijkstra entirely at engine
+    /// scale.
+    #[must_use]
+    pub fn uniform_weight(&self) -> Option<f64> {
+        self.uniform
     }
 
     /// Number of nodes.
@@ -102,6 +130,8 @@ impl WeightedGraph {
         self.adj.iter_mut().for_each(Vec::clear);
         self.adj.resize_with(n, Vec::new);
         self.n = n;
+        self.uniform = None;
+        self.mixed = false;
     }
 
     /// Breadth-first *hop* distances from one source (every edge counts 1),

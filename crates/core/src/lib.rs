@@ -55,7 +55,9 @@ pub use diameter::DiameterTracker;
 pub use log::{EventLog, LogEntry};
 
 pub use estimate::{ErrorModel, EstimateMode};
-pub use parallel::{Engine, ParallelBuildError, ParallelSimBuilder, ParallelSimulation, Partition};
+pub use parallel::{
+    Engine, EngineGauges, ParallelBuildError, ParallelSimBuilder, ParallelSimulation, Partition,
+};
 pub use params::{InsertionStrategy, Params, ParamsBuilder, ParamsError};
 pub use sim::{BuildError, ChangeRecord, EdgeInfo, SimBuilder, SimStats, Simulation};
 pub use snapshot::{ClockSnapshot, Trace};

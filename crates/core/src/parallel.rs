@@ -665,11 +665,46 @@ impl ParallelSimulation {
     }
 }
 
+/// Engine-invariant gauges read at a quiescent instant — the streaming
+/// snapshot hook the per-sample observation loops use instead of
+/// materializing a full [`ClockSnapshot`](crate::ClockSnapshot). Every
+/// field is deterministic and identical across the sequential and the
+/// sharded engine at any shard count (the telemetry trace contract leans
+/// on this), and reading them allocates nothing, so observers stay
+/// bounded-memory at 10⁵ nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineGauges {
+    /// The current instant, seconds.
+    pub t: f64,
+    /// `max_u L_u − min_u L_u` over all logical clocks.
+    pub global_skew: f64,
+    /// Pending events across every queue the engine owns.
+    pub queue_depth: usize,
+    /// Nodes whose stability horizon has expired (the next tick sweep's
+    /// work).
+    pub dirty_nodes: usize,
+    /// Total events processed so far.
+    pub events: u64,
+}
+
 /// A uniform driving interface over the sequential and sharded engines,
 /// so campaign/bench/conformance code is generic in which one it runs.
 pub trait Engine {
     /// Runs until `secs` simulated seconds (inclusive).
     fn run_until_secs(&mut self, secs: f64);
+
+    /// Reads the engine-invariant [`EngineGauges`] at the current
+    /// (quiescent) instant, allocation-free.
+    fn gauges(&self) -> EngineGauges {
+        let sim = self.as_sim();
+        EngineGauges {
+            t: sim.now().as_secs(),
+            global_skew: sim.global_skew_now(),
+            queue_depth: self.pending_events(),
+            dirty_nodes: sim.dirty_nodes(),
+            events: sim.stats().events,
+        }
+    }
     /// Injects a clock fault at the current instant.
     fn inject_clock_offset(&mut self, u: NodeId, offset: f64);
     /// The master simulation state, for observation.

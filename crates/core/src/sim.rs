@@ -797,6 +797,33 @@ impl Simulation {
         self.run_until(SimTime::from_secs(secs));
     }
 
+    /// The current global skew `max_u L_u − min_u L_u`, folded directly
+    /// over the node table — the streaming gauge behind per-sample
+    /// observation loops. Bit-identical to
+    /// `self.snapshot().global_skew()` (same iteration order, same
+    /// `f64::max`/`min` folds) without allocating the `O(n)` snapshot
+    /// vectors, which matters when a 10⁵-node run is sampled every
+    /// period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has no nodes.
+    #[must_use]
+    pub fn global_skew_now(&self) -> f64 {
+        let max = self
+            .nodes
+            .iter()
+            .map(NodeState::logical)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min = self
+            .nodes
+            .iter()
+            .map(NodeState::logical)
+            .fold(f64::INFINITY, f64::min);
+        assert!(max.is_finite() && min.is_finite(), "empty simulation");
+        max - min
+    }
+
     /// Snapshot of all clocks at the current instant.
     #[must_use]
     pub fn snapshot(&self) -> ClockSnapshot {

@@ -243,26 +243,29 @@ impl DynamicGraph {
         if n == 0 {
             return true;
         }
+        // Materialize the undirected support adjacency once — every
+        // directed edge contributes both endpoints — so the traversal is
+        // O(n + m). (A reverse-direction `contains` scan per visited node
+        // would be O(n²), which the conformance oracle's per-snapshot
+        // connectivity probe cannot afford at 10⁵-node scale.)
+        let mut support = vec![Vec::new(); n];
+        for (u, out) in self.adj.iter().enumerate() {
+            for &(v, _) in out {
+                support[u].push(v.index() as u32);
+                support[v.index()].push(u as u32);
+            }
+        }
         let mut seen = vec![false; n];
         let mut stack = vec![0usize];
         seen[0] = true;
         let mut count = 1;
         while let Some(u) = stack.pop() {
-            let push =
-                |w: usize, seen: &mut Vec<bool>, stack: &mut Vec<usize>, count: &mut usize| {
-                    if !seen[w] {
-                        seen[w] = true;
-                        *count += 1;
-                        stack.push(w);
-                    }
-                };
-            for &(v, _) in &self.adj[u] {
-                push(v.index(), &mut seen, &mut stack, &mut count);
-            }
-            // Also traverse reverse direction: support is undirected.
-            for (w, _) in self.adj.iter().enumerate() {
-                if self.contains(NodeId::from(w), NodeId::from(u)) {
-                    push(w, &mut seen, &mut stack, &mut count);
+            for &w in &support[u] {
+                let w = w as usize;
+                if !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    stack.push(w);
                 }
             }
         }

@@ -127,7 +127,7 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> Result<ScenarioOutcome, S
         spec.sample,
         spec.end_secs(),
         |t, sim| {
-            let g = sim.snapshot().global_skew();
+            let g = sim.global_skew_now();
             trajectory.push((t, g));
             if t >= spec.warmup - 1e-9 {
                 max_global_skew = max_global_skew.max(g);

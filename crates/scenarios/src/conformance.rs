@@ -10,11 +10,53 @@
 //! the whole registry and exits non-zero on any bound violation — the
 //! theorem-level CI gate next to the statistical `compare` gate.
 
-use gcs_analysis::oracle::{ConformanceChecker, ConformanceReport};
+use gcs_analysis::oracle::{ConformanceChecker, ConformanceReport, OracleConfig, OracleSampling};
 use gcs_analysis::{parallel_map_progress, Table};
+use gcs_core::Engine;
 
 use crate::error::ScenarioError;
 use crate::spec::ScenarioSpec;
+
+/// Knobs for a conformance sweep beyond the default exact sequential pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConformanceOptions {
+    /// Sampled-oracle source rate in `(0, 1]`; `None` keeps the exact
+    /// all-pairs oracle. See [`OracleSampling`] for the detection bound.
+    pub oracle_sample: Option<f64>,
+    /// Base seed for the sampled oracle's source draws. Mixed with each
+    /// run seed so different runs draw independent source sets while one
+    /// `(scenario, seed)` run stays byte-deterministic — including across
+    /// engine shard counts, because the draw never sees the engine.
+    pub oracle_seed: u64,
+    /// Worker threads per run: 1 drives the sequential reference engine,
+    /// larger values drive the sharded engine with that many shards.
+    pub threads: usize,
+}
+
+impl Default for ConformanceOptions {
+    fn default() -> Self {
+        ConformanceOptions {
+            oracle_sample: None,
+            oracle_seed: 0,
+            threads: 1,
+        }
+    }
+}
+
+impl ConformanceOptions {
+    /// The per-run sampling plan (`None` in exact mode). The oracle seed
+    /// is mixed with the run seed via a golden-ratio multiply so seed 0
+    /// and seed 1 do not share source draws.
+    #[must_use]
+    pub fn sampling_for(&self, run_seed: u64) -> Option<OracleSampling> {
+        self.oracle_sample.map(|rate| {
+            OracleSampling::new(
+                rate,
+                self.oracle_seed ^ run_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )
+        })
+    }
+}
 
 /// One scenario × seed conformance verdict.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,16 +82,50 @@ pub fn run_scenario_conformance(
     spec: &ScenarioSpec,
     seed: u64,
 ) -> Result<ConformanceReport, ScenarioError> {
-    let mut sim = spec.build(seed)?;
-    let mut checker = ConformanceChecker::new(&sim, spec.sample);
-    crate::campaign::drive_sampled(
-        &mut sim,
-        &spec.faults,
-        spec.sample,
-        spec.end_secs(),
-        |_, sim| checker.observe(sim),
-    );
-    Ok(checker.finish())
+    run_scenario_conformance_with(spec, seed, &ConformanceOptions::default())
+}
+
+/// [`run_scenario_conformance`] with explicit [`ConformanceOptions`]:
+/// sampled-oracle mode and/or the sharded engine. The oracle streams over
+/// snapshots at quiescent instants through the engine-agnostic [`Engine`]
+/// seam, so the verdict is identical at every shard count; in sampled mode
+/// it is a conservative projection of the exact verdict (never reports a
+/// larger worst case than exact mode would).
+///
+/// # Errors
+///
+/// Returns [`ScenarioError`] if the spec fails to validate or build.
+pub fn run_scenario_conformance_with(
+    spec: &ScenarioSpec,
+    seed: u64,
+    opts: &ConformanceOptions,
+) -> Result<ConformanceReport, ScenarioError> {
+    if opts.threads <= 1 {
+        let mut sim = spec.build(seed)?;
+        Ok(check_streaming(&mut sim, spec, seed, opts))
+    } else {
+        let mut sim = crate::telemetry::build_parallel(spec, seed, opts.threads)?;
+        Ok(check_streaming(&mut sim, spec, seed, opts))
+    }
+}
+
+/// The engine-generic streaming check: build the oracle from the master
+/// sim, drive the observation grid, observe each quiescent snapshot.
+/// Memory stays bounded — the checker folds every sample into O(hop
+/// classes) running state and no trajectory is retained.
+fn check_streaming<E: Engine>(
+    sim: &mut E,
+    spec: &ScenarioSpec,
+    seed: u64,
+    opts: &ConformanceOptions,
+) -> ConformanceReport {
+    let mut cfg = OracleConfig::for_sim(sim.as_sim(), spec.sample);
+    cfg.sampling = opts.sampling_for(seed);
+    let mut checker = ConformanceChecker::with_config(sim.as_sim(), cfg);
+    crate::campaign::drive_sampled(sim, &spec.faults, spec.sample, spec.end_secs(), |_, s| {
+        checker.observe(s.as_sim());
+    });
+    checker.finish()
 }
 
 /// Runs every scenario × seed combination in parallel (same executor as
@@ -69,6 +145,23 @@ pub fn run_conformance(
     run_conformance_progress(specs, seeds, |_, _, _| {})
 }
 
+/// [`run_conformance`] with explicit [`ConformanceOptions`].
+///
+/// # Errors
+///
+/// Returns the first [`ScenarioError`] any run produced.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+pub fn run_conformance_with(
+    specs: &[ScenarioSpec],
+    seeds: &[u64],
+    opts: &ConformanceOptions,
+) -> Result<Vec<ConformanceRow>, ScenarioError> {
+    run_conformance_progress_with(specs, seeds, opts, |_, _, _| {})
+}
+
 /// [`run_conformance`] with a completion callback: `on_done(spec, seed,
 /// result)` fires once per scenario × seed in job order (scenario-major,
 /// then seed) regardless of worker scheduling, so progress output is
@@ -86,6 +179,24 @@ pub fn run_conformance_progress(
     seeds: &[u64],
     on_done: impl Fn(&ScenarioSpec, u64, &Result<ConformanceReport, ScenarioError>) + Sync,
 ) -> Result<Vec<ConformanceRow>, ScenarioError> {
+    run_conformance_progress_with(specs, seeds, &ConformanceOptions::default(), on_done)
+}
+
+/// [`run_conformance_progress`] with explicit [`ConformanceOptions`].
+///
+/// # Errors
+///
+/// Returns the first [`ScenarioError`] any run produced.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+pub fn run_conformance_progress_with(
+    specs: &[ScenarioSpec],
+    seeds: &[u64],
+    opts: &ConformanceOptions,
+    on_done: impl Fn(&ScenarioSpec, u64, &Result<ConformanceReport, ScenarioError>) + Sync,
+) -> Result<Vec<ConformanceRow>, ScenarioError> {
     assert!(!seeds.is_empty(), "conformance needs at least one seed");
     let jobs: Vec<(usize, u64)> = specs
         .iter()
@@ -94,7 +205,7 @@ pub fn run_conformance_progress(
         .collect();
     let results = parallel_map_progress(
         jobs.clone(),
-        |(i, seed)| run_scenario_conformance(&specs[i], seed),
+        |(i, seed)| run_scenario_conformance_with(&specs[i], seed, opts),
         |idx, result| {
             let spec = &specs[idx / seeds.len()];
             on_done(spec, seeds[idx % seeds.len()], result);
@@ -212,5 +323,61 @@ mod tests {
         let b = run_scenario_conformance(&spec, 5).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.faults_seen, 3, "all three scripted corruptions replay");
+    }
+
+    #[test]
+    fn sampled_streaming_verdict_is_shard_count_invariant() {
+        let spec = registry::find("self-heal").unwrap().scaled(Scale::Tiny);
+        let opts = |threads| ConformanceOptions {
+            oracle_sample: Some(0.25),
+            oracle_seed: 7,
+            threads,
+        };
+        let seq = run_scenario_conformance_with(&spec, 2, &opts(1)).unwrap();
+        let two = run_scenario_conformance_with(&spec, 2, &opts(2)).unwrap();
+        let four = run_scenario_conformance_with(&spec, 2, &opts(4)).unwrap();
+        assert_eq!(seq, two, "sampled oracle must not see the engine");
+        assert_eq!(seq, four);
+        assert!(seq.sampled_sources > 0, "sampled mode actually sampled");
+        assert!(seq.is_conformant(), "{:?}", seq.violations());
+    }
+
+    #[test]
+    fn sampled_streaming_is_a_conservative_projection_of_exact() {
+        // Default scale (36 nodes): large enough that the 8-source floor
+        // still samples a strict subset of the exact all-pairs sweep.
+        let spec = registry::find("grid-sensor")
+            .unwrap()
+            .scaled(Scale::Default);
+        let exact = run_scenario_conformance(&spec, 3).unwrap();
+        let sampled = run_scenario_conformance_with(
+            &spec,
+            3,
+            &ConformanceOptions {
+                oracle_sample: Some(0.3),
+                oracle_seed: 11,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        assert!(sampled.gradient.checks < exact.gradient.checks);
+        assert!(sampled.gradient.worst_utilization <= exact.gradient.worst_utilization);
+        assert!(sampled.gradient.min_margin >= exact.gradient.min_margin);
+        // The global envelope and weak-edge families are not sampled.
+        assert_eq!(sampled.global, exact.global);
+        assert_eq!(sampled.weak_edges, exact.weak_edges);
+    }
+
+    #[test]
+    fn run_seed_perturbs_the_source_draw() {
+        let opts = ConformanceOptions {
+            oracle_sample: Some(0.25),
+            oracle_seed: 7,
+            threads: 1,
+        };
+        let a = opts.sampling_for(0).expect("sampled");
+        let b = opts.sampling_for(1).expect("sampled");
+        assert_ne!(a.seed, b.seed, "run seeds must decorrelate source draws");
+        assert_eq!(opts.sampling_for(0).expect("sampled").seed, a.seed);
     }
 }

@@ -27,7 +27,12 @@
 //!   comparison CI runs;
 //! * [`conformance`] — the paper-bound gate: every scenario × seed driven
 //!   through the [`gcs_analysis::oracle`] conformance oracles, exiting
-//!   non-zero on any Theorem 5.6 / 5.22 bound violation;
+//!   non-zero on any Theorem 5.6 / 5.22 bound violation, streaming over
+//!   either engine and optionally in sampled-source mode
+//!   ([`ConformanceOptions`]) for conformance at 10⁵-node scale;
+//! * [`trendseries`] — the append-only `gcs-trend/v1` JSONL series the
+//!   nightly pipeline grows (`trend-append`) and the orientation-aware
+//!   windowed regression gate over it (`trend-gate`);
 //! * [`bench`] — the sequential engine-throughput harness behind
 //!   `gcs-scenarios bench` and the `BENCH_engine.json`
 //!   (`gcs-engine-bench/v1`) artifact, plus the exact deterministic
@@ -39,7 +44,8 @@
 //!   `--telemetry` flag of `run`/`bench`/`conformance`;
 //! * the `gcs-scenarios` CLI (`list | validate <dir> | run <name|file> |
 //!   bench | bench-compare | trace | trace-diff | conformance |
-//!   baseline | compare | export <dir> | show <name>`).
+//!   trend-append | trend-gate | baseline | compare | export <dir> |
+//!   show <name>`).
 //!
 //! # Example
 //!
@@ -66,15 +72,22 @@ pub mod registry;
 pub mod spec;
 pub mod telemetry;
 pub mod trend;
+pub mod trendseries;
 
 pub use bench::{BenchArtifact, BenchCompareReport, BenchEntry};
 pub use campaign::{run_campaign, run_scenario, CampaignRow, ScenarioOutcome};
-pub use conformance::{run_conformance, ConformanceRow};
+pub use conformance::{run_conformance, run_conformance_with, ConformanceOptions, ConformanceRow};
 pub use error::ScenarioError;
 pub use spec::{
     DriftSpec, DynamicsSpec, EstimateSpec, FaultSpec, Metric, Scale, ScenarioSpec, TopologySpec,
 };
-pub use telemetry::{bench_instrumented, run_instrumented, TelemetryRun, TELEMETRY_FORMAT};
+pub use telemetry::{
+    bench_instrumented, run_instrumented, run_instrumented_oracle, OracleRide, TelemetryRun,
+    TELEMETRY_FORMAT,
+};
 pub use trend::{
     CampaignArtifact, CompareReport, EnvelopeStats, TrajectoryEnvelope, TrendRow, TrendSummary,
+};
+pub use trendseries::{
+    trend_gate, TrendFinding, TrendGateReport, TrendPoint, DEFAULT_WINDOW, TREND_FORMAT,
 };

@@ -58,10 +58,59 @@ pub fn bench() -> Vec<ScenarioSpec> {
     all().into_iter().filter(|s| s.bench).collect()
 }
 
+/// The fault-heavy subset of the campaign: every scenario with scripted
+/// clock corruptions or non-static dynamics. This is what the nightly
+/// conformance trend runs at default scale — the runs where the envelope
+/// allowances (fault credit, insertion widening, partition terms) are
+/// actually exercised.
+#[must_use]
+pub fn fault_heavy() -> Vec<ScenarioSpec> {
+    campaign()
+        .into_iter()
+        .filter(|s| !s.faults.is_empty() || s.dynamics.kind() != "static")
+        .collect()
+}
+
 /// Looks up a built-in scenario by name.
 #[must_use]
 pub fn find(name: &str) -> Option<ScenarioSpec> {
     all().into_iter().find(|s| s.name == name)
+}
+
+/// Resolves a CLI selection token into a scenario list: a named set
+/// (`all`, `campaign`, `bench`, `fault-heavy`), a single scenario name, or
+/// a comma-separated list of either. Order follows the selection; exact
+/// duplicates are kept (the caller asked twice).
+///
+/// # Errors
+///
+/// Returns a message naming the unknown token — an unknown or misspelled
+/// scenario is a hard error, never an empty sweep.
+pub fn select(selection: &str) -> Result<Vec<ScenarioSpec>, String> {
+    let mut specs = Vec::new();
+    for token in selection.split(',') {
+        let token = token.trim();
+        match token {
+            "" => return Err("empty scenario selection token".to_string()),
+            "all" => specs.extend(all()),
+            "campaign" => specs.extend(campaign()),
+            "bench" => specs.extend(bench()),
+            "fault-heavy" => specs.extend(fault_heavy()),
+            name => match find(name) {
+                Some(s) => specs.push(s),
+                None => {
+                    return Err(format!(
+                        "unknown scenario or set {name:?} (sets: all, campaign, bench, \
+                         fault-heavy; `list` prints scenario names)"
+                    ))
+                }
+            },
+        }
+    }
+    if specs.is_empty() {
+        return Err("selection matched no scenarios".to_string());
+    }
+    Ok(specs)
 }
 
 fn ring_steady() -> ScenarioSpec {
@@ -375,5 +424,47 @@ mod tests {
     fn find_matches_by_name() {
         assert!(find("churn-storm").is_some());
         assert!(find("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn fault_heavy_is_the_disturbed_campaign_subset() {
+        let names: Vec<String> = fault_heavy().into_iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "byzantine-est",
+                "churn-burst",
+                "churn-storm",
+                "flash-join",
+                "line-shortcut",
+                "mobile-swarm",
+                "partition-heal",
+                "ring-chord",
+                "self-heal",
+            ],
+            "the nightly conformance set is pinned; update the nightly \
+             workflow docs when growing it"
+        );
+    }
+
+    #[test]
+    fn select_resolves_sets_names_and_lists() {
+        assert_eq!(select("all").unwrap().len(), all().len());
+        assert_eq!(select("fault-heavy").unwrap().len(), fault_heavy().len());
+        let pair = select("ring-steady,churn-storm").unwrap();
+        assert_eq!(pair.len(), 2);
+        assert_eq!(pair[0].name, "ring-steady");
+        assert_eq!(pair[1].name, "churn-storm");
+        let mixed = select("bench, self-heal").unwrap();
+        assert_eq!(mixed.len(), bench().len() + 1);
+    }
+
+    #[test]
+    fn select_hard_errors_on_unknown_or_empty() {
+        assert!(select("no-such-scenario").is_err());
+        assert!(select("ring-steady,").is_err(), "trailing comma is a typo");
+        assert!(select("").is_err());
+        let msg = select("ring-stedy").unwrap_err();
+        assert!(msg.contains("ring-stedy"), "{msg}");
     }
 }

@@ -27,9 +27,9 @@ use std::io::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
-use gcs_analysis::oracle::ConformanceChecker;
+use gcs_analysis::oracle::{ConformanceChecker, ConformanceReport, OracleConfig, OracleSampling};
 use gcs_core::{Engine, SimStats};
-use gcs_telemetry::{Histogram, RunTelemetry, Sample, SharedRecorder, TraceOutput};
+use gcs_telemetry::{Histogram, RunTelemetry, Sample, SharedRecorder, StreamStats, TraceOutput};
 
 use crate::error::ScenarioError;
 use crate::json::Json;
@@ -37,6 +37,22 @@ use crate::spec::{Scale, ScenarioSpec};
 
 /// The artifact format tag.
 pub const TELEMETRY_FORMAT: &str = "gcs-telemetry/v1";
+
+/// How (whether) the conformance oracle rides along on an instrumented
+/// run. `Sampled` trades gradient-sweep exhaustiveness for wall-clock via
+/// [`OracleSampling`] — the documented-escape-probability stratified
+/// source draw — which is what makes streaming conformance affordable at
+/// 10⁵ nodes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum OracleRide {
+    /// No oracle: gauges and traces only.
+    #[default]
+    Off,
+    /// Exact all-pairs oracle at every sample instant.
+    Exact,
+    /// Sampled-source oracle at every sample instant.
+    Sampled(OracleSampling),
+}
 
 /// One fully instrumented scenario × seed run.
 #[derive(Debug)]
@@ -62,9 +78,19 @@ pub struct TelemetryRun {
     /// `(t, global utilization, gradient utilization)` per sample instant
     /// when the conformance oracle rode along; empty otherwise.
     pub oracle_series: Vec<(f64, f64, f64)>,
+    /// The oracle's finished verdict when it rode along (`None` otherwise)
+    /// — the streaming-conformance result: accumulated in bounded memory
+    /// during the drive, no trajectory retained.
+    pub oracle_report: Option<ConformanceReport>,
+    /// Bounded-memory running summary of the global-envelope utilization
+    /// series (empty when the oracle was off).
+    pub oracle_global: StreamStats,
+    /// Bounded-memory running summary of the gradient-bound utilization
+    /// series (empty when the oracle was off).
+    pub oracle_gradient: StreamStats,
 }
 
-fn build_parallel(
+pub(crate) fn build_parallel(
     spec: &ScenarioSpec,
     seed: u64,
     threads: usize,
@@ -83,7 +109,7 @@ fn instrument<E: Engine>(
     seed: u64,
     threads: usize,
     trace: bool,
-    conformance: bool,
+    oracle: OracleRide,
     sampled: bool,
 ) -> TelemetryRun {
     let engine = if threads <= 1 {
@@ -96,26 +122,39 @@ fn instrument<E: Engine>(
     shared.begin_run(&spec.name, seed, nodes);
     sim.set_telemetry(shared.sink());
 
-    let mut checker = conformance.then(|| ConformanceChecker::new(sim.as_sim(), spec.sample));
+    let mut checker = match oracle {
+        OracleRide::Off => None,
+        OracleRide::Exact => Some(ConformanceChecker::new(sim.as_sim(), spec.sample)),
+        OracleRide::Sampled(sampling) => {
+            let mut cfg = OracleConfig::for_sim(sim.as_sim(), spec.sample);
+            cfg.sampling = Some(sampling);
+            Some(ConformanceChecker::with_config(sim.as_sim(), cfg))
+        }
+    };
     let mut oracle_series = Vec::new();
+    let mut oracle_global = StreamStats::new();
+    let mut oracle_gradient = StreamStats::new();
 
     let started = Instant::now();
     if sampled {
         crate::campaign::drive_sampled(sim, &spec.faults, spec.sample, spec.end_secs(), |t, s| {
-            let master = s.as_sim();
             // Every gauge here is engine-invariant at a quiescent
             // instant, so sample records hash identically across
-            // engines.
+            // engines. The allocation-free gauges read replaces a full
+            // clock snapshot — bit-identical values, bounded memory.
+            let g = s.gauges();
             shared.on_sample(Sample {
                 t,
-                global_skew: master.snapshot().global_skew(),
-                queue_depth: s.pending_events(),
-                dirty_nodes: master.dirty_nodes(),
-                events: master.stats().events,
+                global_skew: g.global_skew,
+                queue_depth: g.queue_depth,
+                dirty_nodes: g.dirty_nodes,
+                events: g.events,
             });
             if let Some(c) = checker.as_mut() {
-                c.observe(master);
+                c.observe(s.as_sim());
                 let r = c.report_so_far();
+                oracle_global.observe(r.global.worst_utilization);
+                oracle_gradient.observe(r.gradient.worst_utilization);
                 oracle_series.push((t, r.global.worst_utilization, r.gradient.worst_utilization));
             }
         });
@@ -141,6 +180,9 @@ fn instrument<E: Engine>(
         telemetry,
         stats: sim.as_sim().stats(),
         oracle_series,
+        oracle_report: checker.map(ConformanceChecker::finish),
+        oracle_global,
+        oracle_gradient,
     }
 }
 
@@ -163,27 +205,37 @@ pub fn run_instrumented(
     trace: bool,
     conformance: bool,
 ) -> Result<TelemetryRun, ScenarioError> {
+    let oracle = if conformance {
+        OracleRide::Exact
+    } else {
+        OracleRide::Off
+    };
+    run_instrumented_oracle(spec, seed, threads, trace, oracle)
+}
+
+/// [`run_instrumented`] with an explicit [`OracleRide`]: the general entry
+/// point the CLI uses to stream the sampled-source oracle alongside large
+/// runs on either engine.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError`] if the spec fails to validate or build.
+pub fn run_instrumented_oracle(
+    spec: &ScenarioSpec,
+    seed: u64,
+    threads: usize,
+    trace: bool,
+    oracle: OracleRide,
+) -> Result<TelemetryRun, ScenarioError> {
     if threads <= 1 {
         let mut sim = spec.build(seed)?;
         Ok(instrument(
-            &mut sim,
-            spec,
-            seed,
-            threads,
-            trace,
-            conformance,
-            true,
+            &mut sim, spec, seed, threads, trace, oracle, true,
         ))
     } else {
         let mut sim = build_parallel(spec, seed, threads)?;
         Ok(instrument(
-            &mut sim,
-            spec,
-            seed,
-            threads,
-            trace,
-            conformance,
-            true,
+            &mut sim, spec, seed, threads, trace, oracle, true,
         ))
     }
 }
@@ -204,12 +256,24 @@ pub fn bench_instrumented(
     if threads <= 1 {
         let mut sim = spec.build(seed)?;
         Ok(instrument(
-            &mut sim, spec, seed, threads, false, false, false,
+            &mut sim,
+            spec,
+            seed,
+            threads,
+            false,
+            OracleRide::Off,
+            false,
         ))
     } else {
         let mut sim = build_parallel(spec, seed, threads)?;
         Ok(instrument(
-            &mut sim, spec, seed, threads, false, false, false,
+            &mut sim,
+            spec,
+            seed,
+            threads,
+            false,
+            OracleRide::Off,
+            false,
         ))
     }
 }
@@ -317,6 +381,29 @@ fn entry_json(r: &TelemetryRun) -> Json {
                     .map(|&(t, g, l)| Json::Arr(vec![Json::Num(t), Json::Num(g), Json::Num(l)]))
                     .collect(),
             ),
+        ));
+    }
+    if let Some(rep) = &r.oracle_report {
+        let stream = |s: &StreamStats| {
+            Json::Obj(vec![
+                ("count", Json::Int(s.count())),
+                ("min", Json::Num(s.min().unwrap_or(f64::NAN))),
+                ("max", Json::Num(s.max().unwrap_or(f64::NAN))),
+                ("mean", Json::Num(s.mean().unwrap_or(f64::NAN))),
+            ])
+        };
+        fields.push((
+            "oracle",
+            Json::Obj(vec![
+                ("conformant", Json::Bool(rep.is_conformant())),
+                ("samples", Json::Int(rep.samples)),
+                ("sampled_sources", Json::Int(rep.sampled_sources)),
+                ("global_worst", Json::Num(rep.global.worst_utilization)),
+                ("gradient_worst", Json::Num(rep.gradient.worst_utilization)),
+                ("weak_worst", Json::Num(rep.weak_edges.worst_utilization)),
+                ("global_util", stream(&r.oracle_global)),
+                ("gradient_util", stream(&r.oracle_gradient)),
+            ]),
         ));
     }
     if let Some(trace) = &tel.trace {
@@ -472,6 +559,39 @@ mod tests {
             .iter()
             .all(|&(_, g, l)| (0.0..=1.0).contains(&g) && (0.0..=1.0).contains(&l)));
         assert_eq!(run.telemetry.faults, 1, "the scripted fault is traced");
+        let rep = run.oracle_report.as_ref().expect("oracle rode along");
+        assert!(rep.is_conformant(), "{:?}", rep.violations());
+        assert_eq!(rep.sampled_sources, 0, "exact mode draws no sources");
+        assert_eq!(
+            run.oracle_global.count(),
+            run.telemetry.samples.len() as u64
+        );
+        assert_eq!(
+            run.oracle_global.max(),
+            Some(rep.global.worst_utilization),
+            "the running summary tracks the report's worst case"
+        );
+    }
+
+    #[test]
+    fn sampled_oracle_ride_is_engine_invariant() {
+        let spec = registry::find("churn-burst")
+            .expect("built-in")
+            .scaled(Scale::Tiny);
+        let ride = OracleRide::Sampled(gcs_analysis::oracle::OracleSampling::new(0.5, 13));
+        let seq = run_instrumented_oracle(&spec, 3, 1, true, ride).unwrap();
+        let par = run_instrumented_oracle(&spec, 3, 2, true, ride).unwrap();
+        assert_eq!(
+            seq.telemetry.trace.as_ref().unwrap().text,
+            par.telemetry.trace.as_ref().unwrap().text,
+            "the oracle ride-along must not perturb the trace"
+        );
+        assert_eq!(seq.oracle_report, par.oracle_report);
+        assert_eq!(seq.oracle_series, par.oracle_series);
+        assert_eq!(seq.oracle_global, par.oracle_global);
+        assert_eq!(seq.oracle_gradient, par.oracle_gradient);
+        let rep = seq.oracle_report.expect("oracle rode along");
+        assert!(rep.sampled_sources > 0, "sampled mode actually sampled");
     }
 
     #[test]
@@ -492,6 +612,8 @@ mod tests {
         assert!(json.contains("\"engine\":\"sharded\""));
         assert!(json.contains("\"trace\":{\"records\":"));
         assert!(json.ends_with("]}\n"));
+        // No oracle rode along, so the artifact carries no oracle block.
+        assert!(!json.contains("\"oracle\":"));
         // Both engines embed the same trace hash.
         let hash = runs[0].telemetry.trace.as_ref().unwrap().hash_hex();
         assert_eq!(json.matches(&hash).count(), 2);

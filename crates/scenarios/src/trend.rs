@@ -429,8 +429,11 @@ impl TrendSummary {
 
 /// Whether a scenario's outcome depends on the run seed structurally —
 /// a seed-realized random topology, stochastic dynamics, or randomized
-/// drift — rather than only through message-delay noise.
-fn seed_sensitive(spec: &ScenarioSpec) -> bool {
+/// drift — rather than only through message-delay noise. The trend-series
+/// gate ([`trendseries`](crate::trendseries)) reuses this classification
+/// for its per-scenario tolerances.
+#[must_use]
+pub fn seed_sensitive(spec: &ScenarioSpec) -> bool {
     matches!(
         spec.topology,
         TopologySpec::Gnp { .. }

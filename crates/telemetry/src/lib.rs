@@ -259,6 +259,68 @@ impl Histogram {
     }
 }
 
+/// Bounded-memory running summary of an `f64` series: count, min, max, and
+/// mean via a running sum. This is the streaming-conformance counterpart of
+/// retaining a whole trajectory — observers at 10⁵ nodes fold each sampled
+/// value in and keep O(1) state, and because the fold is a plain
+/// left-to-right sum over a deterministic sample order, the summary is
+/// bit-identical across engines and shard counts wherever the observed
+/// sequence is.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct StreamStats {
+    count: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl StreamStats {
+    /// Fresh, empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        StreamStats::default()
+    }
+
+    /// Fold one observation in. Non-finite values are counted into `count`
+    /// but poison `min`/`max`/`mean` the way IEEE arithmetic dictates —
+    /// callers gate on finiteness upstream.
+    pub fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Number of observations folded in.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest observation (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Running mean (`None` when empty).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Recorder
 // ---------------------------------------------------------------------------
@@ -722,6 +784,30 @@ mod tests {
         assert_eq!(h.total(), 6);
         assert_eq!(h.sum(), 21);
         assert_eq!(h.max(), 8);
+    }
+
+    #[test]
+    fn stream_stats_fold_is_exact_and_order_stable() {
+        let empty = StreamStats::new();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+        assert_eq!(empty.mean(), None);
+        let mut s = StreamStats::new();
+        for v in [2.0, -1.0, 4.0, -1.0] {
+            s.observe(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.min(), Some(-1.0));
+        assert_eq!(s.max(), Some(4.0));
+        assert_eq!(s.mean(), Some(1.0));
+        // Same sequence folded again is bit-identical — the determinism
+        // contract streaming conformance leans on.
+        let mut t = StreamStats::new();
+        for v in [2.0, -1.0, 4.0, -1.0] {
+            t.observe(v);
+        }
+        assert_eq!(s, t);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use gcs_scenarios::{campaign, format, registry, telemetry, trend, Scale, ScenarioSpec};
+use gcs_scenarios::{
+    campaign, format, registry, telemetry, trend, trendseries, ConformanceOptions, OracleRide,
+    Scale, ScenarioSpec,
+};
 
 const USAGE: &str = "\
 gcs-scenarios — declarative dynamic-network scenarios
@@ -40,7 +43,7 @@ USAGE:
         --telemetry FILE  also drive every scenario x seed instrumented
                     (sequential engine) and write the gcs-telemetry/v1
                     artifact to FILE
-    gcs-scenarios bench [name|all] [--seeds N] [--scale S] [--out FILE]
+    gcs-scenarios bench [selection] [--seeds N] [--scale S] [--out FILE]
         Engine-throughput benchmark: drive scenarios end to end
         (sequentially, no observation sampling) and write the
         gcs-engine-bench/v1 artifact with wall-clock and events/sec per
@@ -53,6 +56,8 @@ USAGE:
                       sequential reference, >1 = the sharded engine
                       (default 1)
         --out FILE    artifact path       (default results/BENCH_engine.json)
+        --trend FILE  also append one gcs-trend/v1 point per entry to the
+                      longitudinal TREND_*.jsonl series (see trend-gate)
         --telemetry FILE  re-drive every timed entry with the telemetry
                       sink attached, assert the deterministic counters
                       are IDENTICAL to the timed pass (zero
@@ -73,22 +78,59 @@ USAGE:
         Verify both traces' content hashes, then compare them
         byte-for-byte; prints the first divergent record (1-based line)
         and exits non-zero if they differ. The replay/equivalence gate.
-    gcs-scenarios conformance [name|file.scn|all] [--seeds N] [--scale S]
-        Drive the whole registry (bench-class scenarios included; or one
-        scenario by name / .scn file) through the paper-bound conformance
-        oracles: the Theorem 5.6 global-skew
+    gcs-scenarios conformance [selection] [--seeds N] [--scale S]
+        Drive a scenario selection (default: the whole registry,
+        bench-class scenarios included) through the paper-bound
+        conformance oracles: the Theorem 5.6 global-skew
         envelope, the Theorem 5.22 gradient bound per hop class, and the
         weak-edge legality bound, with self-stabilization and partition
         allowances replayed from each run's realized fault/insertion log.
-        Exits non-zero on any bound violation. The theorem-level CI gate.
+        The oracle streams over sampled snapshots during the run — no
+        trajectory is retained, so memory stays bounded at engine scale.
+        Exits non-zero on any bound violation, and on an unknown scenario
+        or set name. The theorem-level CI gate.
         --seeds N   seeds 0..N          (default 2)
         --scale S   tiny|default|full   (default tiny)
+        --oracle-sample P  sampled-pairs oracle: stratified per-snapshot
+                    source draws at rate P in (0,1] instead of the exact
+                    all-pairs sweep. A violating pair escapes one snapshot
+                    with probability <= (1-P)^2; sampled verdicts are a
+                    conservative projection of exact ones (never a false
+                    alarm). Deterministic for a (scenario, seed) at every
+                    shard count.
+        --oracle-seed N  base seed for the sampled source draws (default
+                    0; mixed with each run seed)
+        --threads T 1 = sequential reference engine, >1 = the sharded
+                    engine with T shards per run (default 1)
+        --trend FILE  also append one gcs-trend/v1 point per run (bound
+                    utilizations, sample counts) to the longitudinal
+                    TREND_*.jsonl series (see trend-gate)
         --progress  print one line per completed scenario x seed, in
                     canonical (scenario-major) order
         --telemetry FILE  also drive every scenario x seed instrumented
-                    with the oracle riding along and write the
-                    gcs-telemetry/v1 artifact (including the bound-margin
-                    utilization time series) to FILE
+                    with the oracle riding along (same exact/sampled mode)
+                    and write the gcs-telemetry/v1 artifact (including the
+                    bound-margin utilization time series) to FILE
+    gcs-scenarios trend-append <bench.json> [--out FILE]
+        Distill a gcs-engine-bench/v1 artifact into gcs-trend/v1 points
+        (one per scenario x seed x threads entry, stamped now) and append
+        them to FILE (default results/TREND_engine.jsonl). Seeds the
+        nightly trend trajectory from a checked-in BENCH_*.json point.
+    gcs-scenarios trend-gate <trend.jsonl> [--window N] [--tol PCT]
+                             [--explain]
+        Gate the newest point of every (kind, scale, scenario, seed,
+        threads) series in an append-only TREND_*.jsonl file against the
+        median of its trailing window. Orientation-aware: events_per_sec
+        regresses downward, oracle \"*_worst\" utilizations regress
+        upward; wall-clock and raw counts are informational. Series with
+        fewer than 2 prior points report `building` and never fail.
+        Exits non-zero on any regression beyond tolerance.
+        --window N  trailing points the median spans (default 5)
+        --tol PCT   override the per-scenario tolerance table (tight for
+                    deterministic scenarios, loose for seed-realized
+                    random families) with one percentage for everything
+        --explain   print, per finding, which tolerance fired and the
+                    historical window values it was judged against
     gcs-scenarios bench-compare [--subset] <baseline.json> <current.json>
         Gate the deterministic engine counters (events, ticks,
         mode_evaluations, messages_delivered) of a fresh
@@ -115,6 +157,13 @@ USAGE:
         percent (default 20). With several campaign files (e.g. an
         unexpanded results/campaign_*.json glob) the newest is compared.
         The CI regression gate.
+
+SELECTIONS
+    Where a command takes a [selection], it accepts a .scn file path or a
+    comma list of built-in scenario names and sets: `all` (whole
+    registry), `campaign` (statistics tier), `bench` (engine-scale tier),
+    `fault-heavy` (every scenario with faults or dynamic topology).
+    A name that matches nothing is a hard error, never an empty sweep.
 ";
 
 fn main() -> ExitCode {
@@ -129,6 +178,8 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("trace-diff") => cmd_trace_diff(&args[1..]),
         Some("conformance") => cmd_conformance(&args[1..]),
+        Some("trend-append") => cmd_trend_append(&args[1..]),
+        Some("trend-gate") => cmd_trend_gate(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("baseline") => cmd_baseline(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
@@ -375,27 +426,36 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         path.display()
     );
     if let Some(tpath) = telemetry_out {
-        write_instrumented(&tpath, &specs, &seeds, scale, false)?;
+        write_instrumented(&tpath, &specs, &seeds, scale, None)?;
     }
     Ok(())
 }
 
 /// Drives every scenario × seed instrumented on the sequential engine and
 /// writes the `gcs-telemetry/v1` artifact (shared by `run --telemetry`
-/// and `conformance --telemetry`; the latter sets `conformance` so the
-/// oracle rides along and the artifact carries the margin series).
+/// and `conformance --telemetry`; the latter passes its
+/// [`ConformanceOptions`] so the oracle rides along — in the same
+/// exact/sampled mode as the gate itself — and the artifact carries the
+/// bound-margin series).
 fn write_instrumented(
     path: &Path,
     specs: &[ScenarioSpec],
     seeds: &[u64],
     scale: Scale,
-    conformance: bool,
+    oracle: Option<&ConformanceOptions>,
 ) -> Result<(), String> {
     let mut runs = Vec::with_capacity(specs.len() * seeds.len());
     for spec in specs {
         for &seed in seeds {
+            let ride = match oracle {
+                None => OracleRide::Off,
+                Some(opts) => match opts.sampling_for(seed) {
+                    Some(sampling) => OracleRide::Sampled(sampling),
+                    None => OracleRide::Exact,
+                },
+            };
             runs.push(
-                telemetry::run_instrumented(spec, seed, 1, false, conformance)
+                telemetry::run_instrumented_oracle(spec, seed, 1, false, ride)
                     .map_err(|e| e.to_string())?,
             );
         }
@@ -419,9 +479,18 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut threads: Vec<usize> = vec![1];
     let mut out = PathBuf::from("results/BENCH_engine.json");
     let mut telemetry_out: Option<PathBuf> = None;
+    let mut trend_out: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--trend" => {
+                trend_out = Some(
+                    args.get(i + 1)
+                        .map(PathBuf::from)
+                        .ok_or("--trend needs a file")?,
+                );
+                i += 2;
+            }
             "--threads" => {
                 let raw = args
                     .get(i + 1)
@@ -500,6 +569,20 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     gcs_scenarios::bench::write_bench(&out, scale, &seeds, &entries)
         .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     println!("\nwrote {}", out.display());
+    if let Some(tpath) = trend_out {
+        let when = now_millis();
+        let points: Vec<trendseries::TrendPoint> = entries
+            .iter()
+            .map(|e| trendseries::point_from_bench(&when, scale.name(), e))
+            .collect();
+        trendseries::append_points(&tpath, &points)
+            .map_err(|e| format!("cannot append to {}: {e}", tpath.display()))?;
+        println!(
+            "appended {} trend point(s) to {}",
+            points.len(),
+            tpath.display()
+        );
+    }
     if let Some(tpath) = telemetry_out {
         // Re-drive every timed entry with the sink attached. The
         // instrumented counters must be IDENTICAL to the timed pass:
@@ -687,13 +770,15 @@ fn cmd_trace_diff(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Runs the conformance oracles over the whole registry.
+/// Runs the conformance oracles over a scenario selection.
 fn cmd_conformance(args: &[String]) -> Result<(), String> {
     let mut target = "all".to_string();
     let mut seeds_n = 2u64;
     let mut scale = Scale::Tiny;
     let mut progress = false;
+    let mut opts = ConformanceOptions::default();
     let mut telemetry_out: Option<PathBuf> = None;
+    let mut trend_out: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -703,6 +788,27 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
             }
             "--scale" => {
                 scale = scale_flag(args, i)?;
+                i += 2;
+            }
+            "--oracle-sample" => {
+                let p: f64 = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|p: &f64| *p > 0.0 && *p <= 1.0)
+                    .ok_or("--oracle-sample needs a rate in (0, 1]")?;
+                opts.oracle_sample = Some(p);
+                i += 2;
+            }
+            "--oracle-seed" => {
+                opts.oracle_seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--oracle-seed needs a non-negative integer")?;
+                i += 2;
+            }
+            "--threads" => {
+                opts.threads = usize::try_from(positive_flag(args, i, "--threads")?)
+                    .map_err(|_| "--threads is out of range".to_string())?;
                 i += 2;
             }
             "--progress" => {
@@ -717,6 +823,14 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
                 );
                 i += 2;
             }
+            "--trend" => {
+                trend_out = Some(
+                    args.get(i + 1)
+                        .map(PathBuf::from)
+                        .ok_or("--trend needs a file")?,
+                );
+                i += 2;
+            }
             other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
             other => {
                 target = other.to_string();
@@ -728,15 +842,30 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
     let specs: Vec<ScenarioSpec> = specs.iter().map(|s| s.scaled(scale)).collect();
     let seeds: Vec<u64> = (0..seeds_n).collect();
     println!(
-        "conformance {title:?}: {} scenario(s) x {} seed(s), scale {} — checking every \
-         sampled snapshot against the Theorem 5.6 / 5.22 bounds",
+        "conformance {title:?}: {} scenario(s) x {} seed(s), scale {}, {} engine — checking \
+         every sampled snapshot against the Theorem 5.6 / 5.22 bounds",
         specs.len(),
         seeds.len(),
-        scale.name()
+        scale.name(),
+        if opts.threads <= 1 {
+            "sequential".to_string()
+        } else {
+            format!("{}-shard", opts.threads)
+        }
     );
+    if let Some(p) = opts.oracle_sample {
+        // The escape bound is per snapshot and per pair: at rate p a
+        // violating pair dodges one snapshot's stratified source draw with
+        // probability at most (1-p)^2 — and sampled checks are a strict
+        // subset of the exact sweep, so a sampled alarm is never false.
+        println!(
+            "sampled oracle: source rate {p}, per-snapshot pair escape probability <= {:.4}",
+            (1.0 - p) * (1.0 - p)
+        );
+    }
     let started = std::time::Instant::now();
     let rows = if progress {
-        gcs_scenarios::conformance::run_conformance_progress(&specs, &seeds, {
+        gcs_scenarios::conformance::run_conformance_progress_with(&specs, &seeds, &opts, {
             |spec: &ScenarioSpec, seed, result: &Result<_, _>| match result {
                 Ok(r) => println!(
                     "done {:<18} seed {:>3}: {}",
@@ -748,7 +877,7 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
             }
         })
     } else {
-        gcs_scenarios::conformance::run_conformance(&specs, &seeds)
+        gcs_scenarios::conformance::run_conformance_with(&specs, &seeds, &opts)
     }
     .map_err(|e| e.to_string())?;
     println!("\n{}", gcs_scenarios::conformance::conformance_table(&rows));
@@ -758,8 +887,24 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
         rows.len(),
         started.elapsed().as_secs_f64()
     );
+    if let Some(tpath) = trend_out {
+        let when = now_millis();
+        let points: Vec<trendseries::TrendPoint> = rows
+            .iter()
+            .map(|r| {
+                trendseries::point_from_conformance(&when, scale.name(), opts.threads as u64, r)
+            })
+            .collect();
+        trendseries::append_points(&tpath, &points)
+            .map_err(|e| format!("cannot append to {}: {e}", tpath.display()))?;
+        println!(
+            "appended {} trend point(s) to {}",
+            points.len(),
+            tpath.display()
+        );
+    }
     if let Some(tpath) = telemetry_out {
-        write_instrumented(&tpath, &specs, &seeds, scale, true)?;
+        write_instrumented(&tpath, &specs, &seeds, scale, Some(&opts))?;
     }
     if violations.is_empty() {
         println!("ok: every run conforms to the paper bounds");
@@ -786,14 +931,13 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Resolves a `run`/`bench` target into a title and spec list: `all`
-/// (campaign set for `run`, whole registry for `bench` — both routes pass
-/// through here with `all` meaning "everything the command sweeps"), a
-/// `.scn` file on disk, or a built-in by name.
+/// Resolves a `run`/`bench`/`conformance` target into a title and spec
+/// list: a `.scn` file on disk, or a [`registry::select`] selection — a
+/// comma list of built-in names and sets (`all`, `campaign`, `bench`,
+/// `fault-heavy`). A selection that matches nothing is a hard error, so a
+/// typo'd scenario name can never turn a CI gate into an empty (vacuously
+/// green) sweep.
 fn resolve_specs(target: &str) -> Result<(String, Vec<ScenarioSpec>), String> {
-    if target == "all" {
-        return Ok(("all".to_string(), registry::all()));
-    }
     let path = Path::new(target);
     if target.ends_with(".scn") || path.exists() {
         let text =
@@ -802,10 +946,126 @@ fn resolve_specs(target: &str) -> Result<(String, Vec<ScenarioSpec>), String> {
         spec.validate().map_err(|e| format!("{target}: {e}"))?;
         return Ok((spec.name.clone(), vec![spec]));
     }
-    let spec = registry::find(target).ok_or_else(|| {
-        format!("no built-in scenario {target:?} and no such file (try `gcs-scenarios list`)")
-    })?;
-    Ok((spec.name.clone(), vec![spec]))
+    let specs = registry::select(target)?;
+    Ok((target.to_string(), specs))
+}
+
+/// Unix-millisecond stamp for appended trend points. The gate orders by
+/// file position, not by parsing this — it is for humans reading the file.
+fn now_millis() -> String {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or_else(|_| "0".to_string(), |d| d.as_millis().to_string())
+}
+
+/// Seeds (or extends) a trend series from a `gcs-engine-bench/v1` artifact.
+fn cmd_trend_append(args: &[String]) -> Result<(), String> {
+    let input = args
+        .first()
+        .ok_or("trend-append needs a gcs-engine-bench/v1 artifact")?;
+    let mut out = PathBuf::from("results/TREND_engine.jsonl");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out = out_flag(args, i, "file")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let artifact = gcs_scenarios::bench::read_bench(&text).map_err(|e| format!("{input}: {e}"))?;
+    let when = now_millis();
+    let points: Vec<trendseries::TrendPoint> = artifact
+        .entries
+        .iter()
+        .map(|e| trendseries::point_from_bench(&when, &artifact.scale, e))
+        .collect();
+    trendseries::append_points(&out, &points)
+        .map_err(|e| format!("cannot append to {}: {e}", out.display()))?;
+    println!(
+        "appended {} trend point(s) from {input} to {}",
+        points.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// Gates the newest point of every trend series against its own history.
+fn cmd_trend_gate(args: &[String]) -> Result<(), String> {
+    let input = args
+        .first()
+        .ok_or("trend-gate needs a TREND_*.jsonl file")?;
+    let mut window = trendseries::DEFAULT_WINDOW;
+    let mut tol_override: Option<f64> = None;
+    let mut explain = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--window" => {
+                window = usize::try_from(positive_flag(args, i, "--window")?)
+                    .map_err(|_| "--window is out of range".to_string())?;
+                i += 2;
+            }
+            "--tol" => {
+                let pct: f64 = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .ok_or("--tol needs a non-negative percentage")?;
+                tol_override = Some(pct / 100.0);
+                i += 2;
+            }
+            "--explain" => {
+                explain = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let points = trendseries::read_series(&text).map_err(|e| format!("{input}: {e}"))?;
+    if points.is_empty() {
+        return Err(format!("{input} holds no trend points"));
+    }
+    let report = trendseries::trend_gate(&points, window, tol_override);
+    println!("{}", report.table);
+    if report.passed() {
+        println!(
+            "ok: no trend regression across {} point(s) in {input}",
+            points.len()
+        );
+        Ok(())
+    } else {
+        for f in &report.findings {
+            eprintln!(
+                "REGRESSION {} {} seed {} threads {}: {} {:.6} vs window median {:.6} \
+                 ({:+.1}%, tolerance ±{:.0}%)",
+                f.kind,
+                f.scenario,
+                f.seed,
+                f.threads,
+                f.metric,
+                f.current,
+                f.median,
+                f.relative() * 100.0,
+                f.tolerance * 100.0
+            );
+            if explain {
+                eprintln!("  {}", f.explain());
+            }
+        }
+        Err(format!(
+            "{} trend regression(s) beyond tolerance{}",
+            report.findings.len(),
+            if explain {
+                ""
+            } else {
+                " (re-run with --explain for the window each finding was judged against)"
+            }
+        ))
+    }
 }
 
 fn cmd_baseline(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,185 @@
+//! CLI-level regression tests for scenario selection and the trend verbs.
+//!
+//! The conformance gate used to resolve its target leniently; a typo'd
+//! scenario name must be a hard error (exit ≠ 0), never an empty —
+//! vacuously green — sweep. These tests drive the real binary via
+//! `CARGO_BIN_EXE_gcs-scenarios`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gcs-scenarios"))
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn unknown_scenario_name_is_a_hard_error() {
+    for verb in ["conformance", "run", "bench"] {
+        let out = bin()
+            .args([verb, "no-such-scenario", "--seeds", "1"])
+            .output()
+            .unwrap();
+        assert!(
+            !out.status.success(),
+            "{verb} with an unknown name must exit non-zero"
+        );
+        let err = stderr(&out);
+        assert!(
+            err.contains("no-such-scenario"),
+            "{verb}: error must name the bad token: {err}"
+        );
+    }
+}
+
+#[test]
+fn empty_and_partial_selections_are_hard_errors() {
+    // A comma list with one bad token fails even when the rest resolve.
+    let out = bin()
+        .args(["conformance", "ring-steady,typo-name", "--seeds", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("typo-name"));
+
+    // Dangling comma ⇒ empty token ⇒ hard error.
+    let out = bin()
+        .args(["conformance", "ring-steady,", "--seeds", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn named_sets_and_comma_lists_resolve() {
+    let out = bin()
+        .args([
+            "conformance",
+            "ring-steady,self-heal",
+            "--seeds",
+            "1",
+            "--scale",
+            "tiny",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("2 scenario(s)"), "{text}");
+    assert!(text.contains("every run conforms"), "{text}");
+}
+
+#[test]
+fn sampled_conformance_with_trend_gates_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("gcs-cli-trend-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trend: PathBuf = dir.join("TREND_test.jsonl");
+    let _ = std::fs::remove_file(&trend);
+
+    // Three sampled runs build the series; the gate stays green and
+    // reports the series as building/ok (never a regression on a flat
+    // deterministic history).
+    for _ in 0..3 {
+        let out = bin()
+            .args([
+                "conformance",
+                "self-heal",
+                "--seeds",
+                "1",
+                "--scale",
+                "tiny",
+                "--oracle-sample",
+                "0.5",
+                "--trend",
+                trend.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", stderr(&out));
+        assert!(stdout(&out).contains("sampled oracle"), "mode is surfaced");
+    }
+    let out = bin()
+        .args(["trend-gate", trend.to_str().unwrap(), "--explain"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("no trend regression"));
+
+    // Forge a regressed newest point (gradient utilization quadrupled)
+    // and the gate must fail, with --explain naming the fired tolerance
+    // and the window it was judged against.
+    let text = std::fs::read_to_string(&trend).unwrap();
+    let last = text.lines().last().unwrap();
+    let forged = regex_replace(last, "\"gradient_worst\":", 4.0);
+    std::fs::write(&trend, format!("{text}{forged}\n")).unwrap();
+    let out = bin()
+        .args(["trend-gate", trend.to_str().unwrap(), "--explain"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "forged regression must gate");
+    let err = stderr(&out);
+    assert!(err.contains("REGRESSION"), "{err}");
+    assert!(
+        err.contains("rose above"),
+        "--explain prints direction: {err}"
+    );
+    assert!(err.contains("tolerance source"), "{err}");
+
+    // An out-of-band --tol wide enough swallows it, and its provenance
+    // would be the override.
+    let out = bin()
+        .args(["trend-gate", trend.to_str().unwrap(), "--tol", "100000"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trend_append_seeds_a_series_from_a_bench_artifact() {
+    let dir = std::env::temp_dir().join(format!("gcs-cli-append-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trend = dir.join("TREND_engine.jsonl");
+
+    let repo = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let artifact = repo.join("results/BENCH_engine_tiny.json");
+    let out = bin()
+        .args([
+            "trend-append",
+            artifact.to_str().unwrap(),
+            "--out",
+            trend.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = std::fs::read_to_string(&trend).unwrap();
+    assert!(text.lines().count() > 0);
+    assert!(text.starts_with("{\"format\":\"gcs-trend/v1\""));
+
+    // One point per series: everything is `building`, the gate passes.
+    let out = bin()
+        .args(["trend-gate", trend.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("building"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Replaces the number following `key` in a JSONL line with `value` (a
+/// two-line stand-in for a regex dependency).
+fn regex_replace(line: &str, key: &str, value: f64) -> String {
+    let start = line.find(key).expect("metric present") + key.len();
+    let end = start + line[start..].find([',', '}']).expect("number terminator");
+    format!("{}{}{}", &line[..start], value, &line[end..])
+}
