@@ -278,6 +278,10 @@ pub struct ConformanceReport {
     pub sampled_sources: u64,
     /// Clock corruptions replayed from the realized change log.
     pub faults_seen: u64,
+    /// Scripted estimate corruptions replayed. These are *in-model*
+    /// adversaries (the estimate layer is permitted exactly that error),
+    /// so they earn no envelope allowance — counted for the record only.
+    pub est_faults_seen: u64,
     /// Directed edge appearances replayed.
     pub insertions_seen: u64,
     /// Directed edge disappearances replayed.
@@ -291,6 +295,26 @@ impl ConformanceReport {
     #[must_use]
     pub fn is_conformant(&self) -> bool {
         self.global.passed() && self.gradient.passed() && self.weak_edges.passed()
+    }
+
+    /// The chaos-search objective: the worst margin utilization observed
+    /// across all three bound families, as `(family name, observed /
+    /// allowed)`. `1.0` is a bound violation; the adversary search
+    /// hill-climbs this toward it. Family order breaks exact ties
+    /// (global, then gradient, then weak edges), so the extraction is
+    /// deterministic.
+    #[must_use]
+    pub fn worst_utilization(&self) -> (&'static str, f64) {
+        let mut worst = ("global", self.global.worst_utilization);
+        for (name, check) in [
+            ("gradient", &self.gradient),
+            ("weak-edges", &self.weak_edges),
+        ] {
+            if check.worst_utilization > worst.1 {
+                worst = (name, check.worst_utilization);
+            }
+        }
+        worst
     }
 
     /// The earliest violation instant across all families, if any.
@@ -462,6 +486,7 @@ impl ConformanceChecker {
                 per_hop: Vec::new(),
                 sampled_sources: 0,
                 faults_seen: 0,
+                est_faults_seen: 0,
                 insertions_seen: 0,
                 removals_seen: 0,
                 disconnected_samples: 0,
@@ -550,6 +575,9 @@ impl ConformanceChecker {
                         magnitude: amount.abs(),
                     });
                 }
+                // In-model by construction (the scripted bias is clamped
+                // into the advertised ±ε envelope), so no allowance.
+                ChangeRecord::EstimateFault { .. } => self.report.est_faults_seen += 1,
                 ChangeRecord::EdgeUp { .. } => self.report.insertions_seen += 1,
                 ChangeRecord::EdgeDown { .. } => self.report.removals_seen += 1,
             }
@@ -977,6 +1005,44 @@ mod tests {
         assert!(lines[0].contains("Thm 5.6"), "{lines:?}");
         let table = strict.to_table().to_string();
         assert!(table.contains("conformance"));
+    }
+
+    #[test]
+    fn worst_utilization_picks_the_tightest_family_deterministically() {
+        let mut s = sim(8, 1);
+        let mut c = ConformanceChecker::new(&s, 0.5);
+        drive(&mut s, &mut c, 20.0, 0.5);
+        let r = c.finish();
+        let (family, util) = r.worst_utilization();
+        assert!(util > 0.0 && util < 1.0, "{family}: {util}");
+        let max = r
+            .global
+            .worst_utilization
+            .max(r.gradient.worst_utilization)
+            .max(r.weak_edges.worst_utilization);
+        assert_eq!(util, max);
+    }
+
+    #[test]
+    fn scripted_estimate_faults_are_counted_but_earn_no_allowance() {
+        let run = |bias: Option<f64>| -> ConformanceReport {
+            let mut s = sim(6, 2);
+            let mut c = ConformanceChecker::new(&s, 0.5);
+            drive(&mut s, &mut c, 5.0, 0.5);
+            if let Some(b) = bias {
+                s.inject_estimate_bias(NodeId(0), b);
+            }
+            drive(&mut s, &mut c, 15.0, 0.5);
+            c.finish()
+        };
+        let clean = run(None);
+        let biased = run(Some(1.0));
+        assert_eq!(clean.est_faults_seen, 0);
+        assert_eq!(biased.est_faults_seen, 1);
+        assert_eq!(biased.faults_seen, 0, "no clock corruption was injected");
+        // The scripted corruption is in-model: the run must still conform
+        // without any fault allowance having been granted.
+        assert!(biased.is_conformant(), "{:?}", biased.violations());
     }
 
     #[test]

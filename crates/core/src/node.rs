@@ -181,6 +181,11 @@ pub struct NodeState {
     cur_min_lb: f64,
     cur_max_ub: f64,
     cur_fast: f64,
+    /// Scripted estimate corruption (chaos experiments): when set, every
+    /// neighbour estimate this node reads is pushed by `bias · ε` and
+    /// clamped back into the advertised `±ε` envelope, so inequality (1)
+    /// still holds. `None` until a fault script installs one.
+    scripted_bias: Option<f64>,
     /// Discovered neighbours (`N⁰ᵤ`) with their handshake/estimate state.
     pub slots: NeighborTable,
 }
@@ -211,6 +216,7 @@ impl NodeState {
             cur_min_lb: 0.0,
             cur_max_ub: 0.0,
             cur_fast: 0.0,
+            scripted_bias: None,
             slots: NeighborTable::default(),
         }
     }
@@ -464,6 +470,29 @@ impl NodeState {
         self.reanchor();
         self.logical_at_anchor = value;
         self.clamp_and_commit();
+    }
+
+    /// The scripted estimate corruption currently installed, if any
+    /// (in units of the per-edge `ε`, always within `[-1, 1]`).
+    #[must_use]
+    pub fn scripted_bias(&self) -> Option<f64> {
+        self.scripted_bias
+    }
+
+    /// Installs a scripted estimate corruption
+    /// ([`Simulation::inject_estimate_bias`](crate::Simulation::inject_estimate_bias)).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bias` is finite and within `[-1, 1]` — the scripted
+    /// adversary may pick any direction, but never more error than the
+    /// estimate layer advertises.
+    pub fn corrupt_estimates(&mut self, bias: f64) {
+        assert!(
+            bias.is_finite() && (-1.0..=1.0).contains(&bias),
+            "estimate bias must be within [-1, 1], got {bias}"
+        );
+        self.scripted_bias = Some(bias);
     }
 }
 

@@ -500,6 +500,16 @@ impl ParallelSimulation {
         self.sim.inject_clock_offset(u, offset);
     }
 
+    /// Installs a scripted estimate corruption (see
+    /// [`Simulation::inject_estimate_bias`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bias` is finite and within `[-1, 1]`.
+    pub fn inject_estimate_bias(&mut self, u: NodeId, bias: f64) {
+        self.sim.inject_estimate_bias(u, bias);
+    }
+
     /// Installs a telemetry sink (see [`Simulation::set_telemetry`]).
     /// Master-side hooks report through it directly; shard workers count
     /// into per-shard blocks that are folded in at stats merges.
@@ -707,6 +717,8 @@ pub trait Engine {
     }
     /// Injects a clock fault at the current instant.
     fn inject_clock_offset(&mut self, u: NodeId, offset: f64);
+    /// Installs a scripted estimate corruption at the current instant.
+    fn inject_estimate_bias(&mut self, u: NodeId, bias: f64);
     /// The master simulation state, for observation.
     fn as_sim(&self) -> &Simulation;
     /// Installs a telemetry sink (post-build, either engine).
@@ -725,6 +737,10 @@ impl Engine for Simulation {
 
     fn inject_clock_offset(&mut self, u: NodeId, offset: f64) {
         Simulation::inject_clock_offset(self, u, offset);
+    }
+
+    fn inject_estimate_bias(&mut self, u: NodeId, bias: f64) {
+        Simulation::inject_estimate_bias(self, u, bias);
     }
 
     fn as_sim(&self) -> &Simulation {
@@ -751,6 +767,10 @@ impl Engine for ParallelSimulation {
 
     fn inject_clock_offset(&mut self, u: NodeId, offset: f64) {
         ParallelSimulation::inject_clock_offset(self, u, offset);
+    }
+
+    fn inject_estimate_bias(&mut self, u: NodeId, bias: f64) {
+        ParallelSimulation::inject_estimate_bias(self, u, bias);
     }
 
     fn as_sim(&self) -> &Simulation {

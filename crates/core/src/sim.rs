@@ -199,6 +199,20 @@ pub enum ChangeRecord {
         /// Offset added to the logical clock.
         amount: f64,
     },
+    /// A scripted estimate corruption
+    /// ([`Simulation::inject_estimate_bias`]): from `at` on, the node
+    /// reads every neighbour estimate pushed by `bias · ε`, clamped back
+    /// into the advertised `±ε` envelope. Inequality (1) still holds, so
+    /// the paper bounds earn no allowance — this is the *in-model*
+    /// adversary, unlike [`ClockFault`](Self::ClockFault).
+    EstimateFault {
+        /// Injection time in seconds.
+        at: f64,
+        /// The node whose estimate reads are corrupted.
+        node: NodeId,
+        /// Scripted bias in units of the per-edge `ε`, within `[-1, 1]`.
+        bias: f64,
+    },
 }
 
 impl ChangeRecord {
@@ -208,7 +222,8 @@ impl ChangeRecord {
         match *self {
             ChangeRecord::EdgeUp { at, .. }
             | ChangeRecord::EdgeDown { at, .. }
-            | ChangeRecord::ClockFault { at, .. } => at,
+            | ChangeRecord::ClockFault { at, .. }
+            | ChangeRecord::EstimateFault { at, .. } => at,
         }
     }
 }
@@ -927,6 +942,42 @@ impl Simulation {
         }
     }
 
+    /// Installs a scripted estimate corruption (chaos experiments): from
+    /// now on, node `u` reads every neighbour estimate pushed by
+    /// `bias · ε` (the scripted worst-case direction), clamped back into
+    /// the advertised `±ε` envelope of inequality (1).
+    ///
+    /// Unlike [`inject_clock_offset`](Simulation::inject_clock_offset)
+    /// this is an *in-model* adversary — the estimate layer is permitted
+    /// exactly this much error — so the paper's bounds hold without any
+    /// self-stabilization allowance, and the conformance oracle credits
+    /// nothing for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bias` is finite and within `[-1, 1]`.
+    pub fn inject_estimate_bias(&mut self, u: NodeId, bias: f64) {
+        let t = self.now;
+        self.nodes[u.index()].advance_to(t, &self.params);
+        self.nodes[u.index()].corrupt_estimates(bias);
+        self.changes.push(ChangeRecord::EstimateFault {
+            at: t.as_secs(),
+            node: u,
+            bias,
+        });
+        if let Some(sink) = self.telemetry.as_deref_mut() {
+            sink.on_est_fault(t.as_secs(), u.index(), bias);
+        }
+        // The node's trigger inputs changed out of band: its stability
+        // certificate (and those of neighbours reading nothing — only u
+        // reads these estimates) is stale. Dropping u's horizon alone
+        // would suffice; dropping all of them mirrors inject_clock_offset
+        // and keeps the reasoning local.
+        for s in &mut self.hot.stable_until {
+            *s = f64::NEG_INFINITY;
+        }
+    }
+
     /// Installs a telemetry sink (post-build — works identically under
     /// both engines, so the parallel builder needs no special case).
     /// Replaces any previously installed sink.
@@ -1041,15 +1092,21 @@ impl Simulation {
         entry: &NeighborEntry,
         truth: f64,
     ) -> Option<f64> {
-        match self.mode {
-            EstimateMode::Oracle(model) => Some(model.apply(
-                node.logical(),
-                truth,
-                entry.slot.oracle_bias * entry.info.epsilon,
-                entry.info.epsilon,
-            )),
+        let eps = entry.info.epsilon;
+        let base = match self.mode {
+            EstimateMode::Oracle(model) => {
+                Some(model.apply(node.logical(), truth, entry.slot.oracle_bias * eps, eps))
+            }
             EstimateMode::Messages => entry.slot.reckoned_estimate(node.hardware()),
-        }
+        }?;
+        // A scripted estimate corruption pushes the read by bias·ε, then
+        // clamps back into the advertised envelope — inequality (1) is
+        // preserved by construction, whatever the underlying layer
+        // produced, so the conformance bounds earn no fault allowance.
+        Some(match node.scripted_bias() {
+            Some(bias) => (base + bias * eps).clamp(truth - eps, truth + eps),
+            None => base,
+        })
     }
 
     /// Checks the runtime invariants of the model and algorithm at the
@@ -1730,6 +1787,53 @@ mod tests {
         sim.run_until_secs(25.0);
         let g1 = sim.snapshot().global_skew();
         assert!(g1 < g0 / 2.0, "skew did not recover: {g0} -> {g1}");
+    }
+
+    #[test]
+    fn scripted_estimate_bias_stays_in_envelope_and_is_logged() {
+        let mut sim = line_sim(4, 8);
+        sim.run_until_secs(5.0);
+        sim.inject_estimate_bias(NodeId(1), -1.0);
+        // The change log records the fault at the injection instant.
+        let rec = *sim.change_log().last().expect("fault recorded");
+        match rec {
+            ChangeRecord::EstimateFault { at, node, bias } => {
+                assert!((at - 5.0).abs() < 1e-9);
+                assert_eq!(node, NodeId(1));
+                assert_eq!(bias, -1.0);
+            }
+            other => panic!("expected EstimateFault, got {other:?}"),
+        }
+        // Every estimate node 1 reads is pushed to the bottom of the
+        // advertised envelope: est = truth - ε exactly (default oracle
+        // model is exact, so the scripted push is never re-clamped).
+        let node = sim.node(NodeId(1));
+        let neighbours: Vec<NodeId> = node.slots.ids().collect();
+        for v in neighbours {
+            let truth = sim.node(v).logical();
+            let eps = sim
+                .node(NodeId(1))
+                .slots
+                .entry(v)
+                .expect("neighbour entry")
+                .info
+                .epsilon;
+            let est = sim.estimate_of(NodeId(1), v).expect("estimate");
+            assert!(
+                (est - (truth - eps)).abs() < 1e-12,
+                "estimate {est} should sit at truth-eps {}",
+                truth - eps
+            );
+            assert!((est - truth).abs() <= eps + 1e-12, "inequality (1) holds");
+        }
+        // The run continues and the model invariants stay intact: the
+        // corruption is in-model, not a clock discontinuity.
+        sim.run_until_secs(15.0);
+        assert!(
+            sim.verify_invariants().is_empty(),
+            "{:?}",
+            sim.verify_invariants()
+        );
     }
 
     #[test]

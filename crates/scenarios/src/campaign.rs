@@ -24,9 +24,21 @@ pub fn apply_faults<E: gcs_core::Engine>(sim: &mut E, faults: &[FaultSpec]) {
     let mut faults = faults.to_vec();
     faults.sort_by(|a, b| a.at().total_cmp(&b.at()));
     for f in faults {
-        let FaultSpec::ClockOffset { at, node, amount } = f;
-        sim.run_until_secs(at);
-        sim.inject_clock_offset(gcs_net::NodeId::from(node), amount);
+        sim.run_until_secs(f.at());
+        inject(sim, f);
+    }
+}
+
+/// Dispatches one scripted fault to the engine's injection seam. The
+/// engine must already be at the fault's instant.
+fn inject<E: gcs_core::Engine>(sim: &mut E, f: FaultSpec) {
+    match f {
+        FaultSpec::ClockOffset { node, amount, .. } => {
+            sim.inject_clock_offset(gcs_net::NodeId::from(node), amount);
+        }
+        FaultSpec::EstimateBias { node, bias, .. } => {
+            sim.inject_estimate_bias(gcs_net::NodeId::from(node), bias);
+        }
     }
 }
 
@@ -89,9 +101,9 @@ pub fn drive_sampled<E: gcs_core::Engine>(
     loop {
         let t = (k as f64 * sample).min(end);
         while next_fault < faults.len() && faults[next_fault].at() <= t {
-            let FaultSpec::ClockOffset { at, node, amount } = faults[next_fault];
-            sim.run_until_secs(at);
-            sim.inject_clock_offset(gcs_net::NodeId::from(node), amount);
+            let f = faults[next_fault];
+            sim.run_until_secs(f.at());
+            inject(sim, f);
             next_fault += 1;
         }
         sim.run_until_secs(t);

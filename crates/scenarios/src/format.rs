@@ -56,8 +56,14 @@ pub fn write(spec: &ScenarioSpec) -> String {
     let _ = writeln!(out, "sample {}", spec.sample);
     let _ = writeln!(out, "metric {}", spec.metric.token());
     for f in &spec.faults {
-        let FaultSpec::ClockOffset { at, node, amount } = *f;
-        let _ = writeln!(out, "fault offset t={at} node={node} amount={amount}");
+        match *f {
+            FaultSpec::ClockOffset { at, node, amount } => {
+                let _ = writeln!(out, "fault offset t={at} node={node} amount={amount}");
+            }
+            FaultSpec::EstimateBias { at, node, bias } => {
+                let _ = writeln!(out, "fault est-bias t={at} node={node} bias={bias}");
+            }
+        }
     }
     out
 }
@@ -306,23 +312,38 @@ pub fn parse(text: &str) -> Result<ScenarioSpec, ScenarioError> {
             }
             "fault" => {
                 let mut parts = rest.split_whitespace();
-                match parts.next() {
-                    Some("offset") => {}
-                    other => {
-                        return Err(ctx.err(format!("unknown fault kind {other:?} (offset)")));
-                    }
-                }
+                let kind = parts.next();
                 let args: Vec<&str> = parts.collect();
-                let map = ctx.kv(&args, &["t", "node", "amount"])?;
-                faults.push(FaultSpec::ClockOffset {
-                    at: ctx.kv_f64(&map, "t")?,
-                    node: ctx.usize(
+                let node_of = |map: &BTreeMap<&str, &str>| -> Result<usize, ScenarioError> {
+                    ctx.usize(
                         map.get("node")
                             .ok_or_else(|| ctx.err("missing argument \"node\""))?,
                         "node",
-                    )?,
-                    amount: ctx.kv_f64(&map, "amount")?,
-                });
+                    )
+                };
+                match kind {
+                    Some("offset") => {
+                        let map = ctx.kv(&args, &["t", "node", "amount"])?;
+                        faults.push(FaultSpec::ClockOffset {
+                            at: ctx.kv_f64(&map, "t")?,
+                            node: node_of(&map)?,
+                            amount: ctx.kv_f64(&map, "amount")?,
+                        });
+                    }
+                    Some("est-bias") => {
+                        let map = ctx.kv(&args, &["t", "node", "bias"])?;
+                        faults.push(FaultSpec::EstimateBias {
+                            at: ctx.kv_f64(&map, "t")?,
+                            node: node_of(&map)?,
+                            bias: ctx.kv_f64(&map, "bias")?,
+                        });
+                    }
+                    other => {
+                        return Err(
+                            ctx.err(format!("unknown fault kind {other:?} (offset | est-bias)"))
+                        );
+                    }
+                }
             }
             "rho" => set_f64(&ctx, key, rest, &mut rho)?,
             "mu" => set_f64(&ctx, key, rest, &mut mu)?,
@@ -686,7 +707,43 @@ mu 0.1
             node: 3,
             amount: -0.125,
         });
+        spec.faults.push(FaultSpec::EstimateBias {
+            at: 2.25,
+            node: 1,
+            bias: -0.987_654_321_098_765_4,
+        });
         let parsed = parse(&write(&spec)).unwrap();
         assert_eq!(parsed, spec);
+        assert_eq!(write(&parsed), write(&spec));
+    }
+
+    #[test]
+    fn est_bias_faults_parse_and_reject_bad_kinds() {
+        let text = "\
+scenario est
+topology ring 8
+drift two-block
+estimates oracle-none
+dynamics static
+rho 0.01
+mu 0.1
+warmup 1
+duration 10
+sample 0.5
+metric global-skew
+fault est-bias t=3 node=5 bias=-1
+";
+        let spec = parse(text).unwrap();
+        assert_eq!(
+            spec.faults,
+            vec![FaultSpec::EstimateBias {
+                at: 3.0,
+                node: 5,
+                bias: -1.0,
+            }]
+        );
+        // Unknown kinds and offset-only arguments on est-bias both fail.
+        assert!(parse(&text.replace("fault est-bias", "fault jitter")).is_err());
+        assert!(parse(&text.replace("bias=-1", "amount=-1")).is_err());
     }
 }

@@ -37,15 +37,20 @@
 //!   `gcs-scenarios bench` and the `BENCH_engine.json`
 //!   (`gcs-engine-bench/v1`) artifact, plus the exact deterministic
 //!   counter gate behind `gcs-scenarios bench-compare`;
+//! * [`chaos`] — bit-exact trace replay (a sealed `gcs-trace/v1`
+//!   artifact re-materializes its run stand-alone via the embedded
+//!   `.scn` record) and the seeded adversarial fault-schedule search
+//!   whose best finds ratchet the conformance gates (`gcs-chaos/v1`
+//!   logs, `gcs-scenarios replay` / `chaos-search`);
 //! * [`telemetry`] — instrumented runs: both engines driven with a
 //!   [`gcs_telemetry`] sink attached, the engine-invariant
 //!   `gcs-trace/v1` run log behind `gcs-scenarios trace`/`trace-diff`,
 //!   and the `gcs-telemetry/v1` metrics artifact behind the
 //!   `--telemetry` flag of `run`/`bench`/`conformance`;
 //! * the `gcs-scenarios` CLI (`list | validate <dir> | run <name|file> |
-//!   bench | bench-compare | trace | trace-diff | conformance |
-//!   trend-append | trend-gate | baseline | compare | export <dir> |
-//!   show <name>`).
+//!   bench | bench-compare | trace | trace-diff | replay | chaos-search |
+//!   conformance | trend-append | trend-gate | baseline | compare |
+//!   export <dir> | show <name>`).
 //!
 //! # Example
 //!
@@ -63,6 +68,7 @@
 
 pub mod bench;
 pub mod campaign;
+pub mod chaos;
 pub mod conformance;
 pub mod error;
 pub mod format;
@@ -76,6 +82,10 @@ pub mod trendseries;
 
 pub use bench::{BenchArtifact, BenchCompareReport, BenchEntry};
 pub use campaign::{run_campaign, run_scenario, CampaignRow, ScenarioOutcome};
+pub use chaos::{
+    chaos_search, frontier_from_log, read_trace, replay_trace, ChaosCandidate, ChaosOptions,
+    ChaosResult, ChaosViolation, ReplayOutcome, TraceArtifact, CHAOS_FORMAT,
+};
 pub use conformance::{run_conformance, run_conformance_with, ConformanceOptions, ConformanceRow};
 pub use error::ScenarioError;
 pub use spec::{

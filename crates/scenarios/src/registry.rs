@@ -15,6 +15,8 @@ use crate::spec::{DriftSpec, DynamicsSpec, EstimateSpec, Metric, ScenarioSpec, T
 #[must_use]
 pub fn all() -> Vec<ScenarioSpec> {
     let mut specs = vec![
+        adversarial_corruption(),
+        adversarial_partition(),
         ring_steady(),
         line_worstcase(),
         grid_sensor(),
@@ -111,6 +113,26 @@ pub fn select(selection: &str) -> Result<Vec<ScenarioSpec>, String> {
         return Err("selection matched no scenarios".to_string());
     }
     Ok(specs)
+}
+
+/// Best-found schedules from `gcs-scenarios chaos-search`, checked in as
+/// canonical `.scn` data rather than re-coded by hand: the adversary's
+/// output *is* the scenario, and re-running the ratchet workflow
+/// (search → export → regenerate baselines) replaces the file wholesale.
+/// Parsing is infallible for checked-in canonical files — the registry
+/// tests and `validate scenarios/` both cover them.
+fn adversarial(scn: &str) -> ScenarioSpec {
+    crate::format::parse(scn).expect("checked-in adversarial schedule parses")
+}
+
+fn adversarial_corruption() -> ScenarioSpec {
+    adversarial(include_str!(
+        "../../../scenarios/adversarial-corruption.scn"
+    ))
+}
+
+fn adversarial_partition() -> ScenarioSpec {
+    adversarial(include_str!("../../../scenarios/adversarial-partition.scn"))
 }
 
 fn ring_steady() -> ScenarioSpec {
@@ -350,11 +372,12 @@ mod tests {
         assert!(bench.iter().all(|s| s.bench));
         // The campaign set is pinned by the checked-in baseline: growing
         // it requires refreshing scenarios/baseline-tiny.json in the same
-        // change (PR 5 grew it 16 -> 18 with churn-burst/byzantine-est
-        // and regenerated the baseline as gcs-baseline/v2).
+        // change (PR 5 grew it 16 -> 18 with churn-burst/byzantine-est;
+        // PR 9 grew it 18 -> 20 with the chaos-search adversarial pair
+        // and regenerated the baseline plus BENCH_engine_tiny.json).
         assert_eq!(
             campaign.len(),
-            18,
+            20,
             "growing the campaign set invalidates the baseline"
         );
         let names: Vec<&str> = bench.iter().map(|s| s.name.as_str()).collect();
@@ -432,6 +455,8 @@ mod tests {
         assert_eq!(
             names,
             [
+                "adversarial-corruption",
+                "adversarial-partition",
                 "byzantine-est",
                 "churn-burst",
                 "churn-storm",

@@ -505,6 +505,18 @@ pub enum FaultSpec {
         /// Offset added to the logical clock.
         amount: f64,
     },
+    /// Pushes one node's neighbour estimates towards `bias · ε` from time
+    /// `at` on, clamped into the `±ε` envelope of inequality (1) — an
+    /// *in-model* adversary, so the conformance oracle grants it no
+    /// recovery allowance.
+    EstimateBias {
+        /// Injection time (seconds).
+        at: f64,
+        /// Target node index.
+        node: usize,
+        /// Bias fraction in `[-1, 1]` of the estimate-error bound ε.
+        bias: f64,
+    },
 }
 
 impl FaultSpec {
@@ -512,7 +524,15 @@ impl FaultSpec {
     #[must_use]
     pub fn at(&self) -> f64 {
         match *self {
-            FaultSpec::ClockOffset { at, .. } => at,
+            FaultSpec::ClockOffset { at, .. } | FaultSpec::EstimateBias { at, .. } => at,
+        }
+    }
+
+    /// The targeted node index.
+    #[must_use]
+    pub fn node(&self) -> usize {
+        match *self {
+            FaultSpec::ClockOffset { node, .. } | FaultSpec::EstimateBias { node, .. } => node,
         }
     }
 }
@@ -628,14 +648,19 @@ impl ScenarioSpec {
         spec.faults = self
             .faults
             .iter()
-            .filter(|&&FaultSpec::ClockOffset { node, .. }| node < nodes)
-            .map(
-                |&FaultSpec::ClockOffset { at, node, amount }| FaultSpec::ClockOffset {
+            .filter(|fault| fault.node() < nodes)
+            .map(|fault| match *fault {
+                FaultSpec::ClockOffset { at, node, amount } => FaultSpec::ClockOffset {
                     at: at * f,
                     node,
                     amount,
                 },
-            )
+                FaultSpec::EstimateBias { at, node, bias } => FaultSpec::EstimateBias {
+                    at: at * f,
+                    node,
+                    bias,
+                },
+            })
             .collect();
         spec
     }
@@ -814,17 +839,28 @@ impl ScenarioSpec {
             }
         }
         for f in &self.faults {
-            let FaultSpec::ClockOffset { at, node, amount } = *f;
-            if at < 0.0 || node >= n || !amount.is_finite() {
-                return fail(format!(
-                    "fault offset needs t >= 0, node < {n}, finite amount (got t={at}, \
-                     node={node}, amount={amount})"
-                ));
+            match *f {
+                FaultSpec::ClockOffset { at, node, amount } => {
+                    if at < 0.0 || node >= n || !amount.is_finite() {
+                        return fail(format!(
+                            "fault offset needs t >= 0, node < {n}, finite amount (got t={at}, \
+                             node={node}, amount={amount})"
+                        ));
+                    }
+                }
+                FaultSpec::EstimateBias { at, node, bias } => {
+                    if at < 0.0 || node >= n || !bias.is_finite() || !(-1.0..=1.0).contains(&bias) {
+                        return fail(format!(
+                            "fault est-bias needs t >= 0, node < {n}, bias in [-1, 1] (got \
+                             t={at}, node={node}, bias={bias})"
+                        ));
+                    }
+                }
             }
-            if at > self.end_secs() {
+            if f.at() > self.end_secs() {
                 return fail(format!(
-                    "fault offset at t={at} is after the scenario end ({}) and would never \
-                     fire",
+                    "fault at t={} is after the scenario end ({}) and would never fire",
+                    f.at(),
                     self.end_secs()
                 ));
             }
@@ -1107,7 +1143,10 @@ mod tests {
         let n = tiny.topology.node_count();
         assert_eq!(tiny.faults.len(), n, "one fault per surviving node");
         let mut amounts = vec![f64::NAN; n];
-        for &FaultSpec::ClockOffset { node, amount, .. } in &tiny.faults {
+        for f in &tiny.faults {
+            let FaultSpec::ClockOffset { node, amount, .. } = *f else {
+                panic!("line-shortcut uses clock offsets only");
+            };
             assert!(node < n);
             assert!(amounts[node].is_nan(), "faults stacked on node {node}");
             amounts[node] = amount;
@@ -1151,6 +1190,58 @@ mod tests {
             amount: 0.5,
         });
         assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn validation_bounds_estimate_bias_to_the_envelope() {
+        let mut spec = base();
+        spec.faults.push(FaultSpec::EstimateBias {
+            at: 1.0,
+            node: 0,
+            bias: 1.0,
+        });
+        spec.validate().unwrap();
+        spec.faults[0] = FaultSpec::EstimateBias {
+            at: 1.0,
+            node: 0,
+            bias: 1.5,
+        };
+        assert!(spec.validate().is_err(), "bias beyond epsilon must fail");
+        spec.faults[0] = FaultSpec::EstimateBias {
+            at: 1.0,
+            node: 10_000,
+            bias: 0.5,
+        };
+        assert!(spec.validate().is_err(), "node out of range must fail");
+    }
+
+    #[test]
+    fn tiny_scale_rescales_and_drops_estimate_bias_faults() {
+        let mut spec = base();
+        spec.topology = TopologySpec::Line { n: 8 };
+        spec.faults = vec![
+            FaultSpec::EstimateBias {
+                at: 4.0,
+                node: 0,
+                bias: -1.0,
+            },
+            FaultSpec::EstimateBias {
+                at: 4.0,
+                node: 7,
+                bias: 1.0,
+            },
+        ];
+        spec.validate().unwrap();
+        let tiny = spec.scaled(Scale::Tiny);
+        assert_eq!(
+            tiny.faults,
+            vec![FaultSpec::EstimateBias {
+                at: 1.0,
+                node: 0,
+                bias: -1.0,
+            }],
+            "time rescaled, vanished-node fault dropped"
+        );
     }
 
     #[test]

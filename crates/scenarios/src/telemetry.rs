@@ -119,7 +119,9 @@ fn instrument<E: Engine>(
     };
     let nodes = sim.as_sim().node_count();
     let shared = SharedRecorder::new(trace);
-    shared.begin_run(&spec.name, seed, nodes);
+    // Embed the canonical `.scn` text so a trace artifact alone suffices
+    // to re-materialize the run (`gcs-scenarios replay`).
+    shared.begin_run(&spec.name, seed, nodes, Some(&crate::format::write(spec)));
     sim.set_telemetry(shared.sink());
 
     let mut checker = match oracle {

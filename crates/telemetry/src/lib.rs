@@ -98,6 +98,12 @@ pub trait TelemetrySink: std::fmt::Debug {
     fn on_fault(&mut self, t: f64, node: usize, amount: f64) {
         let _ = (t, node, amount);
     }
+    /// A scripted estimate-bias fault of `bias` (in units of the per-edge
+    /// `ε`) was injected into `node` at `t`. Fires from master-side
+    /// dispatch like `on_fault`, so sinks may trace it.
+    fn on_est_fault(&mut self, t: f64, node: usize, bias: f64) {
+        let _ = (t, node, bias);
+    }
     /// Node-local counters accumulated by `shard` since the last flush.
     fn on_local(&mut self, shard: usize, counters: &LocalCounters) {
         let _ = (shard, counters);
@@ -395,6 +401,8 @@ pub struct RunTelemetry {
     pub edge_events: u64,
     /// Clock faults injected.
     pub faults: u64,
+    /// Scripted estimate-bias faults injected.
+    pub est_faults: u64,
     /// Parallel segments opened (0 for the sequential engine).
     pub segments: u64,
     /// Barrier rounds run (0 for the sequential engine).
@@ -424,6 +432,7 @@ pub struct Recorder {
     mode_switches: u64,
     edge_events: u64,
     faults: u64,
+    est_faults: u64,
     segments: u64,
     barrier_rounds: u64,
     stalled_shard_rounds: u64,
@@ -467,7 +476,13 @@ impl Recorder {
     /// (engine kind, thread/shard count): the trace must be byte-identical
     /// across engines, so anything engine-specific belongs in the metrics
     /// artifact, never in the trace.
-    pub fn begin_run(&mut self, scenario: &str, seed: u64, nodes: usize) {
+    ///
+    /// When `spec` is given (the canonical `.scn` text of the exact
+    /// scenario driven, post-scaling), a `{"rec":"spec","scn":"..."}`
+    /// record follows the run header — this is what makes the artifact
+    /// *self-contained*: replay re-materializes the run from the trace
+    /// alone, without the registry or any scenario file.
+    pub fn begin_run(&mut self, scenario: &str, seed: u64, nodes: usize, spec: Option<&str>) {
         if self.trace.is_some() {
             let mut line =
                 String::from("{\"rec\":\"run\",\"format\":\"gcs-trace/v1\",\"scenario\":\"");
@@ -475,6 +490,14 @@ impl Recorder {
             let _ = write!(line, "\",\"seed\":{seed},\"nodes\":{nodes}}}");
             if let Some(t) = &mut self.trace {
                 t.push(&line);
+            }
+            if let Some(scn) = spec {
+                let mut line = String::from("{\"rec\":\"spec\",\"scn\":\"");
+                escape_into(&mut line, scn);
+                line.push_str("\"}");
+                if let Some(t) = &mut self.trace {
+                    t.push(&line);
+                }
             }
         }
     }
@@ -519,6 +542,7 @@ impl Recorder {
             mode_switches: self.mode_switches,
             edge_events: self.edge_events,
             faults: self.faults,
+            est_faults: self.est_faults,
             segments: self.segments,
             barrier_rounds: self.barrier_rounds,
             stalled_shard_rounds: self.stalled_shard_rounds,
@@ -576,6 +600,15 @@ impl TelemetrySink for Recorder {
         }
     }
 
+    fn on_est_fault(&mut self, t: f64, node: usize, bias: f64) {
+        self.est_faults += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.push(&format!(
+                "{{\"rec\":\"fault\",\"kind\":\"est\",\"t\":{t},\"node\":{node},\"bias\":{bias}}}"
+            ));
+        }
+    }
+
     fn on_local(&mut self, _shard: usize, counters: &LocalCounters) {
         self.local.merge(counters);
     }
@@ -627,8 +660,8 @@ impl SharedRecorder {
     }
 
     /// Emit the run header (see [`Recorder::begin_run`]).
-    pub fn begin_run(&self, scenario: &str, seed: u64, nodes: usize) {
-        self.0.borrow_mut().begin_run(scenario, seed, nodes);
+    pub fn begin_run(&self, scenario: &str, seed: u64, nodes: usize, spec: Option<&str>) {
+        self.0.borrow_mut().begin_run(scenario, seed, nodes, spec);
     }
 
     /// Record a driver-side observation instant.
@@ -659,6 +692,9 @@ impl TelemetrySink for SharedRecorder {
     }
     fn on_fault(&mut self, t: f64, node: usize, amount: f64) {
         self.0.borrow_mut().on_fault(t, node, amount);
+    }
+    fn on_est_fault(&mut self, t: f64, node: usize, bias: f64) {
+        self.0.borrow_mut().on_est_fault(t, node, bias);
     }
     fn on_local(&mut self, shard: usize, counters: &LocalCounters) {
         self.0.borrow_mut().on_local(shard, counters);
@@ -813,7 +849,7 @@ mod tests {
     #[test]
     fn recorder_builds_a_sealed_trace() {
         let mut r = Recorder::with_trace();
-        r.begin_run("toy", 7, 3);
+        r.begin_run("toy", 7, 3, None);
         r.on_tick(0.5, 0); // quiet tick: histogrammed, not traced
         r.on_tick(1.0, 2);
         r.on_mode_switch(1.0, 1, true);
@@ -842,7 +878,7 @@ mod tests {
     #[test]
     fn shared_recorder_feeds_one_trace_from_both_halves() {
         let shared = SharedRecorder::new(true);
-        shared.begin_run("toy", 0, 2);
+        shared.begin_run("toy", 0, 2, None);
         let mut sink = shared.sink();
         sink.on_tick(1.0, 1);
         shared.on_sample(Sample {
@@ -856,6 +892,32 @@ mod tests {
         let out = shared.finish();
         let trace = out.trace.expect("trace enabled");
         assert_eq!(trace.records, 3);
+    }
+
+    #[test]
+    fn spec_record_embeds_escaped_scenario_text() {
+        let mut r = Recorder::with_trace();
+        r.begin_run("toy", 7, 3, Some("scenario \"toy\"\nduration 5\n"));
+        r.on_est_fault(1.5, 2, -1.0);
+        let out = r.finish();
+        assert_eq!(out.est_faults, 1);
+        assert_eq!(out.faults, 0);
+        let trace = out.trace.expect("trace enabled");
+        // run + spec + est fault = 3 hashed records.
+        assert_eq!(trace.records, 3);
+        verify_trace(&trace.text).expect("end record verifies");
+        let mut lines = trace.text.lines();
+        assert!(lines.next().unwrap().starts_with("{\"rec\":\"run\""));
+        let spec = lines.next().unwrap();
+        assert_eq!(
+            spec,
+            "{\"rec\":\"spec\",\"scn\":\"scenario \\\"toy\\\"\\nduration 5\\n\"}"
+        );
+        let fault = lines.next().unwrap();
+        assert_eq!(
+            fault,
+            "{\"rec\":\"fault\",\"kind\":\"est\",\"t\":1.5,\"node\":2,\"bias\":-1}"
+        );
     }
 
     #[test]
@@ -874,7 +936,7 @@ mod tests {
     #[test]
     fn verify_trace_catches_tampering() {
         let mut r = Recorder::with_trace();
-        r.begin_run("toy", 1, 1);
+        r.begin_run("toy", 1, 1, None);
         r.on_tick(1.0, 1);
         let trace = r.finish().trace.expect("trace");
         verify_trace(&trace.text).expect("clean trace verifies");

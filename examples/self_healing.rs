@@ -20,7 +20,10 @@ use gradient_clock_sync::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = registry::find("self-heal").expect("built-in scenario");
     let &FaultSpec::ClockOffset { at, node, amount } =
-        spec.faults.first().expect("self-heal scripts a fault");
+        spec.faults.first().expect("self-heal scripts a fault")
+    else {
+        unreachable!("self-heal's scripted fault is a clock corruption");
+    };
     let mut sim = spec.build(5)?;
     let recovery_rate = sim.params().mu() * (1.0 - sim.params().rho()) - 2.0 * sim.params().rho();
 

@@ -12,6 +12,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use gcs_scenarios::json::Json;
 use gcs_scenarios::{
     campaign, format, registry, telemetry, trend, trendseries, ConformanceOptions, OracleRide,
     Scale, ScenarioSpec,
@@ -76,8 +77,50 @@ USAGE:
         --out FILE   write the trace here instead of stdout
     gcs-scenarios trace-diff <a.jsonl> <b.jsonl>
         Verify both traces' content hashes, then compare them
-        byte-for-byte; prints the first divergent record (1-based line)
-        and exits non-zero if they differ. The replay/equivalence gate.
+        byte-for-byte. On divergence, prints one machine-readable JSON
+        record to stdout — {\"rec\":\"divergence\",\"line\":N,\"a\":...,
+        \"b\":...} with the 1-based line and both records (null when one
+        trace ended) — and exits with code 3. The replay/equivalence
+        gate.
+    gcs-scenarios replay <trace.jsonl> [--threads T]
+        Re-materialize a run from a sealed gcs-trace/v1 artifact ALONE:
+        verify the seal (a mutated artifact is rejected), parse the
+        embedded .scn spec record, rebuild from the recorded seed, drive
+        the identical observation grid, and compare the fresh trace
+        byte-for-byte against the original. Bit-identity is the
+        contract; on divergence prints the same machine-readable record
+        as trace-diff and exits with code 3.
+        --threads T  replaying engine: 1 = sequential, >1 = sharded with
+                     T shards (default 1; the outcome is invariant)
+    gcs-scenarios chaos-search <name|file.scn> [--seed S] [--budget N]
+                  [--seeds K] [--scale SC] [--threads T] [--log FILE]
+                  [--resume FILE] [--export FILE] [--rename NAME]
+                  [--trend FILE] [--violation-out FILE]
+        Adversarial fault-schedule search: a seeded greedy-mutation loop
+        over fault scripts (clock offsets, est-bias corruption,
+        partition/churn-burst timing) inside the .scn validation
+        envelope, scoring every candidate with the exact conformance
+        oracle and hill-climbing on worst-case margin utilization. The
+        gcs-chaos/v1 search log is byte-deterministic for a fixed
+        (base, --seed, --budget) and embeds every frontier candidate's
+        .scn. A candidate that EXCEEDS 100% utilization stops the
+        search, writes a sealed replayable trace of the violating run,
+        and exits with code 4.
+        --seed S     search RNG seed (default 0)
+        --budget N   candidate evaluations (default 32)
+        --seeds K    score each candidate over run seeds 0..K (default 1)
+        --scale SC   tiny|default|full (default default)
+        --threads T  engine threads per evaluation (default 1)
+        --log FILE   write the gcs-chaos/v1 search log here
+        --resume FILE  start from the frontier of a previous search log
+                     instead of the base scenario
+        --export FILE  write the best-found schedule as canonical .scn
+        --rename NAME  rename the exported schedule (required when the
+                     export will join the registry next to its base)
+        --trend FILE append one gcs-trend/v1 point (kind chaos, metric
+                     best_util) to the longitudinal series
+        --violation-out FILE  where the violating run's trace artifact
+                     goes (default results/CHAOS_violation.jsonl)
     gcs-scenarios conformance [selection] [--seeds N] [--scale S]
         Drive a scenario selection (default: the whole registry,
         bench-class scenarios included) through the paper-bound
@@ -164,36 +207,83 @@ SELECTIONS
     registry), `campaign` (statistics tier), `bench` (engine-scale tier),
     `fault-heavy` (every scenario with faults or dynamic topology).
     A name that matches nothing is a hard error, never an empty sweep.
+
+EXIT CODES
+    0  success
+    1  generic error (bad arguments, I/O, gate failure)
+    3  trace divergence (trace-diff, replay)
+    4  chaos-search found a schedule exceeding a paper bound
 ";
+
+/// A command failure with a documented process exit code: 1 = generic
+/// error, 3 = trace divergence (`trace-diff`, `replay`), 4 = a
+/// chaos-search candidate broke a paper bound.
+struct Failure {
+    code: u8,
+    msg: String,
+}
+
+impl Failure {
+    /// Exit code for a trace divergence.
+    const DIVERGED: u8 = 3;
+    /// Exit code for a found conformance violation.
+    const VIOLATION: u8 = 4;
+
+    fn at(code: u8, msg: impl Into<String>) -> Self {
+        Failure {
+            code,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl From<String> for Failure {
+    fn from(msg: String) -> Self {
+        Failure { code: 1, msg }
+    }
+}
+
+impl From<&str> for Failure {
+    fn from(msg: &str) -> Self {
+        Failure {
+            code: 1,
+            msg: msg.to_string(),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("list") => cmd_list(),
-        Some("show") => cmd_show(&args[1..]),
-        Some("validate") => cmd_validate(&args[1..]),
-        Some("run") => cmd_run(&args[1..]),
-        Some("bench") => cmd_bench(&args[1..]),
-        Some("bench-compare") => cmd_bench_compare(&args[1..]),
-        Some("trace") => cmd_trace(&args[1..]),
+    let result: Result<(), Failure> = match args.first().map(String::as_str) {
+        Some("list") => cmd_list().map_err(Failure::from),
+        Some("show") => cmd_show(&args[1..]).map_err(Failure::from),
+        Some("validate") => cmd_validate(&args[1..]).map_err(Failure::from),
+        Some("run") => cmd_run(&args[1..]).map_err(Failure::from),
+        Some("bench") => cmd_bench(&args[1..]).map_err(Failure::from),
+        Some("bench-compare") => cmd_bench_compare(&args[1..]).map_err(Failure::from),
+        Some("trace") => cmd_trace(&args[1..]).map_err(Failure::from),
         Some("trace-diff") => cmd_trace_diff(&args[1..]),
-        Some("conformance") => cmd_conformance(&args[1..]),
-        Some("trend-append") => cmd_trend_append(&args[1..]),
-        Some("trend-gate") => cmd_trend_gate(&args[1..]),
-        Some("export") => cmd_export(&args[1..]),
-        Some("baseline") => cmd_baseline(&args[1..]),
-        Some("compare") => cmd_compare(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("chaos-search") => cmd_chaos_search(&args[1..]),
+        Some("conformance") => cmd_conformance(&args[1..]).map_err(Failure::from),
+        Some("trend-append") => cmd_trend_append(&args[1..]).map_err(Failure::from),
+        Some("trend-gate") => cmd_trend_gate(&args[1..]).map_err(Failure::from),
+        Some("export") => cmd_export(&args[1..]).map_err(Failure::from),
+        Some("baseline") => cmd_baseline(&args[1..]).map_err(Failure::from),
+        Some("compare") => cmd_compare(&args[1..]).map_err(Failure::from),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        Some(other) => Err(Failure::from(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(f) => {
+            eprintln!("error: {}", f.msg);
+            ExitCode::from(f.code)
         }
     }
 }
@@ -745,10 +835,26 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders a first-divergence record as the stable machine-readable JSON
+/// line `trace-diff` and `replay` print to stdout: 1-based line number
+/// plus both records verbatim (`null` when one trace ended early).
+fn divergence_json(d: &gcs_telemetry::TraceDiff) -> String {
+    let side = |s: &Option<String>| s.clone().map_or(Json::Null, Json::Str);
+    Json::Obj(vec![
+        ("rec", Json::Str("divergence".to_string())),
+        ("line", Json::Int(d.line as u64)),
+        ("a", side(&d.a)),
+        ("b", side(&d.b)),
+    ])
+    .to_string()
+}
+
 /// Verifies and byte-compares two sealed traces.
-fn cmd_trace_diff(args: &[String]) -> Result<(), String> {
+fn cmd_trace_diff(args: &[String]) -> Result<(), Failure> {
     let [a_path, b_path] = args else {
-        return Err("trace-diff needs exactly <a.jsonl> <b.jsonl>".to_string());
+        return Err("trace-diff needs exactly <a.jsonl> <b.jsonl>"
+            .to_string()
+            .into());
     };
     let read = |p: &String| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
     let a = read(a_path)?;
@@ -762,12 +868,253 @@ fn cmd_trace_diff(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some(d) => {
-            eprintln!("first divergence at line {}:", d.line);
-            eprintln!("  a: {}", d.a.as_deref().unwrap_or("<trace ended>"));
-            eprintln!("  b: {}", d.b.as_deref().unwrap_or("<trace ended>"));
-            Err(format!("traces diverge at line {}", d.line))
+            // Machine-readable record on stdout, human summary on stderr.
+            println!("{}", divergence_json(&d));
+            Err(Failure::at(
+                Failure::DIVERGED,
+                format!("traces diverge at line {}", d.line),
+            ))
         }
     }
+}
+
+/// Re-materializes a run from a sealed trace artifact and asserts
+/// bit-identity.
+fn cmd_replay(args: &[String]) -> Result<(), Failure> {
+    let path = args
+        .first()
+        .ok_or_else(|| "replay needs a gcs-trace/v1 artifact".to_string())?;
+    let mut threads = 1usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                threads = usize::try_from(positive_flag(args, i, "--threads")?)
+                    .map_err(|_| "--threads is out of range".to_string())?;
+                i += 2;
+            }
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let outcome = gcs_scenarios::replay_trace(&text, threads).map_err(|e| e.to_string())?;
+    let a = &outcome.artifact;
+    match &outcome.divergence {
+        None => {
+            println!(
+                "replay identical: {} seed {} ({} node(s)), {} record(s), {}, {} thread(s)",
+                a.scenario, a.seed, a.nodes, a.records, a.hash, outcome.threads
+            );
+            Ok(())
+        }
+        Some(d) => {
+            println!("{}", divergence_json(d));
+            Err(Failure::at(
+                Failure::DIVERGED,
+                format!(
+                    "replay of {} seed {} diverges at line {} (original {}, replayed {})",
+                    a.scenario, a.seed, d.line, a.hash, outcome.replayed_hash
+                ),
+            ))
+        }
+    }
+}
+
+/// Seeded adversarial fault-schedule search over one base scenario.
+fn cmd_chaos_search(args: &[String]) -> Result<(), Failure> {
+    let target = args
+        .first()
+        .ok_or_else(|| "chaos-search needs a scenario name or .scn file".to_string())?;
+    let mut opts = gcs_scenarios::ChaosOptions::default();
+    let mut seeds_n = 1u64;
+    let mut scale = Scale::Default;
+    let mut log_out: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
+    let mut export: Option<PathBuf> = None;
+    let mut rename: Option<String> = None;
+    let mut trend_out: Option<PathBuf> = None;
+    let mut violation_out = PathBuf::from("results/CHAOS_violation.jsonl");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                opts.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a non-negative integer")?;
+                i += 2;
+            }
+            "--budget" => {
+                opts.budget = u32::try_from(positive_flag(args, i, "--budget")?)
+                    .map_err(|_| "--budget is out of range".to_string())?;
+                i += 2;
+            }
+            "--seeds" => {
+                seeds_n = positive_flag(args, i, "--seeds")?;
+                i += 2;
+            }
+            "--scale" => {
+                scale = scale_flag(args, i)?;
+                i += 2;
+            }
+            "--threads" => {
+                opts.threads = usize::try_from(positive_flag(args, i, "--threads")?)
+                    .map_err(|_| "--threads is out of range".to_string())?;
+                i += 2;
+            }
+            "--log" => {
+                log_out = Some(out_flag(args, i, "file")?);
+                i += 2;
+            }
+            "--resume" => {
+                resume = Some(PathBuf::from(
+                    args.get(i + 1).ok_or("--resume needs a file")?,
+                ));
+                i += 2;
+            }
+            "--export" => {
+                export = Some(PathBuf::from(
+                    args.get(i + 1).ok_or("--export needs a file")?,
+                ));
+                i += 2;
+            }
+            "--rename" => {
+                rename = Some(args.get(i + 1).ok_or("--rename needs a name")?.clone());
+                i += 2;
+            }
+            "--trend" => {
+                trend_out = Some(PathBuf::from(
+                    args.get(i + 1).ok_or("--trend needs a file")?,
+                ));
+                i += 2;
+            }
+            "--violation-out" => {
+                violation_out =
+                    PathBuf::from(args.get(i + 1).ok_or("--violation-out needs a file")?);
+                i += 2;
+            }
+            other => return Err(format!("unknown option {other:?}").into()),
+        }
+    }
+    opts.run_seeds = (0..seeds_n).collect();
+    if target == "all" {
+        return Err(
+            "chaos-search attacks exactly one scenario (a name or a .scn file)"
+                .to_string()
+                .into(),
+        );
+    }
+    let (_, specs) = resolve_specs(target)?;
+    let base = match &resume {
+        Some(log_path) => {
+            let text = std::fs::read_to_string(log_path)
+                .map_err(|e| format!("cannot read {}: {e}", log_path.display()))?;
+            let frontier = gcs_scenarios::frontier_from_log(&text).map_err(|e| e.to_string())?;
+            println!(
+                "resuming from the frontier of {} ({})",
+                log_path.display(),
+                frontier.name
+            );
+            frontier
+        }
+        None => specs[0].scaled(scale),
+    };
+    println!(
+        "chaos-search {:?}: seed {}, budget {}, {} run seed(s), scale {}, objective = worst \
+         conformance-margin utilization",
+        base.name,
+        opts.seed,
+        opts.budget,
+        opts.run_seeds.len(),
+        scale.name()
+    );
+    let started = std::time::Instant::now();
+    let result = gcs_scenarios::chaos_search(&base, &opts).map_err(|e| e.to_string())?;
+    println!(
+        "evaluated {} candidate(s) ({} envelope-violating draw(s) skipped) in {:.1}s",
+        result.evaluated,
+        result.skipped,
+        started.elapsed().as_secs_f64()
+    );
+    println!(
+        "best: iter {} ({}), {} utilization {:.1}% at run seed {}",
+        result.best.iter,
+        result.best.op,
+        result.best.family,
+        100.0 * result.best.utilization,
+        result.best.run_seed
+    );
+    if let Some(path) = &log_out {
+        write_text(path, &result.log)?;
+        println!("wrote search log to {}", path.display());
+    }
+    if let Some(path) = &export {
+        let mut spec = result.best.spec.clone();
+        if let Some(name) = &rename {
+            spec.name.clone_from(name);
+        }
+        spec.validate().map_err(|e| e.to_string())?;
+        write_text(path, &gcs_scenarios::format::write(&spec))?;
+        println!(
+            "exported best schedule as {} ({})",
+            path.display(),
+            spec.name
+        );
+    }
+    if let Some(path) = &trend_out {
+        let point = trendseries::TrendPoint {
+            when: now_millis(),
+            kind: "chaos".to_string(),
+            scale: scale.name().to_string(),
+            scenario: result.base.clone(),
+            seed: opts.seed,
+            threads: opts.threads.max(1) as u64,
+            metrics: vec![
+                ("best_util".to_string(), result.best.utilization),
+                ("evaluated".to_string(), f64::from(result.evaluated)),
+            ],
+        };
+        trendseries::append_points(path, &[point])
+            .map_err(|e| format!("cannot append to {}: {e}", path.display()))?;
+        println!("appended 1 trend point to {}", path.display());
+    }
+    match result.violation {
+        None => {
+            println!(
+                "ok: best-found schedule stays within the paper bounds \
+                 (frontier proves the base maximal within this budget when iter = 0)"
+            );
+            Ok(())
+        }
+        Some(v) => {
+            write_text(&violation_out, &v.trace)?;
+            for line in &v.violations {
+                eprintln!("VIOLATION {}: {line}", v.candidate.spec.name);
+            }
+            Err(Failure::at(
+                Failure::VIOLATION,
+                format!(
+                    "candidate {} exceeded a paper bound ({} utilization {:.1}%); replayable \
+                     trace written to {} (verify with `gcs-scenarios replay`)",
+                    v.candidate.iter,
+                    v.candidate.family,
+                    100.0 * v.candidate.utilization,
+                    violation_out.display()
+                ),
+            ))
+        }
+    }
+}
+
+/// Writes text to a path, creating parent directories as needed.
+fn write_text(path: &Path, text: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
 /// Runs the conformance oracles over a scenario selection.

@@ -295,7 +295,29 @@ fn trace_diff_pinpoints_the_first_divergent_record() {
     let b = pert.telemetry.trace.as_ref().expect("trace on");
     assert_ne!(a.hash, b.hash, "the perturbation must change the hash");
 
+    // The first divergence is the embedded spec record on line 2: the
+    // perturbed run scripts an extra fault, and the trace carries its
+    // canonical .scn (what makes replay-from-artifact possible).
     let d = trace_diff(&a.text, &b.text).expect("traces must diverge");
+    assert_eq!(d.line, 2, "the embedded spec records differ first");
+    assert!(
+        d.b.as_deref()
+            .expect("both traces carry a spec record")
+            .contains("\"rec\":\"spec\""),
+        "line 2 is the spec record"
+    );
+
+    // With the spec records masked the *runs* must diverge exactly at
+    // the injected fault record — the diff pinpoints it, not merely
+    // "something differs".
+    let strip_spec = |t: &str| {
+        t.lines()
+            .filter(|l| !l.starts_with("{\"rec\":\"spec\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let (a_run, b_run) = (strip_spec(&a.text), strip_spec(&b.text));
+    let d = trace_diff(&a_run, &b_run).expect("the runs themselves diverge");
     assert!(d.line > 1, "prefix before the fault instant is shared");
     let diverging =
         d.b.as_deref()
@@ -306,7 +328,7 @@ fn trace_diff_pinpoints_the_first_divergent_record() {
     );
     // Everything before the divergence is byte-identical.
     let prefix = |t: &str| t.lines().take(d.line - 1).collect::<Vec<_>>().join("\n");
-    assert_eq!(prefix(&a.text), prefix(&b.text));
+    assert_eq!(prefix(&a_run), prefix(&b_run));
 }
 
 #[test]
