@@ -40,27 +40,31 @@
 #![warn(missing_docs)]
 
 pub mod diameter;
-pub mod edge_state;
-mod estimate;
 pub mod log;
-pub mod node;
 mod parallel;
-mod params;
+#[cfg(test)]
+mod replay_check;
 mod shard;
 mod sim;
 mod snapshot;
-pub mod triggers;
+
+// The node-local protocol state machine lives in the sans-IO
+// `gcs-protocol` crate (shared with the `gcs-node` socket daemon); the
+// modules are re-exported here so `gcs_core::edge_state::Level`-style
+// paths keep working for every existing consumer.
+pub use gcs_protocol::{edge_state, estimate, node, params, triggers};
 
 pub use diameter::DiameterTracker;
 pub use log::{EventLog, LogEntry};
 
-pub use estimate::{ErrorModel, EstimateMode};
+pub use gcs_protocol::{
+    AoptPolicy, EdgeInfo, ErrorModel, EstimateMode, InsertionStrategy, Mode, ModePolicy,
+    NeighborView, NodeView, Params, ParamsBuilder, ParamsError, StabilityCert,
+};
 pub use parallel::{
     Engine, EngineGauges, ParallelBuildError, ParallelSimBuilder, ParallelSimulation, Partition,
 };
-pub use params::{InsertionStrategy, Params, ParamsBuilder, ParamsError};
-pub use sim::{BuildError, ChangeRecord, EdgeInfo, SimBuilder, SimStats, Simulation};
+pub use sim::{BuildError, ChangeRecord, SimBuilder, SimStats, Simulation};
 pub use snapshot::{ClockSnapshot, Trace};
 // The instrumentation seam types the `Engine` telemetry methods speak.
 pub use gcs_telemetry::{LocalCounters, NoopSink, TelemetrySink};
-pub use triggers::{AoptPolicy, Mode, ModePolicy, NeighborView, NodeView, StabilityCert};

@@ -35,10 +35,12 @@
 //!   above every build-time key, so the merged key order is a pure
 //!   function of the simulation — never of thread scheduling.
 //! - Capping `cut` at the next master event time means master events only
-//!   ever execute at `time == cut`, after every shard event `≤ cut`: the
-//!   sequential engine interleaves them the same way because build-time
-//!   keys order scripted events before the tick chain, and dynamic shard
-//!   events collide with master times only on a measure-zero set.
+//!   ever execute at `time == cut`, after every shard event `< cut`. The
+//!   boundary instant itself is merged explicitly: master and shard events
+//!   at exactly `cut` run in ascending sequence order — the order the
+//!   sequential engine's single queue pops them — so even a delivery
+//!   colliding with a scripted edge transition lands on the correct side
+//!   of the §3.1 delivery rule.
 //! - Cross-shard deliveries land at `≥ cut` by the lookahead bound, so no
 //!   shard ever receives an event earlier than something it already ran.
 //! - Same-instant deliveries to one node (a flood fan-out over
@@ -60,7 +62,8 @@ use gcs_telemetry::{LocalCounters, TelemetrySink};
 use crate::node::NodeState;
 use crate::params::Params;
 use crate::shard::{balanced_ranges, contiguous_ranges, owner, owning_node, LocalCtx, ShardSink};
-use crate::sim::{BuildError, EdgeInfo, Event, SimBuilder, SimStats, Simulation};
+use crate::sim::{BuildError, Event, SimBuilder, SimStats, Simulation};
+use gcs_protocol::EdgeInfo;
 
 /// Shard-spawned events take sequence keys from per-shard counters
 /// namespaced above this bit, keeping them disjoint from build-time keys
@@ -333,9 +336,10 @@ fn split_ranges<'a, T>(mut rest: &'a mut [T], ranges: &[Range<usize>]) -> Vec<&'
     out
 }
 
-/// Drains every event `≤ cut` from one shard, running the shared
-/// node-local handlers with a [`ShardSink`]. Runs on a worker thread.
-fn drain_one(work: Work<'_>, shared: &SharedCtx<'_>, cut: SimTime) {
+/// Drains every event inside the segment (`< cut` when `strict`, else
+/// `≤ cut`) from one shard, running the shared node-local handlers with a
+/// [`ShardSink`]. Runs on a worker thread.
+fn drain_one(work: Work<'_>, shared: &SharedCtx<'_>, cut: SimTime, strict: bool) {
     let Work {
         shard,
         nodes,
@@ -355,7 +359,7 @@ fn drain_one(work: Work<'_>, shared: &SharedCtx<'_>, cut: SimTime) {
     } = shard;
     loop {
         match queue.next_time() {
-            Some(t) if t <= cut => {}
+            Some(t) if t < cut || (!strict && t == cut) => {}
             _ => break,
         }
         let (t, _seq, ev) = queue.pop_keyed().expect("peeked");
@@ -455,27 +459,30 @@ impl ParallelSimulation {
                 sink.on_segment_cut(cut.as_secs());
             }
 
-            // 1. Shard events ≤ cut, in parallel.
-            self.drain_shards(cut);
-            // 2. Master events at cut (cut is capped at the next master
-            //    event, so everything it pops is exactly at cut), after
-            //    every shard event ≤ cut — matching the sequential key
-            //    order (see module docs).
-            loop {
-                match self.sim.queue.next_time() {
-                    Some(t) if t <= cut => {}
-                    _ => break,
-                }
-                let (when, ev) = self.sim.queue.pop().expect("peeked");
-                self.sim.now = when;
-                self.sim.stats.events += 1;
-                self.sim.handle(when, ev);
-            }
+            // 1. Shard events strictly before the cut, in parallel.
+            //    Events exactly *at* the cut are boundary events: the cut
+            //    is capped at the next master event, so a scripted edge
+            //    transition can coincide with a same-instant delivery or
+            //    flood there, and those must not run before the master's
+            //    earlier-keyed events.
+            self.drain_shards(cut, true);
+            // 2. The boundary instant itself: master events and shard
+            //    events at exactly the cut, interleaved in ascending
+            //    sequence order — the order the sequential engine's single
+            //    queue pops them. This pins the §3.1 closed-interval
+            //    semantics at window barriers: an edge up exactly at a send
+            //    time delivers, a removal exactly at a delivery instant
+            //    drops (scripted transitions carry build-time keys, which
+            //    sort before every dynamically spawned event).
             // 3. Node-local events the master spawned (leader checks from
-            //    edge-ups) go to their owners; drain again if any landed
-            //    inside this segment.
-            if self.route_redirects(cut) {
-                self.drain_shards(cut);
+            //    edge-ups) go to their owners; redirected events land at or
+            //    after the cut, so only another boundary pass can run any
+            //    that landed inside this segment.
+            loop {
+                self.boundary_merge(cut);
+                if !self.route_redirects(cut) {
+                    break;
+                }
             }
             if cut >= target {
                 break;
@@ -531,23 +538,27 @@ impl ParallelSimulation {
         self.sim.queue.len() + self.shards.iter().map(|s| s.queue.len()).sum::<usize>()
     }
 
-    /// Runs drain rounds until every shard's next event is after `cut`:
-    /// each round drains all shards in parallel, then exchanges mailbox
-    /// deliveries at the barrier; only an exchanged event landing `≤ cut`
-    /// (possible exactly at the lookahead bound on zero-jitter edges)
-    /// forces another round.
-    fn drain_shards(&mut self, cut: SimTime) {
+    /// Runs drain rounds until every shard's next event is outside the
+    /// segment: each round drains all shards in parallel, then exchanges
+    /// mailbox deliveries at the barrier; only an exchanged event landing
+    /// back inside the segment (possible exactly at the lookahead bound on
+    /// zero-jitter edges) forces another round. With `strict` the segment
+    /// is `t < cut` — events exactly at the cut stay queued for the
+    /// boundary merge, which orders them against same-instant master
+    /// events; without it the segment is `t ≤ cut`.
+    fn drain_shards(&mut self, cut: SimTime, strict: bool) {
+        let inside = |t: SimTime| if strict { t < cut } else { t <= cut };
         loop {
             let active: Vec<bool> = self
                 .shards
                 .iter_mut()
-                .map(|s| matches!(s.queue.next_time(), Some(t) if t <= cut))
+                .map(|s| matches!(s.queue.next_time(), Some(t) if inside(t)))
                 .collect();
             let busy = active.iter().filter(|&&a| a).count();
             if busy == 0 {
                 return;
             }
-            self.drain_round(&active, cut);
+            self.drain_round(&active, cut, strict);
             if let Some(sink) = self.sim.telemetry.as_deref_mut() {
                 sink.on_barrier_round(busy, active.len() - busy);
             }
@@ -563,7 +574,7 @@ impl ParallelSimulation {
             }
             let mut exchanged_in_window = false;
             for (dest, t, seq, ev) in moved {
-                exchanged_in_window |= t <= cut;
+                exchanged_in_window |= inside(t);
                 self.shards[dest].queue.schedule_keyed(t, seq, ev);
             }
             if !exchanged_in_window {
@@ -572,10 +583,121 @@ impl ParallelSimulation {
         }
     }
 
+    /// Executes every event scheduled exactly at `cut` — master and shard
+    /// alike — in ascending sequence order, i.e. exactly the order the
+    /// sequential engine's single queue would pop them. Shard events run
+    /// on the calling thread against the full node range, but keep their
+    /// owning shard's sink, sequence counter, stats, per-node RNG rows,
+    /// and telemetry block, so spawned keys and per-shard counters are
+    /// indistinguishable from a parallel drain. Cross-shard deliveries
+    /// spawned here (which land strictly later — the builder guarantees a
+    /// positive lookahead) are exchanged before returning.
+    fn boundary_merge(&mut self, cut: SimTime) {
+        loop {
+            let master = self
+                .sim
+                .queue
+                .next_key()
+                .filter(|&(t, _)| t == cut)
+                .map(|(_, seq)| seq);
+            let shard = self
+                .shards
+                .iter_mut()
+                .filter_map(|s| {
+                    let (t, seq) = s.queue.next_key()?;
+                    (t == cut).then_some((seq, s.index))
+                })
+                .min();
+            match (master, shard) {
+                (None, None) => break,
+                (Some(_), None) => self.pop_master_at(cut),
+                (None, Some((_, i))) => self.pop_shard_at(i, cut),
+                (Some(m), Some((s, i))) => {
+                    if m < s {
+                        self.pop_master_at(cut);
+                    } else {
+                        self.pop_shard_at(i, cut);
+                    }
+                }
+            }
+        }
+        let mut moved: Vec<(usize, SimTime, u64, Event)> = Vec::new();
+        for s in &mut self.shards {
+            moved.append(&mut s.outbox);
+        }
+        if !moved.is_empty() {
+            if let Some(sink) = self.sim.telemetry.as_deref_mut() {
+                sink.on_mailbox(moved.len());
+            }
+            for (dest, t, seq, ev) in moved {
+                debug_assert!(t > cut, "boundary sends land after the cut");
+                self.shards[dest].queue.schedule_keyed(t, seq, ev);
+            }
+        }
+    }
+
+    /// Pops and executes the master queue's earliest event (at `cut`).
+    fn pop_master_at(&mut self, cut: SimTime) {
+        let (when, ev) = self.sim.queue.pop().expect("peeked");
+        debug_assert_eq!(when, cut);
+        self.sim.now = when;
+        self.sim.stats.events += 1;
+        self.sim.handle(when, ev);
+    }
+
+    /// Pops and executes shard `index`'s earliest event (at `cut`) on the
+    /// calling thread, with the shard's own sink, stats, and counters.
+    fn pop_shard_at(&mut self, index: usize, cut: SimTime) {
+        let sim = &mut self.sim;
+        let Shard {
+            index: _,
+            range: _,
+            queue,
+            seq,
+            stats,
+            flood_buf,
+            outbox,
+            tel,
+        } = &mut self.shards[index];
+        let (t, _seq, ev) = queue.pop_keyed().expect("peeked");
+        debug_assert_eq!(t, cut);
+        stats.events += 1;
+        let mut sink = ShardSink {
+            queue: &mut *queue,
+            starts: &self.starts,
+            shard: index,
+            seq: &mut *seq,
+            outbox: &mut *outbox,
+        };
+        let mut ctx = LocalCtx {
+            range: 0..sim.nodes.len(),
+            nodes: &mut sim.nodes,
+            stable_until: &mut sim.hot.stable_until,
+            m_jump_sensitive: &mut sim.hot.m_jump_sensitive,
+            delay_rng: &mut sim.hot.delay_rng,
+            stats: &mut *stats,
+            sink: &mut sink,
+            flood_buf: &mut *flood_buf,
+            params: &sim.params,
+            message_mode: matches!(sim.mode, crate::EstimateMode::Messages),
+            edge_info: &sim.edge_info,
+            graph: &sim.graph,
+            diameter: None,
+            log: None,
+            refresh: sim.refresh,
+            tel: if sim.telemetry.is_some() {
+                Some(&mut *tel)
+            } else {
+                None
+            },
+        };
+        ctx.handle(t, ev);
+    }
+
     /// One parallel round: every active shard drains on its own thread
     /// (the first active one on the calling thread), with disjoint
     /// `split_at_mut` borrows of the node array and hot columns.
-    fn drain_round(&mut self, active: &[bool], cut: SimTime) {
+    fn drain_round(&mut self, active: &[bool], cut: SimTime, strict: bool) {
         let sim = &mut self.sim;
         let shared = SharedCtx {
             params: &sim.params,
@@ -614,14 +736,14 @@ impl ParallelSimulation {
         let first = iter.next().expect("at least one active shard");
         let rest: Vec<Work<'_>> = iter.collect();
         if rest.is_empty() {
-            drain_one(first, &shared, cut);
+            drain_one(first, &shared, cut, strict);
         } else {
             let shared = &shared;
             std::thread::scope(|scope| {
                 for w in rest {
-                    scope.spawn(move || drain_one(w, shared, cut));
+                    scope.spawn(move || drain_one(w, shared, cut, strict));
                 }
-                drain_one(first, shared, cut);
+                drain_one(first, shared, cut, strict);
             });
         }
     }
@@ -787,5 +909,133 @@ impl Engine for ParallelSimulation {
 
     fn pending_events(&self) -> usize {
         ParallelSimulation::pending_events(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Payload;
+    use gcs_net::Topology;
+    use gcs_sim::DriftModel;
+
+    fn builder(seed: u64) -> SimBuilder {
+        let params = Params::builder().rho(0.01).mu(0.1).build().unwrap();
+        SimBuilder::new(params)
+            .topology(Topology::ring(4))
+            .drift(DriftModel::TwoBlock)
+            .seed(seed)
+    }
+
+    /// A flood whose bounds no organic run could produce, so whether it
+    /// was delivered is visible in the receiver's state.
+    fn poison() -> Payload {
+        Payload::Flood {
+            logical: 1.0e6,
+            max_est: 1.0e6,
+            min_lb: 0.0,
+            max_ub: 2.0e6,
+        }
+    }
+
+    /// §3.1 boundary, removal side: an edge removal scheduled at exactly a
+    /// delivery instant sorts first (scripted transitions carry build-time
+    /// keys, below every dynamic key), so the message drops — and the
+    /// sharded engine must reproduce that at its window barrier, where the
+    /// removal is a master event and the delivery a shard event. Before
+    /// the boundary merge, the shard drained its side of the instant
+    /// first and delivered through the removed edge.
+    #[test]
+    fn removal_at_the_delivery_instant_drops_in_both_engines() {
+        let cut = SimTime::from_secs(1.7717);
+        let sent = SimTime::from_secs(1.7);
+        let dyn_seq = (1u64 << SEQ_NAMESPACE_SHIFT) | 7;
+        let down = || Event::EdgeDown {
+            from: NodeId(1),
+            to: NodeId(0),
+        };
+        let deliver = || Event::Deliver {
+            src: NodeId(0),
+            dst: NodeId(1),
+            sent_at: sent,
+            payload: poison(),
+        };
+
+        let mut seq_sim = builder(11).build().unwrap();
+        let mut par = ParallelSimBuilder::new(builder(11))
+            .shards(2)
+            .build()
+            .unwrap();
+        seq_sim.run_until_secs(1.0);
+        par.run_until_secs(1.0);
+
+        seq_sim.queue.schedule_keyed(cut, 1_000, down());
+        seq_sim.queue.schedule_keyed(cut, dyn_seq, deliver());
+        par.sim.queue.schedule_keyed(cut, 1_000, down());
+        let shard = owner(&par.starts, 1);
+        par.shards[shard]
+            .queue
+            .schedule_keyed(cut, dyn_seq, deliver());
+
+        let dropped_before = seq_sim.stats().messages_dropped;
+        seq_sim.run_until_secs(2.5);
+        par.run_until_secs(2.5);
+
+        assert!(
+            seq_sim.stats().messages_dropped > dropped_before,
+            "the colliding delivery must be dropped"
+        );
+        assert!(
+            seq_sim.nodes[1].max_estimate() < 1.0e5,
+            "sequential engine delivered through a removed edge"
+        );
+        assert!(
+            par.nodes[1].max_estimate() < 1.0e5,
+            "sharded engine delivered through a removed edge"
+        );
+        assert_eq!(seq_sim.stats(), par.stats());
+        assert_eq!(seq_sim.snapshot().logical, par.snapshot().logical);
+    }
+
+    /// §3.1 boundary, insertion side: a message sent at exactly the
+    /// instant the receiver discovered the sender is deliverable — the
+    /// presence interval is closed on the left — identically in both
+    /// engines (here across the shard boundary).
+    #[test]
+    fn send_at_the_discovery_instant_delivers_in_both_engines() {
+        let at = SimTime::from_secs(0.006);
+        let sent = SimTime::from_secs(0.0);
+        let dyn_seq = (1u64 << SEQ_NAMESPACE_SHIFT) | 7;
+        let deliver = || Event::Deliver {
+            src: NodeId(2),
+            dst: NodeId(1),
+            sent_at: sent,
+            payload: poison(),
+        };
+
+        let mut seq_sim = builder(17).build().unwrap();
+        seq_sim.queue.schedule_keyed(at, dyn_seq, deliver());
+        let mut par = ParallelSimBuilder::new(builder(17))
+            .shards(2)
+            .build()
+            .unwrap();
+        let shard = owner(&par.starts, 1);
+        par.shards[shard]
+            .queue
+            .schedule_keyed(at, dyn_seq, deliver());
+
+        seq_sim.run_until_secs(1.0);
+        par.run_until_secs(1.0);
+
+        assert!(
+            seq_sim.nodes[1].max_estimate() >= 1.0e6,
+            "the boundary send must be delivered"
+        );
+        assert_eq!(seq_sim.stats(), par.stats());
+        assert_eq!(seq_sim.snapshot().logical, par.snapshot().logical);
+        assert_eq!(
+            seq_sim.nodes[1].max_estimate().to_bits(),
+            par.nodes[1].max_estimate().to_bits()
+        );
     }
 }

@@ -31,10 +31,12 @@ use gcs_net::{DynamicGraph, EdgeKey, EdgeParams, NodeId};
 use gcs_sim::{EventQueue, SimDuration, SimTime};
 use gcs_telemetry::LocalCounters;
 
-use crate::edge_state::{align_t0, EstimateEntry, InsertState};
+use crate::edge_state::{align_t0, InsertState};
 use crate::node::NodeState;
 use crate::params::Params;
-use crate::sim::{EdgeInfo, Event, Payload, SimStats};
+use crate::sim::{Event, Payload, SimStats};
+use gcs_protocol::flood::{self, FloodMsg};
+use gcs_protocol::EdgeInfo;
 
 /// Where a handler's spawned events go: the master queue (sequential
 /// engine) or a shard queue plus cross-shard mailbox ([`ShardSink`]).
@@ -289,12 +291,12 @@ impl<S: EventSink> LocalCtx<'_, S> {
 
     fn on_flood(&mut self, t: SimTime, u: NodeId) {
         self.advance(u.index(), t);
-        let node = self.node(u.index());
+        let msg = flood::flood_from(self.node(u.index()));
         let payload = Payload::Flood {
-            logical: node.logical(),
-            max_est: node.max_estimate(),
-            min_lb: node.min_lower_bound(),
-            max_ub: node.max_upper_bound(),
+            logical: msg.logical,
+            max_est: msg.max_est,
+            min_lb: msg.min_lb,
+            max_ub: msg.max_ub,
         };
         // The neighbour table mirrors the graph adjacency (same ids, same
         // ascending order) and already carries each edge's parameters.
@@ -391,44 +393,38 @@ impl<S: EventSink> LocalCtx<'_, S> {
                         info.params.delay_uncertainty(),
                     );
                 }
-                let credit = transport::min_transit_credit(info.params, rho);
-                let node = self.node_mut(dst.index());
-                let m_moved = node.merge_flood_bounds(
-                    max_est + credit,
-                    min_lb,
-                    max_ub + beta * info.params.delay_bound(),
+                let outcome = flood::merge_flood(
+                    self.node_mut(dst.index()),
+                    src,
+                    FloodMsg {
+                        logical,
+                        max_est,
+                        min_lb,
+                        max_ub,
+                    },
+                    info.params,
+                    rho,
+                    beta,
                 );
-                let hw_now = node.hardware();
-                if let Some(slot) = node.slots.get_mut(src) {
-                    slot.estimate = Some(EstimateEntry {
-                        value: logical + credit,
-                        hw_at_recv: hw_now,
-                    });
-                    // In message mode the stored sample *is* a decision
-                    // input; in oracle mode the views never read it.
-                    if is_message_mode {
-                        self.mark_dirty(dst.index());
-                    }
+                // In message mode the stored sample *is* a decision input;
+                // in oracle mode the views never read it.
+                if outcome.estimate_written && is_message_mode {
+                    self.mark_dirty(dst.index());
                 }
                 // An upward M jump flips a slow-decided node only once the
-                // lifted gap reaches iota (below that it lands in the
-                // hysteresis band, which keeps the slow decision). The
-                // comparison must be the *same float expression* as the
-                // policy's fast branch (`L <= M - iota`) — an algebraically
-                // equivalent rearrangement could disagree with it by an ulp
-                // right at the boundary and skip a node the reference pass
-                // would flip. (Between now and the next tick, m only
-                // drifts down, which can make this conservative but never
-                // unsound.)
-                if m_moved && self.m_jump_sensitive[self.local(dst.index())] {
-                    let node = self.node(dst.index());
-                    if node.logical() <= node.max_estimate() - self.params.iota() {
-                        self.mark_dirty(dst.index());
-                    }
+                // lifted gap reaches iota; `m_jump_triggers_fast` is pinned
+                // to the policy's exact fast-branch float expression.
+                // (Between now and the next tick, m only drifts down, which
+                // can make this conservative but never unsound.)
+                if outcome.m_moved
+                    && self.m_jump_sensitive[self.local(dst.index())]
+                    && flood::m_jump_triggers_fast(self.node(dst.index()), self.params.iota())
+                {
+                    self.mark_dirty(dst.index());
                 }
                 if let Some(tel) = self.tel.as_deref_mut() {
                     tel.flood_merges += 1;
-                    if m_moved {
+                    if outcome.m_moved {
                         tel.m_jumps += 1;
                     }
                 }

@@ -45,29 +45,15 @@ use gcs_net::{
 use gcs_sim::{rng, DriftModel, EventQueue, SimDuration, SimTime};
 use gcs_telemetry::{LocalCounters, TelemetrySink};
 
-use crate::edge_state::{EdgeSlot, InsertState, Level};
-use crate::estimate::EstimateMode;
-use crate::node::{NeighborEntry, NodeState};
-use crate::params::InsertionStrategy;
-use crate::params::Params;
 use crate::shard::LocalCtx;
 use crate::snapshot::ClockSnapshot;
-use crate::triggers::{
+use gcs_protocol::edge_state::{EdgeSlot, InsertState, Level};
+use gcs_protocol::node::{NeighborEntry, NodeState};
+use gcs_protocol::runtime::derive_run_config;
+use gcs_protocol::triggers::{
     fast_trigger, slow_trigger, AoptPolicy, Mode, ModePolicy, NeighborView, NodeView,
 };
-
-/// Cached per-edge derived quantities.
-#[derive(Debug, Clone, Copy)]
-pub struct EdgeInfo {
-    /// Raw model parameters of the edge.
-    pub params: EdgeParams,
-    /// The uncertainty `ε` advertised by the configured estimate layer.
-    pub epsilon: f64,
-    /// Edge weight `κ` (eq. 9).
-    pub kappa: f64,
-    /// Slow-trigger slack `δ`.
-    pub delta: f64,
-}
+use gcs_protocol::{EdgeInfo, EstimateMode, InsertionStrategy, Params};
 
 /// Message bodies exchanged by nodes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -391,55 +377,12 @@ impl SimBuilder {
             return Err(BuildError::TooFewNodes(n));
         }
 
-        // Derived knobs: refresh period, per-edge info, iota, G~, tick.
-        let refresh = self
-            .params
-            .refresh_period()
-            .unwrap_or_else(|| self.edge_params.max_delay_bound());
-
+        // Derived knobs: refresh period, per-edge info, iota, G~, tick —
+        // the shared derivation in `gcs-protocol`, so a daemon cluster
+        // configured like this scenario lands on bit-identical constants.
         let universe = schedule.edge_universe();
-        let mut edge_info = HashMap::with_capacity(universe.len());
-        let mut kappa_min = f64::INFINITY;
-        let mut per_hop_max = 0.0f64;
-        for &e in &universe {
-            let ep = self.edge_params.get(e);
-            let epsilon = self.mode.advertised_epsilon(&self.params, ep, refresh);
-            let kappa = self.params.kappa(ep, epsilon);
-            let delta = self.params.delta(ep, epsilon);
-            kappa_min = kappa_min.min(kappa);
-            let drift_window = refresh / self.params.alpha() + ep.delay_bound();
-            let per_hop = epsilon
-                + self.params.mu() * ep.tau
-                + (2.0 * self.params.rho() + self.params.mu() * self.params.rho()) * drift_window;
-            per_hop_max = per_hop_max.max(per_hop);
-            edge_info.insert(
-                e,
-                EdgeInfo {
-                    params: ep,
-                    epsilon,
-                    kappa,
-                    delta,
-                },
-            );
-        }
-        if !kappa_min.is_finite() {
-            // Scenario without any edges ever: still runnable (clocks free-run).
-            kappa_min = 1.0;
-            per_hop_max = 1.0;
-        }
-
-        let iota = kappa_min / 8.0;
-        // Conservative static estimate: four times the worst-case
-        // accumulated per-hop uncertainty across the longest possible path.
-        let g_tilde_default = 4.0 * n as f64 * per_hop_max + iota;
-        let params = self
-            .params
-            .with_iota_default(iota)
-            .with_g_tilde_default(g_tilde_default);
-
-        let tick = params
-            .tick()
-            .unwrap_or_else(|| kappa_min / (8.0 * params.beta()));
+        let cfg = derive_run_config(&self.params, self.mode, &self.edge_params, &universe, n);
+        let (params, refresh, tick, edge_info) = (cfg.params, cfg.refresh, cfg.tick, cfg.edge_info);
 
         // Drift realization and node construction.
         let drift =

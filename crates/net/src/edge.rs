@@ -14,8 +14,52 @@
 //! per-edge overrides, which is what experiment E9 uses.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::graph::EdgeKey;
+
+/// Why a set of edge parameters is invalid.
+///
+/// `EdgeParams`' fields are public (struct literals are handy in tests and
+/// experiment tables), so a value can exist without ever passing
+/// [`EdgeParams::new`]; every consumer boundary — [`EdgeParamsMap::uniform`],
+/// [`EdgeParamsMap::set`] — re-validates with [`EdgeParams::validate`] so an
+/// inverted delay range is rejected loudly instead of silently collapsing
+/// into the degenerate deterministic-delay case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeParamsError {
+    /// `epsilon` must be finite and strictly positive.
+    BadEpsilon(f64),
+    /// `tau` must be finite and strictly positive.
+    BadTau(f64),
+    /// `delay_min` must be finite and non-negative.
+    BadDelayMin(f64),
+    /// `delay_max` must be finite and strictly positive.
+    BadDelayMax(f64),
+    /// `delay_max < delay_min`: an inverted (empty) delay range.
+    InvertedDelayRange {
+        /// The configured `delay_min`.
+        min: f64,
+        /// The configured `delay_max`.
+        max: f64,
+    },
+}
+
+impl fmt::Display for EdgeParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeParamsError::BadEpsilon(v) => write!(f, "epsilon must be > 0, got {v}"),
+            EdgeParamsError::BadTau(v) => write!(f, "tau must be > 0, got {v}"),
+            EdgeParamsError::BadDelayMin(v) => write!(f, "delay_min must be >= 0, got {v}"),
+            EdgeParamsError::BadDelayMax(v) => write!(f, "delay_max must be > 0, got {v}"),
+            EdgeParamsError::InvertedDelayRange { min, max } => {
+                write!(f, "inverted delay range: delay_max {max} < delay_min {min}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeParamsError {}
 
 /// Model parameters of a single undirected estimate edge.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,25 +81,65 @@ impl EdgeParams {
     /// # Panics
     ///
     /// Panics if any value is non-finite or negative, `epsilon` or `tau` is
-    /// zero, or `delay_min > delay_max`.
+    /// zero, or `delay_min > delay_max` (an inverted delay range). Use
+    /// [`EdgeParams::try_new`] for a recoverable error instead.
     #[must_use]
     pub fn new(epsilon: f64, tau: f64, delay_min: f64, delay_max: f64) -> Self {
-        assert!(epsilon.is_finite() && epsilon > 0.0, "epsilon must be > 0");
-        assert!(tau.is_finite() && tau > 0.0, "tau must be > 0");
-        assert!(
-            delay_min.is_finite() && delay_min >= 0.0,
-            "delay_min must be >= 0"
-        );
-        assert!(
-            delay_max.is_finite() && delay_max >= delay_min && delay_max > 0.0,
-            "delay_max must be >= delay_min and > 0"
-        );
-        EdgeParams {
+        match EdgeParams::try_new(epsilon, tau, delay_min, delay_max) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates edge parameters, reporting invalid ranges as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EdgeParamsError`] naming the first offending field;
+    /// notably [`EdgeParamsError::InvertedDelayRange`] when
+    /// `delay_max < delay_min`.
+    pub fn try_new(
+        epsilon: f64,
+        tau: f64,
+        delay_min: f64,
+        delay_max: f64,
+    ) -> Result<Self, EdgeParamsError> {
+        let p = EdgeParams {
             epsilon,
             tau,
             delay_min,
             delay_max,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Re-checks the construction invariants — the safety net for values
+    /// built as struct literals (the fields are public).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EdgeParamsError`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), EdgeParamsError> {
+        if !(self.epsilon.is_finite() && self.epsilon > 0.0) {
+            return Err(EdgeParamsError::BadEpsilon(self.epsilon));
         }
+        if !(self.tau.is_finite() && self.tau > 0.0) {
+            return Err(EdgeParamsError::BadTau(self.tau));
+        }
+        if !(self.delay_min.is_finite() && self.delay_min >= 0.0) {
+            return Err(EdgeParamsError::BadDelayMin(self.delay_min));
+        }
+        if !(self.delay_max.is_finite() && self.delay_max > 0.0) {
+            return Err(EdgeParamsError::BadDelayMax(self.delay_max));
+        }
+        if self.delay_max < self.delay_min {
+            return Err(EdgeParamsError::InvertedDelayRange {
+                min: self.delay_min,
+                max: self.delay_max,
+            });
+        }
+        Ok(())
     }
 
     /// The message delay bound `T` of the paper.
@@ -99,8 +183,17 @@ pub struct EdgeParamsMap {
 
 impl EdgeParamsMap {
     /// A map where every edge uses `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `default` is invalid (see [`EdgeParams::validate`]) — a
+    /// struct-literal-built value with an inverted delay range must not
+    /// become the silent default of every edge.
     #[must_use]
     pub fn uniform(default: EdgeParams) -> Self {
+        if let Err(e) = default.validate() {
+            panic!("invalid default edge parameters: {e}");
+        }
         EdgeParamsMap {
             default,
             overrides: HashMap::new(),
@@ -108,8 +201,28 @@ impl EdgeParamsMap {
     }
 
     /// Sets parameters for one edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is invalid (see [`EdgeParams::validate`]); use
+    /// [`EdgeParamsMap::try_set`] where the parameters come from
+    /// unvalidated input.
     pub fn set(&mut self, edge: EdgeKey, params: EdgeParams) {
+        if let Err(e) = self.try_set(edge, params) {
+            panic!("invalid parameters for edge {edge}: {e}");
+        }
+    }
+
+    /// Sets parameters for one edge, rejecting invalid values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EdgeParamsError`] (and leaves the map unchanged) if
+    /// `params` fails [`EdgeParams::validate`].
+    pub fn try_set(&mut self, edge: EdgeKey, params: EdgeParams) -> Result<(), EdgeParamsError> {
+        params.validate()?;
         self.overrides.insert(edge, params);
+        Ok(())
     }
 
     /// Parameters of `edge` (override or default).
@@ -208,5 +321,77 @@ mod tests {
     fn default_params_are_valid() {
         let p = EdgeParams::default();
         assert!(p.epsilon > 0.0 && p.tau > 0.0 && p.delay_max >= p.delay_min);
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn try_new_names_the_offending_field() {
+        assert_eq!(
+            EdgeParams::try_new(0.001, 0.01, 0.02, 0.01),
+            Err(EdgeParamsError::InvertedDelayRange {
+                min: 0.02,
+                max: 0.01
+            })
+        );
+        assert_eq!(
+            EdgeParams::try_new(0.0, 0.01, 0.0, 0.01),
+            Err(EdgeParamsError::BadEpsilon(0.0))
+        );
+        assert!(matches!(
+            EdgeParams::try_new(0.001, f64::NAN, 0.0, 0.01),
+            Err(EdgeParamsError::BadTau(t)) if t.is_nan()
+        ));
+        assert_eq!(
+            EdgeParams::try_new(0.001, 0.01, -1.0, 0.01),
+            Err(EdgeParamsError::BadDelayMin(-1.0))
+        );
+        assert_eq!(
+            EdgeParams::try_new(0.001, 0.01, 0.0, 0.0),
+            Err(EdgeParamsError::BadDelayMax(0.0))
+        );
+    }
+
+    #[test]
+    fn try_set_rejects_inverted_range_and_leaves_map_unchanged() {
+        let mut m = EdgeParamsMap::uniform(EdgeParams::default());
+        let e01 = EdgeKey::new(NodeId(0), NodeId(1));
+        // A struct literal sidesteps `new`'s validation; the map must not.
+        let inverted = EdgeParams {
+            epsilon: 0.001,
+            tau: 0.01,
+            delay_min: 0.02,
+            delay_max: 0.01,
+        };
+        let err = m.try_set(e01, inverted).unwrap_err();
+        assert!(matches!(err, EdgeParamsError::InvertedDelayRange { .. }));
+        assert!(err.to_string().contains("inverted delay range"));
+        assert_eq!(m.override_count(), 0);
+        assert_eq!(m.get(e01), EdgeParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted delay range")]
+    fn set_panics_on_inverted_range() {
+        let mut m = EdgeParamsMap::uniform(EdgeParams::default());
+        m.set(
+            EdgeKey::new(NodeId(0), NodeId(1)),
+            EdgeParams {
+                epsilon: 0.001,
+                tau: 0.01,
+                delay_min: 0.02,
+                delay_max: 0.01,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid default edge parameters")]
+    fn uniform_rejects_invalid_default() {
+        let _ = EdgeParamsMap::uniform(EdgeParams {
+            epsilon: 0.001,
+            tau: 0.01,
+            delay_min: 0.02,
+            delay_max: 0.01,
+        });
     }
 }

@@ -29,7 +29,7 @@ mod schedule;
 mod topology;
 pub mod transport;
 
-pub use edge::{EdgeParams, EdgeParamsMap};
+pub use edge::{EdgeParams, EdgeParamsError, EdgeParamsMap};
 pub use graph::{DynamicGraph, EdgeKey, NodeId};
 pub use schedule::{ChurnOptions, EdgeEvent, EdgeEventKind, NetworkSchedule};
 pub use topology::Topology;

@@ -39,8 +39,19 @@ pub struct Envelope<P> {
 
 /// Samples a transit delay for `edge`: uniform in
 /// `[delay_min, delay_max]`, or the deterministic `delay_min` for a
-/// degenerate range. One RNG draw per non-degenerate send.
+/// degenerate (`delay_max == delay_min`) range. One RNG draw per
+/// non-degenerate send.
+///
+/// Inverted ranges (`delay_max < delay_min`) are a construction error —
+/// [`EdgeParams::try_new`] and the [`EdgeParamsMap`](crate::EdgeParamsMap)
+/// setters reject them — and must never reach the sampler, where they
+/// would silently collapse into the deterministic case; debug builds trip
+/// here if one slips through a struct literal.
 pub fn sample_delay<R: Rng>(rng: &mut R, edge: EdgeParams) -> f64 {
+    debug_assert!(
+        edge.delay_max >= edge.delay_min,
+        "inverted delay range reached the sampler: {edge:?}"
+    );
     if edge.delay_max > edge.delay_min {
         rng.gen_range(edge.delay_min..=edge.delay_max)
     } else {
@@ -131,6 +142,29 @@ mod tests {
         g.insert_directed(NodeId(1), NodeId(0), t(5.005));
         assert!(!deliverable(&g, &env));
         // Edge absent entirely: drop.
+        g.remove_directed(NodeId(1), NodeId(0));
+        assert!(!deliverable(&g, &env));
+    }
+
+    #[test]
+    fn delivery_boundary_is_closed_at_insertion_and_open_at_removal() {
+        // §3.1 presence interval is [up, down): an edge that comes up
+        // exactly at the send time counts as present for the whole
+        // transit, and a removal applied at `deliver_at` — before the
+        // delivery is consulted — drops the message.
+        let mut g = DynamicGraph::new(2);
+        g.insert_directed(NodeId(1), NodeId(0), t(5.0));
+        let env = Envelope {
+            src: NodeId(0),
+            dst: NodeId(1),
+            sent_at: t(5.0),
+            deliver_at: t(5.01),
+            payload: (),
+        };
+        // Up exactly at the send instant: deliver.
+        assert!(deliverable(&g, &env));
+        // Removed by the time the delivery is evaluated: drop, even
+        // though the edge was present for the full open interval.
         g.remove_directed(NodeId(1), NodeId(0));
         assert!(!deliverable(&g, &env));
     }

@@ -1,0 +1,49 @@
+//! `gcs-protocol` — the sans-IO per-node protocol core of the A_OPT
+//! gradient clock synchronization algorithm (Kuhn, Lenzen, Locher,
+//! Oshman; PODC 2010).
+//!
+//! Everything in this crate is a pure state machine: inputs are
+//! timestamped inbound messages and local clock reads, outputs are
+//! messages to send and mode decisions. There are no clocks, no RNG
+//! draws, and no IO — the caller owns time and transport. Two harnesses
+//! drive the same code:
+//!
+//! * the deterministic simulator in `gcs-core` (both the sequential and
+//!   the sharded engine host their node-local handlers on this crate),
+//! * the `gcs-node` socket daemon, which multiplexes many
+//!   [`NodeCore`] virtual nodes over a real transport.
+//!
+//! # Paper-to-module map
+//!
+//! | Module | Paper concept |
+//! |---|---|
+//! | [`node`] | per-node clock/bound state (`L_u`, `M_u`, `[W_u, P_u]`) |
+//! | [`triggers`] | fast/slow mode triggers (Defs 4.5–4.7, Listing 3) |
+//! | [`edge_state`] | staged insertion levels (Listings 1–2, §5.5 decay) |
+//! | [`estimate`] | the estimate layer and its advertised uncertainty `ε` |
+//! | [`flood`] | Condition 4.3 max-estimate flood merge with min-transit credit |
+//! | [`params`] | the paper's parameter soup (`ρ`, `µ`, `ι`, `κ`, `G̃`, …) |
+//! | [`runtime`] | [`NodeCore`]: a complete virtual node for real transports |
+//! | [`wire`] | length-prefixed frames carrying floods over real sockets |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod edge_state;
+pub mod estimate;
+pub mod flood;
+pub mod node;
+pub mod params;
+pub mod runtime;
+pub mod triggers;
+pub mod wire;
+
+pub use estimate::{ErrorModel, EstimateMode};
+pub use flood::{flood_from, m_jump_triggers_fast, merge_flood, FloodMsg, MergeOutcome};
+pub use node::{EdgeInfo, NeighborEntry, NeighborTable, NodeState};
+pub use params::{InsertionStrategy, Params, ParamsBuilder, ParamsError};
+pub use runtime::NodeCore;
+pub use triggers::{
+    fast_trigger, slow_trigger, AoptPolicy, Mode, ModePolicy, NeighborView, NodeView, StabilityCert,
+};
+pub use wire::{Frame, FrameReader, WireError};

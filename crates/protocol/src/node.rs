@@ -36,13 +36,25 @@
 //!
 //! [`advance_to`]: NodeState::advance_to
 
-use gcs_net::NodeId;
+use gcs_net::{EdgeParams, NodeId};
 use gcs_sim::SimTime;
 
 use crate::edge_state::EdgeSlot;
 use crate::params::Params;
-use crate::sim::EdgeInfo;
 use crate::triggers::Mode;
+
+/// Cached per-edge derived quantities.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeInfo {
+    /// Raw model parameters of the edge.
+    pub params: EdgeParams,
+    /// The uncertainty `ε` advertised by the configured estimate layer.
+    pub epsilon: f64,
+    /// Edge weight `κ` (eq. 9).
+    pub kappa: f64,
+    /// Slow-trigger slack `δ`.
+    pub delta: f64,
+}
 
 /// Everything a node tracks about one discovered neighbour, plus the cached
 /// per-edge derived constants (`ε`, `κ`, `δ`, delays) of the connecting
@@ -479,8 +491,8 @@ impl NodeState {
         self.scripted_bias
     }
 
-    /// Installs a scripted estimate corruption
-    /// ([`Simulation::inject_estimate_bias`](crate::Simulation::inject_estimate_bias)).
+    /// Installs a scripted estimate corruption (the engine's
+    /// `Simulation::inject_estimate_bias` routes here).
     ///
     /// # Panics
     ///

@@ -101,12 +101,12 @@ pub enum InsertionStrategy {
 /// # Example
 ///
 /// ```
-/// use gcs_core::Params;
+/// use gcs_protocol::Params;
 ///
 /// let p = Params::builder().rho(0.01).mu(0.1).build()?;
 /// assert!(p.sigma() > 1.0);
 /// assert!(p.beta() > 1.0); // fastest logical rate (1+rho)(1+mu)
-/// # Ok::<(), gcs_core::ParamsError>(())
+/// # Ok::<(), gcs_protocol::ParamsError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Params {
@@ -531,8 +531,9 @@ impl ParamsBuilder {
 impl Params {
     /// Returns a copy with `ι` filled in (used by the simulation builder
     /// when the user did not choose one).
+    #[doc(hidden)]
     #[must_use]
-    pub(crate) fn with_iota_default(mut self, iota: f64) -> Self {
+    pub fn with_iota_default(mut self, iota: f64) -> Self {
         if self.iota.is_nan() {
             self.iota = iota;
         }
@@ -540,8 +541,9 @@ impl Params {
     }
 
     /// Returns a copy with the static `G̃` filled in.
+    #[doc(hidden)]
     #[must_use]
-    pub(crate) fn with_g_tilde_default(mut self, g: f64) -> Self {
+    pub fn with_g_tilde_default(mut self, g: f64) -> Self {
         if self.g_tilde.is_none() {
             self.g_tilde = Some(g);
         }

@@ -267,6 +267,17 @@ impl<E> EventQueue<E> {
         self.near.last().map(|k| k.time)
     }
 
+    /// The full `(time, seq)` ordering key of the earliest pending event,
+    /// without removing it — what a scheduler merging several queues needs
+    /// to interleave same-instant events in global order.
+    #[must_use]
+    pub fn next_key(&mut self) -> Option<(SimTime, u64)> {
+        if self.near.is_empty() {
+            self.refill();
+        }
+        self.near.last().map(|k| (k.time, k.seq))
+    }
+
     /// The time of the most recently popped event (`t = 0` before any pop).
     #[must_use]
     pub fn now(&self) -> SimTime {

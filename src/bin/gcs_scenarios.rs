@@ -9,9 +9,15 @@
 //! cargo run --release --bin gcs-scenarios -- export scenarios/
 //! ```
 
+use std::io::BufRead;
 use std::path::{Path, PathBuf};
-use std::process::ExitCode;
+use std::process::{Child, Command, ExitCode, ExitStatus, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use gcs_net::{EdgeKey, EdgeParams, EdgeParamsMap, NodeId};
+use gcs_protocol::runtime::derive_run_config;
+use gcs_protocol::{EstimateMode, Params};
 use gcs_scenarios::json::Json;
 use gcs_scenarios::{
     campaign, format, registry, telemetry, trend, trendseries, ConformanceOptions, OracleRide,
@@ -75,6 +81,22 @@ USAGE:
         --threads T  1 = sequential, >1 = sharded with T shards (default 1)
         --scale S    tiny|default|full   (default tiny)
         --out FILE   write the trace here instead of stdout
+    gcs-scenarios node-smoke [--procs P] [--per-proc K] [--secs S]
+                             [--refresh R]
+        Loopback cluster smoke test for the gcs-node socket daemon: spawn
+        P daemon processes on 127.0.0.1 (K virtual nodes each, wired into
+        a full mesh via --peers), let them exchange wire floods for S
+        wall-clock seconds, then assert that every node heard every other
+        node, that the observed logical-clock skew fits the Theorem 5.22
+        gradient envelope of the cluster's derived parameters (plus a
+        small measurement slack for pipe latency), that daemons whose
+        stdin closes exit 0 printing `shutdown clean`, and that a
+        SIGTERM'd daemon stops promptly. Needs the gcs-node binary next
+        to this one (cargo builds both).
+        --procs P     daemon processes        (default 3)
+        --per-proc K  virtual nodes per proc  (default 2)
+        --secs S      run duration, seconds   (default 4)
+        --refresh R   flood refresh period    (default 0.2)
     gcs-scenarios trace-diff <a.jsonl> <b.jsonl>
         Verify both traces' content hashes, then compare them
         byte-for-byte. On divergence, prints one machine-readable JSON
@@ -262,6 +284,7 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]).map_err(Failure::from),
         Some("bench-compare") => cmd_bench_compare(&args[1..]).map_err(Failure::from),
         Some("trace") => cmd_trace(&args[1..]).map_err(Failure::from),
+        Some("node-smoke") => cmd_node_smoke(&args[1..]).map_err(Failure::from),
         Some("trace-diff") => cmd_trace_diff(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("chaos-search") => cmd_chaos_search(&args[1..]),
@@ -679,10 +702,14 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         // telemetry observes the run, it must never change it.
         let mut runs = Vec::with_capacity(entries.len());
         for e in &entries {
-            let spec = specs
-                .iter()
-                .find(|s| s.name == e.scenario)
-                .expect("entry came from these specs");
+            let spec = specs.iter().find(|s| s.name == e.scenario).ok_or_else(|| {
+                format!(
+                    "bench entry {:?} (seed {}, threads {}) does not match any resolved \
+                     scenario — the timed sweep and the telemetry re-drive must run the \
+                     same selection",
+                    e.scenario, e.seed, e.threads
+                )
+            })?;
             let inst = telemetry::bench_instrumented(spec, e.seed, e.threads)
                 .map_err(|x| x.to_string())?;
             if (
@@ -808,7 +835,13 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let spec = specs[0].scaled(scale);
     let run = telemetry::run_instrumented(&spec, seed, threads, true, false)
         .map_err(|e| e.to_string())?;
-    let trace = run.telemetry.trace.as_ref().expect("trace requested");
+    let trace = run.telemetry.trace.as_ref().ok_or_else(|| {
+        format!(
+            "instrumented run of {:?} (seed {seed}) produced no trace even though \
+             tracing was requested — the telemetry sink dropped its run log",
+            spec.name
+        )
+    })?;
     match out {
         Some(path) => {
             telemetry::write_trace(&path, trace)
@@ -832,6 +865,342 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+/// Extrapolation slack for the node-smoke skew check, in seconds: status
+/// lines are timestamped when the harness *reads* them, so pipe and
+/// scheduler latency between a daemon's print and our receipt shifts each
+/// node's reading by up to this much under load.
+const NODE_SMOKE_SLACK: f64 = 0.025;
+
+/// One parsed daemon `status` line, stamped with the harness wall-clock
+/// instant it arrived.
+struct NodeStatus {
+    wall: f64,
+    logical: f64,
+    peers_heard: usize,
+}
+
+fn parse_status_line(wall: f64, line: &str) -> Option<(u64, NodeStatus)> {
+    let mut id = None;
+    let mut logical = None;
+    let mut peers_heard = None;
+    for field in line.strip_prefix("status ")?.split_whitespace() {
+        let (key, value) = field.split_once('=')?;
+        match key {
+            "id" => id = value.parse().ok(),
+            "logical" => logical = value.parse().ok(),
+            "peers_heard" => peers_heard = value.parse().ok(),
+            _ => {}
+        }
+    }
+    Some((
+        id?,
+        NodeStatus {
+            wall,
+            logical: logical?,
+            peers_heard: peers_heard?,
+        },
+    ))
+}
+
+/// One spawned `gcs-node` process: the child, its bound address, the
+/// stdout collector, and every line it has printed (harness-stamped).
+struct Daemon {
+    child: Child,
+    addr: String,
+    lines: Arc<Mutex<Vec<(f64, String)>>>,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+fn spawn_daemon(
+    bin: &Path,
+    start: Instant,
+    first: u64,
+    count: u64,
+    total: u64,
+    refresh: f64,
+    peers: &[String],
+) -> Result<Daemon, String> {
+    let mut cmd = Command::new(bin);
+    cmd.arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--first")
+        .arg(first.to_string())
+        .arg("--count")
+        .arg(count.to_string())
+        .arg("--total")
+        .arg(total.to_string())
+        .arg("--refresh")
+        .arg(refresh.to_string())
+        .arg("--status-every")
+        .arg("0.1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    if !peers.is_empty() {
+        cmd.arg("--peers").arg(peers.join(","));
+    }
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", bin.display()))?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or("daemon stdout was not captured")?;
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read the daemon's announce line: {e}"))?;
+    let addr = line
+        .trim()
+        .strip_prefix("listening ")
+        .ok_or_else(|| {
+            format!(
+                "daemon hosting IDs [{first}, {}) did not announce a listening \
+                 address (got {:?})",
+                first + count,
+                line.trim()
+            )
+        })?
+        .to_string();
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&lines);
+    let handle = std::thread::spawn(move || {
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            match reader.read_line(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    let wall = start.elapsed().as_secs_f64();
+                    if let Ok(mut v) = sink.lock() {
+                        v.push((wall, buf.trim().to_string()));
+                    }
+                }
+            }
+        }
+    });
+    Ok(Daemon {
+        child,
+        addr,
+        lines,
+        reader: Some(handle),
+    })
+}
+
+/// Polls `try_wait` until the child exits or the deadline passes.
+fn wait_until(child: &mut Child, deadline: Instant) -> Result<Option<ExitStatus>, String> {
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => return Ok(Some(status)),
+            Ok(None) if Instant::now() >= deadline => return Ok(None),
+            Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+            Err(e) => return Err(format!("cannot wait for a daemon: {e}")),
+        }
+    }
+}
+
+fn cmd_node_smoke(args: &[String]) -> Result<(), String> {
+    let mut procs = 3u64;
+    let mut per_proc = 2u64;
+    let mut secs = 4.0f64;
+    let mut refresh = 0.2f64;
+    let mut i = 0;
+    while i < args.len() {
+        let float = |args: &[String], i: usize, flag: &str| -> Result<f64, String> {
+            let v: f64 = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("{flag} needs a number"))?;
+            if v.is_finite() && v > 0.0 {
+                Ok(v)
+            } else {
+                Err(format!("{flag} must be a positive finite number"))
+            }
+        };
+        match args[i].as_str() {
+            "--procs" => procs = positive_flag(args, i, "--procs")?,
+            "--per-proc" => per_proc = positive_flag(args, i, "--per-proc")?,
+            "--secs" => secs = float(args, i, "--secs")?,
+            "--refresh" => refresh = float(args, i, "--refresh")?,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 2;
+    }
+    if procs < 2 {
+        return Err("node-smoke needs at least 2 daemon processes".to_string());
+    }
+    let total = procs * per_proc;
+
+    let bin = std::env::current_exe()
+        .map_err(|e| format!("cannot locate this executable: {e}"))?
+        .parent()
+        .ok_or("this executable has no parent directory")?
+        .join("gcs-node");
+    if !bin.exists() {
+        return Err(format!(
+            "gcs-node binary not found at {} — build it first (`cargo build --bin gcs-node`)",
+            bin.display()
+        ));
+    }
+
+    // The Theorem 5.22 envelope for the cluster the daemons will derive:
+    // same base parameters, same complete-graph universe, same
+    // derivation (`derive_run_config`), so the oracle bound and the
+    // daemons' runtime constants cannot drift apart. Every pair in a
+    // complete graph is one hop, so the pairwise bound is evaluated at
+    // the single-edge path weight.
+    let node = |id: u64| NodeId(u32::try_from(id).unwrap_or(u32::MAX));
+    let base = Params::builder()
+        .rho(1e-3)
+        .mu(0.1)
+        .refresh_period(refresh)
+        .build()
+        .map_err(|e| format!("invalid parameters: {e}"))?;
+    let edge = EdgeParams::try_new(1e-3, 0.05, 0.0, 0.05)
+        .map_err(|e| format!("invalid edge parameters: {e}"))?;
+    let edge_params = EdgeParamsMap::uniform(edge);
+    let mut universe = Vec::new();
+    for a in 0..total {
+        for b in (a + 1)..total {
+            universe.push(EdgeKey::new(node(a), node(b)));
+        }
+    }
+    let cfg = derive_run_config(
+        &base,
+        EstimateMode::Messages,
+        &edge_params,
+        &universe,
+        usize::try_from(total).map_err(|_| "--procs x --per-proc is out of range".to_string())?,
+    );
+    let g_hat = cfg
+        .params
+        .g_tilde()
+        .ok_or("the derived run configuration is missing G-tilde")?;
+    let kappa = cfg
+        .edge_info
+        .values()
+        .map(|e| e.kappa)
+        .fold(0.0f64, f64::max);
+    let envelope = gcs_analysis::gradient_bound(&cfg.params, g_hat, kappa);
+
+    // Spawn the cluster: each daemon dials every earlier one, which wires
+    // the complete process graph (connections are used in both
+    // directions). If this harness dies early, the daemons' stdin pipes
+    // close and they shut themselves down — no orphans.
+    let start = Instant::now();
+    let mut daemons: Vec<Daemon> = Vec::new();
+    let mut addrs: Vec<String> = Vec::new();
+    for p in 0..procs {
+        let d = spawn_daemon(&bin, start, p * per_proc, per_proc, total, refresh, &addrs)?;
+        addrs.push(d.addr.clone());
+        daemons.push(d);
+    }
+    println!(
+        "node-smoke: {procs} daemon(s) x {per_proc} node(s) = {total} nodes on {}",
+        addrs.join(" ")
+    );
+    std::thread::sleep(Duration::from_secs_f64(secs));
+
+    // Graceful path: close stdin on all daemons but the last — EOF is
+    // the documented shutdown request, and their SHUTDOWN broadcast must
+    // not take the SIGTERM target down before we signal it.
+    let last = daemons.len() - 1;
+    let term_pid = daemons[last].child.id();
+    let term = Command::new("kill")
+        .args(["-TERM", &term_pid.to_string()])
+        .status()
+        .map_err(|e| format!("cannot send SIGTERM: {e}"))?;
+    if !term.success() {
+        return Err(format!("kill -TERM {term_pid} failed: {term}"));
+    }
+    let hard_stop = wait_until(
+        &mut daemons[last].child,
+        Instant::now() + Duration::from_secs(2),
+    )?
+    .ok_or("the SIGTERM'd daemon did not stop within 2s")?;
+    if hard_stop.success() {
+        return Err("the SIGTERM'd daemon reported success instead of dying by signal".to_string());
+    }
+    for d in &mut daemons[..last] {
+        drop(d.child.stdin.take());
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    for (p, d) in daemons[..last].iter_mut().enumerate() {
+        let status = wait_until(&mut d.child, deadline)?
+            .ok_or_else(|| format!("daemon {p} did not exit within 5s of stdin EOF"))?;
+        if status.code() != Some(0) {
+            return Err(format!("daemon {p} exited with {status} instead of code 0"));
+        }
+    }
+    for d in &mut daemons {
+        if let Some(handle) = d.reader.take() {
+            let _ = handle.join();
+        }
+    }
+
+    // Analysis: the newest status per node, plus each graceful daemon's
+    // shutdown marker.
+    let mut latest: std::collections::BTreeMap<u64, NodeStatus> = std::collections::BTreeMap::new();
+    for (p, d) in daemons.iter().enumerate() {
+        let lines = d
+            .lines
+            .lock()
+            .map_err(|_| "a status collector thread panicked".to_string())?;
+        let clean = lines.iter().any(|(_, l)| l == "shutdown clean");
+        if p != last && !clean {
+            return Err(format!(
+                "daemon {p} exited without printing `shutdown clean`"
+            ));
+        }
+        for (wall, line) in lines.iter() {
+            if let Some((id, st)) = parse_status_line(*wall, line) {
+                latest.insert(id, st);
+            }
+        }
+    }
+    for id in 0..total {
+        let st = latest
+            .get(&id)
+            .ok_or_else(|| format!("node {id} never reported a status line"))?;
+        let expected = usize::try_from(total - 1).unwrap_or(usize::MAX);
+        if st.peers_heard != expected {
+            return Err(format!(
+                "node {id} heard {} of {expected} peers — the mesh never completed",
+                st.peers_heard
+            ));
+        }
+    }
+
+    // Skew: extrapolate every node's newest logical reading to the
+    // newest sample instant (hardware rates are within rho of 1, so the
+    // extrapolation error over a <=0.2s status gap is sub-microsecond)
+    // and compare the spread against the Theorem 5.22 pairwise bound.
+    let t_ref = latest
+        .values()
+        .map(|s| s.wall)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let adjusted: Vec<f64> = latest
+        .values()
+        .map(|s| s.logical + (t_ref - s.wall))
+        .collect();
+    let skew = adjusted.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        - adjusted.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    let allowed = envelope + NODE_SMOKE_SLACK;
+    if skew > allowed {
+        return Err(format!(
+            "observed logical skew {skew:.6}s exceeds the Theorem 5.22 envelope \
+             {envelope:.6}s (+{NODE_SMOKE_SLACK}s measurement slack)"
+        ));
+    }
+    println!(
+        "node-smoke: skew {skew:.6}s within the Thm 5.22 envelope {envelope:.6}s \
+         (+{NODE_SMOKE_SLACK}s slack); {last} graceful exit(s) clean, SIGTERM stopped pid \
+         {term_pid} promptly"
+    );
     Ok(())
 }
 
